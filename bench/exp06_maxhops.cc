@@ -1,0 +1,61 @@
+// Exp#6 — search efficiency under different maximum hop lengths
+// (paper Figure 13).
+//
+// Runs fixed-stage-count searches on GPT-3 13B (6 and 8 stages) and
+// Wide-ResNet 13B (8 and 9 stages — the paper's panels) under
+// MaxHops in {1, 3, 7, 11} and prints each convergence trend.
+//
+// Paper claims to reproduce in shape: very small MaxHops can get stuck at a
+// worse configuration; very large MaxHops spends too long inside single
+// iterations; a moderate value (7) is robust.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace aceso;
+  using namespace aceso::bench;
+  PrintHeader("Exp#6: MaxHops ablation (Figure 13)",
+              "Too-small MaxHops converges to worse plans; too-large wastes "
+              "budget inside iterations; MaxHops=7 is a robust middle");
+
+  struct Panel {
+    const char* model;
+    int gpus;
+    int stages;
+  };
+  std::vector<Panel> panels = {
+      {"gpt3-13b", 32, 6},
+      {"gpt3-13b", 32, 8},
+      {"wresnet-13b", 32, 8},
+      {"wresnet-13b", 32, 9},
+  };
+  if (QuickMode()) {
+    panels = {{"gpt3-1.3b", 8, 4}};
+  }
+
+  for (const Panel& panel : panels) {
+    std::printf("\n--- %s, %d stages ---\n", panel.model, panel.stages);
+    Workload workload(panel.model, panel.gpus);
+    TablePrinter table({"MaxHops", "best pred iter(s)", "improvements",
+                        "configs explored"});
+    for (const int max_hops : {1, 3, 7, 11}) {
+      SearchOptions options = DefaultSearchOptions();
+      options.max_hops = max_hops;
+      const SearchResult result =
+          AcesoSearchForStages(workload.model(), options, panel.stages);
+      table.AddRow({std::to_string(max_hops),
+                    result.found
+                        ? FormatDouble(result.best.perf.iteration_time, 2)
+                        : "x",
+                    std::to_string(result.stats.improvements),
+                    std::to_string(result.stats.configs_explored)});
+      PrintConvergence("MaxHops=" + std::to_string(max_hops),
+                       result.convergence, 8);
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation of Aceso's search-algorithm design choices (DESIGN.md §6; the
+// paper motivates each in §3.2/§4.2/§4.3 without an explicit figure).
+//
+// Under an equal budget, toggles off one ingredient at a time:
+//   * Heuristic-2 ordering (random exploration instead),
+//   * configuration-semantic deduplication,
+//   * the recompute attachment on every primitive,
+//   * the op-level fine-tuning pass,
+// and reports the best predicted iteration time and exploration statistics.
+//
+// Expected shape: the full system converges to the best (or tied-best)
+// configuration; dropping dedup wastes evaluations on revisits; dropping the
+// recompute attachment and fine-tuning costs final quality on
+// memory-pressured settings.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace aceso;
+  using namespace aceso::bench;
+  PrintHeader("Ablation: search design choices",
+              "every §4.2/§4.3 ingredient pays for itself under a fixed "
+              "budget");
+
+  std::vector<std::pair<std::string, int>> settings = {
+      {"gpt3-2.6b", 8},
+      {"wresnet-2b", 4},
+  };
+  if (QuickMode()) {
+    settings = {{"gpt3-0.35b", 4}};
+  }
+
+  struct Variant {
+    const char* name;
+    void (*tweak)(SearchOptions&);
+  };
+  const Variant variants[] = {
+      {"full system", [](SearchOptions&) {}},
+      {"w/o heuristic-2",
+       [](SearchOptions& o) { o.use_heuristic2 = false; }},
+      {"w/o dedup", [](SearchOptions& o) { o.enable_dedup = false; }},
+      {"w/o rc attachment",
+       [](SearchOptions& o) { o.enable_recompute_attachment = false; }},
+      {"w/o fine-tuning",
+       [](SearchOptions& o) { o.enable_finetune = false; }},
+  };
+
+  for (const auto& [name, gpus] : settings) {
+    std::printf("\n--- %s @%dgpu ---\n", name.c_str(), gpus);
+    Workload workload(name, gpus);
+    TablePrinter table({"variant", "best pred iter(s)", "configs explored",
+                        "improvements"});
+    for (const Variant& variant : variants) {
+      SearchOptions options = DefaultSearchOptions();
+      variant.tweak(options);
+      const SearchResult result = AcesoSearch(workload.model(), options);
+      table.AddRow({variant.name,
+                    result.found
+                        ? FormatDouble(result.best.perf.iteration_time, 2)
+                        : "x",
+                    std::to_string(result.stats.configs_explored),
+                    std::to_string(result.stats.improvements)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

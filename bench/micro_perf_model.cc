@@ -1,0 +1,75 @@
+// Micro-benchmark: performance-model evaluation throughput. The search
+// calls Evaluate() tens of thousands of times per run, so this is Aceso's
+// hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "src/aceso.h"
+
+namespace aceso {
+namespace {
+
+struct Fixture {
+  Fixture(const std::string& name, int gpus, int stages)
+      : graph(*models::BuildByName(name)),
+        cluster(ClusterSpec::WithGpuCount(gpus)),
+        db(cluster),
+        model(&graph, cluster, &db),
+        config(*MakeEvenConfig(graph, cluster, stages, 2)) {
+    // Warm the memoized database so the benchmark measures steady state.
+    model.Evaluate(config);
+  }
+  OpGraph graph;
+  ClusterSpec cluster;
+  ProfileDatabase db;
+  PerformanceModel model;
+  ParallelConfig config;
+};
+
+void BM_EvaluateGpt(benchmark::State& state) {
+  Fixture f("gpt3-1.3b", 8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.Evaluate(f.config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateGpt)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_EvaluateWideResnet(benchmark::State& state) {
+  Fixture f("wresnet-0.5b", 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.Evaluate(f.config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateWideResnet);
+
+void BM_EvaluateDeepTransformer(benchmark::State& state) {
+  Fixture f("deepnet-" + std::to_string(state.range(0)), 8, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.Evaluate(f.config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateDeepTransformer)->Arg(64)->Arg(256)->Arg(1000);
+
+void BM_SemanticHash(benchmark::State& state) {
+  Fixture f("gpt3-1.3b", 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.config.SemanticHash(f.graph));
+  }
+}
+BENCHMARK(BM_SemanticHash);
+
+void BM_Validate(benchmark::State& state) {
+  Fixture f("gpt3-1.3b", 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.config.Validate(f.graph, f.cluster));
+  }
+}
+BENCHMARK(BM_Validate);
+
+}  // namespace
+}  // namespace aceso
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Micro-benchmark: the discrete-event runtime — event engine throughput,
+// allocator operations, and full pipeline executions.
+
+#include <benchmark/benchmark.h>
+
+#include "src/aceso.h"
+
+namespace aceso {
+namespace {
+
+void BM_EventSimPipelineGrid(benchmark::State& state) {
+  const int stages = 4;
+  const int microbatches = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventSimulator sim;
+    std::vector<ResourceId> gpus;
+    for (int s = 0; s < stages; ++s) {
+      gpus.push_back(sim.AddResource("gpu"));
+    }
+    std::vector<TaskId> prev_stage(static_cast<size_t>(microbatches), -1);
+    for (int s = 0; s < stages; ++s) {
+      for (int m = 0; m < microbatches; ++m) {
+        const TaskId t =
+            sim.AddTask("f", 1.0, gpus[static_cast<size_t>(s)]);
+        if (prev_stage[static_cast<size_t>(m)] >= 0) {
+          sim.AddDependency(prev_stage[static_cast<size_t>(m)], t);
+        }
+        prev_stage[static_cast<size_t>(m)] = t;
+      }
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * stages * microbatches);
+}
+BENCHMARK(BM_EventSimPipelineGrid)->Arg(64)->Arg(512)->Arg(1024);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    CachingAllocatorSim alloc(int64_t{32} * kGiB);
+    std::vector<int64_t> handles;
+    for (int round = 0; round < 100; ++round) {
+      for (int i = 0; i < 16; ++i) {
+        handles.push_back(alloc.Alloc((i + 1) * 3 * kMiB));
+      }
+      for (int64_t h : handles) {
+        alloc.Free(h);
+      }
+      handles.clear();
+    }
+    benchmark::DoNotOptimize(alloc.peak_reserved());
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 16 * 2);
+}
+BENCHMARK(BM_AllocatorChurn);
+
+void BM_ExecutePipeline(benchmark::State& state) {
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  PipelineExecutor executor(&model);
+  auto config = MakeEvenConfig(graph, cluster, static_cast<int>(state.range(0)),
+                               2);
+  model.Evaluate(*config);  // warm the database
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(*config));
+  }
+}
+BENCHMARK(BM_ExecutePipeline)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ExecutePipelineTimeOnly(benchmark::State& state) {
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  PipelineExecutor executor(&model);
+  auto config = MakeEvenConfig(graph, cluster, 4, 2);
+  model.Evaluate(*config);
+  ExecutionOptions options;
+  options.simulate_memory = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(*config, options));
+  }
+}
+BENCHMARK(BM_ExecutePipelineTimeOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aceso
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro-benchmark: search building blocks — candidate generation per
+// primitive, one full search iteration, and fine-tuning.
+
+#include <benchmark/benchmark.h>
+
+#include "src/aceso.h"
+
+namespace aceso {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : graph(models::Gpt3(1.3)),
+        cluster(ClusterSpec::WithGpuCount(8)),
+        db(cluster),
+        model(&graph, cluster, &db),
+        config(*MakeEvenConfig(graph, cluster, 4, 4)),
+        perf(model.Evaluate(config)) {}
+  OpGraph graph;
+  ClusterSpec cluster;
+  ProfileDatabase db;
+  PerformanceModel model;
+  ParallelConfig config;
+  PerfResult perf;
+};
+
+void BM_GenerateCandidates(benchmark::State& state) {
+  Fixture f;
+  const auto kind = static_cast<PrimitiveKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GeneratePrimitiveCandidates(f.model, f.config, f.perf, kind, 1));
+  }
+  state.SetLabel(PrimitiveName(kind));
+}
+BENCHMARK(BM_GenerateCandidates)->DenseRange(0, kNumPrimitives - 1);
+
+void BM_OrderedBottlenecks(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OrderedBottlenecks(f.perf));
+  }
+}
+BENCHMARK(BM_OrderedBottlenecks);
+
+void BM_FineTunePass(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    ParallelConfig config = f.config;
+    const TimeBudget budget(60.0);
+    benchmark::DoNotOptimize(FineTune(f.model, config, f.perf, budget));
+  }
+}
+BENCHMARK(BM_FineTunePass);
+
+void BM_SearchIterationBudget100ms(benchmark::State& state) {
+  // End-to-end anytime search slices: how much improvement per 100 ms.
+  Fixture f;
+  for (auto _ : state) {
+    SearchOptions options;
+    options.time_budget_seconds = 0.1;
+    benchmark::DoNotOptimize(AcesoSearchForStages(f.model, options, 4));
+  }
+}
+BENCHMARK(BM_SearchIterationBudget100ms)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aceso
+
+BENCHMARK_MAIN();

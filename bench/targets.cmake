@@ -1,0 +1,35 @@
+# Benchmark harness: one binary per paper table/figure (see DESIGN.md §4),
+# plus google-benchmark micro-benchmarks. All binaries are written straight
+# into ${CMAKE_BINARY_DIR}/bench.
+
+function(aceso_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc
+                 ${CMAKE_SOURCE_DIR}/bench/bench_util.cc)
+  target_link_libraries(${name} PRIVATE aceso)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(aceso_add_micro_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE aceso benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+aceso_add_bench(exp01_throughput)
+aceso_add_bench(exp02_search_cost)
+aceso_add_bench(exp03_scalability_1k)
+aceso_add_bench(exp04_exploration)
+aceso_add_bench(exp05_heuristics)
+aceso_add_bench(exp06_maxhops)
+aceso_add_bench(exp07_init_robustness)
+aceso_add_bench(exp08_time_accuracy)
+aceso_add_bench(exp09_memory_accuracy)
+aceso_add_bench(exp10_primitive_table)
+aceso_add_bench(exp11_ablation)
+aceso_add_bench(exp12_zero_extension)
+
+aceso_add_micro_bench(micro_perf_model)
+aceso_add_micro_bench(micro_search)
+aceso_add_micro_bench(micro_runtime)

@@ -1,0 +1,77 @@
+// Compares the three configuration-search systems on one model — Aceso's
+// iterative bottleneck alleviation, the Megatron-LM grid search, and the
+// Alpa-like two-level solver — then executes each system's best plan in the
+// simulated runtime and reports actual throughput.
+//
+//   ./build/examples/compare_systems [model] [gpus]
+//   ./build/examples/compare_systems gpt3-2.6b 8
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/aceso.h"
+
+int main(int argc, char** argv) {
+  using namespace aceso;
+
+  const std::string model_name = argc > 1 ? argv[1] : "gpt3-2.6b";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  auto model_or = models::BuildByName(model_name);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  const OpGraph model = *std::move(model_or);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(gpus);
+  std::printf("%s on %s\n\n", model.Summary().c_str(),
+              cluster.ToString().c_str());
+
+  ProfileDatabase db(cluster);
+  PerformanceModel perf_model(&model, cluster, &db);
+  PipelineExecutor executor(&perf_model);
+
+  TablePrinter table({"system", "search(s)", "explored", "pred iter(s)",
+                      "actual iter(s)", "samples/s", "TFLOPS/GPU", "plan"});
+
+  auto report = [&](const std::string& name, const ScoredConfig& best,
+                    double search_seconds, int64_t explored) {
+    const ExecutionResult run = executor.Execute(best.config);
+    table.AddRow({name, FormatDouble(search_seconds, 2),
+                  std::to_string(explored),
+                  FormatDouble(best.perf.iteration_time, 3),
+                  FormatDouble(run.iteration_seconds, 3),
+                  FormatDouble(run.Throughput(model.global_batch_size()), 1),
+                  FormatDouble(executor.EffectiveTflopsPerGpu(run), 1),
+                  best.config.ShortString()});
+  };
+
+  // --- Aceso ---
+  SearchOptions options;
+  options.time_budget_seconds = 3.0;
+  const SearchResult aceso = AcesoSearch(perf_model, options);
+  if (aceso.found) {
+    report("Aceso", aceso.best, aceso.search_seconds,
+           aceso.stats.configs_explored);
+  }
+
+  // --- Megatron-LM grid search ---
+  const BaselineResult megatron = MegatronGridSearch(perf_model);
+  if (megatron.found) {
+    report("Megatron-LM", megatron.best, megatron.search_seconds,
+           megatron.configs_explored);
+  }
+
+  // --- Alpa-like two-level solver ---
+  auto alpa = AlpaLikeSearch(perf_model);
+  if (alpa.ok() && alpa->found) {
+    report("Alpa-like", alpa->best, alpa->TotalSearchSeconds(),
+           alpa->configs_explored);
+  } else if (!alpa.ok()) {
+    std::printf("Alpa-like: %s\n", alpa.status().ToString().c_str());
+  }
+
+  table.Print(std::cout);
+  return 0;
+}

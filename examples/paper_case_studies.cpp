@@ -1,0 +1,114 @@
+// The paper's §5.4 case studies, reproduced:
+//
+//  1. GPT-3 1.3B on 4 GPUs — Megatron-LM/Alpa pick 4-way data parallelism
+//     with blanket recomputation; Aceso instead finds 4-way *pipeline*
+//     parallelism with uneven stages (lighter first/last stages balancing
+//     recompute and loss costs) and only a few recomputed operators.
+//  2. Wide-ResNet 6.8B on 16 GPUs — inside the big final stage, Aceso mixes
+//     data and tensor parallelism per operator instead of Alpa's uniform
+//     8-way tensor parallelism.
+//
+//   ./build/examples/paper_case_studies
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "src/aceso.h"
+
+namespace {
+
+using namespace aceso;
+
+void Gpt3CaseStudy() {
+  std::printf("--- case study 1: GPT-3 1.3B on 4 GPUs (§5.4) ---\n");
+  const OpGraph model = models::Gpt3(1.3);
+  // The paper's V100s were effectively tighter than our idealized 30 GB
+  // budget (real framework overheads): emulate that pressure so the
+  // dp-vs-pipeline trade-off of the case study appears.
+  ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  cluster.gpu.memory_bytes = 16 * kGiB;
+  ProfileDatabase db(cluster);
+  PerformanceModel perf_model(&model, cluster, &db);
+
+  const BaselineResult megatron = MegatronGridSearch(perf_model);
+  SearchOptions options;
+  options.time_budget_seconds = 3.0;
+  const SearchResult aceso = AcesoSearch(perf_model, options);
+  ACESO_CHECK(megatron.found);
+  ACESO_CHECK(aceso.found);
+
+  std::printf("Megatron-LM grid pick: %s\n",
+              megatron.best.config.ShortString().c_str());
+  std::printf("Aceso pick:            %s\n",
+              aceso.best.config.ShortString().c_str());
+
+  const ParallelConfig& plan = aceso.best.config;
+  if (plan.num_stages() > 1) {
+    int min_ops = model.num_ops();
+    int max_ops = 0;
+    for (const StageConfig& stage : plan.stages()) {
+      min_ops = std::min(min_ops, stage.num_ops);
+      max_ops = std::max(max_ops, stage.num_ops);
+    }
+    std::printf("uneven pipeline stages: %d..%d ops per stage%s\n", min_ops,
+                max_ops, max_ops > min_ops ? " (as in the paper)" : "");
+    int recomputed = 0;
+    for (const StageConfig& stage : plan.stages()) {
+      recomputed += stage.NumRecomputed();
+    }
+    std::printf("op-level recomputation: %d of %d ops\n", recomputed,
+                model.num_ops());
+  }
+  std::printf("speedup over the Megatron-LM grid pick: %.2fx\n\n",
+              megatron.best.perf.iteration_time /
+                  aceso.best.perf.iteration_time);
+}
+
+void WideResnetCaseStudy() {
+  std::printf("--- case study 2: Wide-ResNet 6.8B on 16 GPUs (§5.4) ---\n");
+  const OpGraph model = models::WideResnet(6.8);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(16);
+  ProfileDatabase db(cluster);
+  PerformanceModel perf_model(&model, cluster, &db);
+
+  SearchOptions options;
+  options.time_budget_seconds = 4.0;
+  const SearchResult aceso = AcesoSearch(perf_model, options);
+  ACESO_CHECK(aceso.found);
+  std::printf("Aceso pick: %s\n", aceso.best.config.ShortString().c_str());
+
+  // Count distinct (tp, dp) pairs inside each stage: heterogeneity the
+  // uniform baselines cannot express.
+  for (int s = 0; s < aceso.best.config.num_stages(); ++s) {
+    const StageConfig& stage = aceso.best.config.stage(s);
+    std::set<std::pair<int, int>> combos;
+    for (const OpParallel& setting : stage.ops) {
+      combos.insert({setting.tp, setting.dp});
+    }
+    std::printf("  stage %d (%d GPUs): %zu distinct (tp,dp) combinations\n",
+                s, stage.num_devices, combos.size());
+  }
+  std::set<std::pair<int, int>> all_combos;
+  for (const StageConfig& stage : aceso.best.config.stages()) {
+    for (const OpParallel& setting : stage.ops) {
+      all_combos.insert({setting.tp, setting.dp});
+    }
+  }
+  std::printf(
+      "\n%zu distinct (tp,dp) combinations across the plan — the paper's\n"
+      "'different operators adopt diverse parallelism settings'. Whether the\n"
+      "mix lands inside one stage or across stages depends on the budget and\n"
+      "cost surface; the §4.2 fine-tuning pass that produces in-stage mixes\n"
+      "is exercised directly in tests/finetune_test.cc.\n",
+      all_combos.size());
+}
+
+}  // namespace
+
+int main() {
+  Gpt3CaseStudy();
+  WideResnetCaseStudy();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: search a parallel training configuration for GPT-3 1.3B on a
+// 4-GPU node, print the discovered plan and its predicted performance.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/aceso.h"
+
+int main() {
+  using namespace aceso;
+
+  // 1. Pick a model from the zoo and the hardware to train it on.
+  const OpGraph model = models::Gpt3(1.3);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  std::printf("model:   %s\n", model.Summary().c_str());
+  std::printf("cluster: %s\n\n", cluster.ToString().c_str());
+
+  // 2. Build the profiling database and the performance model. The database
+  //    memoizes per-operator and per-collective measurements and can be
+  //    saved/loaded to skip profiling in later runs.
+  ProfileDatabase db(cluster);
+  PerformanceModel perf_model(&model, cluster, &db);
+
+  // 3. Run the Aceso search: iterative bottleneck alleviation under a time
+  //    budget.
+  SearchOptions options;
+  options.time_budget_seconds = 2.0;
+  options.max_hops = 7;
+  SearchResult result = AcesoSearch(perf_model, options);
+  if (!result.found) {
+    std::printf("no feasible configuration found\n");
+    return 1;
+  }
+
+  // 4. Inspect the winner.
+  const ScoredConfig& best = result.best;
+  std::printf("search finished in %.2fs: %lld configs explored, %lld "
+              "improvements\n\n",
+              result.search_seconds,
+              static_cast<long long>(result.stats.configs_explored),
+              static_cast<long long>(result.stats.improvements));
+  std::printf("%s\n", best.config.ToString(model).c_str());
+  std::printf("predicted: %s\n", best.perf.Summary().c_str());
+  std::printf("predicted throughput: %.1f samples/s\n",
+              best.perf.Throughput(model.global_batch_size()));
+  return 0;
+}

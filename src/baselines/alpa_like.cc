@@ -1,0 +1,390 @@
+#include "src/baselines/alpa_like.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+
+namespace aceso {
+namespace {
+
+// A model's "layer count" for grouping purposes: one fc2 per transformer
+// layer, one residual-add per ResNet block.
+int EstimateLayerCount(const OpGraph& graph) {
+  int fc2 = 0;
+  int residual = 0;
+  for (const Operator& op : graph.ops()) {
+    if (op.kind == OpKind::kMlpFc2) {
+      ++fc2;
+    } else if (op.kind == OpKind::kResidualAdd) {
+      ++residual;
+    }
+  }
+  return std::max({fc2, residual, 1});
+}
+
+// FLOP-balanced contiguous grouping of ops into l groups; returns group end
+// indices (exclusive), size l.
+std::vector<int> GroupOps(const OpGraph& graph, int l) {
+  const int n = graph.num_ops();
+  l = std::min(l, n);
+  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[static_cast<size_t>(i) + 1] =
+        prefix[static_cast<size_t>(i)] + graph.op(i).fwd_flops + 1.0;
+  }
+  std::vector<int> ends;
+  ends.reserve(static_cast<size_t>(l));
+  int prev = 0;
+  for (int g = 0; g < l; ++g) {
+    const double target = prefix.back() * (g + 1) / l;
+    int e = prev + 1;
+    while (e < n - (l - 1 - g) && prefix[static_cast<size_t>(e)] < target) {
+      ++e;
+    }
+    ends.push_back(e);
+    prev = e;
+  }
+  ends.back() = n;
+  return ends;
+}
+
+// Per-(group, mesh, tp) cost metrics, additive over groups.
+struct GroupMetric {
+  double time = 0.0;       // per-microbatch fwd+bwd incl tp comm (+rc)
+  double comm = 0.0;       // tp communication only (the ILP's cost)
+  double dp_sync = 0.0;    // per-iteration gradient sync
+  int64_t act = 0;         // stored activation per microbatch per device
+  int64_t params = 0;      // parameter bytes per device
+  bool valid = false;
+};
+
+GroupMetric ComputeGroupMetric(const PerformanceModel& model, int op_begin,
+                               int op_end, int mesh, int tp, int mbs,
+                               bool recompute) {
+  GroupMetric metric;
+  const int dp = mesh / tp;
+  if (dp < 1 || mbs % dp != 0) {
+    return metric;
+  }
+  const OpGraph& graph = model.graph();
+  const ClusterSpec& cluster = model.cluster();
+  const int local_batch = mbs / dp;
+  const bool tp_crosses = tp > cluster.gpus_per_node;
+  const bool dp_crosses = mesh > cluster.gpus_per_node;
+  const CommDomain tp_domain{tp, tp_crosses};
+  const CommDomain dp_domain{dp, dp_crosses};
+
+  for (int i = op_begin; i < op_end; ++i) {
+    const Operator& op = graph.op(i);
+    const int eff_tp = ClampOpTp(op, tp);
+    const OpMeasurement m = model.db().OpTime(
+        op, graph.precision(), EffectiveShards(op, eff_tp), local_batch);
+    metric.time += m.fwd_seconds + m.bwd_seconds;
+    if (recompute) {
+      metric.time += m.fwd_seconds;
+    }
+    const bool sharded =
+        op.tp_class == TpClass::kPartitioned && eff_tp > 1;
+    if (sharded) {
+      const TpDim dim = op.default_tp_dim == TpDim::kNone ? TpDim::kColumn
+                                                          : op.default_tp_dim;
+      const int64_t bytes =
+          (dim == TpDim::kColumn ? op.in_bytes : op.out_bytes) *
+          static_cast<int64_t>(local_batch);
+      const double t = model.db().CollectiveTime(CollectiveKind::kAllReduce,
+                                                 bytes, tp_domain);
+      metric.time += t;
+      metric.comm += t;
+    }
+    const int64_t op_params = sharded ? op.param_bytes / eff_tp : op.param_bytes;
+    metric.params += op_params;
+    if (dp > 1 && op_params > 0) {
+      const double t = model.db().CollectiveTime(CollectiveKind::kAllReduce,
+                                                 op_params, dp_domain);
+      metric.dp_sync += t;
+      metric.comm += t;
+    }
+    if (!recompute) {
+      const int store_shards =
+          sharded && op.default_tp_dim == TpDim::kColumn
+              ? eff_tp
+              : (op.tp_class == TpClass::kShardFollower
+                     ? EffectiveShards(op, eff_tp)
+                     : 1);
+      metric.act +=
+          op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
+    }
+  }
+  if (recompute) {
+    // Only the group's input boundary is stored.
+    metric.act = graph.op(op_begin).in_bytes *
+                 static_cast<int64_t>(local_batch);
+  }
+  metric.valid = true;
+  return metric;
+}
+
+}  // namespace
+
+StatusOr<BaselineResult> AlpaLikeSearch(const PerformanceModel& model,
+                                        const AlpaOptions& options) {
+  const OpGraph& graph = model.graph();
+  const ClusterSpec& cluster = model.cluster();
+  const int layers = EstimateLayerCount(graph);
+  if (layers > options.max_layers_before_failure) {
+    return ResourceExhausted(
+        "Alpa compilation failed: " + std::to_string(layers) +
+        " layers exceed the XLA compilation limit (" +
+        std::to_string(options.max_layers_before_failure) + ")");
+  }
+
+  Stopwatch watch;
+  BaselineResult result;
+  int64_t kernels_profiled = 0;
+
+  std::vector<int> l_grid = options.layer_group_counts;
+  if (l_grid.empty()) {
+    for (int l : {8, 16, layers}) {
+      l = std::min({l, layers, graph.num_ops()});
+      if (std::find(l_grid.begin(), l_grid.end(), l) == l_grid.end()) {
+        l_grid.push_back(l);
+      }
+    }
+  }
+
+  const int gpus = cluster.num_gpus();
+  std::vector<int> meshes;
+  for (int m = 1; m <= gpus; m *= 2) {
+    meshes.push_back(m);
+  }
+  const double opt_mult = OptimizerMultiplier(graph.precision());
+  const int64_t mem_cap = cluster.gpu.memory_bytes;
+  const int64_t batch = graph.global_batch_size();
+
+  for (const int l : l_grid) {
+    const std::vector<int> group_ends = GroupOps(graph, l);
+    const int num_groups = static_cast<int>(group_ends.size());
+
+    for (int mbs = 1; mbs <= options.max_microbatch; mbs *= 2) {
+      if (batch % mbs != 0) {
+        continue;
+      }
+      for (const bool recompute : {false, true}) {
+        // --- per-group kernel "compilation + profiling" ---
+        // metric[g][mesh index][log2 tp]
+        std::vector<std::vector<std::vector<GroupMetric>>> metric(
+            static_cast<size_t>(num_groups));
+        for (int g = 0; g < num_groups; ++g) {
+          const int begin = g == 0 ? 0 : group_ends[static_cast<size_t>(g) - 1];
+          const int end = group_ends[static_cast<size_t>(g)];
+          metric[static_cast<size_t>(g)].resize(meshes.size());
+          for (size_t mi = 0; mi < meshes.size(); ++mi) {
+            for (int tp = 1; tp <= meshes[mi]; tp *= 2) {
+              metric[static_cast<size_t>(g)][mi].push_back(ComputeGroupMetric(
+                  model, begin, end, meshes[mi], tp, mbs, recompute));
+              ++kernels_profiled;
+            }
+          }
+        }
+
+        // Prefix sums over groups per (mesh, tp) for O(1) range costs.
+        // prefix[mi][ti][g] accumulates groups [0, g); `invalid` counts
+        // invalid groups so any range's validity is a subtraction too.
+        struct PrefixEntry {
+          GroupMetric sum;
+          int invalid = 0;
+        };
+        std::vector<std::vector<std::vector<PrefixEntry>>> prefix(
+            meshes.size());
+        for (size_t mi = 0; mi < meshes.size(); ++mi) {
+          size_t num_tp = 0;
+          for (int tp = 1; tp <= meshes[mi]; tp *= 2) {
+            ++num_tp;
+          }
+          prefix[mi].resize(num_tp);
+          for (size_t ti = 0; ti < num_tp; ++ti) {
+            auto& row = prefix[mi][ti];
+            row.resize(static_cast<size_t>(num_groups) + 1);
+            for (int g = 0; g < num_groups; ++g) {
+              const GroupMetric& gm = metric[static_cast<size_t>(g)][mi][ti];
+              PrefixEntry& acc = row[static_cast<size_t>(g) + 1];
+              const PrefixEntry& prev = row[static_cast<size_t>(g)];
+              acc.invalid = prev.invalid + (gm.valid ? 0 : 1);
+              acc.sum.time = prev.sum.time + gm.time;
+              acc.sum.comm = prev.sum.comm + gm.comm;
+              acc.sum.dp_sync = prev.sum.dp_sync + gm.dp_sync;
+              acc.sum.act = prev.sum.act + gm.act;
+              acc.sum.params = prev.sum.params + gm.params;
+            }
+          }
+        }
+        auto range_metric = [&](int ga, int gb, size_t mi,
+                                size_t ti) -> GroupMetric {
+          const auto& row = prefix[mi][ti];
+          const PrefixEntry& hi = row[static_cast<size_t>(gb)];
+          const PrefixEntry& lo = row[static_cast<size_t>(ga)];
+          GroupMetric out;
+          out.valid = hi.invalid == lo.invalid;
+          if (!out.valid) {
+            return out;
+          }
+          out.time = hi.sum.time - lo.sum.time;
+          out.comm = hi.sum.comm - lo.sum.comm;
+          out.dp_sync = hi.sum.dp_sync - lo.sum.dp_sync;
+          out.act = hi.sum.act - lo.sum.act;
+          out.params = hi.sum.params - lo.sum.params;
+          return out;
+        };
+
+        // --- inter-op DP for each stage count ---
+        const int max_stages = std::min({options.max_stages, num_groups, gpus});
+        for (int S = 1; S <= max_stages; ++S) {
+          // f[g][d] at stage layer s: min bottleneck time covering the first
+          // g groups with d devices used.
+          constexpr double kInf = 1e300;
+          struct Cell {
+            double value = 1e300;
+            int prev_g = -1;
+            int mesh = 0;
+            int tp = 1;
+          };
+          std::vector<std::vector<std::vector<Cell>>> f(
+              static_cast<size_t>(S) + 1,
+              std::vector<std::vector<Cell>>(
+                  static_cast<size_t>(num_groups) + 1,
+                  std::vector<Cell>(static_cast<size_t>(gpus) + 1)));
+          f[0][0][0].value = 0.0;
+
+          for (int s = 1; s <= S; ++s) {
+            const int in_flight = S - s + 1;
+            for (int g = 1; g <= num_groups; ++g) {
+              for (int d = 1; d <= gpus; ++d) {
+                Cell& cell = f[static_cast<size_t>(s)][static_cast<size_t>(g)]
+                              [static_cast<size_t>(d)];
+                for (int g0 = s - 1; g0 < g; ++g0) {
+                  for (size_t mi = 0; mi < meshes.size(); ++mi) {
+                    const int m = meshes[mi];
+                    if (m > d) {
+                      break;
+                    }
+                    const Cell& prev =
+                        f[static_cast<size_t>(s) - 1]
+                         [static_cast<size_t>(g0)][static_cast<size_t>(d - m)];
+                    if (prev.value >= kInf) {
+                      continue;
+                    }
+                    // Intra-op pass: communication-only partition choice.
+                    size_t best_ti = 0;
+                    double best_comm = kInf;
+                    for (size_t ti = 0; (1 << ti) <= m; ++ti) {
+                      const GroupMetric rm = range_metric(g0, g, mi, ti);
+                      if (rm.valid && rm.comm < best_comm) {
+                        best_comm = rm.comm;
+                        best_ti = ti;
+                      }
+                    }
+                    if (best_comm >= kInf) {
+                      continue;
+                    }
+                    const GroupMetric rm = range_metric(g0, g, mi, best_ti);
+                    // Conservative memory check.
+                    const int64_t mem =
+                        rm.params +
+                        static_cast<int64_t>(static_cast<double>(rm.params) *
+                                             opt_mult) +
+                        rm.act * in_flight;
+                    if (mem > mem_cap) {
+                      continue;
+                    }
+                    const double stage_time = rm.time;
+                    const double value = std::max(prev.value, stage_time);
+                    if (value < cell.value) {
+                      cell.value = value;
+                      cell.prev_g = g0;
+                      cell.mesh = m;
+                      cell.tp = 1 << best_ti;
+                    }
+                  }
+                }
+              }
+            }
+          }
+
+          const Cell& final_cell =
+              f[static_cast<size_t>(S)][static_cast<size_t>(num_groups)]
+               [static_cast<size_t>(gpus)];
+          if (final_cell.value >= kInf) {
+            continue;
+          }
+
+          // Reconstruct the stage plan.
+          struct StagePlan {
+            int group_begin;
+            int group_end;
+            int mesh;
+            int tp;
+          };
+          std::vector<StagePlan> plan;
+          int g = num_groups;
+          int d = gpus;
+          for (int s = S; s >= 1; --s) {
+            const Cell& cell = f[static_cast<size_t>(s)]
+                                [static_cast<size_t>(g)]
+                                [static_cast<size_t>(d)];
+            plan.push_back({cell.prev_g, g, cell.mesh, cell.tp});
+            d -= cell.mesh;
+            g = cell.prev_g;
+          }
+          std::reverse(plan.begin(), plan.end());
+
+          ParallelConfig config;
+          config.set_microbatch_size(mbs);
+          for (const StagePlan& sp : plan) {
+            StageConfig stage;
+            stage.first_op =
+                sp.group_begin == 0
+                    ? 0
+                    : group_ends[static_cast<size_t>(sp.group_begin) - 1];
+            const int end_op = group_ends[static_cast<size_t>(sp.group_end) - 1];
+            stage.num_ops = end_op - stage.first_op;
+            stage.num_devices = sp.mesh;
+            stage.SetUniformParallelism(graph, std::min(sp.tp, sp.mesh),
+                                        sp.mesh / std::min(sp.tp, sp.mesh));
+            if (recompute) {
+              for (OpParallel& setting : stage.ops) {
+                setting.recompute = true;
+              }
+            }
+            config.mutable_stages().push_back(std::move(stage));
+          }
+          if (!config.Validate(graph, cluster).ok()) {
+            continue;
+          }
+          const PerfResult perf = model.Evaluate(config);
+          ++result.configs_explored;
+          if (perf.oom) {
+            continue;
+          }
+          if (!result.found || perf.BetterThan(result.best.perf)) {
+            result.found = true;
+            result.best.config = std::move(config);
+            result.best.perf = perf;
+          }
+        }
+      }
+    }
+  }
+
+  result.search_seconds = watch.ElapsedSeconds();
+  result.simulated_profile_seconds =
+      static_cast<double>(kernels_profiled) * options.compile_seconds_per_kernel;
+  if (!result.found) {
+    return NotFound("Alpa-like search found no feasible configuration");
+  }
+  return result;
+}
+
+}  // namespace aceso

@@ -1,0 +1,36 @@
+// Shared result type for the baseline searchers (Megatron-LM grid search,
+// Alpa-like two-level solver, plain dynamic programming).
+
+#ifndef SRC_BASELINES_BASELINE_RESULT_H_
+#define SRC_BASELINES_BASELINE_RESULT_H_
+
+#include <cstdint>
+
+#include "src/core/search.h"
+
+namespace aceso {
+
+struct BaselineResult {
+  bool found = false;
+  ScoredConfig best;
+
+  // Configurations evaluated by the solver (Exp#4's exploration metric).
+  int64_t configs_explored = 0;
+
+  // Real wall-clock the solver spent.
+  double search_seconds = 0.0;
+
+  // Additional on-demand profiling/compilation time the real system would
+  // pay per experiment (Alpa compiles and profiles XLA kernels during its
+  // search, §5.1 Exp#2); zero for solvers driven purely by the shared
+  // profiled database.
+  double simulated_profile_seconds = 0.0;
+
+  double TotalSearchSeconds() const {
+    return search_seconds + simulated_profile_seconds;
+  }
+};
+
+}  // namespace aceso
+
+#endif  // SRC_BASELINES_BASELINE_RESULT_H_

@@ -1,0 +1,230 @@
+#include "src/baselines/dp_solver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+
+namespace aceso {
+namespace {
+
+// Per-op prefix metrics under a fixed (mesh, tp, recompute) stage setting.
+struct PrefixMetrics {
+  std::vector<double> time;    // per-microbatch fwd+bwd (+rc) incl tp comm
+  std::vector<int64_t> act;    // stored activation per microbatch
+  std::vector<int64_t> params; // parameter bytes per device
+  bool valid = false;
+};
+
+PrefixMetrics BuildPrefix(const PerformanceModel& model, int mesh, int tp,
+                          bool recompute, int mbs) {
+  PrefixMetrics out;
+  const int dp = mesh / tp;
+  if (dp < 1 || mbs % dp != 0) {
+    return out;
+  }
+  const OpGraph& graph = model.graph();
+  const ClusterSpec& cluster = model.cluster();
+  const int n = graph.num_ops();
+  const int local_batch = mbs / dp;
+  const CommDomain tp_domain{tp, tp > cluster.gpus_per_node};
+  out.time.resize(static_cast<size_t>(n) + 1, 0.0);
+  out.act.resize(static_cast<size_t>(n) + 1, 0);
+  out.params.resize(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    const Operator& op = graph.op(i);
+    const int eff_tp = ClampOpTp(op, tp);
+    const OpMeasurement m = model.db().OpTime(
+        op, graph.precision(), EffectiveShards(op, eff_tp), local_batch);
+    double time = m.fwd_seconds + m.bwd_seconds;
+    if (recompute) {
+      time += m.fwd_seconds;
+    }
+    const bool sharded = op.tp_class == TpClass::kPartitioned && eff_tp > 1;
+    if (sharded) {
+      const TpDim dim = op.default_tp_dim == TpDim::kNone ? TpDim::kColumn
+                                                          : op.default_tp_dim;
+      const int64_t bytes =
+          (dim == TpDim::kColumn ? op.in_bytes : op.out_bytes) *
+          static_cast<int64_t>(local_batch);
+      time += model.db().CollectiveTime(CollectiveKind::kAllReduce, bytes,
+                                        tp_domain);
+    }
+    int64_t act = 0;
+    if (!recompute) {
+      const int store_shards =
+          sharded && op.default_tp_dim == TpDim::kColumn
+              ? eff_tp
+              : (op.tp_class == TpClass::kShardFollower
+                     ? EffectiveShards(op, eff_tp)
+                     : 1);
+      act = op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
+    }
+    const int64_t params = sharded ? op.param_bytes / eff_tp : op.param_bytes;
+    out.time[static_cast<size_t>(i) + 1] =
+        out.time[static_cast<size_t>(i)] + time;
+    out.act[static_cast<size_t>(i) + 1] =
+        out.act[static_cast<size_t>(i)] + act;
+    out.params[static_cast<size_t>(i) + 1] =
+        out.params[static_cast<size_t>(i)] + params;
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+
+BaselineResult DpSolverSearch(const PerformanceModel& model,
+                              const DpSolverOptions& options) {
+  Stopwatch watch;
+  BaselineResult result;
+  const OpGraph& graph = model.graph();
+  const ClusterSpec& cluster = model.cluster();
+  const int n = graph.num_ops();
+  const int gpus = cluster.num_gpus();
+  const int64_t batch = graph.global_batch_size();
+  const double opt_mult = OptimizerMultiplier(graph.precision());
+  const int64_t mem_cap = cluster.gpu.memory_bytes;
+
+  for (int mbs = 1;
+       mbs <= options.max_microbatch && batch % mbs == 0 &&
+       result.configs_explored < options.max_explored;
+       mbs *= 2) {
+    // Pruning: uniform stage meshes (gpus/S devices per stage).
+    for (int S = 1; S <= std::min({options.max_stages, gpus, n}); S *= 2) {
+      if (gpus % S != 0 || !IsPow2(gpus / S)) {
+        continue;
+      }
+      const int mesh = gpus / S;
+
+      // Prefix metrics per (tp, rc).
+      struct Option {
+        int tp;
+        bool recompute;
+        PrefixMetrics prefix;
+      };
+      std::vector<Option> opts;
+      for (int tp = 1; tp <= mesh; tp *= 2) {
+        for (const bool rc : {false, true}) {
+          Option o{tp, rc, BuildPrefix(model, mesh, tp, rc, mbs)};
+          if (o.prefix.valid) {
+            opts.push_back(std::move(o));
+          }
+        }
+      }
+      if (opts.empty()) {
+        continue;
+      }
+
+      const int max_len = std::max(
+          1, static_cast<int>(options.max_ops_per_stage_factor * n / S));
+
+      // DP over op boundaries: f[s][i] = min bottleneck time covering the
+      // first i ops with s stages.
+      constexpr double kInf = 1e300;
+      struct Cell {
+        double value = 1e300;
+        int prev_i = -1;
+        int option = -1;
+      };
+      std::vector<std::vector<Cell>> f(
+          static_cast<size_t>(S) + 1,
+          std::vector<Cell>(static_cast<size_t>(n) + 1));
+      f[0][0].value = 0.0;
+
+      for (int s = 1; s <= S; ++s) {
+        const int in_flight = S - s + 1;
+        for (int i = s; i <= n; ++i) {
+          Cell& cell = f[static_cast<size_t>(s)][static_cast<size_t>(i)];
+          const int j_min = std::max(s - 1, i - max_len);
+          for (int j = j_min; j < i; ++j) {
+            const Cell& prev =
+                f[static_cast<size_t>(s) - 1][static_cast<size_t>(j)];
+            if (prev.value >= kInf) {
+              continue;
+            }
+            for (size_t oi = 0; oi < opts.size(); ++oi) {
+              const PrefixMetrics& pm = opts[oi].prefix;
+              ++result.configs_explored;
+              const double time = pm.time[static_cast<size_t>(i)] -
+                                  pm.time[static_cast<size_t>(j)];
+              const int64_t act = pm.act[static_cast<size_t>(i)] -
+                                  pm.act[static_cast<size_t>(j)];
+              const int64_t params = pm.params[static_cast<size_t>(i)] -
+                                     pm.params[static_cast<size_t>(j)];
+              const int64_t mem =
+                  params +
+                  static_cast<int64_t>(static_cast<double>(params) *
+                                       opt_mult) +
+                  act * in_flight;
+              if (mem > mem_cap) {
+                continue;
+              }
+              const double value = std::max(prev.value, time);
+              if (value < cell.value) {
+                cell.value = value;
+                cell.prev_i = j;
+                cell.option = static_cast<int>(oi);
+              }
+            }
+          }
+        }
+        if (result.configs_explored >= options.max_explored) {
+          break;
+        }
+      }
+
+      const Cell& final_cell = f[static_cast<size_t>(S)][static_cast<size_t>(n)];
+      if (final_cell.value >= kInf) {
+        continue;
+      }
+
+      // Reconstruct and price with the full performance model.
+      std::vector<std::pair<int, int>> plan;  // (first_op, option)
+      int i = n;
+      for (int s = S; s >= 1; --s) {
+        const Cell& cell = f[static_cast<size_t>(s)][static_cast<size_t>(i)];
+        plan.emplace_back(cell.prev_i, cell.option);
+        i = cell.prev_i;
+      }
+      std::reverse(plan.begin(), plan.end());
+
+      ParallelConfig config;
+      config.set_microbatch_size(mbs);
+      for (size_t s = 0; s < plan.size(); ++s) {
+        const auto [first_op, oi] = plan[s];
+        const int end_op =
+            s + 1 < plan.size() ? plan[s + 1].first : n;
+        StageConfig stage;
+        stage.first_op = first_op;
+        stage.num_ops = end_op - first_op;
+        stage.num_devices = mesh;
+        const Option& o = opts[static_cast<size_t>(oi)];
+        stage.SetUniformParallelism(graph, o.tp, mesh / o.tp);
+        if (o.recompute) {
+          for (OpParallel& setting : stage.ops) {
+            setting.recompute = true;
+          }
+        }
+        config.mutable_stages().push_back(std::move(stage));
+      }
+      if (!config.Validate(graph, cluster).ok()) {
+        continue;
+      }
+      const PerfResult perf = model.Evaluate(config);
+      if (perf.oom) {
+        continue;
+      }
+      if (!result.found || perf.BetterThan(result.best.perf)) {
+        result.found = true;
+        result.best.config = std::move(config);
+        result.best.perf = perf;
+      }
+    }
+  }
+
+  result.search_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace aceso

@@ -1,0 +1,39 @@
+// Dynamic-programming reference solver (Exp#4).
+//
+// The paper compares Aceso's exploration count against "a dynamic
+// programming (DP) solution ... with some pruning, such as limiting the
+// maximum number of operators at each stage, the maximum microbatch size,
+// and the maximum tp/dp size. We used the same performance model in both
+// approaches for a fair comparison."
+//
+// This solver enumerates, for every microbatch size and stage count, all
+// contiguous op-range stage partitions combined with per-stage
+// (mesh size, tp, recompute) options, minimizing the bottleneck stage time
+// under the memory constraint. Every (op range, mesh, tp, rc) stage
+// candidate it prices counts as one explored configuration — the metric of
+// Figure 10(a).
+
+#ifndef SRC_BASELINES_DP_SOLVER_H_
+#define SRC_BASELINES_DP_SOLVER_H_
+
+#include "src/baselines/baseline_result.h"
+#include "src/cost/perf_model.h"
+
+namespace aceso {
+
+struct DpSolverOptions {
+  // Pruning knobs (the paper's).
+  int max_microbatch = 16;
+  int max_stages = 8;
+  // A stage may hold at most this multiple of the even share of ops.
+  double max_ops_per_stage_factor = 3.0;
+  // Upper bound on total stage candidates priced (safety valve).
+  int64_t max_explored = 200'000'000;
+};
+
+BaselineResult DpSolverSearch(const PerformanceModel& model,
+                              const DpSolverOptions& options = {});
+
+}  // namespace aceso
+
+#endif  // SRC_BASELINES_DP_SOLVER_H_

@@ -1,0 +1,96 @@
+#include "src/baselines/megatron.h"
+
+#include <algorithm>
+
+#include "src/common/stopwatch.h"
+
+namespace aceso {
+
+StatusOr<ParallelConfig> MakeMegatronConfig(const OpGraph& graph,
+                                            const ClusterSpec& cluster, int tp,
+                                            int dp, int pp, int microbatch,
+                                            bool recompute) {
+  if (tp * dp * pp != cluster.num_gpus()) {
+    return InvalidArgument("tp*dp*pp must equal the GPU count");
+  }
+  if (tp > cluster.gpus_per_node) {
+    return InvalidArgument("Megatron keeps tensor parallelism inside a node");
+  }
+  if (pp > graph.num_ops()) {
+    return InvalidArgument("more stages than operators");
+  }
+  if (microbatch % dp != 0) {
+    return InvalidArgument("dp must divide the microbatch size");
+  }
+
+  // Uniform contiguous op split: Megatron distributes layers evenly across
+  // stages; at op granularity that is an even op-count split.
+  ParallelConfig config;
+  config.set_microbatch_size(microbatch);
+  const int n = graph.num_ops();
+  int first_op = 0;
+  for (int s = 0; s < pp; ++s) {
+    StageConfig stage;
+    stage.first_op = first_op;
+    stage.num_ops = n / pp + (s < n % pp ? 1 : 0);
+    stage.num_devices = tp * dp;
+    stage.SetUniformParallelism(graph, tp, dp);
+    if (recompute) {
+      for (OpParallel& setting : stage.ops) {
+        setting.recompute = true;
+      }
+    }
+    first_op += stage.num_ops;
+    config.mutable_stages().push_back(std::move(stage));
+  }
+  ACESO_RETURN_IF_ERROR(config.Validate(graph, cluster));
+  return config;
+}
+
+BaselineResult MegatronGridSearch(const PerformanceModel& model,
+                                  const MegatronOptions& options) {
+  Stopwatch watch;
+  BaselineResult result;
+  const OpGraph& graph = model.graph();
+  const ClusterSpec& cluster = model.cluster();
+  const int gpus = cluster.num_gpus();
+  const int64_t batch = graph.global_batch_size();
+
+  for (int tp = 1; tp <= std::min(gpus, cluster.gpus_per_node); tp *= 2) {
+    for (int pp = 1; tp * pp <= gpus; pp *= 2) {
+      if (gpus % (tp * pp) != 0) {
+        continue;
+      }
+      const int dp = gpus / (tp * pp);
+      if (!IsPow2(dp)) {
+        continue;
+      }
+      for (int mbs = dp; mbs <= options.max_microbatch; mbs *= 2) {
+        if (batch % mbs != 0) {
+          continue;
+        }
+        for (const bool recompute : {false, true}) {
+          auto config = MakeMegatronConfig(graph, cluster, tp, dp, pp, mbs,
+                                           recompute);
+          if (!config.ok()) {
+            continue;
+          }
+          const PerfResult perf = model.Evaluate(*config);
+          ++result.configs_explored;
+          if (perf.oom) {
+            continue;
+          }
+          if (!result.found || perf.BetterThan(result.best.perf)) {
+            result.found = true;
+            result.best.config = *std::move(config);
+            result.best.perf = perf;
+          }
+        }
+      }
+    }
+  }
+  result.search_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace aceso

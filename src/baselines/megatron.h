@@ -1,0 +1,40 @@
+// Megatron-LM baseline (§5 "Baseline systems").
+//
+// Megatron-LM exposes five *global* knobs: tensor-parallel size tp,
+// data-parallel size dp, pipeline stage count pp, microbatch size b, and
+// whole-model recomputation on/off. It has no automated search, so — exactly
+// as the paper does — we grid-search all five options with Aceso's
+// performance model and keep the best feasible configuration.
+//
+// Structural constraints mirror the real system: tp*dp*pp == #GPUs, tp does
+// not cross a node (tp <= gpus/node), stages are uniform contiguous op
+// splits with identical device counts, and every op in the model shares the
+// same (tp, dp, recompute) setting.
+
+#ifndef SRC_BASELINES_MEGATRON_H_
+#define SRC_BASELINES_MEGATRON_H_
+
+#include "src/baselines/baseline_result.h"
+#include "src/cost/perf_model.h"
+
+namespace aceso {
+
+struct MegatronOptions {
+  // Cap on the microbatch grid (powers of two from 1).
+  int max_microbatch = 64;
+};
+
+// Builds the Megatron configuration for explicit knob values; returns an
+// error when the combination is structurally invalid.
+StatusOr<ParallelConfig> MakeMegatronConfig(const OpGraph& graph,
+                                            const ClusterSpec& cluster, int tp,
+                                            int dp, int pp, int microbatch,
+                                            bool recompute);
+
+// Grid search over (tp, dp, pp, b, recompute).
+BaselineResult MegatronGridSearch(const PerformanceModel& model,
+                                  const MegatronOptions& options = {});
+
+}  // namespace aceso
+
+#endif  // SRC_BASELINES_MEGATRON_H_

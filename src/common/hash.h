@@ -1,0 +1,62 @@
+// Hashing utilities used for configuration deduplication (§4.3).
+
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace aceso {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+// FNV-1a over raw bytes, continuing from `seed`.
+inline uint64_t FnvHashBytes(const void* data, size_t size,
+                             uint64_t seed = kFnvOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t FnvHashString(std::string_view s,
+                              uint64_t seed = kFnvOffsetBasis) {
+  return FnvHashBytes(s.data(), s.size(), seed);
+}
+
+// Order-dependent combiner (boost-style, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+// Streaming hasher for composing structured hashes field by field.
+class Hasher {
+ public:
+  Hasher& Add(uint64_t value) {
+    state_ = HashCombine(state_, value);
+    return *this;
+  }
+  Hasher& Add(int64_t value) { return Add(static_cast<uint64_t>(value)); }
+  Hasher& Add(int value) { return Add(static_cast<uint64_t>(value)); }
+  Hasher& Add(bool value) { return Add(static_cast<uint64_t>(value)); }
+  Hasher& Add(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    return Add(bits);
+  }
+  Hasher& Add(std::string_view s) { return Add(FnvHashString(s)); }
+
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_ = kFnvOffsetBasis;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,75 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace aceso {
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("ACESO_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARNING") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "OFF") == 0) return LogLevel::kOff;
+  return LogLevel::kWarning;
+}
+
+std::atomic<int>& GlobalLevel() {
+  static std::atomic<int> level{static_cast<int>(ParseEnvLevel())};
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+// Trims a path down to its final component for compact log prefixes.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  GlobalLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(GlobalLevel().load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), file_(file), line_(line), fatal_(fatal) {}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
+               line_, stream_.str().c_str());
+  if (fatal_) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace aceso

@@ -1,0 +1,95 @@
+// Minimal leveled logging for library and tool code.
+//
+// Usage:
+//   ACESO_LOG(INFO) << "search converged after " << iters << " iterations";
+//   ACESO_CHECK(config.stages() > 0) << "empty configuration";
+//
+// The log level is process-global and settable via SetLogLevel() or the
+// ACESO_LOG_LEVEL environment variable (DEBUG/INFO/WARNING/ERROR/OFF).
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace aceso {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets/gets the process-global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it (with level/file/line prefix) on
+// destruction. If `fatal` is set, the process aborts after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the log level filters a message out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define ACESO_LOG_DEBUG ::aceso::LogLevel::kDebug
+#define ACESO_LOG_INFO ::aceso::LogLevel::kInfo
+#define ACESO_LOG_WARNING ::aceso::LogLevel::kWarning
+#define ACESO_LOG_ERROR ::aceso::LogLevel::kError
+
+#define ACESO_LOG(severity)                                          \
+  if (ACESO_LOG_##severity < ::aceso::GetLogLevel()) {               \
+  } else                                                             \
+    ::aceso::internal::LogMessage(ACESO_LOG_##severity, __FILE__, __LINE__)
+
+// Always-on invariant check; aborts with a message when violated.
+#define ACESO_CHECK(cond)                                                     \
+  if (cond) {                                                                 \
+  } else                                                                      \
+    ::aceso::internal::LogMessage(::aceso::LogLevel::kError, __FILE__,        \
+                                  __LINE__, /*fatal=*/true)                   \
+        << "Check failed: " #cond " "
+
+#define ACESO_CHECK_GE(a, b) ACESO_CHECK((a) >= (b))
+#define ACESO_CHECK_GT(a, b) ACESO_CHECK((a) > (b))
+#define ACESO_CHECK_LE(a, b) ACESO_CHECK((a) <= (b))
+#define ACESO_CHECK_LT(a, b) ACESO_CHECK((a) < (b))
+#define ACESO_CHECK_EQ(a, b) ACESO_CHECK((a) == (b))
+#define ACESO_CHECK_NE(a, b) ACESO_CHECK((a) != (b))
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_LOGGING_H_

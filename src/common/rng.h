@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in Aceso (simulated measurement jitter, random-search
+// baselines, workload generators) draws from Rng so that test and benchmark
+// runs are bit-reproducible across platforms. The generator is xoshiro256**
+// seeded through SplitMix64, which avoids the platform-dependent behaviour of
+// std::default_random_engine and the slow seeding of std::mt19937_64.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace aceso {
+
+// A small, fast, reproducible PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  // Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Gaussian with the given mean and standard deviation (Box–Muller).
+  double NextGaussian(double mean, double stddev);
+
+  // Returns true with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+ private:
+  uint64_t state_[4];
+  // Cached second Box–Muller variate.
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// SplitMix64 step; also useful as a cheap integer mixer for hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+// Stateless mix of a 64-bit value (finalizer of SplitMix64).
+uint64_t MixU64(uint64_t value);
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_RNG_H_

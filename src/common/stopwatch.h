@@ -1,0 +1,56 @@
+// Wall-clock measurement and search-time budgeting.
+
+#ifndef SRC_COMMON_STOPWATCH_H_
+#define SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace aceso {
+
+// Measures elapsed wall-clock time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// A deadline for an anytime search: the Aceso driver polls Expired() between
+// iterations and returns its best-so-far when the budget runs out.
+class TimeBudget {
+ public:
+  // A budget of <= 0 seconds means "unlimited".
+  explicit TimeBudget(double seconds) : seconds_(seconds) {}
+
+  bool unlimited() const { return seconds_ <= 0.0; }
+  bool Expired() const {
+    return !unlimited() && watch_.ElapsedSeconds() >= seconds_;
+  }
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+  double RemainingSeconds() const {
+    if (unlimited()) {
+      return 1e18;
+    }
+    const double rest = seconds_ - watch_.ElapsedSeconds();
+    return rest > 0.0 ? rest : 0.0;
+  }
+  double budget_seconds() const { return seconds_; }
+
+ private:
+  double seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_STOPWATCH_H_

@@ -1,0 +1,36 @@
+// Aligned plain-text tables for the benchmark harnesses. Every experiment
+// binary prints the same rows/series the paper reports through this class.
+
+#ifndef SRC_COMMON_TABLE_PRINTER_H_
+#define SRC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aceso {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  // Adds one row; the cell count must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  // Renders to a string (used in tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_TABLE_PRINTER_H_

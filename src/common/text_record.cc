@@ -1,0 +1,165 @@
+#include "src/common/text_record.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace aceso {
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+void TextRecord::Set(const std::string& key, const std::string& value) {
+  fields_[key] = value;
+}
+
+void TextRecord::SetInt(const std::string& key, int64_t value) {
+  fields_[key] = std::to_string(value);
+}
+
+void TextRecord::SetDouble(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  fields_[key] = buf;
+}
+
+bool TextRecord::Has(const std::string& key) const {
+  return fields_.count(key) > 0;
+}
+
+StatusOr<std::string> TextRecord::Get(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) {
+    return NotFound("missing field: " + key);
+  }
+  return it->second;
+}
+
+StatusOr<int64_t> TextRecord::GetInt(const std::string& key) const {
+  auto value = Get(key);
+  if (!value.ok()) {
+    return value.status();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  if (errno != 0 || end == value->c_str() || *end != '\0') {
+    return InvalidArgument("field '" + key + "' is not an integer: " + *value);
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+StatusOr<double> TextRecord::GetDouble(const std::string& key) const {
+  auto value = Get(key);
+  if (!value.ok()) {
+    return value.status();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (errno != 0 || end == value->c_str() || *end != '\0') {
+    return InvalidArgument("field '" + key + "' is not a number: " + *value);
+  }
+  return parsed;
+}
+
+std::string SerializeRecords(const std::vector<TextRecord>& records) {
+  std::ostringstream oss;
+  for (const TextRecord& record : records) {
+    oss << "record {\n";
+    for (const auto& [key, value] : record.fields()) {
+      oss << "  " << key << " = " << value << "\n";
+    }
+    oss << "}\n";
+  }
+  return oss.str();
+}
+
+StatusOr<std::vector<TextRecord>> ParseRecords(const std::string& text) {
+  std::vector<TextRecord> records;
+  std::istringstream iss(text);
+  std::string line;
+  bool in_record = false;
+  TextRecord current;
+  int line_no = 0;
+  while (std::getline(iss, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    if (trimmed == "record {") {
+      if (in_record) {
+        return InvalidArgument("nested record at line " +
+                               std::to_string(line_no));
+      }
+      in_record = true;
+      current = TextRecord();
+      continue;
+    }
+    if (trimmed == "}") {
+      if (!in_record) {
+        return InvalidArgument("stray '}' at line " + std::to_string(line_no));
+      }
+      in_record = false;
+      records.push_back(current);
+      continue;
+    }
+    const size_t eq = trimmed.find('=');
+    if (!in_record || eq == std::string::npos) {
+      return InvalidArgument("malformed line " + std::to_string(line_no) +
+                             ": " + trimmed);
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    if (key.empty()) {
+      return InvalidArgument("empty key at line " + std::to_string(line_no));
+    }
+    current.Set(key, value);
+  }
+  if (in_record) {
+    return InvalidArgument("unterminated record at end of input");
+  }
+  return records;
+}
+
+Status WriteRecordsToFile(const std::string& path,
+                          const std::vector<TextRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    return Internal("cannot open for writing: " + path);
+  }
+  out << SerializeRecords(records);
+  out.flush();
+  if (!out) {
+    return Internal("write failed: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<TextRecord>> ReadRecordsFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFound("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseRecords(buffer.str());
+}
+
+}  // namespace aceso

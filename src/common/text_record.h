@@ -1,0 +1,54 @@
+// A tiny line-oriented key/value record format used to persist the profiling
+// database and search results. Deliberately simpler than JSON: one record per
+// block, "key = value" lines, blocks separated by blank lines.
+//
+//   record {
+//     op_kind = matmul
+//     tp = 4
+//     time_us = 123.4
+//   }
+
+#ifndef SRC_COMMON_TEXT_RECORD_H_
+#define SRC_COMMON_TEXT_RECORD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace aceso {
+
+// One record: an ordered map from key to string value plus typed accessors.
+class TextRecord {
+ public:
+  void Set(const std::string& key, const std::string& value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+
+  bool Has(const std::string& key) const;
+  StatusOr<std::string> Get(const std::string& key) const;
+  StatusOr<int64_t> GetInt(const std::string& key) const;
+  StatusOr<double> GetDouble(const std::string& key) const;
+
+  const std::map<std::string, std::string>& fields() const { return fields_; }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+// Serializes records to the block format above.
+std::string SerializeRecords(const std::vector<TextRecord>& records);
+
+// Parses the block format; rejects malformed lines.
+StatusOr<std::vector<TextRecord>> ParseRecords(const std::string& text);
+
+// Whole-file helpers.
+Status WriteRecordsToFile(const std::string& path,
+                          const std::vector<TextRecord>& records);
+StatusOr<std::vector<TextRecord>> ReadRecordsFromFile(const std::string& path);
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_TEXT_RECORD_H_

@@ -1,0 +1,41 @@
+// Unit helpers: bytes, FLOPs, seconds. Aceso tracks memory in bytes
+// (int64_t), compute in FLOPs (double) and time in seconds (double).
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aceso {
+
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+// "31.4 GB", "512.0 MB", "17.2 KB", "12 B".
+std::string FormatBytes(int64_t bytes);
+
+// "12.34 TFLOP", "1.20 GFLOP".
+std::string FormatFlops(double flops);
+
+// "1.234 s", "56.7 ms", "89.0 us".
+std::string FormatSeconds(double seconds);
+
+// Fixed-precision double ("%.*f") without iostream ceremony.
+std::string FormatDouble(double value, int precision);
+
+// Rounds an allocation request the way a PyTorch-style caching allocator
+// does: 512 B granularity below 1 MiB, 2 MiB granularity above. Shared by
+// the allocator simulation (src/runtime) and the memory model (src/cost),
+// which deliberately prices this rounding into Eq. 1's activation term.
+int64_t RoundUpAllocSize(int64_t bytes);
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,197 @@
+#include "src/config/config_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/text_record.h"
+
+namespace aceso {
+namespace {
+
+constexpr char kHeaderType[] = "aceso_config";
+
+const char* TpDimTag(TpDim dim) {
+  switch (dim) {
+    case TpDim::kColumn:
+      return "col";
+    case TpDim::kRow:
+      return "row";
+    case TpDim::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+StatusOr<TpDim> ParseTpDim(const std::string& tag) {
+  if (tag == "col") return TpDim::kColumn;
+  if (tag == "row") return TpDim::kRow;
+  if (tag == "none") return TpDim::kNone;
+  return InvalidArgument("unknown tp dim: " + tag);
+}
+
+}  // namespace
+
+std::string SerializeConfig(const ParallelConfig& config,
+                            const std::string& model_name) {
+  std::vector<TextRecord> records;
+  {
+    TextRecord header;
+    header.Set("type", kHeaderType);
+    header.Set("model", model_name);
+    header.SetInt("microbatch_size", config.microbatch_size());
+    header.SetInt("num_stages", config.num_stages());
+    records.push_back(std::move(header));
+  }
+  for (int s = 0; s < config.num_stages(); ++s) {
+    const StageConfig& stage = config.stage(s);
+    TextRecord rec;
+    rec.Set("type", "stage");
+    rec.SetInt("index", s);
+    rec.SetInt("first_op", stage.first_op);
+    rec.SetInt("num_ops", stage.num_ops);
+    rec.SetInt("num_devices", stage.num_devices);
+    // Per-op settings as a compact run-length string:
+    // "tp,dp,dim,rc*count;..."
+    std::ostringstream ops;
+    int run = 0;
+    auto flush = [&](const OpParallel& setting, int count) {
+      if (count == 0) {
+        return;
+      }
+      ops << setting.tp << "," << setting.dp << "," << TpDimTag(setting.tp_dim)
+          << "," << (setting.recompute ? 1 : 0) << ","
+          << (setting.zero_opt ? 1 : 0) << "*" << count << ";";
+    };
+    for (int i = 0; i < stage.num_ops; ++i) {
+      if (i > 0 && stage.ops[static_cast<size_t>(i)] ==
+                       stage.ops[static_cast<size_t>(i - 1)]) {
+        ++run;
+        continue;
+      }
+      if (i > 0) {
+        flush(stage.ops[static_cast<size_t>(i - 1)], run);
+      }
+      run = 1;
+    }
+    if (stage.num_ops > 0) {
+      flush(stage.ops[static_cast<size_t>(stage.num_ops - 1)], run);
+    }
+    rec.Set("ops", ops.str());
+    records.push_back(std::move(rec));
+  }
+  return SerializeRecords(records);
+}
+
+StatusOr<ParallelConfig> ParseConfig(const std::string& text,
+                                     const OpGraph& graph) {
+  auto records = ParseRecords(text);
+  if (!records.ok()) {
+    return records.status();
+  }
+  if (records->empty()) {
+    return InvalidArgument("empty configuration file");
+  }
+  const TextRecord& header = (*records)[0];
+  auto type = header.Get("type");
+  if (!type.ok() || *type != kHeaderType) {
+    return InvalidArgument("not an aceso_config file");
+  }
+  auto model = header.Get("model");
+  if (!model.ok()) {
+    return model.status();
+  }
+  if (*model != graph.name()) {
+    return FailedPrecondition("config was saved for model '" + *model +
+                              "', not '" + graph.name() + "'");
+  }
+  auto mbs = header.GetInt("microbatch_size");
+  auto num_stages = header.GetInt("num_stages");
+  if (!mbs.ok() || !num_stages.ok()) {
+    return InvalidArgument("malformed config header");
+  }
+
+  ParallelConfig config;
+  config.set_microbatch_size(static_cast<int>(*mbs));
+  for (size_t r = 1; r < records->size(); ++r) {
+    const TextRecord& rec = (*records)[r];
+    auto first_op = rec.GetInt("first_op");
+    auto num_ops = rec.GetInt("num_ops");
+    auto num_devices = rec.GetInt("num_devices");
+    auto ops = rec.Get("ops");
+    if (!first_op.ok() || !num_ops.ok() || !num_devices.ok() || !ops.ok()) {
+      return InvalidArgument("malformed stage record");
+    }
+    StageConfig stage;
+    stage.first_op = static_cast<int>(*first_op);
+    stage.num_ops = static_cast<int>(*num_ops);
+    stage.num_devices = static_cast<int>(*num_devices);
+
+    // Parse the run-length op settings.
+    std::istringstream iss(*ops);
+    std::string token;
+    while (std::getline(iss, token, ';')) {
+      if (token.empty()) {
+        continue;
+      }
+      int tp = 0;
+      int dp = 0;
+      char dim_buf[8] = {0};
+      int rc = 0;
+      int zero = 0;
+      int count = 0;
+      if (std::sscanf(token.c_str(), "%d,%d,%7[^,],%d,%d*%d", &tp, &dp,
+                      dim_buf, &rc, &zero, &count) != 6) {
+        return InvalidArgument("malformed op run: " + token);
+      }
+      auto dim = ParseTpDim(dim_buf);
+      if (!dim.ok()) {
+        return dim.status();
+      }
+      OpParallel setting;
+      setting.tp = tp;
+      setting.dp = dp;
+      setting.tp_dim = *dim;
+      setting.recompute = rc != 0;
+      setting.zero_opt = zero != 0;
+      for (int i = 0; i < count; ++i) {
+        stage.ops.push_back(setting);
+      }
+    }
+    if (static_cast<int>(stage.ops.size()) != stage.num_ops) {
+      return InvalidArgument("op run-length total mismatch in stage " +
+                             std::to_string(config.num_stages()));
+    }
+    config.mutable_stages().push_back(std::move(stage));
+  }
+  if (config.num_stages() != static_cast<int>(*num_stages)) {
+    return InvalidArgument("stage count mismatch");
+  }
+  return config;
+}
+
+Status SaveConfigToFile(const std::string& path, const ParallelConfig& config,
+                        const std::string& model_name) {
+  std::ofstream out(path);
+  if (!out) {
+    return Internal("cannot open for writing: " + path);
+  }
+  out << SerializeConfig(config, model_name);
+  out.flush();
+  if (!out) {
+    return Internal("write failed: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<ParallelConfig> LoadConfigFromFile(const std::string& path,
+                                            const OpGraph& graph) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFound("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseConfig(buffer.str(), graph);
+}
+
+}  // namespace aceso

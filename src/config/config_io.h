@@ -1,0 +1,33 @@
+// Persistence for parallel configurations: the search's output can be saved
+// to disk and reloaded by the runtime/tools (the paper's workflow runs
+// search and training as separate steps).
+
+#ifndef SRC_CONFIG_CONFIG_IO_H_
+#define SRC_CONFIG_CONFIG_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/config/parallel_config.h"
+
+namespace aceso {
+
+// Serializes `config` to the text-record format. The model name is embedded
+// so loads can be checked against the intended graph.
+std::string SerializeConfig(const ParallelConfig& config,
+                            const std::string& model_name);
+
+// Parses a serialized configuration; validates structure against `graph`
+// and rejects configs saved for a different model name.
+StatusOr<ParallelConfig> ParseConfig(const std::string& text,
+                                     const OpGraph& graph);
+
+// Whole-file helpers.
+Status SaveConfigToFile(const std::string& path, const ParallelConfig& config,
+                        const std::string& model_name);
+StatusOr<ParallelConfig> LoadConfigFromFile(const std::string& path,
+                                            const OpGraph& graph);
+
+}  // namespace aceso
+
+#endif  // SRC_CONFIG_CONFIG_IO_H_

@@ -1,0 +1,410 @@
+#include "src/config/parallel_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace aceso {
+namespace {
+
+int FloorPow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) {
+    p *= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+bool IsPow2(int v) { return v >= 1 && (v & (v - 1)) == 0; }
+
+int ClampOpTp(const Operator& op, int tp) {
+  if (op.tp_class == TpClass::kPartitioned) {
+    return std::min(tp, FloorPow2(std::max(op.max_tp, 1)));
+  }
+  return tp;
+}
+
+void StageConfig::SetUniformParallelism(const OpGraph& graph, int tp, int dp) {
+  ACESO_CHECK_EQ(tp * dp, num_devices);
+  ops.resize(static_cast<size_t>(num_ops));
+  for (int i = 0; i < num_ops; ++i) {
+    const Operator& op = graph.op(first_op + i);
+    OpParallel& setting = ops[static_cast<size_t>(i)];
+    setting.tp = ClampOpTp(op, tp);
+    setting.dp = num_devices / setting.tp;
+    setting.tp_dim =
+        op.default_tp_dim == TpDim::kNone ? TpDim::kColumn : op.default_tp_dim;
+  }
+}
+
+int StageConfig::NumRecomputed() const {
+  int count = 0;
+  for (const OpParallel& op : ops) {
+    if (op.recompute) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int ParallelConfig::StageFirstDevice(int stage_index) const {
+  int first = 0;
+  for (int i = 0; i < stage_index; ++i) {
+    first += stages_[static_cast<size_t>(i)].num_devices;
+  }
+  return first;
+}
+
+int ParallelConfig::TotalDevices() const {
+  int total = 0;
+  for (const StageConfig& stage : stages_) {
+    total += stage.num_devices;
+  }
+  return total;
+}
+
+const OpParallel& ParallelConfig::OpSettings(int op_index) const {
+  const int stage_index = StageOfOp(op_index);
+  const StageConfig& stage = stages_[static_cast<size_t>(stage_index)];
+  return stage.ops[static_cast<size_t>(op_index - stage.first_op)];
+}
+
+OpParallel& ParallelConfig::MutableOpSettings(int op_index) {
+  const int stage_index = StageOfOp(op_index);
+  StageConfig& stage = stages_[static_cast<size_t>(stage_index)];
+  return stage.ops[static_cast<size_t>(op_index - stage.first_op)];
+}
+
+int ParallelConfig::StageOfOp(int op_index) const {
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const StageConfig& stage = stages_[s];
+    if (op_index >= stage.first_op && op_index < stage.end_op()) {
+      return static_cast<int>(s);
+    }
+  }
+  ACESO_CHECK(false) << "op " << op_index << " not in any stage";
+  return -1;
+}
+
+int64_t ParallelConfig::NumMicrobatches(const OpGraph& graph) const {
+  return graph.global_batch_size() / microbatch_size_;
+}
+
+Status ParallelConfig::Validate(const OpGraph& graph,
+                                const ClusterSpec& cluster) const {
+  if (stages_.empty()) {
+    return InvalidArgument("configuration has no stages");
+  }
+  if (microbatch_size_ < 1) {
+    return InvalidArgument("microbatch size must be >= 1");
+  }
+  if (graph.global_batch_size() % microbatch_size_ != 0) {
+    return InvalidArgument("microbatch size " +
+                           std::to_string(microbatch_size_) +
+                           " does not divide batch " +
+                           std::to_string(graph.global_batch_size()));
+  }
+  if (TotalDevices() != cluster.num_gpus()) {
+    return InvalidArgument("stage devices sum to " +
+                           std::to_string(TotalDevices()) + ", cluster has " +
+                           std::to_string(cluster.num_gpus()));
+  }
+  int next_op = 0;
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const StageConfig& stage = stages_[s];
+    const std::string tag = "stage " + std::to_string(s);
+    if (stage.first_op != next_op) {
+      return InvalidArgument(tag + " starts at op " +
+                             std::to_string(stage.first_op) + ", expected " +
+                             std::to_string(next_op));
+    }
+    if (stage.num_ops <= 0) {
+      return InvalidArgument(tag + " is empty");
+    }
+    next_op = stage.end_op();
+    if (!IsPow2(stage.num_devices)) {
+      return InvalidArgument(tag + " device count " +
+                             std::to_string(stage.num_devices) +
+                             " is not a power of two");
+    }
+    if (static_cast<int>(stage.ops.size()) != stage.num_ops) {
+      return InvalidArgument(tag + " has " + std::to_string(stage.ops.size()) +
+                             " op settings for " +
+                             std::to_string(stage.num_ops) + " ops");
+    }
+    for (int i = 0; i < stage.num_ops; ++i) {
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      const Operator& op = graph.op(stage.first_op + i);
+      const std::string op_tag = tag + " op " + op.name;
+      if (!IsPow2(setting.tp) || !IsPow2(setting.dp)) {
+        return InvalidArgument(op_tag + ": tp/dp must be powers of two");
+      }
+      if (setting.tp * setting.dp != stage.num_devices) {
+        return InvalidArgument(op_tag + ": tp*dp=" +
+                               std::to_string(setting.tp * setting.dp) +
+                               " != stage devices " +
+                               std::to_string(stage.num_devices));
+      }
+      if (op.tp_class == TpClass::kPartitioned &&
+          setting.tp > FloorPow2(std::max(op.max_tp, 1))) {
+        return InvalidArgument(op_tag + ": tp " + std::to_string(setting.tp) +
+                               " exceeds op limit " +
+                               std::to_string(op.max_tp));
+      }
+      if (microbatch_size_ % setting.dp != 0) {
+        return InvalidArgument(op_tag + ": dp " + std::to_string(setting.dp) +
+                               " does not divide microbatch size " +
+                               std::to_string(microbatch_size_));
+      }
+    }
+  }
+  if (next_op != graph.num_ops()) {
+    return InvalidArgument("stages cover " + std::to_string(next_op) +
+                           " ops, model has " +
+                           std::to_string(graph.num_ops()));
+  }
+  return OkStatus();
+}
+
+uint64_t ParallelConfig::SemanticHash(const OpGraph& graph) const {
+  Hasher h;
+  h.Add(microbatch_size_);
+  h.Add(static_cast<int>(stages_.size()));
+  for (const StageConfig& stage : stages_) {
+    h.Add(stage.num_ops);
+    h.Add(stage.num_devices);
+    for (int i = 0; i < stage.num_ops; ++i) {
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      const Operator& op = graph.op(stage.first_op + i);
+      h.Add(setting.tp);
+      h.Add(setting.dp);
+      // The partition dimension only matters for sharded partitioned ops.
+      const bool dim_matters =
+          setting.tp > 1 && op.tp_class == TpClass::kPartitioned;
+      h.Add(dim_matters ? static_cast<int>(setting.tp_dim) : 0);
+      h.Add(setting.recompute);
+      // ZeRO only changes semantics for data-parallel ops.
+      h.Add(setting.dp > 1 ? setting.zero_opt : false);
+    }
+  }
+  return h.Digest();
+}
+
+std::string ParallelConfig::ToString(const OpGraph& graph) const {
+  std::ostringstream oss;
+  oss << "config: mbs=" << microbatch_size_ << " stages=" << num_stages()
+      << "\n";
+  for (int s = 0; s < num_stages(); ++s) {
+    const StageConfig& stage = stages_[static_cast<size_t>(s)];
+    oss << "  stage " << s << ": ops [" << stage.first_op << ", "
+        << stage.end_op() << ") devices=" << stage.num_devices << "\n";
+    // Group runs of ops with identical settings for readability. The
+    // partition dimension only differentiates sharded ops.
+    auto same_group = [](const OpParallel& a, const OpParallel& b) {
+      if (a.tp != b.tp || a.dp != b.dp || a.recompute != b.recompute) {
+        return false;
+      }
+      return a.tp == 1 || a.tp_dim == b.tp_dim;
+    };
+    int run_start = 0;
+    for (int i = 1; i <= stage.num_ops; ++i) {
+      if (i < stage.num_ops &&
+          same_group(stage.ops[static_cast<size_t>(i)],
+                     stage.ops[static_cast<size_t>(run_start)])) {
+        continue;
+      }
+      const OpParallel& setting = stage.ops[static_cast<size_t>(run_start)];
+      oss << "    ops " << (stage.first_op + run_start) << ".."
+          << (stage.first_op + i - 1) << ": tp=" << setting.tp
+          << " dp=" << setting.dp;
+      if (setting.tp > 1) {
+        oss << " dim=" << TpDimName(setting.tp_dim);
+      }
+      oss << (setting.recompute ? " rc" : "") << "  ("
+          << graph.op(stage.first_op + run_start).name << " ...)\n";
+      run_start = i;
+    }
+  }
+  return oss.str();
+}
+
+std::string ParallelConfig::ShortString() const {
+  std::ostringstream oss;
+  oss << "mbs=" << microbatch_size_;
+  for (int s = 0; s < num_stages(); ++s) {
+    const StageConfig& stage = stages_[static_cast<size_t>(s)];
+    // Report the most common (tp, dp) pair of the stage for compactness.
+    std::map<std::pair<int, int>, int> counts;
+    for (const OpParallel& setting : stage.ops) {
+      ++counts[{setting.tp, setting.dp}];
+    }
+    std::pair<int, int> modal{1, stage.num_devices};
+    int best = 0;
+    for (const auto& [pair, count] : counts) {
+      if (count > best) {
+        best = count;
+        modal = pair;
+      }
+    }
+    oss << " | s" << s << "[" << stage.num_ops << "ops g" << stage.num_devices
+        << " tp" << modal.first << " dp" << modal.second << " rc"
+        << stage.NumRecomputed() << "]";
+  }
+  return oss.str();
+}
+
+StatusOr<std::vector<int>> SplitDevicesPow2(int total, int parts) {
+  if (!IsPow2(total)) {
+    return InvalidArgument("device count " + std::to_string(total) +
+                           " is not a power of two");
+  }
+  if (parts < 1 || parts > total) {
+    return InvalidArgument("cannot split " + std::to_string(total) +
+                           " devices into " + std::to_string(parts) +
+                           " stages");
+  }
+  if (parts == 1) {
+    return std::vector<int>{total};
+  }
+  const int left_parts = (parts + 1) / 2;
+  const int right_parts = parts / 2;
+  auto left = SplitDevicesPow2(total / 2, left_parts);
+  auto right = SplitDevicesPow2(total / 2, right_parts);
+  if (!left.ok()) {
+    return left.status();
+  }
+  if (!right.ok()) {
+    return right.status();
+  }
+  std::vector<int> out = *std::move(left);
+  out.insert(out.end(), right->begin(), right->end());
+  // Larger stages first matches 1F1B's preference for memory-light late
+  // stages (early stages hold more in-flight microbatches).
+  std::sort(out.begin(), out.end(), std::greater<int>());
+  return out;
+}
+
+namespace {
+
+// Splits [0, num_ops) into `parts` contiguous ranges with boundaries chosen
+// so each range carries ~target_weight[i] of the total FLOPs.
+std::vector<int> SplitOpsByWeight(const OpGraph& graph, int parts,
+                                  const std::vector<double>& weights) {
+  const int n = graph.num_ops();
+  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    // Guard against all-zero-flop prefixes with a small epsilon per op.
+    prefix[static_cast<size_t>(i) + 1] =
+        prefix[static_cast<size_t>(i)] + graph.op(i).fwd_flops + 1.0;
+  }
+  const double total = prefix.back();
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    weight_sum += w;
+  }
+  std::vector<int> boundaries;  // num_ops of each part
+  boundaries.reserve(static_cast<size_t>(parts));
+  int prev = 0;
+  double cum_weight = 0.0;
+  for (int p = 0; p < parts - 1; ++p) {
+    cum_weight += weights[static_cast<size_t>(p)];
+    const double target = total * cum_weight / weight_sum;
+    // First boundary with prefix >= target, leaving room for later parts.
+    int b = prev + 1;
+    while (b < n - (parts - 1 - p) && prefix[static_cast<size_t>(b)] < target) {
+      ++b;
+    }
+    boundaries.push_back(b - prev);
+    prev = b;
+  }
+  boundaries.push_back(n - prev);
+  return boundaries;
+}
+
+StatusOr<ParallelConfig> MakeConfigWithSplits(
+    const OpGraph& graph, const ClusterSpec& cluster, int num_stages,
+    int microbatch_size, const std::vector<double>& op_weights,
+    bool skew_devices) {
+  if (num_stages < 1 || num_stages > graph.num_ops()) {
+    return InvalidArgument("invalid stage count " +
+                           std::to_string(num_stages));
+  }
+  auto devices = SplitDevicesPow2(cluster.num_gpus(), num_stages);
+  if (!devices.ok()) {
+    return devices.status();
+  }
+  if (skew_devices && num_stages > 1) {
+    // Exp#7 "imbalance-GPU": give the first stage as many devices as
+    // possible by sorting descending and the rest ascending.
+    std::sort(devices->begin() + 1, devices->end());
+  }
+  const std::vector<int> op_counts =
+      SplitOpsByWeight(graph, num_stages, op_weights);
+
+  ParallelConfig config;
+  config.set_microbatch_size(microbatch_size);
+  int first_op = 0;
+  for (int s = 0; s < num_stages; ++s) {
+    StageConfig stage;
+    stage.first_op = first_op;
+    stage.num_ops = op_counts[static_cast<size_t>(s)];
+    stage.num_devices = (*devices)[static_cast<size_t>(s)];
+    // Full tensor parallelism (clamped per op) allows the minimum microbatch
+    // size; dp absorbs the clamp.
+    stage.SetUniformParallelism(graph, stage.num_devices, 1);
+    first_op += stage.num_ops;
+    config.mutable_stages().push_back(std::move(stage));
+  }
+  // Raise the microbatch size to the minimum every op's dp accepts.
+  int required_mbs = microbatch_size;
+  for (const StageConfig& stage : config.stages()) {
+    for (const OpParallel& setting : stage.ops) {
+      required_mbs = std::max(required_mbs, setting.dp);
+    }
+  }
+  // Round up to a divisor of the batch (dp values are powers of two, and so
+  // is required_mbs as a max of powers of two).
+  config.set_microbatch_size(required_mbs);
+  ACESO_RETURN_IF_ERROR(config.Validate(graph, cluster));
+  return config;
+}
+
+}  // namespace
+
+StatusOr<ParallelConfig> MakeEvenConfig(const OpGraph& graph,
+                                        const ClusterSpec& cluster,
+                                        int num_stages, int microbatch_size) {
+  const std::vector<double> even(static_cast<size_t>(num_stages), 1.0);
+  return MakeConfigWithSplits(graph, cluster, num_stages, microbatch_size,
+                              even, /*skew_devices=*/false);
+}
+
+StatusOr<ParallelConfig> MakeOpImbalancedConfig(const OpGraph& graph,
+                                                const ClusterSpec& cluster,
+                                                int num_stages,
+                                                int microbatch_size) {
+  // Quadratically increasing stage weights: early stages tiny, late huge.
+  std::vector<double> weights(static_cast<size_t>(num_stages));
+  for (int i = 0; i < num_stages; ++i) {
+    weights[static_cast<size_t>(i)] = static_cast<double>((i + 1) * (i + 1));
+  }
+  return MakeConfigWithSplits(graph, cluster, num_stages, microbatch_size,
+                              weights, /*skew_devices=*/false);
+}
+
+StatusOr<ParallelConfig> MakeGpuImbalancedConfig(const OpGraph& graph,
+                                                 const ClusterSpec& cluster,
+                                                 int num_stages,
+                                                 int microbatch_size) {
+  const std::vector<double> even(static_cast<size_t>(num_stages), 1.0);
+  return MakeConfigWithSplits(graph, cluster, num_stages, microbatch_size,
+                              even, /*skew_devices=*/true);
+}
+
+}  // namespace aceso

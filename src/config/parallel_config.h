@@ -1,0 +1,148 @@
+// Parallel DNN training configuration (§3.1 "Configuration representation").
+//
+// A configuration partitions the model's operator chain into contiguous
+// pipeline stages, assigns each stage a contiguous device range, gives every
+// operator a (tp, dp) pair with tp*dp == stage devices, a tensor-parallel
+// partition dimension, and a recompute flag, and fixes one global microbatch
+// size. This representation can express Megatron-LM and Alpa configurations
+// (uniform settings) as well as Aceso's heterogeneous per-op plans.
+
+#ifndef SRC_CONFIG_PARALLEL_CONFIG_H_
+#define SRC_CONFIG_PARALLEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/cluster.h"
+#include "src/ir/op_graph.h"
+
+namespace aceso {
+
+// Per-operator parallelism settings.
+struct OpParallel {
+  int tp = 1;                     // tensor-parallel degree
+  int dp = 1;                     // data-parallel degree (tp*dp = stage GPUs)
+  TpDim tp_dim = TpDim::kColumn;  // partition dimension when tp > 1
+  bool recompute = false;         // release output, re-run fwd during bwd
+  // Extension (inc-zero/dec-zero primitives): ZeRO-style sharding of the
+  // op's optimizer state across its dp group — less memory, an extra
+  // parameter all-gather per iteration. Only meaningful when dp > 1.
+  bool zero_opt = false;
+
+  bool operator==(const OpParallel& other) const {
+    return tp == other.tp && dp == other.dp && tp_dim == other.tp_dim &&
+           recompute == other.recompute && zero_opt == other.zero_opt;
+  }
+};
+
+// One pipeline stage: a contiguous op range on a contiguous device range.
+struct StageConfig {
+  int first_op = 0;
+  int num_ops = 0;
+  int num_devices = 1;
+  std::vector<OpParallel> ops;  // size == num_ops
+
+  int end_op() const { return first_op + num_ops; }
+
+  // Applies (tp, dp, dim) to every op in the stage, clamping tp at each op's
+  // max_tp (dp absorbs the difference). Recompute flags are preserved.
+  void SetUniformParallelism(const OpGraph& graph, int tp, int dp);
+
+  // Count of recomputed ops in this stage.
+  int NumRecomputed() const;
+};
+
+class ParallelConfig {
+ public:
+  ParallelConfig() = default;
+
+  int microbatch_size() const { return microbatch_size_; }
+  void set_microbatch_size(int mbs) { microbatch_size_ = mbs; }
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const StageConfig& stage(int i) const {
+    return stages_.at(static_cast<size_t>(i));
+  }
+  StageConfig& mutable_stage(int i) { return stages_.at(static_cast<size_t>(i)); }
+  const std::vector<StageConfig>& stages() const { return stages_; }
+  std::vector<StageConfig>& mutable_stages() { return stages_; }
+
+  // First global device index of stage i (stages occupy contiguous ranges in
+  // stage order).
+  int StageFirstDevice(int stage_index) const;
+
+  // Sum of per-stage device counts.
+  int TotalDevices() const;
+
+  // The per-op settings for global op index `op_index`.
+  const OpParallel& OpSettings(int op_index) const;
+  OpParallel& MutableOpSettings(int op_index);
+
+  // Stage that owns global op `op_index`.
+  int StageOfOp(int op_index) const;
+
+  // Number of microbatches per iteration for `graph` (batch / mbs).
+  int64_t NumMicrobatches(const OpGraph& graph) const;
+
+  // Structural + semantic validation against a model and cluster:
+  // contiguous full coverage, device counts match the cluster, power-of-two
+  // tp/dp with tp*dp == stage devices, tp within per-op limits, microbatch
+  // divisibility. Returns the first violation found.
+  Status Validate(const OpGraph& graph, const ClusterSpec& cluster) const;
+
+  // Configuration-semantic hash for deduplication (§4.3): equal iff the
+  // stage partition, per-op settings, and microbatch size are equal.
+  // Partition dimensions of ops whose tp == 1 are canonicalized away.
+  uint64_t SemanticHash(const OpGraph& graph) const;
+
+  // Multi-line human-readable dump.
+  std::string ToString(const OpGraph& graph) const;
+
+  // Compact one-line summary: "mbs=2 | s0[ops 0-25 g4 tp2 dp2 rc12] | ...".
+  std::string ShortString() const;
+
+ private:
+  int microbatch_size_ = 1;
+  std::vector<StageConfig> stages_;
+};
+
+// ----- Initial configuration generators (§5.1, Exp#7) -----
+
+// Balanced default: `num_stages` stages with FLOP-balanced contiguous op
+// ranges, power-of-two device counts as equal as possible, pure data
+// parallelism inside each stage (tp clamped per op), minimum microbatch
+// size, full recomputation off. Returns an error when `num_stages` exceeds
+// the device or op count or the device count cannot be split.
+StatusOr<ParallelConfig> MakeEvenConfig(const OpGraph& graph,
+                                        const ClusterSpec& cluster,
+                                        int num_stages, int microbatch_size);
+
+// Exp#7's adversarial starts: op-imbalanced (stage op counts skewed) and
+// GPU-imbalanced (device counts skewed).
+StatusOr<ParallelConfig> MakeOpImbalancedConfig(const OpGraph& graph,
+                                                const ClusterSpec& cluster,
+                                                int num_stages,
+                                                int microbatch_size);
+StatusOr<ParallelConfig> MakeGpuImbalancedConfig(const OpGraph& graph,
+                                                 const ClusterSpec& cluster,
+                                                 int num_stages,
+                                                 int microbatch_size);
+
+// Splits `total` devices into `parts` power-of-two chunks, as equal as
+// possible (e.g. 32 into 3 -> {16, 8, 8}). `total` must be a power of two
+// and parts <= total.
+StatusOr<std::vector<int>> SplitDevicesPow2(int total, int parts);
+
+// True if v is a power of two (v >= 1).
+bool IsPow2(int v);
+
+// Clamps a requested stage-level tp for one op: partitioned ops cannot shard
+// weights beyond max_tp; followers and replicated ops can always "over-shard"
+// (the excess is replication, handled by the cost model).
+int ClampOpTp(const Operator& op, int tp);
+
+}  // namespace aceso
+
+#endif  // SRC_CONFIG_PARALLEL_CONFIG_H_

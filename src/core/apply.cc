@@ -1,0 +1,655 @@
+#include "src/core/apply.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace aceso {
+namespace {
+
+// Uniform tp the stage was configured with: per-op clamping only lowers tp,
+// so the stage-level setting is the max across ops.
+int StageModalTp(const StageConfig& stage) {
+  int tp = 1;
+  for (const OpParallel& setting : stage.ops) {
+    tp = std::max(tp, setting.tp);
+  }
+  return tp;
+}
+
+// Approximate stored activation bytes of one op per microbatch per device;
+// ranking key for the greedy recompute chooser (§4.1: "operators with the
+// largest activation size").
+int64_t ApproxStoredBytes(const Operator& op, const OpParallel& setting,
+                          int mbs) {
+  int shards = 1;
+  if (op.tp_class == TpClass::kPartitioned &&
+      setting.tp_dim == TpDim::kColumn) {
+    shards = setting.tp;
+  } else if (op.tp_class == TpClass::kShardFollower) {
+    shards = EffectiveShards(op, setting.tp);
+  }
+  return op.out_bytes * static_cast<int64_t>(mbs / setting.dp) / shards;
+}
+
+// Re-derives one op's settings for a destination stage with uniform target
+// tp, preserving the recompute flag.
+OpParallel RederiveSettings(const Operator& op, const OpParallel& old_setting,
+                            int stage_devices, int target_tp) {
+  OpParallel setting;
+  setting.tp = ClampOpTp(op, std::min(target_tp, stage_devices));
+  setting.dp = stage_devices / setting.tp;
+  setting.tp_dim =
+      op.default_tp_dim == TpDim::kNone ? TpDim::kColumn : op.default_tp_dim;
+  setting.recompute = old_setting.recompute;
+  return setting;
+}
+
+// Re-derives every op in `stage` for a new device count / uniform tp target,
+// preserving recompute flags.
+void RederiveStage(const OpGraph& graph, StageConfig& stage, int target_tp) {
+  for (int i = 0; i < stage.num_ops; ++i) {
+    const Operator& op = graph.op(stage.first_op + i);
+    OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+    setting = RederiveSettings(op, setting, stage.num_devices, target_tp);
+  }
+}
+
+}  // namespace
+
+double EstimateOpTime(const PerformanceModel& model, const Operator& op,
+                      const OpParallel& setting, int microbatch_size) {
+  const int local_batch = std::max(1, microbatch_size / setting.dp);
+  const OpMeasurement m =
+      model.db().OpTime(op, model.graph().precision(),
+                        EffectiveShards(op, setting.tp), local_batch);
+  double t = m.fwd_seconds + m.bwd_seconds;
+  if (setting.recompute) {
+    t += m.fwd_seconds;
+  }
+  return t;
+}
+
+void FixRecompute(const PerformanceModel& model, ParallelConfig& config,
+                  int stage_index) {
+  if (stage_index < 0 || stage_index >= config.num_stages()) {
+    return;
+  }
+  const PerfResult perf = model.Evaluate(config);
+  const int64_t limit = model.cluster().gpu.memory_bytes;
+  const StageUsage& usage = perf.stages[static_cast<size_t>(stage_index)];
+  StageConfig& stage = config.mutable_stage(stage_index);
+  const int64_t in_flight =
+      std::max(1, config.num_stages() - stage_index);
+  const int mbs = config.microbatch_size();
+
+  if (usage.memory_bytes > limit) {
+    // Enable recompute on the fattest activations until the stage fits.
+    int64_t need = usage.memory_bytes - limit;
+    std::vector<std::pair<int64_t, int>> by_size;  // (stored bytes, op index)
+    for (int i = 0; i < stage.num_ops; ++i) {
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      if (!setting.recompute) {
+        const Operator& op = model.graph().op(stage.first_op + i);
+        const int64_t stored = ApproxStoredBytes(op, setting, mbs);
+        if (stored > 0) {
+          by_size.emplace_back(stored, i);
+        }
+      }
+    }
+    std::sort(by_size.begin(), by_size.end(),
+              std::greater<std::pair<int64_t, int>>());
+    for (const auto& [stored, i] : by_size) {
+      if (need <= 0) {
+        break;
+      }
+      stage.ops[static_cast<size_t>(i)].recompute = true;
+      need -= stored * in_flight;
+    }
+  } else {
+    // Release recompute where memory allows, cheapest savings first --
+    // i.e. drop the recomputations with the highest time cost per byte.
+    int64_t slack = limit - usage.memory_bytes;
+    std::vector<std::pair<double, int>> by_cost;  // (recompute time, op index)
+    for (int i = 0; i < stage.num_ops; ++i) {
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      if (setting.recompute) {
+        const Operator& op = model.graph().op(stage.first_op + i);
+        const OpMeasurement m = model.db().OpTime(
+            op, model.graph().precision(), EffectiveShards(op, setting.tp),
+            std::max(1, mbs / setting.dp));
+        by_cost.emplace_back(m.fwd_seconds, i);
+      }
+    }
+    std::sort(by_cost.begin(), by_cost.end(),
+              std::greater<std::pair<double, int>>());
+    for (const auto& [cost, i] : by_cost) {
+      const Operator& op = model.graph().op(stage.first_op + i);
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      const int64_t added = ApproxStoredBytes(op, setting, mbs) * in_flight;
+      if (added <= slack) {
+        stage.ops[static_cast<size_t>(i)].recompute = false;
+        slack -= added;
+      }
+    }
+  }
+}
+
+bool MoveOps(const PerformanceModel& model, ParallelConfig& config, int from,
+             int to, int count) {
+  if (std::abs(from - to) != 1 || count < 1) {
+    return false;
+  }
+  if (from < 0 || to < 0 || from >= config.num_stages() ||
+      to >= config.num_stages()) {
+    return false;
+  }
+  StageConfig& src = config.mutable_stage(from);
+  StageConfig& dst = config.mutable_stage(to);
+  if (count >= src.num_ops) {
+    return false;  // never empty a stage
+  }
+  const OpGraph& graph = model.graph();
+  const int dst_tp = StageModalTp(dst);
+
+  if (to == from - 1) {
+    // Move the first `count` ops of src to the back of dst.
+    for (int i = 0; i < count; ++i) {
+      const int op_index = src.first_op + i;
+      dst.ops.push_back(RederiveSettings(graph.op(op_index),
+                                         src.ops[static_cast<size_t>(i)],
+                                         dst.num_devices, dst_tp));
+    }
+    src.ops.erase(src.ops.begin(), src.ops.begin() + count);
+    src.first_op += count;
+    src.num_ops -= count;
+    dst.num_ops += count;
+  } else {
+    // Move the last `count` ops of src to the front of dst.
+    std::vector<OpParallel> moved;
+    moved.reserve(static_cast<size_t>(count));
+    for (int i = src.num_ops - count; i < src.num_ops; ++i) {
+      const int op_index = src.first_op + i;
+      moved.push_back(RederiveSettings(graph.op(op_index),
+                                       src.ops[static_cast<size_t>(i)],
+                                       dst.num_devices, dst_tp));
+    }
+    src.ops.erase(src.ops.end() - count, src.ops.end());
+    src.num_ops -= count;
+    dst.ops.insert(dst.ops.begin(), moved.begin(), moved.end());
+    dst.first_op -= count;
+    dst.num_ops += count;
+  }
+  return true;
+}
+
+namespace {
+
+// Chooses candidate op-move counts for rebalancing `from` toward `to_time`:
+// the tight goal moves just enough per-microbatch time to close half the
+// gap; the loose goal closes the full gap; 1 is the minimal probe (§4.1).
+std::vector<int> ChooseMoveCounts(const PerformanceModel& model,
+                                  const ParallelConfig& config,
+                                  const PerfResult& perf, int from,
+                                  bool from_front, double target_delta) {
+  const StageConfig& stage = config.stage(from);
+  const int n = stage.num_ops;
+  std::vector<double> op_times(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    op_times[static_cast<size_t>(i)] =
+        EstimateOpTime(model, model.graph().op(stage.first_op + i),
+                       stage.ops[static_cast<size_t>(i)],
+                       config.microbatch_size());
+  }
+  auto cumulative = [&](int k) {
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+      const int idx = from_front ? i : n - 1 - i;
+      sum += op_times[static_cast<size_t>(idx)];
+    }
+    return sum;
+  };
+  std::vector<int> counts{1};
+  for (const double goal : {target_delta / 2.0, target_delta}) {
+    if (goal <= 0.0) {
+      continue;
+    }
+    for (int k = 1; k < n; ++k) {
+      if (cumulative(k) >= goal) {
+        counts.push_back(k);
+        break;
+      }
+    }
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  // Keep counts strictly below the stage size.
+  while (!counts.empty() && counts.back() >= n) {
+    counts.pop_back();
+  }
+  (void)perf;
+  return counts;
+}
+
+// The idlest stage: lowest total stage time.
+int IdlestStage(const PerfResult& perf, int exclude) {
+  int best = -1;
+  double best_time = 0.0;
+  for (int s = 0; s < static_cast<int>(perf.stages.size()); ++s) {
+    if (s == exclude) {
+      continue;
+    }
+    const double t = perf.stages[static_cast<size_t>(s)].stage_time;
+    if (best < 0 || t < best_time) {
+      best = s;
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+// The stage with the most free memory, for memory-driven partner choice.
+int RoomiestStage(const PerfResult& perf, int exclude) {
+  int best = -1;
+  int64_t best_mem = 0;
+  for (int s = 0; s < static_cast<int>(perf.stages.size()); ++s) {
+    if (s == exclude) {
+      continue;
+    }
+    const int64_t m = perf.stages[static_cast<size_t>(s)].memory_bytes;
+    if (best < 0 || m < best_mem) {
+      best = s;
+      best_mem = m;
+    }
+  }
+  return best;
+}
+
+class CandidateBuilder {
+ public:
+  CandidateBuilder(const PerformanceModel& model, const ParallelConfig& base,
+                   PrimitiveKind kind, int stage, bool attach_recompute_fix)
+      : model_(model),
+        base_(base),
+        kind_(kind),
+        stage_(stage),
+        attach_recompute_fix_(attach_recompute_fix) {}
+
+  // Validates, applies the §4.3 recompute attachment to the stages the
+  // candidate touched, and records it.
+  void Emit(ParallelConfig config, const std::string& description,
+            std::vector<int> touched_stages) {
+    if (!config.Validate(model_.graph(), model_.cluster()).ok()) {
+      return;
+    }
+    if (attach_recompute_fix_) {
+      for (int s : touched_stages) {
+        FixRecompute(model_, config, s);
+      }
+    }
+    Candidate candidate;
+    candidate.config = std::move(config);
+    candidate.primitive = kind_;
+    candidate.stage = stage_;
+    candidate.description = description;
+    out_.push_back(std::move(candidate));
+  }
+
+  std::vector<Candidate> Take() { return std::move(out_); }
+
+ private:
+  const PerformanceModel& model_;
+  const ParallelConfig& base_;
+  PrimitiveKind kind_;
+  int stage_;
+  bool attach_recompute_fix_;
+  std::vector<Candidate> out_;
+};
+
+std::string Desc(PrimitiveKind kind, int stage, const std::string& extra) {
+  std::ostringstream oss;
+  oss << PrimitiveName(kind) << "(s" << stage << ")";
+  if (!extra.empty()) {
+    oss << " " << extra;
+  }
+  return oss.str();
+}
+
+// Generates device-migration candidates: `gain` stage absorbs d devices from
+// `lose` stage, with the gain going into tp or dp (`gain_into_tp`) and the
+// donor shrinking its tp or dp.
+void EmitDeviceMigrations(CandidateBuilder& builder,
+                          const PerformanceModel& model,
+                          const ParallelConfig& config, int gain, int lose,
+                          bool gain_into_tp, PrimitiveKind kind) {
+  if (lose < 0 || lose == gain) {
+    return;
+  }
+  const int g_gain = config.stage(gain).num_devices;
+  const int g_lose = config.stage(lose).num_devices;
+  for (int d = 1; d < g_lose; d *= 2) {
+    if (!IsPow2(g_gain + d) || !IsPow2(g_lose - d)) {
+      continue;
+    }
+    const int gain_ratio = (g_gain + d) / g_gain;
+    if (gain_ratio * g_gain != g_gain + d) {
+      continue;  // only clean multiplicative growth re-derives uniformly
+    }
+    const int lose_ratio = g_lose / (g_lose - d);
+    for (const bool lose_from_tp : {true, false}) {
+      ParallelConfig next = config;
+      StageConfig& gain_stage = next.mutable_stage(gain);
+      StageConfig& lose_stage = next.mutable_stage(lose);
+      const int gain_tp = StageModalTp(gain_stage);
+      const int lose_tp = StageModalTp(lose_stage);
+      if (lose_from_tp && lose_tp < lose_ratio) {
+        continue;  // donor cannot shrink tp below 1
+      }
+      gain_stage.num_devices = g_gain + d;
+      lose_stage.num_devices = g_lose - d;
+      RederiveStage(model.graph(), gain_stage,
+                    gain_into_tp ? gain_tp * gain_ratio : gain_tp);
+      RederiveStage(model.graph(), lose_stage,
+                    lose_from_tp ? lose_tp / lose_ratio : lose_tp);
+      std::ostringstream extra;
+      extra << "+" << d << "gpu from s" << lose << " partner "
+            << (lose_from_tp ? "dec-tp" : "dec-dp");
+      builder.Emit(std::move(next), Desc(kind, gain, extra.str()),
+                   {gain, lose});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Candidate> GeneratePrimitiveCandidates(
+    const PerformanceModel& model, const ParallelConfig& config,
+    const PerfResult& perf, PrimitiveKind kind, int stage,
+    bool attach_recompute_fix) {
+  CandidateBuilder builder(model, config, kind, stage, attach_recompute_fix);
+  const int p = config.num_stages();
+  const StageConfig& target = config.stage(stage);
+  const int mbs = config.microbatch_size();
+  const OpGraph& graph = model.graph();
+
+  switch (kind) {
+    case PrimitiveKind::kDecOpCount: {
+      // Push ops toward the idlest stage, relaying across intermediates
+      // (§4.3). Also try both adjacent neighbours directly.
+      const int idlest = IdlestStage(perf, stage);
+      if (idlest < 0) {
+        break;
+      }
+      const bool toward_earlier = idlest < stage;
+      const double gap =
+          (perf.stages[static_cast<size_t>(stage)].fwd_time +
+           perf.stages[static_cast<size_t>(stage)].bwd_time) -
+          (perf.stages[static_cast<size_t>(idlest)].fwd_time +
+           perf.stages[static_cast<size_t>(idlest)].bwd_time);
+      for (int count : ChooseMoveCounts(model, config, perf, stage,
+                                        toward_earlier, gap)) {
+        // Relay: shift `count` ops one hop at a time until they reach the
+        // idlest stage.
+        ParallelConfig next = config;
+        bool ok = true;
+        std::vector<int> touched;
+        const int step = toward_earlier ? -1 : 1;
+        for (int s = stage; s != idlest && ok; s += step) {
+          ok = MoveOps(model, next, s, s + step, count);
+          touched.push_back(s);
+          touched.push_back(s + step);
+        }
+        if (ok) {
+          std::ostringstream extra;
+          extra << count << "ops -> s" << idlest;
+          builder.Emit(std::move(next), Desc(kind, stage, extra.str()),
+                       touched);
+        }
+      }
+      // Direct single-hop moves to each neighbour.
+      for (int neighbor : {stage - 1, stage + 1}) {
+        if (neighbor < 0 || neighbor >= p || neighbor == idlest) {
+          continue;
+        }
+        ParallelConfig next = config;
+        if (MoveOps(model, next, stage, neighbor, 1)) {
+          std::ostringstream extra;
+          extra << "1op -> s" << neighbor;
+          builder.Emit(std::move(next), Desc(kind, stage, extra.str()),
+                       {stage, neighbor});
+        }
+      }
+      break;
+    }
+
+    case PrimitiveKind::kIncOpCount: {
+      // Pull ops from the busiest adjacent neighbour.
+      for (int neighbor : {stage - 1, stage + 1}) {
+        if (neighbor < 0 || neighbor >= p) {
+          continue;
+        }
+        const bool from_front = neighbor > stage;  // take dst-adjacent end
+        const double gap =
+            (perf.stages[static_cast<size_t>(neighbor)].fwd_time +
+             perf.stages[static_cast<size_t>(neighbor)].bwd_time) -
+            (perf.stages[static_cast<size_t>(stage)].fwd_time +
+             perf.stages[static_cast<size_t>(stage)].bwd_time);
+        for (int count : ChooseMoveCounts(model, config, perf, neighbor,
+                                          from_front, gap)) {
+          ParallelConfig next = config;
+          if (MoveOps(model, next, neighbor, stage, count)) {
+            std::ostringstream extra;
+            extra << count << "ops <- s" << neighbor;
+            builder.Emit(std::move(next), Desc(kind, stage, extra.str()),
+                         {stage, neighbor});
+          }
+        }
+      }
+      break;
+    }
+
+    case PrimitiveKind::kIncMbs: {
+      const int64_t batch = graph.global_batch_size();
+      const int next_mbs = mbs * 2;
+      if (next_mbs <= batch && batch % next_mbs == 0) {
+        ParallelConfig next = config;
+        next.set_microbatch_size(next_mbs);
+        std::vector<int> touched(static_cast<size_t>(p));
+        std::iota(touched.begin(), touched.end(), 0);
+        builder.Emit(std::move(next),
+                     Desc(kind, stage, "mbs=" + std::to_string(next_mbs)),
+                     touched);
+      }
+      break;
+    }
+
+    case PrimitiveKind::kDecMbs: {
+      if (mbs >= 2 && mbs % 2 == 0) {
+        ParallelConfig next = config;
+        next.set_microbatch_size(mbs / 2);
+        std::vector<int> touched(static_cast<size_t>(p));
+        std::iota(touched.begin(), touched.end(), 0);
+        builder.Emit(std::move(next),
+                     Desc(kind, stage, "mbs=" + std::to_string(mbs / 2)),
+                     touched);
+      }
+      break;
+    }
+
+    case PrimitiveKind::kIncTp:
+    case PrimitiveKind::kIncDp: {
+      const bool into_tp = kind == PrimitiveKind::kIncTp;
+      // (a) In-place conversion: grow tp at dp's expense or vice versa.
+      {
+        ParallelConfig next = config;
+        StageConfig& s = next.mutable_stage(stage);
+        const int tp = StageModalTp(s);
+        const int new_tp = into_tp ? tp * 2 : tp / 2;
+        if (new_tp >= 1 && new_tp <= s.num_devices) {
+          RederiveStage(graph, s, new_tp);
+          builder.Emit(std::move(next),
+                       Desc(kind, stage,
+                            into_tp ? "swap dp->tp" : "swap tp->dp"),
+                       {stage});
+        }
+      }
+      // (b) Device migration from partner stages. §3.2.1 prefers the
+      // partner with the most available resources; we emit the idlest and
+      // roomiest donors first and let the estimator rank the rest.
+      const int idle_donor = IdlestStage(perf, stage);
+      const int roomy_donor = RoomiestStage(perf, stage);
+      EmitDeviceMigrations(builder, model, config, stage, idle_donor, into_tp,
+                           kind);
+      if (roomy_donor != idle_donor) {
+        EmitDeviceMigrations(builder, model, config, stage, roomy_donor,
+                             into_tp, kind);
+      }
+      for (int donor = 0; donor < p; ++donor) {
+        if (donor != stage && donor != idle_donor && donor != roomy_donor) {
+          EmitDeviceMigrations(builder, model, config, stage, donor, into_tp,
+                               kind);
+        }
+      }
+      break;
+    }
+
+    case PrimitiveKind::kDecTp:
+    case PrimitiveKind::kDecDp: {
+      const bool from_tp = kind == PrimitiveKind::kDecTp;
+      // (a) In-place conversion.
+      {
+        ParallelConfig next = config;
+        StageConfig& s = next.mutable_stage(stage);
+        const int tp = StageModalTp(s);
+        const int new_tp = from_tp ? tp / 2 : tp * 2;
+        if (new_tp >= 1 && new_tp <= s.num_devices) {
+          RederiveStage(graph, s, new_tp);
+          builder.Emit(std::move(next),
+                       Desc(kind, stage,
+                            from_tp ? "swap tp->dp" : "swap dp->tp"),
+                       {stage});
+        }
+      }
+      // (b) Donate devices to a partner stage (partner inc-dp/inc-tp),
+      // slowest receivers first.
+      if (target.num_devices >= 2) {
+        std::vector<int> receivers;
+        for (int s = 0; s < p; ++s) {
+          if (s != stage) {
+            receivers.push_back(s);
+          }
+        }
+        std::sort(receivers.begin(), receivers.end(), [&](int a, int b) {
+          return perf.stages[static_cast<size_t>(a)].stage_time >
+                 perf.stages[static_cast<size_t>(b)].stage_time;
+        });
+        for (const int receiver : receivers) {
+          EmitDeviceMigrations(builder, model, config, receiver, stage,
+                               /*gain_into_tp=*/true, kind);
+          EmitDeviceMigrations(builder, model, config, receiver, stage,
+                               /*gain_into_tp=*/false, kind);
+        }
+      }
+      break;
+    }
+
+    case PrimitiveKind::kIncRc: {
+      // (a) Recompute enough to fit in memory (greedy, largest activation
+      // first): FixRecompute's OOM path. Only meaningful when the stage is
+      // actually over budget — otherwise the fix would *release*
+      // recomputation, which is dec-rc's job.
+      if (perf.stages[static_cast<size_t>(stage)].memory_bytes >
+          model.cluster().gpu.memory_bytes) {
+        ParallelConfig next = config;
+        FixRecompute(model, next, stage);
+        builder.Emit(std::move(next), Desc(kind, stage, "fit"), {});
+      }
+      // (b) Recompute one more op: the largest non-recomputed activation.
+      {
+        ParallelConfig next = config;
+        StageConfig& s = next.mutable_stage(stage);
+        int best = -1;
+        int64_t best_bytes = 0;
+        for (int i = 0; i < s.num_ops; ++i) {
+          if (s.ops[static_cast<size_t>(i)].recompute) {
+            continue;
+          }
+          const int64_t bytes = ApproxStoredBytes(
+              graph.op(s.first_op + i), s.ops[static_cast<size_t>(i)], mbs);
+          if (bytes > best_bytes) {
+            best_bytes = bytes;
+            best = i;
+          }
+        }
+        if (best >= 0) {
+          s.ops[static_cast<size_t>(best)].recompute = true;
+          builder.Emit(std::move(next), Desc(kind, stage, "+1op"), {});
+        }
+      }
+      break;
+    }
+
+    case PrimitiveKind::kIncZero:
+    case PrimitiveKind::kDecZero: {
+      // Toggle ZeRO optimizer sharding for every data-parallel op of the
+      // stage (the extension is stage-granular, like recomputation).
+      const bool enable = kind == PrimitiveKind::kIncZero;
+      ParallelConfig next = config;
+      StageConfig& s = next.mutable_stage(stage);
+      bool changed = false;
+      for (OpParallel& setting : s.ops) {
+        if (setting.dp > 1 && setting.zero_opt != enable) {
+          setting.zero_opt = enable;
+          changed = true;
+        }
+      }
+      if (changed) {
+        builder.Emit(std::move(next),
+                     Desc(kind, stage, enable ? "shard opt" : "replicate opt"),
+                     {});
+      }
+      break;
+    }
+
+    case PrimitiveKind::kDecRc: {
+      // (a) Drop as much recomputation as memory allows (only when the
+      // stage has memory slack; under OOM the fix would add rc instead).
+      if (perf.stages[static_cast<size_t>(stage)].memory_bytes <=
+          model.cluster().gpu.memory_bytes) {
+        ParallelConfig next = config;
+        FixRecompute(model, next, stage);
+        builder.Emit(std::move(next), Desc(kind, stage, "relax"), {});
+      }
+      // (b) Drop the single most expensive recompute.
+      {
+        ParallelConfig next = config;
+        StageConfig& s = next.mutable_stage(stage);
+        int best = -1;
+        double best_time = 0.0;
+        for (int i = 0; i < s.num_ops; ++i) {
+          if (!s.ops[static_cast<size_t>(i)].recompute) {
+            continue;
+          }
+          const double t =
+              EstimateOpTime(model, graph.op(s.first_op + i),
+                             s.ops[static_cast<size_t>(i)], mbs);
+          if (t > best_time) {
+            best_time = t;
+            best = i;
+          }
+        }
+        if (best >= 0) {
+          s.ops[static_cast<size_t>(best)].recompute = false;
+          builder.Emit(std::move(next), Desc(kind, stage, "-1op"), {});
+        }
+      }
+      break;
+    }
+  }
+
+  return builder.Take();
+}
+
+}  // namespace aceso

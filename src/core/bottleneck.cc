@@ -1,0 +1,70 @@
+#include "src/core/bottleneck.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aceso {
+namespace {
+
+// Heuristic-2 part 1: rank the stage's time resources by consumption
+// proportion — the stage's consumption divided by the total consumption
+// across all stages.
+std::vector<Resource> RankTimeResources(const PerfResult& perf, int stage) {
+  double comp_total = 0.0;
+  double comm_total = 0.0;
+  for (const StageUsage& s : perf.stages) {
+    comp_total += s.comp_time + s.recompute_time;
+    comm_total += s.comm_time;
+  }
+  const StageUsage& usage = perf.stages[static_cast<size_t>(stage)];
+  const double comp_prop =
+      comp_total > 0.0 ? (usage.comp_time + usage.recompute_time) / comp_total
+                       : 0.0;
+  const double comm_prop =
+      comm_total > 0.0 ? usage.comm_time / comm_total : 0.0;
+  if (comm_prop > comp_prop) {
+    return {Resource::kCommunication, Resource::kComputation};
+  }
+  return {Resource::kComputation, Resource::kCommunication};
+}
+
+}  // namespace
+
+std::vector<Bottleneck> OrderedBottlenecks(const PerfResult& perf) {
+  const int p = static_cast<int>(perf.stages.size());
+  std::vector<int> order(static_cast<size_t>(p));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<Bottleneck> out;
+  out.reserve(static_cast<size_t>(p));
+  if (perf.oom) {
+    // Safety first: memory bottlenecks, largest consumption first.
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return perf.stages[static_cast<size_t>(a)].memory_bytes >
+             perf.stages[static_cast<size_t>(b)].memory_bytes;
+    });
+    for (int s : order) {
+      Bottleneck b;
+      b.stage = s;
+      b.memory_bound = true;
+      b.resources = {Resource::kMemory};
+      out.push_back(std::move(b));
+    }
+  } else {
+    // Execution-time bottlenecks, longest stage first.
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return perf.stages[static_cast<size_t>(a)].stage_time >
+             perf.stages[static_cast<size_t>(b)].stage_time;
+    });
+    for (int s : order) {
+      Bottleneck b;
+      b.stage = s;
+      b.memory_bound = false;
+      b.resources = RankTimeResources(perf, s);
+      out.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+}  // namespace aceso

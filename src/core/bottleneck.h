@@ -1,0 +1,35 @@
+// Heuristic-1: bottleneck identification (§3.1).
+//
+//   "When the configuration is out-of-memory, the stage with the largest
+//    memory consumption is the bottleneck. Otherwise, the stage with the
+//    longest execution time is the bottleneck."
+//
+// The search may exhaust the primary bottleneck's options, so this module
+// returns the full priority-ordered list (primary first, then secondary
+// bottlenecks, §3.2.3), each annotated with the resources to alleviate in
+// Heuristic-2's "highest consumption proportion first" order.
+
+#ifndef SRC_CORE_BOTTLENECK_H_
+#define SRC_CORE_BOTTLENECK_H_
+
+#include <vector>
+
+#include "src/cost/resource_usage.h"
+
+namespace aceso {
+
+struct Bottleneck {
+  int stage = 0;
+  // True when this bottleneck is memory pressure (OOM config); false when it
+  // is the execution-time bottleneck.
+  bool memory_bound = false;
+  // Resources to alleviate, highest consumption proportion first.
+  std::vector<Resource> resources;
+};
+
+// The ordered bottleneck list for a configuration's evaluation.
+std::vector<Bottleneck> OrderedBottlenecks(const PerfResult& perf);
+
+}  // namespace aceso
+
+#endif  // SRC_CORE_BOTTLENECK_H_

@@ -1,0 +1,109 @@
+#include "src/core/finetune.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aceso {
+namespace {
+
+// Evenly spaced interior indices of [1, n), at most `cap` of them.
+std::vector<int> SampleSplitPoints(int n, int cap) {
+  std::vector<int> points;
+  if (n <= 1) {
+    return points;
+  }
+  const int count = std::min(cap, n - 1);
+  for (int i = 0; i < count; ++i) {
+    const int point = 1 + static_cast<int64_t>(i) * (n - 1) / count;
+    if (points.empty() || points.back() != point) {
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+// Applies tp' = tp * factor (factor is 2 or 1/2 encoded as mul/div) to ops
+// [split, end) of `stage`. Returns false when any op cannot take the change.
+bool RetargetTail(const OpGraph& graph, StageConfig& stage, int split,
+                  bool increase) {
+  for (int i = split; i < stage.num_ops; ++i) {
+    const Operator& op = graph.op(stage.first_op + i);
+    OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+    const int new_tp = increase ? setting.tp * 2 : setting.tp / 2;
+    if (new_tp < 1 || new_tp > stage.num_devices) {
+      return false;
+    }
+    const int clamped = ClampOpTp(op, new_tp);
+    setting.tp = clamped;
+    setting.dp = stage.num_devices / clamped;
+  }
+  return true;
+}
+
+}  // namespace
+
+PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
+                    const PerfResult& initial_perf, const TimeBudget& budget,
+                    const FineTuneOptions& options) {
+  PerfResult best = initial_perf;
+  const OpGraph& graph = model.graph();
+
+  // --- 1. Flexible tp/dp combination inside each stage ---
+  for (int s = 0; s < config.num_stages() && !budget.Expired(); ++s) {
+    const int n = config.stage(s).num_ops;
+    for (int split :
+         SampleSplitPoints(n, options.max_split_points_per_stage)) {
+      for (const bool increase : {true, false}) {
+        if (budget.Expired()) {
+          break;
+        }
+        ParallelConfig trial = config;
+        if (!RetargetTail(graph, trial.mutable_stage(s), split, increase)) {
+          continue;
+        }
+        if (!trial.Validate(graph, model.cluster()).ok()) {
+          continue;
+        }
+        const PerfResult perf = model.Evaluate(trial);
+        if (perf.BetterThan(best)) {
+          config = std::move(trial);
+          best = perf;
+        }
+      }
+    }
+  }
+
+  // --- 2. Flexible tensor-parallel dimension per op ---
+  for (int s = 0; s < config.num_stages() && !budget.Expired(); ++s) {
+    int flips = 0;
+    // NOTE: `config` is reassigned inside the loop; re-fetch the stage on
+    // every iteration instead of holding a reference.
+    for (int i = 0; i < config.stage(s).num_ops; ++i) {
+      if (flips >= options.max_dim_flips_per_stage || budget.Expired()) {
+        break;
+      }
+      const StageConfig& stage = config.stage(s);
+      const Operator& op = graph.op(stage.first_op + i);
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      if (op.tp_class != TpClass::kPartitioned || setting.tp <= 1) {
+        continue;
+      }
+      ParallelConfig trial = config;
+      OpParallel& trial_setting =
+          trial.mutable_stage(s).ops[static_cast<size_t>(i)];
+      trial_setting.tp_dim = trial_setting.tp_dim == TpDim::kColumn
+                                 ? TpDim::kRow
+                                 : TpDim::kColumn;
+      ++flips;
+      const PerfResult perf = model.Evaluate(trial);
+      if (perf.BetterThan(best)) {
+        config = std::move(trial);
+        best = perf;
+      }
+    }
+  }
+
+  return best;
+}
+
+}  // namespace aceso

@@ -1,0 +1,38 @@
+// The op-level fine-tuning pass (§4.2), run after each successful search
+// iteration. Two adjustments:
+//
+//  1. Flexible tp/dp combination inside a stage: for candidate split points,
+//     double or halve the tp of the ops from the split point to the end of
+//     the stage, keeping the change when the performance model approves.
+//  2. Flexible tensor-parallel dimension: flip individual partitioned ops
+//     between row-wise and column-wise sharding when that helps.
+//
+// Both adjustments are greedy: each improving change is committed before
+// trying the next.
+
+#ifndef SRC_CORE_FINETUNE_H_
+#define SRC_CORE_FINETUNE_H_
+
+#include "src/common/stopwatch.h"
+#include "src/config/parallel_config.h"
+#include "src/cost/perf_model.h"
+
+namespace aceso {
+
+struct FineTuneOptions {
+  // Cap on split points tried per stage (evenly spaced through the stage);
+  // keeps fine-tuning O(ops) for 1K-layer models.
+  int max_split_points_per_stage = 8;
+  // Cap on dimension flips tried per stage.
+  int max_dim_flips_per_stage = 16;
+};
+
+// Fine-tunes `config` in place; returns the evaluation of the final config.
+// Stops early when `budget` expires.
+PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
+                    const PerfResult& initial_perf, const TimeBudget& budget,
+                    const FineTuneOptions& options = {});
+
+}  // namespace aceso
+
+#endif  // SRC_CORE_FINETUNE_H_

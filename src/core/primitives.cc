@@ -1,0 +1,132 @@
+#include "src/core/primitives.h"
+
+namespace aceso {
+
+const char* PrimitiveName(PrimitiveKind kind) {
+  switch (kind) {
+    case PrimitiveKind::kIncOpCount:
+      return "inc-op#";
+    case PrimitiveKind::kDecOpCount:
+      return "dec-op#";
+    case PrimitiveKind::kIncMbs:
+      return "inc-mbs";
+    case PrimitiveKind::kDecMbs:
+      return "dec-mbs";
+    case PrimitiveKind::kIncDp:
+      return "inc-dp";
+    case PrimitiveKind::kDecDp:
+      return "dec-dp";
+    case PrimitiveKind::kIncTp:
+      return "inc-tp";
+    case PrimitiveKind::kDecTp:
+      return "dec-tp";
+    case PrimitiveKind::kIncRc:
+      return "inc-rc";
+    case PrimitiveKind::kDecRc:
+      return "dec-rc";
+    case PrimitiveKind::kIncZero:
+      return "inc-zero";
+    case PrimitiveKind::kDecZero:
+      return "dec-zero";
+  }
+  return "unknown";
+}
+
+const char* TrendName(Trend trend) {
+  switch (trend) {
+    case Trend::kIncrease:
+      return "increase";
+    case Trend::kUnchanged:
+      return "unchanged";
+    case Trend::kDecrease:
+      return "decrease";
+  }
+  return "unknown";
+}
+
+const std::array<PrimitiveInfo, kNumPrimitives>& PrimitiveTable() {
+  // Paper Table 1. Comp/Comm/Mem columns describe the impact on the stage
+  // the primitive is applied to.
+  static const std::array<PrimitiveInfo, kNumPrimitives> kTable = {{
+      {PrimitiveKind::kIncOpCount, Trend::kIncrease, Trend::kUnchanged,
+       Trend::kIncrease, "pipeline parallelism"},
+      {PrimitiveKind::kDecOpCount, Trend::kDecrease, Trend::kUnchanged,
+       Trend::kDecrease, "pipeline parallelism"},
+      // Microbatch size trades computation time against memory: a larger
+      // microbatch runs fewer, larger, more efficient kernels (computation
+      // consumption decreases) while holding more activation per in-flight
+      // microbatch (memory increases).
+      {PrimitiveKind::kIncMbs, Trend::kDecrease, Trend::kUnchanged,
+       Trend::kIncrease, "pipeline parallelism"},
+      {PrimitiveKind::kDecMbs, Trend::kIncrease, Trend::kUnchanged,
+       Trend::kDecrease, "pipeline parallelism"},
+      {PrimitiveKind::kIncDp, Trend::kDecrease, Trend::kIncrease,
+       Trend::kDecrease, "data parallelism"},
+      {PrimitiveKind::kDecDp, Trend::kIncrease, Trend::kDecrease,
+       Trend::kIncrease, "data parallelism"},
+      {PrimitiveKind::kIncTp, Trend::kDecrease, Trend::kIncrease,
+       Trend::kDecrease, "tensor parallelism"},
+      {PrimitiveKind::kDecTp, Trend::kIncrease, Trend::kDecrease,
+       Trend::kIncrease, "tensor parallelism"},
+      {PrimitiveKind::kIncRc, Trend::kIncrease, Trend::kUnchanged,
+       Trend::kDecrease, "recomputation"},
+      {PrimitiveKind::kDecRc, Trend::kDecrease, Trend::kUnchanged,
+       Trend::kIncrease, "recomputation"},
+      // Extension rows: ZeRO-style optimizer sharding trades an extra
+      // parameter all-gather per iteration for optimizer-state memory.
+      {PrimitiveKind::kIncZero, Trend::kUnchanged, Trend::kIncrease,
+       Trend::kDecrease, "optimizer sharding"},
+      {PrimitiveKind::kDecZero, Trend::kUnchanged, Trend::kDecrease,
+       Trend::kIncrease, "optimizer sharding"},
+  }};
+  return kTable;
+}
+
+std::vector<PrimitiveKind> PrimitivesDecreasing(Resource resource,
+                                                bool include_extensions) {
+  std::vector<PrimitiveKind> out;
+  for (const PrimitiveInfo& info : PrimitiveTable()) {
+    if (!include_extensions &&
+        static_cast<int>(info.kind) >= kNumPaperPrimitives) {
+      continue;
+    }
+    Trend trend = Trend::kUnchanged;
+    switch (resource) {
+      case Resource::kComputation:
+        trend = info.computation;
+        break;
+      case Resource::kCommunication:
+        trend = info.communication;
+        break;
+      case Resource::kMemory:
+        trend = info.memory;
+        break;
+    }
+    if (trend == Trend::kDecrease) {
+      out.push_back(info.kind);
+    }
+  }
+  return out;
+}
+
+std::vector<PrimitiveKind> PartnerPrimitives(PrimitiveKind kind) {
+  // §3.2.1: inc-op# pairs with dec-op#; inc-dp and inc-tp take devices from
+  // a partner stage that sheds them via dec-dp or dec-tp (and vice versa for
+  // the dec- variants donating devices).
+  switch (kind) {
+    case PrimitiveKind::kIncOpCount:
+      return {PrimitiveKind::kDecOpCount};
+    case PrimitiveKind::kDecOpCount:
+      return {PrimitiveKind::kIncOpCount};
+    case PrimitiveKind::kIncDp:
+    case PrimitiveKind::kIncTp:
+      return {PrimitiveKind::kDecDp, PrimitiveKind::kDecTp};
+    case PrimitiveKind::kDecDp:
+    case PrimitiveKind::kDecTp:
+      return {PrimitiveKind::kIncDp, PrimitiveKind::kIncTp};
+    default:
+      return {};
+  }
+}
+
+}  // namespace aceso

@@ -1,0 +1,78 @@
+// Reconfiguration primitives (paper Table 1).
+//
+// Each primitive is a basic adjustment of one mechanism with a known
+// qualitative impact on the consumption of the three resources (computation,
+// communication, memory) at the stage it is applied to. The search queries
+// this table for primitives that *decrease* the bottleneck's constrained
+// resource — the "resource trading" view of §3.2.
+
+#ifndef SRC_CORE_PRIMITIVES_H_
+#define SRC_CORE_PRIMITIVES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/cost/resource_usage.h"
+
+namespace aceso {
+
+enum class PrimitiveKind {
+  kIncOpCount = 0,  // 1: inc-op#  — pull operators into a pipeline stage
+  kDecOpCount,      // 2: dec-op#  — push operators out of a pipeline stage
+  kIncMbs,          // 3: inc-mbs  — double the global microbatch size
+  kDecMbs,          // 4: dec-mbs  — halve the global microbatch size
+  kIncDp,           // 5: inc-dp   — increase data-parallel concurrency
+  kDecDp,           // 6: dec-dp   — decrease data-parallel concurrency
+  kIncTp,           // 7: inc-tp   — increase tensor-parallel concurrency
+  kDecTp,           // 8: dec-tp   — decrease tensor-parallel concurrency
+  kIncRc,           // 9: inc-rc   — recompute more operators in a stage
+  kDecRc,           // 10: dec-rc  — recompute fewer operators in a stage
+  // ---- extension rows (not in the paper's Table 1; §3.2.1 notes that
+  // "Aceso can be extended with new primitives for future research") ----
+  kIncZero,         // 11: inc-zero — shard optimizer state over dp (ZeRO-1)
+  kDecZero,         // 12: dec-zero — replicate optimizer state again
+};
+
+// The paper's Table 1 rows.
+inline constexpr int kNumPaperPrimitives = 10;
+// Including this repository's extension rows.
+inline constexpr int kNumPrimitives = 12;
+
+const char* PrimitiveName(PrimitiveKind kind);
+
+// Qualitative resource-consumption trend of a primitive (Table 1 columns).
+enum class Trend {
+  kIncrease,
+  kUnchanged,
+  kDecrease,
+};
+
+const char* TrendName(Trend trend);
+
+struct PrimitiveInfo {
+  PrimitiveKind kind;
+  Trend computation;
+  Trend communication;
+  Trend memory;
+  // The mechanism the primitive reconfigures (for documentation/printing).
+  const char* mechanism;
+};
+
+// The full Table 1, indexed by PrimitiveKind.
+const std::array<PrimitiveInfo, kNumPrimitives>& PrimitiveTable();
+
+// Table lookup: primitives whose trend for `resource` is kDecrease — the
+// eligible bottleneck-alleviating moves for that resource.
+// `include_extensions` adds the ZeRO rows (off in the paper's search space).
+std::vector<PrimitiveKind> PrimitivesDecreasing(Resource resource,
+                                                bool include_extensions = false);
+
+// The partner primitive applied to the stage that balances a device
+// migration (§3.2.1 "Partner primitives and partner stages"). Returns an
+// empty vector for primitives that act alone.
+std::vector<PrimitiveKind> PartnerPrimitives(PrimitiveKind kind);
+
+}  // namespace aceso
+
+#endif  // SRC_CORE_PRIMITIVES_H_

@@ -1,0 +1,394 @@
+#include "src/core/search.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/core/apply.h"
+#include "src/core/bottleneck.h"
+#include "src/core/finetune.h"
+#include "src/core/primitives.h"
+
+namespace aceso {
+namespace {
+
+// Sort key for the unexplored pool and top-k list: feasible configs order by
+// predicted iteration time; OOM configs sort after all feasible ones, least
+// over-memory first.
+double Score(const PerfResult& perf) {
+  if (!perf.oom) {
+    return perf.iteration_time;
+  }
+  return 1e12 + static_cast<double>(perf.MaxMemory() - perf.memory_limit);
+}
+
+// Bound on the unexplored pool: keeps the search's memory flat over long
+// budgets without affecting the best-first pop order.
+constexpr size_t kMaxUnexplored = 1024;
+
+// The per-stage-count search: Algorithm 1 over Algorithm 2.
+class SingleSearch {
+ public:
+  // `budget_seconds` bounds this search's own wall-clock (started inside
+  // Run()); `global_watch` timestamps convergence points on the shared
+  // experiment clock.
+  SingleSearch(const PerformanceModel& model, const SearchOptions& options,
+               int num_stages, double budget_seconds,
+               const Stopwatch& global_watch)
+      : model_(model),
+        options_(options),
+        num_stages_(num_stages),
+        budget_(budget_seconds),
+        global_watch_(global_watch),
+        rng_(options.seed ^ MixU64(static_cast<uint64_t>(num_stages))) {}
+
+  SearchResult Run() {
+    SearchResult result;
+    auto initial = MakeInitial();
+    if (!initial.ok()) {
+      return result;  // this stage count is not constructible
+    }
+    ScoredConfig current;
+    current.config = *std::move(initial);
+    current.perf = model_.Evaluate(current.config);
+    visited_.insert(current.config.SemanticHash(model_.graph()));
+    RecordTopK(current);
+
+    ScoredConfig best = current;
+    result.found = true;
+    result.convergence.push_back(
+        {global_watch_.ElapsedSeconds(), Score(best.perf)});
+
+    while (!budget_.Expired()) {
+      ++stats_.iterations;
+      std::optional<Improvement> improved = IterationSearch(current);
+      if (improved.has_value()) {
+        ++stats_.improvements;
+        stats_.bottleneck_attempts.push_back(improved->bottleneck_attempt);
+        stats_.hops_used.push_back(improved->hops);
+        current = std::move(improved->found);
+        if (options_.enable_finetune) {
+          current.perf =
+              FineTune(model_, current.config, current.perf, budget_);
+          visited_.insert(current.config.SemanticHash(model_.graph()));
+          RecordTopK(current);
+        }
+        if (current.perf.BetterThan(best.perf)) {
+          best = current;
+          result.convergence.push_back(
+              {global_watch_.ElapsedSeconds(), Score(best.perf)});
+        }
+      } else {
+        // Restart from the most promising unexplored configuration.
+        if (unexplored_.empty()) {
+          break;  // converged: nothing left to try
+        }
+        current = std::move(unexplored_.begin()->second);
+        unexplored_.erase(unexplored_.begin());
+      }
+    }
+
+    result.best = std::move(best);
+    result.convergence.push_back(
+        {global_watch_.ElapsedSeconds(), Score(result.best.perf)});
+    result.stats = std::move(stats_);
+    for (auto& [hash, scored] : top_k_) {
+      result.top_configs.push_back(std::move(scored));
+    }
+    std::sort(result.top_configs.begin(), result.top_configs.end(),
+              [](const ScoredConfig& a, const ScoredConfig& b) {
+                return Score(a.perf) < Score(b.perf);
+              });
+    return result;
+  }
+
+ private:
+  struct Improvement {
+    ScoredConfig found;
+    int hops = 0;
+    int bottleneck_attempt = 1;
+  };
+
+  StatusOr<ParallelConfig> MakeInitial() const {
+    switch (options_.initial_config) {
+      case InitialConfigKind::kBalanced:
+        return MakeEvenConfig(model_.graph(), model_.cluster(), num_stages_,
+                              1);
+      case InitialConfigKind::kOpImbalanced:
+        return MakeOpImbalancedConfig(model_.graph(), model_.cluster(),
+                                      num_stages_, 1);
+      case InitialConfigKind::kGpuImbalanced:
+        return MakeGpuImbalancedConfig(model_.graph(), model_.cluster(),
+                                       num_stages_, 1);
+    }
+    return Internal("unknown initial config kind");
+  }
+
+  // One Algorithm 1 iteration: multi-hop searches starting from the primary
+  // bottleneck, falling back to secondary bottlenecks (§3.2.3).
+  std::optional<Improvement> IterationSearch(const ScoredConfig& start) {
+    const std::vector<Bottleneck> bottlenecks = OrderedBottlenecks(start.perf);
+    const int attempts = std::min<int>(
+        static_cast<int>(bottlenecks.size()),
+        options_.max_bottlenecks_per_iteration);
+    for (int b = 0; b < attempts && !budget_.Expired(); ++b) {
+      std::optional<Improvement> found =
+          MultiHop(start, start.perf, /*hop=*/0, &bottlenecks[static_cast<size_t>(b)]);
+      if (found.has_value()) {
+        found->bottleneck_attempt = b + 1;
+        return found;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Algorithm 2. `forced` pins the bottleneck at hop 0 (secondary-bottleneck
+  // exploration); deeper hops use Heuristic-1's primary choice.
+  std::optional<Improvement> MultiHop(const ScoredConfig& config,
+                                      const PerfResult& init_perf, int hop,
+                                      const Bottleneck* forced) {
+    if (hop >= options_.max_hops || budget_.Expired()) {
+      return std::nullopt;
+    }
+    Bottleneck bottleneck;
+    if (forced != nullptr) {
+      bottleneck = *forced;
+    } else {
+      const std::vector<Bottleneck> all = OrderedBottlenecks(config.perf);
+      if (all.empty()) {
+        return std::nullopt;
+      }
+      bottleneck = all.front();
+    }
+
+    std::vector<Resource> resources = bottleneck.resources;
+    if (!options_.use_heuristic2) {
+      ShuffleInPlace(resources);
+    }
+
+    for (const Resource resource : resources) {
+      std::vector<PrimitiveKind> primitives = PrimitivesDecreasing(
+          resource, options_.enable_zero_primitives);
+      if (!options_.use_heuristic2) {
+        ShuffleInPlace(primitives);
+      }
+
+      // Generate and evaluate every candidate of this primitive group.
+      std::vector<ScoredConfig> group;
+      for (const PrimitiveKind kind : primitives) {
+        if (budget_.Expired()) {
+          return std::nullopt;
+        }
+        for (Candidate& candidate : GeneratePrimitiveCandidates(
+                 model_, config.config, config.perf, kind, bottleneck.stage,
+                 options_.enable_recompute_attachment)) {
+          const uint64_t hash =
+              candidate.config.SemanticHash(model_.graph());
+          if (options_.enable_dedup && !visited_.insert(hash).second) {
+            continue;  // §4.3 deduplication
+          }
+          ScoredConfig scored;
+          scored.config = std::move(candidate.config);
+          scored.perf = model_.Evaluate(scored.config);
+          ++stats_.configs_explored;
+          RecordTopK(scored);
+          if (scored.perf.BetterThan(init_perf)) {
+            Improvement improvement;
+            improvement.found = std::move(scored);
+            improvement.hops = hop + 1;
+            return improvement;
+          }
+          PushUnexplored(scored);
+          group.push_back(std::move(scored));
+        }
+      }
+
+      // Best-performance-first recursion into the group (Heuristic-2), or
+      // random order without it.
+      if (options_.use_heuristic2) {
+        std::sort(group.begin(), group.end(),
+                  [](const ScoredConfig& a, const ScoredConfig& b) {
+                    return Score(a.perf) < Score(b.perf);
+                  });
+      } else {
+        ShuffleInPlace(group);
+      }
+      for (const ScoredConfig& next : group) {
+        if (budget_.Expired()) {
+          return std::nullopt;
+        }
+        std::optional<Improvement> found =
+            MultiHop(next, init_perf, hop + 1, nullptr);
+        if (found.has_value()) {
+          return found;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  template <typename T>
+  void ShuffleInPlace(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[rng_.NextBelow(i)]);
+    }
+  }
+
+  void PushUnexplored(const ScoredConfig& scored) {
+    unexplored_.emplace(Score(scored.perf), scored);
+    while (unexplored_.size() > kMaxUnexplored) {
+      unexplored_.erase(std::prev(unexplored_.end()));
+    }
+  }
+
+  void RecordTopK(const ScoredConfig& scored) {
+    if (scored.perf.oom || options_.top_k <= 0) {
+      return;
+    }
+    const uint64_t hash = scored.config.SemanticHash(model_.graph());
+    if (top_k_.count(hash) > 0) {
+      return;
+    }
+    top_k_.emplace(hash, scored);
+    if (static_cast<int>(top_k_.size()) > options_.top_k) {
+      // Drop the worst.
+      auto worst = top_k_.begin();
+      for (auto it = top_k_.begin(); it != top_k_.end(); ++it) {
+        if (Score(it->second.perf) > Score(worst->second.perf)) {
+          worst = it;
+        }
+      }
+      top_k_.erase(worst);
+    }
+  }
+
+  const PerformanceModel& model_;
+  const SearchOptions& options_;
+  int num_stages_;
+  TimeBudget budget_;
+  const Stopwatch& global_watch_;
+  Rng rng_;
+
+  SearchStats stats_;
+  std::unordered_set<uint64_t> visited_;
+  std::multimap<double, ScoredConfig> unexplored_;
+  std::map<uint64_t, ScoredConfig> top_k_;
+};
+
+// Merges per-stage-count results into one.
+SearchResult MergeResults(std::vector<SearchResult> results, int top_k) {
+  SearchResult merged;
+  for (SearchResult& r : results) {
+    if (!r.found) {
+      continue;
+    }
+    if (!merged.found || r.best.perf.BetterThan(merged.best.perf)) {
+      merged.best = r.best;
+      merged.found = true;
+    }
+    merged.stats.Merge(r.stats);
+    for (ScoredConfig& c : r.top_configs) {
+      merged.top_configs.push_back(std::move(c));
+    }
+    for (const ConvergencePoint& point : r.convergence) {
+      merged.convergence.push_back(point);
+    }
+  }
+  std::sort(merged.top_configs.begin(), merged.top_configs.end(),
+            [](const ScoredConfig& a, const ScoredConfig& b) {
+              return Score(a.perf) < Score(b.perf);
+            });
+  if (static_cast<int>(merged.top_configs.size()) > top_k) {
+    merged.top_configs.resize(static_cast<size_t>(top_k));
+  }
+  // Convergence trend: running minimum over time across all searches.
+  std::sort(merged.convergence.begin(), merged.convergence.end(),
+            [](const ConvergencePoint& a, const ConvergencePoint& b) {
+              return a.elapsed_seconds < b.elapsed_seconds;
+            });
+  double running = 1e300;
+  for (ConvergencePoint& point : merged.convergence) {
+    running = std::min(running, point.best_iteration_time);
+    point.best_iteration_time = running;
+  }
+  return merged;
+}
+
+}  // namespace
+
+void SearchStats::Merge(const SearchStats& other) {
+  iterations += other.iterations;
+  improvements += other.improvements;
+  configs_explored += other.configs_explored;
+  bottleneck_attempts.insert(bottleneck_attempts.end(),
+                             other.bottleneck_attempts.begin(),
+                             other.bottleneck_attempts.end());
+  hops_used.insert(hops_used.end(), other.hops_used.begin(),
+                   other.hops_used.end());
+}
+
+SearchResult AcesoSearchForStages(const PerformanceModel& model,
+                                  const SearchOptions& options,
+                                  int num_stages) {
+  Stopwatch watch;
+  SingleSearch search(model, options, num_stages, options.time_budget_seconds,
+                      watch);
+  SearchResult result = search.Run();
+  result.search_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+SearchResult AcesoSearch(const PerformanceModel& model,
+                         const SearchOptions& options) {
+  const int gpus = model.cluster().num_gpus();
+  const int max_auto = std::min({gpus, model.graph().num_ops(), 12});
+  const int min_stages = std::max(1, options.min_stages);
+  const int max_stages =
+      options.max_stages > 0 ? options.max_stages : max_auto;
+
+  std::vector<int> stage_counts;
+  for (int p = min_stages; p <= max_stages; ++p) {
+    if (p <= gpus && p <= model.graph().num_ops()) {
+      stage_counts.push_back(p);
+    }
+  }
+  if (stage_counts.empty()) {
+    stage_counts.push_back(1);
+  }
+
+  Stopwatch watch;
+  std::vector<SearchResult> results(stage_counts.size());
+
+  size_t threads = options.num_threads > 0
+                       ? static_cast<size_t>(options.num_threads)
+                       : stage_counts.size();
+  threads = std::min({threads, stage_counts.size(),
+                      static_cast<size_t>(std::max(
+                          1u, std::thread::hardware_concurrency()))});
+  // With fewer workers than stage counts the searches (partially)
+  // serialize; scale each search's budget so the total wall-clock still
+  // lands on options.time_budget_seconds.
+  const double per_search_budget =
+      options.time_budget_seconds * static_cast<double>(threads) /
+      static_cast<double>(stage_counts.size());
+  ThreadPool pool(threads);
+  ParallelFor(pool, stage_counts.size(), [&](size_t i) {
+    SingleSearch search(model, options, stage_counts[i], per_search_budget,
+                        watch);
+    results[i] = search.Run();
+  });
+
+  SearchResult merged = MergeResults(std::move(results), options.top_k);
+  merged.search_seconds = watch.ElapsedSeconds();
+  return merged;
+}
+
+}  // namespace aceso

@@ -1,0 +1,123 @@
+// The Aceso search driver: Algorithm 1 (iterative bottleneck alleviation)
+// over Algorithm 2 (multi-hop primitive search), with the paper's search
+// optimizations (§4.3): parallel search across pipeline-stage counts,
+// configuration-semantic deduplication, primitive combinations, and the
+// op-level fine-tuning pass after each improvement.
+//
+// The search is *anytime*: it improves a best-so-far configuration until the
+// time budget expires or no reconfiguration helps (convergence), exactly as
+// the paper describes.
+
+#ifndef SRC_CORE_SEARCH_H_
+#define SRC_CORE_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/config/parallel_config.h"
+#include "src/cost/perf_model.h"
+
+namespace aceso {
+
+enum class InitialConfigKind {
+  kBalanced,       // default: even op/device split (§5.1)
+  kOpImbalanced,   // Exp#7 "imbalance-op"
+  kGpuImbalanced,  // Exp#7 "imbalance-GPU"
+};
+
+struct SearchOptions {
+  // Wall-clock budget shared by all stage-count searches (paper: 200 s).
+  double time_budget_seconds = 2.0;
+
+  // MaxHops of the multi-hop search (paper default: 7).
+  int max_hops = 7;
+
+  // Disable to replace Heuristic-2's ordering with random exploration
+  // (Exp#5's "w/o heuristic-2" baseline).
+  bool use_heuristic2 = true;
+
+  // Run the §4.2 op-level fine-tuning pass after each improvement.
+  bool enable_finetune = true;
+
+  // §4.3 ablation toggles (all on by default, as in the paper's system):
+  // configuration-semantic deduplication, and attaching the recompute
+  // fix-up to every primitive application.
+  bool enable_dedup = true;
+  bool enable_recompute_attachment = true;
+
+  // Include this repository's extension primitives (inc-zero/dec-zero,
+  // ZeRO-style optimizer sharding) in the search space. Off by default to
+  // keep the paper's exact Table-1 space.
+  bool enable_zero_primitives = false;
+
+  // Keep the k best distinct feasible configurations (§5.1 evaluates the
+  // top 5 in the runtime and keeps the winner).
+  int top_k = 5;
+
+  uint64_t seed = 20240422;
+
+  // Pipeline stage counts to search (inclusive); max_stages == 0 picks
+  // min(#GPUs, #ops, 12) automatically.
+  int min_stages = 1;
+  int max_stages = 0;
+
+  // Worker threads for the parallel stage-count search; 0 = one per stage
+  // count (capped at hardware concurrency).
+  int num_threads = 0;
+
+  // How many bottleneck stages to try per iteration before giving up
+  // (§3.2.3 secondary-bottleneck exploration).
+  int max_bottlenecks_per_iteration = 4;
+
+  InitialConfigKind initial_config = InitialConfigKind::kBalanced;
+};
+
+// A configuration with its evaluation.
+struct ScoredConfig {
+  ParallelConfig config;
+  PerfResult perf;
+};
+
+// One point of a convergence trend (Exp#5/6/7 figures).
+struct ConvergencePoint {
+  double elapsed_seconds = 0.0;
+  double best_iteration_time = 0.0;
+};
+
+struct SearchStats {
+  int64_t iterations = 0;       // Algorithm 1 loop executions
+  int64_t improvements = 0;     // iterations that found a better config
+  int64_t configs_explored = 0; // candidate evaluations
+
+  // Per improvement: 1-based index of the bottleneck that yielded it
+  // (Fig. 11a) and the number of hops of the successful chain (Fig. 11b).
+  std::vector<int> bottleneck_attempts;
+  std::vector<int> hops_used;
+
+  void Merge(const SearchStats& other);
+};
+
+struct SearchResult {
+  bool found = false;
+  ScoredConfig best;
+  std::vector<ScoredConfig> top_configs;  // best first
+  SearchStats stats;
+  std::vector<ConvergencePoint> convergence;  // running best over time
+  double search_seconds = 0.0;
+};
+
+// Runs the full search: initial configurations for every stage count in
+// range, searched in parallel under one shared budget.
+SearchResult AcesoSearch(const PerformanceModel& model,
+                         const SearchOptions& options);
+
+// Runs the search for one fixed pipeline stage count (used by the ablation
+// benches and tests).
+SearchResult AcesoSearchForStages(const PerformanceModel& model,
+                                  const SearchOptions& options,
+                                  int num_stages);
+
+}  // namespace aceso
+
+#endif  // SRC_CORE_SEARCH_H_

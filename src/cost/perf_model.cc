@@ -1,0 +1,297 @@
+#include "src/cost/perf_model.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace aceso {
+namespace {
+
+int FloorPow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) {
+    p *= 2;
+  }
+  return p;
+}
+
+// The activation layout flowing between consecutive ops of a stage.
+struct Layout {
+  bool sharded = false;
+  int tp = 1;  // shard degree when sharded
+};
+
+}  // namespace
+
+int EffectiveShards(const Operator& op, int tp) {
+  switch (op.tp_class) {
+    case TpClass::kPartitioned:
+      return tp;
+    case TpClass::kShardFollower:
+      return std::min(tp, FloorPow2(std::max(op.max_tp, 1)));
+    case TpClass::kReplicated:
+      return 1;
+  }
+  return 1;
+}
+
+double OptimizerMultiplier(Precision precision) {
+  switch (precision) {
+    case Precision::kFp16:
+      return 7.0;
+    case Precision::kFp32:
+      return 3.0;
+  }
+  return 3.0;
+}
+
+PerformanceModel::PerformanceModel(const OpGraph* graph,
+                                   const ClusterSpec& cluster,
+                                   ProfileDatabase* db)
+    : graph_(graph), cluster_(cluster), interconnect_(cluster), db_(db) {
+  ACESO_CHECK(graph != nullptr);
+  ACESO_CHECK(db != nullptr);
+}
+
+StageWalk PerformanceModel::WalkStage(const ParallelConfig& config,
+                                      int stage_index) const {
+  const StageConfig& stage = config.stage(stage_index);
+  const int first_device = config.StageFirstDevice(stage_index);
+  const int mbs = config.microbatch_size();
+  const Precision precision = graph_->precision();
+
+  StageWalk walk;
+  walk.ops.resize(static_cast<size_t>(stage.num_ops));
+
+  const CommDomain stage_domain{
+      stage.num_devices,
+      cluster_.GroupCrossesNodes(first_device, stage.num_devices, 1)};
+
+  Layout layout;    // activations enter a stage replicated
+  int prev_dp = 0;  // 0 = no previous op
+
+  for (int i = 0; i < stage.num_ops; ++i) {
+    const Operator& op = graph_->op(stage.first_op + i);
+    const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+    OpBreakdown& out = walk.ops[static_cast<size_t>(i)];
+    const int local_batch = mbs / setting.dp;
+    const int shards = EffectiveShards(op, setting.tp);
+
+    // --- kernel time ---
+    const OpMeasurement meas = db_->OpTime(op, precision, shards, local_batch);
+    out.fwd_kernel = meas.fwd_seconds;
+    out.bwd_kernel = meas.bwd_seconds;
+    out.recompute = setting.recompute;
+
+    // --- tensor-parallel collectives (Megatron f/g operators) ---
+    const bool sharded_weights =
+        op.tp_class == TpClass::kPartitioned && setting.tp > 1;
+    if (sharded_weights) {
+      const CommDomain tp_domain{
+          setting.tp, cluster_.GroupCrossesNodes(first_device, setting.tp, 1)};
+      if (setting.tp_dim == TpDim::kColumn) {
+        // g^T: all-reduce the input gradient in backward.
+        out.bwd_comm += db_->CollectiveTime(
+            CollectiveKind::kAllReduce,
+            op.in_bytes * static_cast<int64_t>(local_batch), tp_domain);
+      } else {
+        // g: all-reduce the partial-sum output in forward.
+        out.fwd_comm += db_->CollectiveTime(
+            CollectiveKind::kAllReduce,
+            op.out_bytes * static_cast<int64_t>(local_batch), tp_domain);
+      }
+    }
+
+    // --- resharding at op boundaries (§4.2) ---
+    double reshard = 0.0;
+    const int64_t boundary_bytes =
+        op.in_bytes * static_cast<int64_t>(local_batch);
+    if (prev_dp != 0 && prev_dp != setting.dp) {
+      // Batch-dimension redistribution across the stage's devices.
+      reshard += db_->CollectiveTime(CollectiveKind::kAllGather,
+                                     boundary_bytes, stage_domain);
+    }
+    const bool needs_replicated_input =
+        (op.tp_class == TpClass::kPartitioned &&
+         setting.tp_dim == TpDim::kColumn) ||
+        op.tp_class == TpClass::kReplicated;
+    if (layout.sharded) {
+      const CommDomain shard_domain{
+          layout.tp, cluster_.GroupCrossesNodes(first_device, layout.tp, 1)};
+      if (needs_replicated_input) {
+        reshard += db_->CollectiveTime(CollectiveKind::kAllGather,
+                                       boundary_bytes, shard_domain);
+      } else if (op.tp_class == TpClass::kPartitioned &&
+                 setting.tp_dim == TpDim::kRow && layout.tp != setting.tp) {
+        // Row op expects its own sharding; re-gather then slice.
+        reshard += db_->CollectiveTime(CollectiveKind::kAllGather,
+                                       boundary_bytes, shard_domain);
+      }
+    }
+    // Backward mirrors forward resharding (reduce-scatter of gradients).
+    out.fwd_comm += reshard;
+    out.bwd_comm += reshard;
+
+    // --- layout after this op ---
+    if (op.tp_class == TpClass::kPartitioned) {
+      if (setting.tp > 1 && setting.tp_dim == TpDim::kColumn) {
+        layout = Layout{true, setting.tp};
+      } else {
+        layout = Layout{false, 1};  // row output replicated post all-reduce
+      }
+    } else if (op.tp_class == TpClass::kReplicated) {
+      layout = Layout{false, 1};
+    }
+    // Shard followers preserve the incoming layout.
+
+    // --- memory ---
+    const int store_shards = layout.sharded ? layout.tp : 1;
+    out.stored_bytes =
+        setting.recompute
+            ? 0
+            : op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
+    out.param_bytes = op.tp_class == TpClass::kPartitioned && setting.tp > 1
+                          ? op.param_bytes / setting.tp
+                          : op.param_bytes;
+    out.transient_bytes =
+        op.work_bytes * static_cast<int64_t>(local_batch) / shards;
+    out.workspace_bytes =
+        out.transient_bytes +
+        op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
+
+    // --- optimizer state (grads + Adam moments + master weights) ---
+    const double opt_mult = OptimizerMultiplier(precision);
+    out.optimizer_bytes = static_cast<int64_t>(
+        static_cast<double>(out.param_bytes) * opt_mult);
+    const bool zero = setting.zero_opt && setting.dp > 1;
+    if (zero) {
+      // ZeRO-style sharding: gradients stay full (they feed the all-reduce)
+      // but optimizer state divides across the dp group.
+      const int64_t grads = out.param_bytes;
+      out.optimizer_bytes = grads + (out.optimizer_bytes - grads) / setting.dp;
+    }
+
+    // --- data-parallel gradient synchronization (per iteration) ---
+    if (setting.dp > 1 && out.param_bytes > 0) {
+      const CommDomain dp_domain{
+          setting.dp,
+          cluster_.GroupCrossesNodes(first_device, setting.dp, setting.tp)};
+      out.dp_sync = db_->CollectiveTime(CollectiveKind::kAllReduce,
+                                        out.param_bytes, dp_domain);
+      if (zero) {
+        // Each rank updates its optimizer shard, then all-gathers the
+        // refreshed parameters.
+        out.dp_sync += db_->CollectiveTime(CollectiveKind::kAllGather,
+                                           out.param_bytes, dp_domain);
+      }
+    }
+
+    prev_dp = setting.dp;
+  }
+
+  // Stage input boundary activation is always stored (it feeds either the
+  // first op's backward or the recompute replay).
+  {
+    const Operator& first_op = graph_->op(stage.first_op);
+    const OpParallel& first_setting = stage.ops[0];
+    walk.boundary_bytes =
+        first_op.in_bytes * static_cast<int64_t>(mbs / first_setting.dp);
+  }
+
+  // --- inter-stage p2p (charged to the receiving stage) ---
+  if (stage_index > 0) {
+    const Operator& first_op = graph_->op(stage.first_op);
+    const bool cross =
+        cluster_.NodeOf(first_device - 1) != cluster_.NodeOf(first_device);
+    const double t = interconnect_.P2PTime(
+        first_op.in_bytes * static_cast<int64_t>(mbs), cross);
+    walk.p2p_fwd = t;
+    walk.p2p_bwd = t;  // gradient flows back over the same boundary
+  }
+  return walk;
+}
+
+PerfResult PerformanceModel::Evaluate(const ParallelConfig& config) const {
+  eval_count_.fetch_add(1, std::memory_order_relaxed);
+
+  const int p = config.num_stages();
+  const int64_t num_microbatches = config.NumMicrobatches(*graph_);
+
+  PerfResult result;
+  result.memory_limit = cluster_.gpu.memory_bytes;
+  result.stages.resize(static_cast<size_t>(p));
+
+  for (int s = 0; s < p; ++s) {
+    const StageWalk walk = WalkStage(config, s);
+    StageUsage& usage = result.stages[static_cast<size_t>(s)];
+
+    // Activation accounting prices the caching allocator's block rounding
+    // (§3.3: the model deliberately over- rather than under-estimates).
+    int64_t act_per_mb = RoundUpAllocSize(walk.boundary_bytes);
+    int64_t params = 0;
+    int64_t optimizer = 0;
+    int64_t reserved = 0;
+    for (const OpBreakdown& op : walk.ops) {
+      usage.fwd_time += op.fwd_kernel + op.fwd_comm;
+      usage.bwd_time += op.bwd_kernel + op.bwd_comm;
+      usage.comp_time += op.fwd_kernel + op.bwd_kernel;
+      usage.comm_time += op.fwd_comm + op.bwd_comm;
+      if (op.recompute) {
+        usage.bwd_time += op.fwd_kernel;
+        usage.recompute_time += op.fwd_kernel;
+      }
+      usage.dp_sync_time += op.dp_sync;
+      if (op.stored_bytes > 0) {
+        act_per_mb += RoundUpAllocSize(op.stored_bytes);
+      }
+      params += op.param_bytes;
+      optimizer += op.optimizer_bytes;
+      reserved = std::max(reserved, op.workspace_bytes);
+    }
+    usage.fwd_time += walk.p2p_fwd;
+    usage.bwd_time += walk.p2p_bwd;
+    usage.comm_time += walk.p2p_fwd + walk.p2p_bwd;
+
+    usage.param_bytes = params;
+    usage.optimizer_bytes = optimizer;
+    usage.activation_bytes_per_mb = act_per_mb;
+    usage.reserved_bytes = reserved;
+    const int in_flight = std::max(1, p - s);  // 1F1B in-flight microbatches
+    usage.memory_bytes =
+        params + usage.optimizer_bytes + act_per_mb * in_flight + reserved;
+  }
+
+  // --- Eq. 2: stage times and iteration time ---
+  double warmup_prefix = 0.0;    // sum of f_j for j < s
+  double cooldown_prefix = 0.0;  // sum of b_j for j < s
+  for (int s = 0; s < p; ++s) {
+    StageUsage& usage = result.stages[static_cast<size_t>(s)];
+    usage.warmup_time = warmup_prefix;
+    usage.cooldown_time = cooldown_prefix;
+    usage.steady_time = static_cast<double>(num_microbatches) *
+                        (usage.fwd_time + usage.bwd_time);
+    usage.stage_time = usage.warmup_time + usage.steady_time +
+                       usage.cooldown_time + usage.dp_sync_time;
+    warmup_prefix += usage.fwd_time;
+    cooldown_prefix += usage.bwd_time;
+  }
+
+  double max_time = -1.0;
+  int64_t max_mem = -1;
+  for (int s = 0; s < p; ++s) {
+    const StageUsage& usage = result.stages[static_cast<size_t>(s)];
+    if (usage.stage_time > max_time) {
+      max_time = usage.stage_time;
+      result.slowest_stage = s;
+    }
+    if (usage.memory_bytes > max_mem) {
+      max_mem = usage.memory_bytes;
+      result.max_memory_stage = s;
+    }
+  }
+  result.iteration_time = max_time;
+  result.oom = max_mem > result.memory_limit;
+  return result;
+}
+
+}  // namespace aceso

@@ -1,0 +1,116 @@
+// The profiling-based performance model (§3.3).
+//
+// Given a parallel configuration, predicts per-stage computation /
+// communication time and peak memory, plus end-to-end iteration time under
+// 1F1B pipeline scheduling:
+//
+//   Memory_i = M_param_i + M_act_i * (p - i) + M_opt_i + M_reserved_i   (Eq.1)
+//   T_stage_i = T_warmup_i + T_steady_i + T_cooldown_i                  (Eq.2)
+//
+// with T_warmup_i the forward time of one microbatch through the upstream
+// stages, T_steady_i = N * (f_i + b_i), and T_cooldown_i the corresponding
+// upstream backward drain. Iteration time is the max over stages. The model
+// intentionally over-estimates the framework allocator's reserved memory
+// (the maximum per-op working set in the stage) to avoid declaring OOM
+// configurations feasible.
+//
+// Evaluation is O(#ops) per configuration with all operator and collective
+// times memoized in the shared ProfileDatabase; the search calls Evaluate()
+// tens of thousands of times per run.
+
+#ifndef SRC_COST_PERF_MODEL_H_
+#define SRC_COST_PERF_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/config/parallel_config.h"
+#include "src/cost/resource_usage.h"
+#include "src/hw/interconnect.h"
+#include "src/ir/op_graph.h"
+#include "src/profile/profile_db.h"
+
+namespace aceso {
+
+// Grad + optimizer state bytes per parameter byte: fp16 mixed precision
+// keeps fp16 grads plus fp32 master weights and Adam moments
+// ((2+4+4+4)/2 = 7); fp32 keeps fp32 grads and moments ((4+4+4)/4 = 3).
+double OptimizerMultiplier(Precision precision);
+
+// Compute-shard degree of an op under a tp assignment: partitioned ops shard
+// exactly tp ways; followers shard up to their structural limit (excess tp is
+// replication); replicated ops never shard.
+int EffectiveShards(const Operator& op, int tp);
+
+// Per-op cost decomposition produced by the stage walk; consumed by both the
+// closed-form estimate (Evaluate) and the discrete-event executor
+// (src/runtime), which re-times the same work with per-run jitter.
+struct OpBreakdown {
+  double fwd_kernel = 0.0;  // forward kernel time
+  double bwd_kernel = 0.0;  // backward kernel time (without recompute replay)
+  double fwd_comm = 0.0;    // tp collectives + resharding, forward
+  double bwd_comm = 0.0;    // tp collectives + resharding, backward
+  double dp_sync = 0.0;     // once-per-iteration gradient all-reduce share
+  int64_t stored_bytes = 0; // activation bytes stored per microbatch
+  int64_t param_bytes = 0;  // parameter bytes per device
+  // Gradient + optimizer-state bytes per device; ZeRO-sharded ops divide
+  // the optimizer portion across their dp group.
+  int64_t optimizer_bytes = 0;
+  // The model's working-set estimate: transient workspace plus the op's
+  // output tensor. Used for the deliberate reserve overestimate (§3.3).
+  int64_t workspace_bytes = 0;
+  // Pure transient workspace (attention scores, im2col buffers) — what the
+  // runtime actually allocates and frees around the kernel.
+  int64_t transient_bytes = 0;
+  bool recompute = false;
+};
+
+// Aggregated walk of one stage.
+struct StageWalk {
+  std::vector<OpBreakdown> ops;
+  // Stage input boundary activation stored per microbatch (always kept).
+  int64_t boundary_bytes = 0;
+  // P2P time per microbatch for receiving the stage input (fwd) and the
+  // output gradient (bwd); zero for the first/last stage respectively.
+  double p2p_fwd = 0.0;
+  double p2p_bwd = 0.0;
+};
+
+class PerformanceModel {
+ public:
+  // `graph` and `db` must outlive the model. Thread-safe: Evaluate() may be
+  // called concurrently (the database memoization is internally locked).
+  PerformanceModel(const OpGraph* graph, const ClusterSpec& cluster,
+                   ProfileDatabase* db);
+
+  // Predicts the performance of `config`, which must already be
+  // structurally valid for the graph/cluster.
+  PerfResult Evaluate(const ParallelConfig& config) const;
+
+  // The per-op cost walk of one stage (shared with the runtime simulator).
+  StageWalk WalkStage(const ParallelConfig& config, int stage_index) const;
+
+  // Number of Evaluate() calls so far — the "explored configurations"
+  // metric of Exp#4.
+  int64_t NumEvaluations() const {
+    return eval_count_.load(std::memory_order_relaxed);
+  }
+  void ResetEvaluationCount() {
+    eval_count_.store(0, std::memory_order_relaxed);
+  }
+
+  const OpGraph& graph() const { return *graph_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  ProfileDatabase& db() const { return *db_; }
+
+ private:
+  const OpGraph* graph_;
+  ClusterSpec cluster_;
+  InterconnectModel interconnect_;
+  ProfileDatabase* db_;
+  mutable std::atomic<int64_t> eval_count_{0};
+};
+
+}  // namespace aceso
+
+#endif  // SRC_COST_PERF_MODEL_H_

@@ -1,0 +1,46 @@
+#include "src/cost/resource_usage.h"
+
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace aceso {
+
+const char* ResourceName(Resource resource) {
+  switch (resource) {
+    case Resource::kComputation:
+      return "computation";
+    case Resource::kCommunication:
+      return "communication";
+    case Resource::kMemory:
+      return "memory";
+  }
+  return "unknown";
+}
+
+double StageUsage::TimeShare(Resource resource) const {
+  const double total = comp_time + comm_time + recompute_time;
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  switch (resource) {
+    case Resource::kComputation:
+      return (comp_time + recompute_time) / total;
+    case Resource::kCommunication:
+      return comm_time / total;
+    case Resource::kMemory:
+      return 0.0;  // memory pressure is judged against capacity, not time
+  }
+  return 0.0;
+}
+
+std::string PerfResult::Summary() const {
+  std::ostringstream oss;
+  oss << (oom ? "OOM" : "ok") << " iter=" << FormatSeconds(iteration_time)
+      << " slowest=s" << slowest_stage << " maxmem=s" << max_memory_stage
+      << " (" << FormatBytes(MaxMemory()) << "/" << FormatBytes(memory_limit)
+      << ")";
+  return oss.str();
+}
+
+}  // namespace aceso

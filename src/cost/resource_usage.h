@@ -1,0 +1,113 @@
+// Per-stage resource usage and whole-configuration performance estimates.
+//
+// These are the quantities Aceso's search consumes: computation time,
+// communication time and memory consumption per pipeline stage (§3.3), and
+// the predicted iteration time used to compare configurations.
+
+#ifndef SRC_COST_RESOURCE_USAGE_H_
+#define SRC_COST_RESOURCE_USAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aceso {
+
+// The three resources of the reconfiguration-primitive table (Table 1).
+enum class Resource {
+  kComputation,
+  kCommunication,
+  kMemory,
+};
+
+const char* ResourceName(Resource resource);
+
+// Resource usage of one pipeline stage, per device (stages are internally
+// symmetric: every device in a stage carries the same load, §3.1).
+struct StageUsage {
+  // Per-microbatch forward / backward wall time including the stage's own
+  // communication (tensor-parallel collectives, resharding, p2p receives).
+  double fwd_time = 0.0;
+  double bwd_time = 0.0;
+
+  // Per-microbatch decomposition of the above.
+  double comp_time = 0.0;       // pure kernel time (fwd+bwd)
+  double comm_time = 0.0;       // tp collectives + resharding + p2p (fwd+bwd)
+  double recompute_time = 0.0;  // extra forward time paid in bwd for rc ops
+
+  // Once-per-iteration data-parallel gradient synchronization.
+  double dp_sync_time = 0.0;
+
+  // Eq. 2 decomposition: total stage time over one iteration.
+  double warmup_time = 0.0;
+  double steady_time = 0.0;
+  double cooldown_time = 0.0;
+  double stage_time = 0.0;  // warmup + steady + cooldown + dp sync
+
+  // Peak memory per device, Eq. 1 decomposition.
+  int64_t param_bytes = 0;
+  int64_t optimizer_bytes = 0;          // grads + optimizer states
+  int64_t activation_bytes_per_mb = 0;  // stored activations per microbatch
+  int64_t reserved_bytes = 0;           // allocator-reserve overestimate
+  int64_t memory_bytes = 0;             // total peak
+
+  // Fraction of per-microbatch time spent on each resource; used by
+  // Heuristic-2's consumption-proportion ranking.
+  double TimeShare(Resource resource) const;
+};
+
+// The performance model's verdict on a configuration.
+struct PerfResult {
+  // True when some stage exceeds device memory. OOM configurations carry a
+  // valid iteration-time estimate but are infeasible (Heuristic-1 treats the
+  // largest-memory stage as the bottleneck).
+  bool oom = false;
+
+  // Predicted end-to-end iteration time (max over stage times).
+  double iteration_time = 0.0;
+
+  // Index of the stage with the longest stage_time.
+  int slowest_stage = 0;
+
+  // Index of the stage with the largest memory consumption.
+  int max_memory_stage = 0;
+
+  std::vector<StageUsage> stages;
+
+  // Device memory capacity used for the OOM check.
+  int64_t memory_limit = 0;
+
+  // Samples/second given the model's global batch size.
+  double Throughput(int64_t global_batch) const {
+    return iteration_time > 0.0
+               ? static_cast<double>(global_batch) / iteration_time
+               : 0.0;
+  }
+
+  // Feasible configs sort before OOM ones; ties break on iteration time.
+  // Returns true when *this is strictly better than `other`.
+  bool BetterThan(const PerfResult& other) const {
+    if (oom != other.oom) {
+      return !oom;
+    }
+    if (oom) {
+      // Both infeasible: less over-memory is better.
+      return MaxMemory() < other.MaxMemory();
+    }
+    return iteration_time < other.iteration_time;
+  }
+
+  int64_t MaxMemory() const {
+    int64_t max_mem = 0;
+    for (const StageUsage& s : stages) {
+      max_mem = max_mem > s.memory_bytes ? max_mem : s.memory_bytes;
+    }
+    return max_mem;
+  }
+
+  std::string Summary() const;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_COST_RESOURCE_USAGE_H_

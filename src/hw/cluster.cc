@@ -1,0 +1,48 @@
+#include "src/hw/cluster.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace aceso {
+
+bool ClusterSpec::GroupCrossesNodes(int first, int size, int stride) const {
+  if (size <= 1) {
+    return false;
+  }
+  const int last = first + (size - 1) * stride;
+  return NodeOf(first) != NodeOf(last);
+}
+
+ClusterSpec ClusterSpec::SingleGpu() {
+  ClusterSpec cluster;
+  cluster.num_nodes = 1;
+  cluster.gpus_per_node = 1;
+  return cluster;
+}
+
+ClusterSpec ClusterSpec::PaperCluster() {
+  return ClusterSpec();  // defaults model the paper's 4x8 V100 testbed
+}
+
+ClusterSpec ClusterSpec::WithGpuCount(int gpus) {
+  ACESO_CHECK_GT(gpus, 0);
+  ClusterSpec cluster;
+  if (gpus <= 8) {
+    cluster.num_nodes = 1;
+    cluster.gpus_per_node = gpus;
+  } else {
+    ACESO_CHECK_EQ(gpus % 8, 0) << "multi-node clusters must be 8 GPUs/node";
+    cluster.num_nodes = gpus / 8;
+    cluster.gpus_per_node = 8;
+  }
+  return cluster;
+}
+
+std::string ClusterSpec::ToString() const {
+  std::ostringstream oss;
+  oss << num_nodes << "x" << gpus_per_node << " " << gpu.name;
+  return oss.str();
+}
+
+}  // namespace aceso

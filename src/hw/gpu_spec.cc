@@ -1,0 +1,54 @@
+#include "src/hw/gpu_spec.h"
+
+#include <algorithm>
+
+namespace aceso {
+
+int64_t BytesPerElement(Precision precision) {
+  switch (precision) {
+    case Precision::kFp16:
+      return 2;
+    case Precision::kFp32:
+      return 4;
+  }
+  return 4;
+}
+
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kFp16:
+      return "fp16";
+    case Precision::kFp32:
+      return "fp32";
+  }
+  return "fp32";
+}
+
+double GpuSpec::PeakFlops(Precision precision) const {
+  switch (precision) {
+    case Precision::kFp16:
+      return peak_fp16_flops;
+    case Precision::kFp32:
+      return peak_fp32_flops;
+  }
+  return peak_fp32_flops;
+}
+
+double GpuSpec::Efficiency(double flops) const {
+  if (flops <= 0.0) {
+    return max_efficiency;
+  }
+  return max_efficiency * flops / (flops + half_saturation_flops);
+}
+
+double GpuSpec::ComputeTime(double flops, int64_t bytes_touched,
+                            Precision precision) const {
+  const double achieved = PeakFlops(precision) * Efficiency(flops);
+  const double math_time = achieved > 0.0 ? flops / achieved : 0.0;
+  const double mem_time =
+      hbm_bandwidth > 0.0 ? static_cast<double>(bytes_touched) / hbm_bandwidth
+                          : 0.0;
+  return kernel_launch_seconds + std::max(math_time, mem_time);
+}
+
+}  // namespace aceso

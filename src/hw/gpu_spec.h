@@ -1,0 +1,74 @@
+// GPU device model.
+//
+// The paper's testbed is a 32x NVIDIA V100 (32 GB) cluster. Aceso's search
+// never touches a physical GPU: it consumes a profiled database of operator
+// times. This module supplies the parametric device model that the simulated
+// profiler (src/profile) and the execution simulator (src/runtime) "measure".
+//
+// The single most important modelling choice is the *efficiency curve*:
+// achieved FLOPS is a saturating function of the per-kernel work size. This
+// is what makes the paper's trade-offs emerge: splitting an operator 8-way
+// with tensor parallelism shrinks the per-GPU GEMM and drops its achieved
+// FLOPS, so "more tp" is not free even before communication is counted.
+
+#ifndef SRC_HW_GPU_SPEC_H_
+#define SRC_HW_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/units.h"
+
+namespace aceso {
+
+// Numeric precision of tensors/compute. GPT-3 and T5 train in FP16,
+// Wide-ResNet in FP32 (paper Table 2).
+enum class Precision {
+  kFp16,
+  kFp32,
+};
+
+// Bytes per element for a precision.
+int64_t BytesPerElement(Precision precision);
+
+const char* PrecisionName(Precision precision);
+
+struct GpuSpec {
+  std::string name = "V100-32GB";
+
+  // Peak math throughput in FLOP/s.
+  double peak_fp16_flops = 112e12;  // tensor-core GEMM peak (practical)
+  double peak_fp32_flops = 15.7e12;
+
+  // Device memory capacity available to the training process. The paper uses
+  // 32 GB V100s; we reserve ~2 GB for the framework/CUDA context.
+  int64_t memory_bytes = 30LL * kGiB;
+
+  // HBM bandwidth; bounds memory-bound ops (layernorm, elementwise).
+  double hbm_bandwidth = 900e9;  // bytes/s
+
+  // Fixed per-kernel launch overhead.
+  double kernel_launch_seconds = 6e-6;
+
+  // Efficiency curve parameters: achieved = peak * max_efficiency *
+  // work / (work + half_saturation_flops). Small kernels achieve a small
+  // fraction of peak; big GEMMs approach max_efficiency * peak.
+  double max_efficiency = 0.62;
+  double half_saturation_flops = 2.5e9;
+
+  // Returns the peak FLOP/s for the given precision.
+  double PeakFlops(Precision precision) const;
+
+  // Time (seconds) to execute `flops` of math-bound work at `precision`
+  // moving `bytes_touched` through HBM: max of the math-bound and
+  // memory-bound roofline estimates plus launch overhead.
+  double ComputeTime(double flops, int64_t bytes_touched,
+                     Precision precision) const;
+
+  // The achieved fraction of peak for a kernel of `flops` work.
+  double Efficiency(double flops) const;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_HW_GPU_SPEC_H_

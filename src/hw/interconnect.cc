@@ -1,0 +1,60 @@
+#include "src/hw/interconnect.h"
+
+namespace aceso {
+
+const char* CollectiveKindName(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "all-reduce";
+    case CollectiveKind::kAllGather:
+      return "all-gather";
+    case CollectiveKind::kReduceScatter:
+      return "reduce-scatter";
+    case CollectiveKind::kBroadcast:
+      return "broadcast";
+  }
+  return "unknown";
+}
+
+double InterconnectModel::P2PTime(int64_t bytes, bool cross_node) const {
+  const double bandwidth =
+      cross_node ? cluster_.ib_bandwidth : cluster_.nvlink_bandwidth;
+  const double latency =
+      cross_node ? cluster_.ib_latency : cluster_.nvlink_latency;
+  return latency + static_cast<double>(bytes) / bandwidth;
+}
+
+double InterconnectModel::RingBandwidth(const CommDomain& domain) const {
+  return domain.crosses_nodes ? cluster_.ib_bandwidth
+                              : cluster_.nvlink_bandwidth;
+}
+
+double InterconnectModel::RingLatency(const CommDomain& domain) const {
+  return domain.crosses_nodes ? cluster_.ib_latency : cluster_.nvlink_latency;
+}
+
+double InterconnectModel::CollectiveTime(CollectiveKind kind, int64_t bytes,
+                                         const CommDomain& domain) const {
+  if (domain.size <= 1 || bytes <= 0) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(domain.size);
+  const double bw = RingBandwidth(domain);
+  const double lat = RingLatency(domain);
+  const double buffer = static_cast<double>(bytes);
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      // reduce-scatter + all-gather: 2(n-1)/n of the buffer, 2(n-1) hops.
+      return 2.0 * (n - 1.0) * lat + 2.0 * (n - 1.0) / n * buffer / bw;
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+      return (n - 1.0) * lat + (n - 1.0) / n * buffer / bw;
+    case CollectiveKind::kBroadcast:
+      // Pipelined ring broadcast approaches one buffer through the slowest
+      // link.
+      return (n - 1.0) * lat + buffer / bw;
+  }
+  return 0.0;
+}
+
+}  // namespace aceso

@@ -1,0 +1,58 @@
+// Analytical cost models for the communication primitives parallel DNN
+// training uses:
+//
+//  * point-to-point activation transfer between adjacent pipeline stages,
+//  * ring all-reduce for data-parallel gradient sync and Megatron-style
+//    tensor-parallel activation reduction,
+//  * all-gather / reduce-scatter for resharding between ops whose (tp, dp)
+//    assignment differs inside a stage (§4.2 "flexible combination").
+//
+// Ring collective cost follows the standard alpha-beta model: an n-way ring
+// all-reduce moves 2(n-1)/n of the buffer through the slowest link and pays
+// (n-1) hop latencies per phase.
+
+#ifndef SRC_HW_INTERCONNECT_H_
+#define SRC_HW_INTERCONNECT_H_
+
+#include <cstdint>
+
+#include "src/hw/cluster.h"
+
+namespace aceso {
+
+enum class CollectiveKind {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kBroadcast,
+};
+
+const char* CollectiveKindName(CollectiveKind kind);
+
+class InterconnectModel {
+ public:
+  explicit InterconnectModel(const ClusterSpec& cluster) : cluster_(cluster) {}
+
+  // Time for one point-to-point transfer of `bytes`. `cross_node` selects the
+  // IB path instead of NVLink.
+  double P2PTime(int64_t bytes, bool cross_node) const;
+
+  // Time for a collective over `domain` on a buffer of `bytes` (the full,
+  // unsharded buffer size). Domains of size 1 cost zero.
+  double CollectiveTime(CollectiveKind kind, int64_t bytes,
+                        const CommDomain& domain) const;
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  // Bandwidth (bytes/s) and per-hop latency (s) of the slowest link used by a
+  // ring over `domain`.
+  double RingBandwidth(const CommDomain& domain) const;
+  double RingLatency(const CommDomain& domain) const;
+
+  ClusterSpec cluster_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_HW_INTERCONNECT_H_

@@ -1,0 +1,354 @@
+#include "src/ir/model_builder.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace aceso {
+namespace {
+
+// Largest power of two <= n (>= 1).
+int FloorPow2(int64_t n) {
+  int p = 1;
+  while (static_cast<int64_t>(p) * 2 <= n) {
+    p *= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+void AppendTransformerLayer(OpGraph& graph, const std::string& prefix,
+                            const TransformerLayerSpec& spec) {
+  const int64_t e = BytesPerElement(graph.precision());
+  const int64_t h = spec.hidden;
+  const int64_t f = spec.ffn_hidden;
+  const int64_t s = spec.seq_len;
+  const int64_t heads = spec.num_heads;
+  const int64_t act = s * h * e;  // one [seq, hidden] activation
+
+  // Head count bounds tensor parallelism for attention; FFN width bounds it
+  // for the MLP. Cap at 64 to keep profile databases small.
+  const int attn_tp = std::min(FloorPow2(heads), 64);
+  const int mlp_tp = std::min(FloorPow2(f / 64), 64);
+
+  auto add_layernorm = [&](const std::string& name) {
+    Operator op;
+    op.name = prefix + name;
+    op.kind = OpKind::kLayerNorm;
+    op.fwd_flops = 8.0 * static_cast<double>(s * h);
+    op.param_bytes = 2 * h * e;
+    op.in_bytes = act;
+    op.out_bytes = act;
+    op.tp_class = TpClass::kReplicated;
+    op.max_tp = 1;
+    graph.AddOp(std::move(op));
+  };
+
+  auto add_self_attention = [&](const std::string& name_prefix, int64_t kv_seq,
+                                OpKind qkv_kind, OpKind core_kind) {
+    // QKV projection: [s, h] x [h, 3h].
+    {
+      Operator op;
+      op.name = prefix + name_prefix + "qkv";
+      op.kind = qkv_kind;
+      op.fwd_flops = 2.0 * static_cast<double>(s) * h * 3 * h;
+      op.param_bytes = 3 * h * h * e;
+      op.in_bytes = act;
+      op.out_bytes = 3 * act;
+      op.tp_class = TpClass::kPartitioned;
+      op.default_tp_dim = TpDim::kColumn;
+      op.max_tp = attn_tp;
+      graph.AddOp(std::move(op));
+    }
+    // Attention core: QK^T, softmax, AV. Splits across heads under tp.
+    {
+      Operator op;
+      op.name = prefix + name_prefix + "core";
+      op.kind = core_kind;
+      op.fwd_flops = 4.0 * static_cast<double>(s) * kv_seq * h +
+                     5.0 * static_cast<double>(s) * kv_seq * heads;
+      op.param_bytes = 0;
+      op.in_bytes = 3 * act;
+      op.out_bytes = act;
+      // Materialized attention scores: [heads, s, kv_seq].
+      op.work_bytes = heads * s * kv_seq * e;
+      op.tp_class = TpClass::kShardFollower;
+      op.max_tp = attn_tp;
+      graph.AddOp(std::move(op));
+    }
+    // Output projection: [s, h] x [h, h]; row-parallel (all-reduce in fwd).
+    {
+      Operator op;
+      op.name = prefix + name_prefix + "out_proj";
+      op.kind = OpKind::kAttnOutProj;
+      op.fwd_flops = 2.0 * static_cast<double>(s) * h * h;
+      op.param_bytes = h * h * e;
+      op.in_bytes = act;
+      op.out_bytes = act;
+      op.tp_class = TpClass::kPartitioned;
+      op.default_tp_dim = TpDim::kRow;
+      op.max_tp = attn_tp;
+      graph.AddOp(std::move(op));
+    }
+  };
+
+  add_layernorm("ln1");
+  add_self_attention("attn.", s, OpKind::kQkvProj, OpKind::kAttnCore);
+
+  if (spec.cross_seq_len > 0) {
+    add_layernorm("ln_cross");
+    add_self_attention("xattn.", spec.cross_seq_len, OpKind::kCrossQkvProj,
+                       OpKind::kCrossAttnCore);
+  }
+
+  add_layernorm("ln2");
+
+  // MLP FC1: [s, h] x [h, f]; column-parallel.
+  {
+    Operator op;
+    op.name = prefix + "fc1";
+    op.kind = OpKind::kMlpFc1;
+    op.fwd_flops = 2.0 * static_cast<double>(s) * h * f;
+    op.param_bytes = h * f * e;
+    op.in_bytes = act;
+    op.out_bytes = s * f * e;
+    op.tp_class = TpClass::kPartitioned;
+    op.default_tp_dim = TpDim::kColumn;
+    op.max_tp = mlp_tp;
+    graph.AddOp(std::move(op));
+  }
+  // GeLU on the FFN activation.
+  {
+    Operator op;
+    op.name = prefix + "gelu";
+    op.kind = OpKind::kGelu;
+    op.fwd_flops = 8.0 * static_cast<double>(s) * f;
+    op.in_bytes = s * f * e;
+    op.out_bytes = s * f * e;
+    op.tp_class = TpClass::kShardFollower;
+    op.max_tp = mlp_tp;
+    graph.AddOp(std::move(op));
+  }
+  // MLP FC2: [s, f] x [f, h]; row-parallel.
+  {
+    Operator op;
+    op.name = prefix + "fc2";
+    op.kind = OpKind::kMlpFc2;
+    op.fwd_flops = 2.0 * static_cast<double>(s) * f * h;
+    op.param_bytes = f * h * e;
+    op.in_bytes = s * f * e;
+    op.out_bytes = act;
+    op.tp_class = TpClass::kPartitioned;
+    op.default_tp_dim = TpDim::kRow;
+    op.max_tp = mlp_tp;
+    graph.AddOp(std::move(op));
+  }
+}
+
+void AppendEmbedding(OpGraph& graph, const std::string& prefix, int64_t vocab,
+                     int64_t hidden, int64_t seq_len) {
+  const int64_t e = BytesPerElement(graph.precision());
+  Operator op;
+  op.name = prefix + "embedding";
+  op.kind = OpKind::kEmbedding;
+  // Lookup is memory-bound; count the gather traffic as "flops" lightly.
+  op.fwd_flops = 2.0 * static_cast<double>(seq_len) * hidden;
+  op.param_bytes = vocab * hidden * e;
+  op.in_bytes = seq_len * 8;  // token ids
+  op.out_bytes = seq_len * hidden * e;
+  op.tp_class = TpClass::kPartitioned;  // vocab-parallel embedding
+  op.default_tp_dim = TpDim::kRow;
+  op.max_tp = 64;
+  graph.AddOp(std::move(op));
+}
+
+void AppendLmHead(OpGraph& graph, const std::string& prefix, int64_t vocab,
+                  int64_t hidden, int64_t seq_len) {
+  const int64_t e = BytesPerElement(graph.precision());
+  {
+    Operator op;
+    op.name = prefix + "lm_head";
+    op.kind = OpKind::kLmHead;
+    op.fwd_flops = 2.0 * static_cast<double>(seq_len) * hidden * vocab;
+    op.param_bytes = vocab * hidden * e;
+    op.in_bytes = seq_len * hidden * e;
+    op.out_bytes = seq_len * vocab * e;
+    op.work_bytes = seq_len * vocab * e;
+    op.tp_class = TpClass::kPartitioned;
+    op.default_tp_dim = TpDim::kColumn;
+    op.max_tp = 64;
+    graph.AddOp(std::move(op));
+  }
+  {
+    Operator op;
+    op.name = prefix + "loss";
+    op.kind = OpKind::kSoftmaxLoss;
+    op.fwd_flops = 6.0 * static_cast<double>(seq_len) * vocab;
+    op.in_bytes = seq_len * vocab * e;
+    op.out_bytes = seq_len * 4;  // per-token loss
+    op.tp_class = TpClass::kShardFollower;  // vocab-parallel softmax
+    op.max_tp = 64;
+    graph.AddOp(std::move(op));
+  }
+}
+
+void AppendBottleneckBlock(OpGraph& graph, const std::string& prefix,
+                           const BottleneckSpec& spec) {
+  const int64_t e = BytesPerElement(graph.precision());
+  const int64_t out_hw = spec.in_hw / spec.stride;
+  const int mid_tp = std::min(FloorPow2(spec.bottleneck_channels), 32);
+  const int out_tp = std::min(FloorPow2(spec.out_channels), 32);
+
+  auto add_conv = [&](const std::string& name, int64_t cin, int64_t cout,
+                      int64_t k, int64_t hw_in, int64_t hw_out, int max_tp,
+                      TpDim dim) {
+    Operator op;
+    op.name = prefix + name;
+    op.kind = OpKind::kConv2d;
+    op.fwd_flops =
+        2.0 * static_cast<double>(hw_out) * hw_out * cin * cout * k * k;
+    op.param_bytes = cout * cin * k * k * e;
+    op.in_bytes = hw_in * hw_in * cin * e;
+    op.out_bytes = hw_out * hw_out * cout * e;
+    // im2col-style workspace for k > 1 convolutions.
+    op.work_bytes = k > 1 ? hw_out * hw_out * cin * k * k * e : 0;
+    op.tp_class = TpClass::kPartitioned;
+    op.default_tp_dim = dim;
+    op.max_tp = max_tp;
+    graph.AddOp(std::move(op));
+  };
+
+  auto add_bn_relu = [&](const std::string& name, int64_t channels,
+                         int64_t hw, int max_tp) {
+    {
+      Operator op;
+      op.name = prefix + name + ".bn";
+      op.kind = OpKind::kBatchNorm;
+      op.fwd_flops = 10.0 * static_cast<double>(hw) * hw * channels;
+      op.param_bytes = 4 * channels * e;
+      op.in_bytes = hw * hw * channels * e;
+      op.out_bytes = hw * hw * channels * e;
+      op.tp_class = TpClass::kShardFollower;  // per-channel stats
+      op.max_tp = max_tp;
+      graph.AddOp(std::move(op));
+    }
+    {
+      Operator op;
+      op.name = prefix + name + ".relu";
+      op.kind = OpKind::kRelu;
+      op.fwd_flops = static_cast<double>(hw) * hw * channels;
+      op.in_bytes = hw * hw * channels * e;
+      op.out_bytes = hw * hw * channels * e;
+      op.tp_class = TpClass::kShardFollower;
+      op.max_tp = max_tp;
+      graph.AddOp(std::move(op));
+    }
+  };
+
+  // 1x1 reduce (column over out-channels, so the following ops follow its
+  // channel sharding).
+  add_conv("conv1", spec.in_channels, spec.bottleneck_channels, 1, spec.in_hw,
+           spec.in_hw, mid_tp, TpDim::kColumn);
+  add_bn_relu("conv1", spec.bottleneck_channels, spec.in_hw, mid_tp);
+  // 3x3 spatial conv (stays in the sharded channel domain: column again).
+  add_conv("conv2", spec.bottleneck_channels, spec.bottleneck_channels, 3,
+           spec.in_hw, out_hw, mid_tp, TpDim::kColumn);
+  add_bn_relu("conv2", spec.bottleneck_channels, out_hw, mid_tp);
+  // 1x1 expand, row-parallel (reduces over sharded in-channels).
+  add_conv("conv3", spec.bottleneck_channels, spec.out_channels, 1, out_hw,
+           out_hw, mid_tp, TpDim::kRow);
+  add_bn_relu("conv3", spec.out_channels, out_hw, out_tp);
+  {
+    Operator op;
+    op.name = prefix + "residual";
+    op.kind = OpKind::kResidualAdd;
+    op.fwd_flops = static_cast<double>(out_hw) * out_hw * spec.out_channels;
+    op.in_bytes = out_hw * out_hw * spec.out_channels * e;
+    op.out_bytes = out_hw * out_hw * spec.out_channels * e;
+    // The projection shortcut (when shapes change) is folded into this op.
+    if (spec.stride != 1 || spec.in_channels != spec.out_channels) {
+      op.fwd_flops += 2.0 * static_cast<double>(out_hw) * out_hw *
+                      spec.in_channels * spec.out_channels;
+      op.param_bytes = spec.out_channels * spec.in_channels * e;
+    }
+    op.tp_class = TpClass::kShardFollower;
+    op.max_tp = out_tp;
+    graph.AddOp(std::move(op));
+  }
+}
+
+void AppendConvStem(OpGraph& graph, const std::string& prefix,
+                    int64_t in_channels, int64_t out_channels, int64_t in_hw) {
+  const int64_t e = BytesPerElement(graph.precision());
+  const int64_t hw1 = in_hw / 2;   // 7x7 stride-2 conv
+  const int64_t hw2 = hw1 / 2;     // 3x3 stride-2 maxpool
+  {
+    Operator op;
+    op.name = prefix + "stem.conv";
+    op.kind = OpKind::kConv2d;
+    op.fwd_flops =
+        2.0 * static_cast<double>(hw1) * hw1 * in_channels * out_channels * 49;
+    op.param_bytes = out_channels * in_channels * 49 * e;
+    op.in_bytes = in_hw * in_hw * in_channels * e;
+    op.out_bytes = hw1 * hw1 * out_channels * e;
+    op.work_bytes = hw1 * hw1 * in_channels * 49 * e;
+    op.tp_class = TpClass::kPartitioned;
+    op.default_tp_dim = TpDim::kColumn;
+    op.max_tp = 8;
+    graph.AddOp(std::move(op));
+  }
+  {
+    Operator op;
+    op.name = prefix + "stem.pool";
+    op.kind = OpKind::kMaxPool;
+    op.fwd_flops = 9.0 * static_cast<double>(hw2) * hw2 * out_channels;
+    op.in_bytes = hw1 * hw1 * out_channels * e;
+    op.out_bytes = hw2 * hw2 * out_channels * e;
+    op.tp_class = TpClass::kShardFollower;
+    op.max_tp = 8;
+    graph.AddOp(std::move(op));
+  }
+}
+
+void AppendClassifierHead(OpGraph& graph, const std::string& prefix,
+                          int64_t channels, int64_t hw, int64_t num_classes) {
+  const int64_t e = BytesPerElement(graph.precision());
+  {
+    Operator op;
+    op.name = prefix + "avgpool";
+    op.kind = OpKind::kAvgPool;
+    op.fwd_flops = static_cast<double>(hw) * hw * channels;
+    op.in_bytes = hw * hw * channels * e;
+    op.out_bytes = channels * e;
+    op.tp_class = TpClass::kShardFollower;
+    op.max_tp = 8;
+    graph.AddOp(std::move(op));
+  }
+  {
+    Operator op;
+    op.name = prefix + "fc";
+    op.kind = OpKind::kFullyConnected;
+    op.fwd_flops = 2.0 * static_cast<double>(channels) * num_classes;
+    op.param_bytes = channels * num_classes * e;
+    op.in_bytes = channels * e;
+    op.out_bytes = num_classes * e;
+    op.tp_class = TpClass::kPartitioned;
+    op.default_tp_dim = TpDim::kRow;
+    op.max_tp = 8;
+    graph.AddOp(std::move(op));
+  }
+  {
+    Operator op;
+    op.name = prefix + "loss";
+    op.kind = OpKind::kSoftmaxLoss;
+    op.fwd_flops = 6.0 * static_cast<double>(num_classes);
+    op.in_bytes = num_classes * e;
+    op.out_bytes = 4;
+    op.tp_class = TpClass::kReplicated;
+    op.max_tp = 1;
+    graph.AddOp(std::move(op));
+  }
+}
+
+}  // namespace aceso

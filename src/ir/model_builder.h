@@ -1,0 +1,69 @@
+// Reusable building blocks for the model zoo: transformer sub-layers
+// (Megatron decomposition) and ResNet bottleneck blocks.
+//
+// All sizes are per *sample*; the cost model scales by microbatch size and
+// parallelism degrees.
+
+#ifndef SRC_IR_MODEL_BUILDER_H_
+#define SRC_IR_MODEL_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ir/op_graph.h"
+
+namespace aceso {
+
+// Hyper-parameters of one transformer layer.
+struct TransformerLayerSpec {
+  int64_t hidden = 1024;
+  int64_t ffn_hidden = 4096;
+  int64_t num_heads = 16;
+  int64_t seq_len = 2048;
+  // For decoder cross-attention: the encoder-side sequence length (0 = this
+  // layer has no cross-attention).
+  int64_t cross_seq_len = 0;
+};
+
+// Appends the ops of one transformer layer (LN, QKV, attention core, output
+// projection, [cross-attention], LN, FC1, GeLU, FC2) to `graph`. `prefix`
+// names the ops ("dec3."). Each layer contributes 8 ops (11 with
+// cross-attention).
+void AppendTransformerLayer(OpGraph& graph, const std::string& prefix,
+                            const TransformerLayerSpec& spec);
+
+// Appends the input embedding lookup (vocab x hidden table).
+void AppendEmbedding(OpGraph& graph, const std::string& prefix, int64_t vocab,
+                     int64_t hidden, int64_t seq_len);
+
+// Appends the LM head (hidden -> vocab projection) and softmax loss.
+void AppendLmHead(OpGraph& graph, const std::string& prefix, int64_t vocab,
+                  int64_t hidden, int64_t seq_len);
+
+// Hyper-parameters of one ResNet bottleneck block (1x1 -> 3x3 -> 1x1 convs
+// plus the residual add; a downsampling projection conv when in/out channel
+// counts differ or stride > 1).
+struct BottleneckSpec {
+  int64_t in_channels = 256;
+  int64_t bottleneck_channels = 64;
+  int64_t out_channels = 256;
+  int64_t in_hw = 56;  // input spatial size (square)
+  int stride = 1;
+};
+
+// Appends one bottleneck block (conv/bn/relu x3 + optional projection +
+// residual add) to `graph`.
+void AppendBottleneckBlock(OpGraph& graph, const std::string& prefix,
+                           const BottleneckSpec& spec);
+
+// Appends the ResNet stem: 7x7/2 conv, BN, ReLU, 3x3/2 maxpool.
+void AppendConvStem(OpGraph& graph, const std::string& prefix,
+                    int64_t in_channels, int64_t out_channels, int64_t in_hw);
+
+// Appends global average pooling and the final FC classifier.
+void AppendClassifierHead(OpGraph& graph, const std::string& prefix,
+                          int64_t channels, int64_t hw, int64_t num_classes);
+
+}  // namespace aceso
+
+#endif  // SRC_IR_MODEL_BUILDER_H_

@@ -1,0 +1,57 @@
+// The benchmark model zoo (paper Table 2):
+//
+//   GPT-3        0.35B / 1.3B / 2.6B / 6.7B / 13B   fp16, batch 1024, seq 2048
+//   T5           0.77B / 3B / 6B / 11B / 22B        fp16, batch 1024, seq 2048/512
+//   Wide-ResNet  0.5B / 2B / 4B / 6.8B / 13B        fp32, batch 1536, 224x224x3
+//   DeepNet      16..1000-layer transformers        (Exp#3 scalability study)
+//
+// plus a BERT-style encoder ladder outside the paper's evaluation.
+
+#ifndef SRC_IR_MODELS_MODEL_ZOO_H_
+#define SRC_IR_MODELS_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ir/op_graph.h"
+
+namespace aceso {
+namespace models {
+
+// GPT-3 decoder-only transformers. `size_billions` selects the variant and
+// must be one of {0.35, 1.3, 2.6, 6.7, 13}.
+OpGraph Gpt3(double size_billions);
+
+// T5 encoder-decoder transformers; sizes in {0.77, 3, 6, 11, 22}. Encoders
+// see sequence length 2048, decoders 512 (paper Table 2), which produces the
+// heterogeneous, imbalanced structure the paper highlights.
+OpGraph T5(double size_billions);
+
+// Wide-ResNet; sizes in {0.5, 2, 4, 6.8, 13}, fp32, 224x224 input.
+OpGraph WideResnet(double size_billions);
+
+// DeepNet-style deep-and-narrow transformer with `num_layers` decoder layers
+// (hyper-parameters following the 1000-layer setting of DeepNet).
+OpGraph DeepTransformer(int num_layers);
+
+// BERT-style encoder-only transformer (not part of the paper's evaluation;
+// provided for users bringing encoder workloads). Sizes in {0.34 ("large"),
+// 1.2, 3.9} billions of parameters.
+OpGraph Bert(double size_billions);
+
+// Builds a model by zoo name, e.g. "gpt3-1.3b", "t5-11b", "wresnet-6.8b",
+// "deepnet-256". Returns InvalidArgument for unknown names.
+StatusOr<OpGraph> BuildByName(const std::string& name);
+
+// All canonical zoo names (for enumerating in benches).
+std::vector<std::string> ZooNames();
+
+// The paper pairs each model-size index (0..4) with a GPU count:
+// 1, 4, 8, 16, 32.
+int GpusForSizeIndex(int size_index);
+
+}  // namespace models
+}  // namespace aceso
+
+#endif  // SRC_IR_MODELS_MODEL_ZOO_H_

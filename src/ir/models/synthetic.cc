@@ -1,0 +1,70 @@
+#include "src/ir/models/synthetic.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace aceso {
+namespace models {
+namespace {
+
+TpClass RandomClass(Rng& rng) {
+  const uint64_t pick = rng.NextBelow(10);
+  if (pick < 5) {
+    return TpClass::kPartitioned;  // half the ops carry weights
+  }
+  if (pick < 8) {
+    return TpClass::kShardFollower;
+  }
+  return TpClass::kReplicated;
+}
+
+}  // namespace
+
+OpGraph SyntheticModel(Rng& rng, const SyntheticModelOptions& options) {
+  const Precision precision =
+      rng.NextBool() ? Precision::kFp16 : Precision::kFp32;
+  // Batch sizes are powers of two (>= 8) so microbatch divisibility is
+  // satisfiable for every dp the tests exercise.
+  int64_t batch = 8;
+  while (batch * 2 <= options.max_batch && rng.NextBool(0.7)) {
+    batch *= 2;
+  }
+  OpGraph graph("synthetic", precision, batch);
+
+  const int num_ops =
+      static_cast<int>(rng.NextInt(options.min_ops, options.max_ops));
+  // Chain activations: op i's input is op i-1's output.
+  int64_t prev_out =
+      rng.NextInt(1, options.max_activation_mbytes) * kMiB / 4;
+  for (int i = 0; i < num_ops; ++i) {
+    Operator op;
+    op.name = "op" + std::to_string(i);
+    op.kind = OpKind::kMlpFc1;  // kind is cosmetic for synthetic models
+    op.tp_class = RandomClass(rng);
+    op.fwd_flops = rng.NextDouble() * options.max_fwd_gflops * 1e9 + 1e6;
+    op.in_bytes = prev_out;
+    op.out_bytes = rng.NextInt(1, options.max_activation_mbytes) * kMiB / 4;
+    prev_out = op.out_bytes;
+    op.work_bytes = rng.NextBool(0.3)
+                        ? rng.NextInt(0, options.max_activation_mbytes) * kMiB / 4
+                        : 0;
+    if (op.tp_class == TpClass::kPartitioned) {
+      op.param_bytes = rng.NextInt(1, options.max_param_mbytes) * kMiB / 4;
+      op.max_tp = 1 << rng.NextInt(0, 6);  // 1..64
+      op.default_tp_dim = rng.NextBool() ? TpDim::kColumn : TpDim::kRow;
+    } else {
+      // Followers/replicated ops may carry small (replicated) parameters.
+      op.param_bytes = rng.NextBool(0.3) ? rng.NextInt(0, 64) * 1024 : 0;
+      op.max_tp = op.tp_class == TpClass::kShardFollower
+                      ? 1 << rng.NextInt(0, 5)
+                      : 1;
+      op.default_tp_dim = TpDim::kNone;
+    }
+    graph.AddOp(std::move(op));
+  }
+  return graph;
+}
+
+}  // namespace models
+}  // namespace aceso

@@ -1,0 +1,35 @@
+// Synthetic random-model generator.
+//
+// Produces structurally valid operator chains with randomized kinds, sizes,
+// tensor-parallel classes and partition limits. Used by the property tests
+// to fuzz the configuration validator, the performance model, the search,
+// and the runtime far outside the model zoo's regular structures.
+
+#ifndef SRC_IR_MODELS_SYNTHETIC_H_
+#define SRC_IR_MODELS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/ir/op_graph.h"
+
+namespace aceso {
+namespace models {
+
+struct SyntheticModelOptions {
+  int min_ops = 8;
+  int max_ops = 120;
+  // Upper bounds for randomized per-op quantities.
+  double max_fwd_gflops = 200.0;
+  int64_t max_param_mbytes = 256;
+  int64_t max_activation_mbytes = 128;
+  int64_t max_batch = 512;
+};
+
+// Generates a random model; deterministic for a given RNG state.
+OpGraph SyntheticModel(Rng& rng, const SyntheticModelOptions& options = {});
+
+}  // namespace models
+}  // namespace aceso
+
+#endif  // SRC_IR_MODELS_SYNTHETIC_H_

@@ -1,0 +1,46 @@
+#include "src/ir/op_graph.h"
+
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace aceso {
+
+double OpGraph::TotalFwdFlops() const {
+  double total = 0.0;
+  for (const Operator& op : ops_) {
+    total += op.fwd_flops;
+  }
+  return total;
+}
+
+int64_t OpGraph::TotalParamBytes() const {
+  int64_t total = 0;
+  for (const Operator& op : ops_) {
+    total += op.param_bytes;
+  }
+  return total;
+}
+
+int64_t OpGraph::TotalParamCount() const {
+  return TotalParamBytes() / BytesPerElement(precision_);
+}
+
+int64_t OpGraph::TotalActivationBytes() const {
+  int64_t total = 0;
+  for (const Operator& op : ops_) {
+    total += op.out_bytes;
+  }
+  return total;
+}
+
+std::string OpGraph::Summary() const {
+  std::ostringstream oss;
+  oss << name_ << ": " << num_ops() << " ops, "
+      << FormatDouble(static_cast<double>(TotalParamCount()) / 1e9, 2)
+      << "B params, " << FormatFlops(TotalFwdFlops()) << "/sample fwd, "
+      << PrecisionName(precision_) << ", batch " << global_batch_size_;
+  return oss.str();
+}
+
+}  // namespace aceso

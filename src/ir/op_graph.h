@@ -1,0 +1,65 @@
+// The model: a named chain of operators plus training hyper-parameters.
+//
+// Like the paper (and Alpa/Megatron's pipeline view), the graph is
+// *sequential*: branches inside a layer (residual connections, attention
+// heads) are folded into the constituent operators' cost quantities, and
+// pipeline stages are contiguous ranges of this chain.
+
+#ifndef SRC_IR_OP_GRAPH_H_
+#define SRC_IR_OP_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/gpu_spec.h"
+#include "src/ir/operator.h"
+
+namespace aceso {
+
+class OpGraph {
+ public:
+  OpGraph() = default;
+  OpGraph(std::string name, Precision precision, int64_t global_batch_size)
+      : name_(std::move(name)),
+        precision_(precision),
+        global_batch_size_(global_batch_size) {}
+
+  const std::string& name() const { return name_; }
+  Precision precision() const { return precision_; }
+  int64_t global_batch_size() const { return global_batch_size_; }
+  void set_global_batch_size(int64_t batch) { global_batch_size_ = batch; }
+
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const Operator& op(int index) const {
+    return ops_.at(static_cast<size_t>(index));
+  }
+  const std::vector<Operator>& ops() const { return ops_; }
+
+  void AddOp(Operator op) { ops_.push_back(std::move(op)); }
+
+  // Total forward FLOPs per sample over all ops.
+  double TotalFwdFlops() const;
+
+  // Total parameter bytes over all ops.
+  int64_t TotalParamBytes() const;
+
+  // Total parameter count (elements), derived from the precision.
+  int64_t TotalParamCount() const;
+
+  // Sum of per-sample stored output activations over all ops.
+  int64_t TotalActivationBytes() const;
+
+  // One-line description for logs and bench tables.
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  Precision precision_ = Precision::kFp16;
+  int64_t global_batch_size_ = 1;
+  std::vector<Operator> ops_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_IR_OP_GRAPH_H_

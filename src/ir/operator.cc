@@ -1,0 +1,86 @@
+#include "src/ir/operator.h"
+
+namespace aceso {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kEmbedding:
+      return "embedding";
+    case OpKind::kLayerNorm:
+      return "layernorm";
+    case OpKind::kQkvProj:
+      return "qkv_proj";
+    case OpKind::kAttnCore:
+      return "attn_core";
+    case OpKind::kAttnOutProj:
+      return "attn_out_proj";
+    case OpKind::kCrossQkvProj:
+      return "cross_qkv_proj";
+    case OpKind::kCrossAttnCore:
+      return "cross_attn_core";
+    case OpKind::kMlpFc1:
+      return "mlp_fc1";
+    case OpKind::kGelu:
+      return "gelu";
+    case OpKind::kMlpFc2:
+      return "mlp_fc2";
+    case OpKind::kLmHead:
+      return "lm_head";
+    case OpKind::kSoftmaxLoss:
+      return "softmax_loss";
+    case OpKind::kConv2d:
+      return "conv2d";
+    case OpKind::kBatchNorm:
+      return "batchnorm";
+    case OpKind::kRelu:
+      return "relu";
+    case OpKind::kMaxPool:
+      return "maxpool";
+    case OpKind::kAvgPool:
+      return "avgpool";
+    case OpKind::kFullyConnected:
+      return "fully_connected";
+    case OpKind::kResidualAdd:
+      return "residual_add";
+  }
+  return "unknown";
+}
+
+const char* TpDimName(TpDim dim) {
+  switch (dim) {
+    case TpDim::kNone:
+      return "none";
+    case TpDim::kColumn:
+      return "column";
+    case TpDim::kRow:
+      return "row";
+  }
+  return "unknown";
+}
+
+const char* TpClassName(TpClass tp_class) {
+  switch (tp_class) {
+    case TpClass::kPartitioned:
+      return "partitioned";
+    case TpClass::kShardFollower:
+      return "shard_follower";
+    case TpClass::kReplicated:
+      return "replicated";
+  }
+  return "unknown";
+}
+
+uint64_t Operator::Signature() const {
+  Hasher h;
+  h.Add(static_cast<int>(kind));
+  h.Add(fwd_flops);
+  h.Add(param_bytes);
+  h.Add(in_bytes);
+  h.Add(out_bytes);
+  h.Add(work_bytes);
+  h.Add(max_tp);
+  h.Add(static_cast<int>(tp_class));
+  return h.Digest();
+}
+
+}  // namespace aceso

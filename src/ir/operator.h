@@ -1,0 +1,123 @@
+// The operator abstraction.
+//
+// Aceso treats a DNN model as a chain of operators, each carrying the
+// per-sample quantities the cost model needs (forward FLOPs, parameter bytes,
+// input/output activation bytes, transient workspace) plus its tensor-
+// parallel partitioning options.
+//
+// Tensor-parallel semantics follow the Megatron convention. An op with tp
+// degree t and partition dimension d behaves as:
+//
+//   kColumn ("split output features" / out-channels):
+//     compute/device = flops/t, params/device = params/t,
+//     stored output activation/device = out_bytes/t,
+//     per-microbatch tp communication = all-reduce of the *input gradient*
+//     (in_bytes) in the backward pass.
+//   kRow ("split input features" / in-channels):
+//     compute/device = flops/t, params/device = params/t,
+//     output is a partial sum -> forward all-reduce of out_bytes; stored
+//     output activation is replicated (out_bytes per device).
+//
+// Ops that cannot be weight-partitioned (layernorm, gelu, residual adds,
+// pooling) run replicated under tp: compute is split across the sequence /
+// spatial dimension instead, with no weight sharding and no collective.
+
+#ifndef SRC_IR_OPERATOR_H_
+#define SRC_IR_OPERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/hash.h"
+
+namespace aceso {
+
+enum class OpKind {
+  // Transformer family.
+  kEmbedding,
+  kLayerNorm,
+  kQkvProj,
+  kAttnCore,     // QK^T, softmax, AV
+  kAttnOutProj,
+  kCrossQkvProj, // decoder cross-attention projections
+  kCrossAttnCore,
+  kMlpFc1,
+  kGelu,
+  kMlpFc2,
+  kLmHead,
+  kSoftmaxLoss,
+  // Convolutional family.
+  kConv2d,
+  kBatchNorm,
+  kRelu,
+  kMaxPool,
+  kAvgPool,
+  kFullyConnected,
+  kResidualAdd,
+};
+
+const char* OpKindName(OpKind kind);
+
+// Tensor-parallel partition dimension (see file comment).
+enum class TpDim {
+  kNone,    // op not weight-partitionable
+  kColumn,  // split output features / out-channels
+  kRow,     // split input features / in-channels
+};
+
+const char* TpDimName(TpDim dim);
+
+// How an operator behaves inside a tensor-parallel group of degree t.
+enum class TpClass {
+  // Weights shard t ways (matmul, conv): compute and params divide by t;
+  // communication depends on the partition dimension (see file comment).
+  kPartitioned,
+  // No weights; operates elementwise/per-head on whatever sharding the input
+  // has (gelu, relu, attention core, residual add): compute divides by t when
+  // the input is sharded, no collective of its own.
+  kShardFollower,
+  // Requires a replicated input and computes redundantly on every tp rank
+  // (layernorm, softmax loss): compute does NOT divide by t; feeding it a
+  // sharded activation costs an all-gather.
+  kReplicated,
+};
+
+const char* TpClassName(TpClass tp_class);
+
+struct Operator {
+  std::string name;
+  OpKind kind = OpKind::kLayerNorm;
+
+  // Per-sample forward FLOPs. Backward is modelled as 2x forward.
+  double fwd_flops = 0.0;
+
+  // Parameter bytes (weights). Optimizer state is derived in the cost model.
+  int64_t param_bytes = 0;
+
+  // Activation bytes per sample: the op's input and output tensors.
+  int64_t in_bytes = 0;
+  int64_t out_bytes = 0;
+
+  // Transient workspace per sample (attention score matrices, im2col
+  // buffers). Feeds the allocator-reserve overestimate (§3.3).
+  int64_t work_bytes = 0;
+
+  // Largest tensor-parallel degree this op supports (1 = unpartitionable
+  // weights). Powers of two only, matching §5.1.
+  int max_tp = 1;
+
+  // Tensor-parallel behaviour class (see TpClass).
+  TpClass tp_class = TpClass::kReplicated;
+
+  // Initial partition dimension (§4.2: Megatron-style defaults; the
+  // fine-tuning pass may flip it per op).
+  TpDim default_tp_dim = TpDim::kNone;
+
+  // Stable identity for the profiling database: ops with equal signatures
+  // share profile entries (all GPT-3 decoder layers hit the same rows).
+  uint64_t Signature() const;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_IR_OPERATOR_H_

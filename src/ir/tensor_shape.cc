@@ -1,0 +1,28 @@
+#include "src/ir/tensor_shape.h"
+
+#include <sstream>
+
+namespace aceso {
+
+int64_t TensorShape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string TensorShape::ToString() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << dims_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace aceso

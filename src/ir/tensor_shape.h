@@ -1,0 +1,40 @@
+// Dense tensor shapes. Used by the model builders to derive FLOP counts and
+// activation sizes; the search itself only consumes the derived quantities.
+
+#ifndef SRC_IR_TENSOR_SHAPE_H_
+#define SRC_IR_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace aceso {
+
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit TensorShape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const { return dims_.at(static_cast<size_t>(i)); }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Product of all dimensions (1 for a scalar/rank-0 shape).
+  int64_t NumElements() const;
+
+  // "[2048, 1024]".
+  std::string ToString() const;
+
+  bool operator==(const TensorShape& other) const {
+    return dims_ == other.dims_;
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_IR_TENSOR_SHAPE_H_

@@ -1,0 +1,246 @@
+#include "src/plan/execution_plan.h"
+
+#include "src/plan/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace aceso {
+
+const char* InstructionKindName(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::kRecvActivation:
+      return "recv_act";
+    case InstructionKind::kForward:
+      return "forward";
+    case InstructionKind::kSendActivation:
+      return "send_act";
+    case InstructionKind::kRecvGradient:
+      return "recv_grad";
+    case InstructionKind::kBackward:
+      return "backward";
+    case InstructionKind::kSendGradient:
+      return "send_grad";
+    case InstructionKind::kGradientSync:
+      return "grad_sync";
+    case InstructionKind::kOptimizerStep:
+      return "optimizer_step";
+  }
+  return "unknown";
+}
+
+std::string Instruction::ToString() const {
+  std::ostringstream oss;
+  oss << InstructionKindName(kind);
+  if (microbatch >= 0) {
+    oss << " mb=" << microbatch;
+  }
+  if (peer_stage >= 0) {
+    oss << " peer=s" << peer_stage;
+  }
+  if (bytes > 0) {
+    oss << " " << FormatBytes(bytes);
+  }
+  return oss.str();
+}
+
+ExecutionPlan ExecutionPlan::Lower(const OpGraph& graph,
+                                   const ParallelConfig& config,
+                                   PipelineSchedule schedule) {
+  ExecutionPlan plan;
+  const int p = config.num_stages();
+  const int n_mb = static_cast<int>(config.NumMicrobatches(graph));
+  plan.num_stages_ = p;
+  plan.num_microbatches_ = n_mb;
+
+  int first_device = 0;
+  for (int s = 0; s < p; ++s) {
+    const StageConfig& stage = config.stage(s);
+    // Bytes crossing the stage boundaries (whole microbatch).
+    const int64_t in_bytes =
+        graph.op(stage.first_op).in_bytes *
+        static_cast<int64_t>(config.microbatch_size());
+    const int64_t out_bytes =
+        graph.op(stage.end_op() - 1).out_bytes *
+        static_cast<int64_t>(config.microbatch_size());
+
+    // Per-device gradient-sync payload: sum of data-parallel op parameters.
+    int64_t sync_bytes = 0;
+    int modal_tp = 1;
+    for (int i = 0; i < stage.num_ops; ++i) {
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      modal_tp = std::max(modal_tp, setting.tp);
+      if (setting.dp > 1) {
+        const Operator& op = graph.op(stage.first_op + i);
+        sync_bytes += setting.tp > 1 &&
+                              op.tp_class == TpClass::kPartitioned
+                          ? op.param_bytes / setting.tp
+                          : op.param_bytes;
+      }
+    }
+
+    const auto order = LocalScheduleOrder(schedule, s, p, n_mb);
+    for (int local = 0; local < stage.num_devices; ++local) {
+      DeviceProgram program;
+      program.device = first_device + local;
+      program.stage = s;
+      program.tp_rank = local % modal_tp;
+      program.dp_rank = local / modal_tp;
+      for (const auto& [is_fwd, m] : order) {
+        if (is_fwd) {
+          if (s > 0) {
+            program.instructions.push_back(Instruction{
+                InstructionKind::kRecvActivation, m, s - 1, in_bytes});
+          }
+          program.instructions.push_back(
+              Instruction{InstructionKind::kForward, m, -1, 0});
+          if (s < p - 1) {
+            program.instructions.push_back(Instruction{
+                InstructionKind::kSendActivation, m, s + 1, out_bytes});
+          }
+        } else {
+          if (s < p - 1) {
+            program.instructions.push_back(Instruction{
+                InstructionKind::kRecvGradient, m, s + 1, out_bytes});
+          }
+          program.instructions.push_back(
+              Instruction{InstructionKind::kBackward, m, -1, 0});
+          if (s > 0) {
+            program.instructions.push_back(Instruction{
+                InstructionKind::kSendGradient, m, s - 1, in_bytes});
+          }
+        }
+      }
+      if (sync_bytes > 0) {
+        program.instructions.push_back(
+            Instruction{InstructionKind::kGradientSync, -1, -1, sync_bytes});
+      }
+      program.instructions.push_back(
+          Instruction{InstructionKind::kOptimizerStep, -1, -1, 0});
+      plan.programs_.push_back(std::move(program));
+    }
+    first_device += stage.num_devices;
+  }
+  return plan;
+}
+
+Status ExecutionPlan::Verify() const {
+  // Counts of send/recv payload per (from_stage, to_stage, microbatch,
+  // direction) on one representative device per stage.
+  std::map<std::tuple<int, int, int, int>, int64_t> sends;
+  std::map<std::tuple<int, int, int, int>, int64_t> recvs;
+  std::map<int, size_t> stage_instruction_count;
+
+  for (const DeviceProgram& program : programs_) {
+    // All devices of one stage run identical instruction streams.
+    auto [it, inserted] = stage_instruction_count.emplace(
+        program.stage, program.instructions.size());
+    if (!inserted && it->second != program.instructions.size()) {
+      return Internal("devices of stage " + std::to_string(program.stage) +
+                      " disagree on instruction count");
+    }
+
+    std::vector<bool> fwd_seen(static_cast<size_t>(num_microbatches_), false);
+    for (const Instruction& inst : program.instructions) {
+      switch (inst.kind) {
+        case InstructionKind::kForward:
+          fwd_seen[static_cast<size_t>(inst.microbatch)] = true;
+          break;
+        case InstructionKind::kBackward:
+          if (!fwd_seen[static_cast<size_t>(inst.microbatch)]) {
+            return Internal("backward before forward for microbatch " +
+                            std::to_string(inst.microbatch) + " on device " +
+                            std::to_string(program.device));
+          }
+          break;
+        case InstructionKind::kSendActivation:
+        case InstructionKind::kSendGradient:
+          sends[{program.stage, inst.peer_stage, inst.microbatch,
+                 static_cast<int>(inst.kind)}] = inst.bytes;
+          break;
+        case InstructionKind::kRecvActivation:
+        case InstructionKind::kRecvGradient:
+          recvs[{inst.peer_stage, program.stage, inst.microbatch,
+                 static_cast<int>(inst.kind)}] = inst.bytes;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Match sends to receives: a send_act from s->s+1 pairs with a recv_act at
+  // s+1 from s; a send_grad from s->s-1 pairs with a recv_grad at s-1 from s.
+  for (const auto& [key, bytes] : sends) {
+    const auto [from, to, mb, kind] = key;
+    const int recv_kind =
+        kind == static_cast<int>(InstructionKind::kSendActivation)
+            ? static_cast<int>(InstructionKind::kRecvActivation)
+            : static_cast<int>(InstructionKind::kRecvGradient);
+    auto it = recvs.find({from, to, mb, recv_kind});
+    if (it == recvs.end()) {
+      return Internal("unmatched send from stage " + std::to_string(from) +
+                      " to " + std::to_string(to) + " mb " +
+                      std::to_string(mb));
+    }
+    if (it->second != bytes) {
+      return Internal("send/recv byte mismatch between stages " +
+                      std::to_string(from) + " and " + std::to_string(to));
+    }
+  }
+  return OkStatus();
+}
+
+std::string ExecutionPlan::Summary() const {
+  std::ostringstream oss;
+  std::map<int, std::tuple<int, int64_t, int64_t>> per_stage;  // devices, comm, sync
+  for (const DeviceProgram& program : programs_) {
+    auto& [devices, comm, sync] = per_stage[program.stage];
+    ++devices;
+    if (devices == 1) {
+      for (const Instruction& inst : program.instructions) {
+        if (inst.kind == InstructionKind::kSendActivation ||
+            inst.kind == InstructionKind::kSendGradient) {
+          comm += inst.bytes;
+        } else if (inst.kind == InstructionKind::kGradientSync) {
+          sync += inst.bytes;
+        }
+      }
+    }
+  }
+  oss << "execution plan: " << num_devices() << " devices, " << num_stages_
+      << " stages, " << num_microbatches_ << " microbatches/iteration\n";
+  for (const auto& [stage, info] : per_stage) {
+    const auto& [devices, comm, sync] = info;
+    oss << "  stage " << stage << ": " << devices << " devices, p2p "
+        << FormatBytes(comm) << "/iter/device, grad sync "
+        << FormatBytes(sync) << "\n";
+  }
+  return oss.str();
+}
+
+std::string ExecutionPlan::DumpDevice(int device, int max_instructions) const {
+  const DeviceProgram& program = programs_.at(static_cast<size_t>(device));
+  std::ostringstream oss;
+  oss << "device " << program.device << " (stage " << program.stage
+      << ", tp_rank " << program.tp_rank << ", dp_rank " << program.dp_rank
+      << "): " << program.instructions.size() << " instructions\n";
+  int count = 0;
+  for (const Instruction& inst : program.instructions) {
+    if (count++ >= max_instructions) {
+      oss << "  ... ("
+          << (program.instructions.size() -
+              static_cast<size_t>(max_instructions))
+          << " more)\n";
+      break;
+    }
+    oss << "  " << inst.ToString() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace aceso

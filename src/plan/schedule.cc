@@ -1,0 +1,64 @@
+#include "src/plan/schedule.h"
+
+#include <algorithm>
+
+namespace aceso {
+
+const char* PipelineScheduleName(PipelineSchedule schedule) {
+  switch (schedule) {
+    case PipelineSchedule::k1F1B:
+      return "1F1B";
+    case PipelineSchedule::kGpipe:
+      return "GPipe";
+  }
+  return "unknown";
+}
+
+std::vector<std::pair<bool, int>> LocalScheduleOrder(PipelineSchedule schedule,
+                                                     int stage, int num_stages,
+                                                     int num_microbatches) {
+  std::vector<std::pair<bool, int>> order;
+  order.reserve(static_cast<size_t>(num_microbatches) * 2);
+  switch (schedule) {
+    case PipelineSchedule::k1F1B: {
+      const int warmup = std::min(num_microbatches, num_stages - stage);
+      int fwd = 0;
+      int bwd = 0;
+      for (int i = 0; i < warmup; ++i) {
+        order.emplace_back(true, fwd++);
+      }
+      while (bwd < num_microbatches) {
+        order.emplace_back(false, bwd++);
+        if (fwd < num_microbatches) {
+          order.emplace_back(true, fwd++);
+        }
+      }
+      break;
+    }
+    case PipelineSchedule::kGpipe: {
+      for (int m = 0; m < num_microbatches; ++m) {
+        order.emplace_back(true, m);
+      }
+      // Backward in reverse microbatch order, as GPipe's re-entrant
+      // backward pass does.
+      for (int m = num_microbatches - 1; m >= 0; --m) {
+        order.emplace_back(false, m);
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+int PeakInFlightMicrobatches(PipelineSchedule schedule, int stage,
+                             int num_stages, int num_microbatches) {
+  switch (schedule) {
+    case PipelineSchedule::k1F1B:
+      return std::max(1, std::min(num_microbatches, num_stages - stage));
+    case PipelineSchedule::kGpipe:
+      return std::max(1, num_microbatches);
+  }
+  return 1;
+}
+
+}  // namespace aceso

@@ -1,0 +1,37 @@
+// Pipeline schedules: the per-stage execution order of microbatch
+// forward/backward passes.
+//
+// Aceso's performance model and runtime assume 1F1B (as the paper does,
+// following PipeDream-flush/Megatron); GPipe's all-forward-then-all-backward
+// order is provided for comparison — it holds every microbatch's activations
+// simultaneously, which is exactly the memory behaviour 1F1B exists to
+// avoid.
+
+#ifndef SRC_PLAN_SCHEDULE_H_
+#define SRC_PLAN_SCHEDULE_H_
+
+#include <utility>
+#include <vector>
+
+namespace aceso {
+
+enum class PipelineSchedule {
+  k1F1B,   // warmup of (stages - stage) forwards, then alternate (default)
+  kGpipe,  // all forwards, then all backwards
+};
+
+const char* PipelineScheduleName(PipelineSchedule schedule);
+
+// The local execution order of one stage: (is_forward, microbatch) pairs.
+std::vector<std::pair<bool, int>> LocalScheduleOrder(PipelineSchedule schedule,
+                                                     int stage, int num_stages,
+                                                     int num_microbatches);
+
+// Peak number of microbatches whose activations are live simultaneously on
+// `stage` under `schedule` (the multiplier of Eq. 1's activation term).
+int PeakInFlightMicrobatches(PipelineSchedule schedule, int stage,
+                             int num_stages, int num_microbatches);
+
+}  // namespace aceso
+
+#endif  // SRC_PLAN_SCHEDULE_H_

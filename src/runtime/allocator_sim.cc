@@ -1,0 +1,124 @@
+#include "src/runtime/allocator_sim.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace aceso {
+
+CachingAllocatorSim::CachingAllocatorSim(int64_t capacity)
+    : capacity_(capacity) {}
+
+int64_t CachingAllocatorSim::RoundSize(int64_t bytes) {
+  return RoundUpAllocSize(bytes);
+}
+
+void CachingAllocatorSim::InsertFree(int64_t addr, int64_t size) {
+  free_by_addr_.emplace(addr, size);
+  free_by_size_.emplace(size, addr);
+}
+
+int64_t CachingAllocatorSim::TakeSpace(int64_t size) {
+  // Best fit from the free list, splitting oversized blocks.
+  auto it = free_by_size_.lower_bound(size);
+  if (it != free_by_size_.end()) {
+    const int64_t block_size = it->first;
+    const int64_t addr = it->second;
+    free_by_size_.erase(it);
+    free_by_addr_.erase(addr);
+    const int64_t remainder = block_size - size;
+    if (remainder >= 512) {
+      InsertFree(addr + size, remainder);
+    }
+    return addr;
+  }
+  // Grow the reserved address space.
+  if (brk_ + size > capacity_) {
+    return -1;
+  }
+  const int64_t addr = brk_;
+  brk_ += size;
+  peak_reserved_ = std::max(peak_reserved_, brk_);
+  return addr;
+}
+
+void CachingAllocatorSim::ReleaseCachedMemory() {
+  // Model of empty_cache(): unused segments go back to the device. The
+  // simulation compacts live blocks into a fresh address space, which
+  // slightly idealizes segment reuse but preserves the reserved-bytes
+  // accounting that matters for OOM behaviour.
+  free_by_addr_.clear();
+  free_by_size_.clear();
+  int64_t addr = 0;
+  for (auto& [handle, block] : live_) {
+    block.addr = addr;
+    addr += block.size;
+  }
+  brk_ = addr;
+}
+
+int64_t CachingAllocatorSim::Alloc(int64_t bytes) {
+  const int64_t size = RoundSize(bytes);
+  int64_t addr = TakeSpace(size);
+  if (addr < 0) {
+    ReleaseCachedMemory();
+    addr = TakeSpace(size);
+  }
+  if (addr < 0) {
+    oom_ = true;
+    return -1;
+  }
+  const int64_t handle = next_handle_++;
+  live_.emplace(handle, LiveBlock{addr, size});
+  allocated_ += size;
+  peak_allocated_ = std::max(peak_allocated_, allocated_);
+  return handle;
+}
+
+void CachingAllocatorSim::Free(int64_t handle) {
+  if (handle < 0) {
+    return;
+  }
+  auto it = live_.find(handle);
+  ACESO_CHECK(it != live_.end()) << "double free of block " << handle;
+  int64_t addr = it->second.addr;
+  int64_t size = it->second.size;
+  allocated_ -= size;
+  live_.erase(it);
+
+  // Coalesce with the free neighbour on each side.
+  auto next = free_by_addr_.lower_bound(addr);
+  if (next != free_by_addr_.end() && next->first == addr + size) {
+    size += next->second;
+    auto range = free_by_size_.equal_range(next->second);
+    for (auto s = range.first; s != range.second; ++s) {
+      if (s->second == next->first) {
+        free_by_size_.erase(s);
+        break;
+      }
+    }
+    free_by_addr_.erase(next);
+  }
+  if (!free_by_addr_.empty()) {
+    auto prev = free_by_addr_.lower_bound(addr);
+    if (prev != free_by_addr_.begin()) {
+      --prev;
+      if (prev->first + prev->second == addr) {
+        addr = prev->first;
+        size += prev->second;
+        auto range = free_by_size_.equal_range(prev->second);
+        for (auto s = range.first; s != range.second; ++s) {
+          if (s->second == prev->first) {
+            free_by_size_.erase(s);
+            break;
+          }
+        }
+        free_by_addr_.erase(prev);
+      }
+    }
+  }
+  InsertFree(addr, size);
+}
+
+}  // namespace aceso

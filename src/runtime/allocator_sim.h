@@ -1,0 +1,83 @@
+// A simulation of a PyTorch-style caching GPU memory allocator (§3.3):
+// "When an operator completes its computation, the memory used by that
+// operator might not be immediately released. Instead, the allocator may
+// retain it to expedite future memory allocations."
+//
+// The model:
+//  * requests round up (512 B below 1 MiB, 2 MiB granularity above);
+//  * device memory is claimed as a growing address space ("reserved"); freed
+//    blocks go to a free list instead of back to the device;
+//  * free blocks split on reuse and coalesce with free neighbours, like the
+//    real allocator's segment management;
+//  * when a request cannot be served, the allocator releases its cached
+//    free space back to the device (PyTorch's empty_cache-on-failure) and
+//    retries before reporting OOM.
+//
+// This reproduces the gap between ideal memory accounting and real framework
+// consumption that Aceso's performance model deliberately over-estimates.
+
+#ifndef SRC_RUNTIME_ALLOCATOR_SIM_H_
+#define SRC_RUNTIME_ALLOCATOR_SIM_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace aceso {
+
+class CachingAllocatorSim {
+ public:
+  // `capacity` is the device memory; Alloc() beyond it reports OOM.
+  explicit CachingAllocatorSim(int64_t capacity);
+
+  // Allocates `bytes`; returns a handle (>= 0), or -1 on OOM (request could
+  // not be served even after releasing cached memory).
+  int64_t Alloc(int64_t bytes);
+
+  // Frees the block of `handle`, coalescing with free neighbours.
+  void Free(int64_t handle);
+
+  // Live allocation total (what the model calls "used" memory).
+  int64_t allocated_bytes() const { return allocated_; }
+  // Total device memory held (live blocks + cached free space).
+  int64_t reserved_bytes() const { return brk_; }
+  int64_t peak_allocated() const { return peak_allocated_; }
+  int64_t peak_reserved() const { return peak_reserved_; }
+  bool oom() const { return oom_; }
+
+  // Rounds a request the way the allocator does (512 B below 1 MiB, 2 MiB
+  // granularity above).
+  static int64_t RoundSize(int64_t bytes);
+
+ private:
+  struct LiveBlock {
+    int64_t addr;
+    int64_t size;
+  };
+
+  // Takes `size` bytes from the free list or by growing the address space;
+  // returns the address or -1 when neither is possible.
+  int64_t TakeSpace(int64_t size);
+
+  // Releases all cached free space to the device and compacts live blocks
+  // (models empty_cache(): unused segments are cudaFree'd).
+  void ReleaseCachedMemory();
+
+  void InsertFree(int64_t addr, int64_t size);
+
+  int64_t capacity_;
+  int64_t brk_ = 0;  // reserved address-space end
+  int64_t allocated_ = 0;
+  int64_t peak_allocated_ = 0;
+  int64_t peak_reserved_ = 0;
+  bool oom_ = false;
+  int64_t next_handle_ = 0;
+
+  std::unordered_map<int64_t, LiveBlock> live_;
+  std::map<int64_t, int64_t> free_by_addr_;       // addr -> size
+  std::multimap<int64_t, int64_t> free_by_size_;  // size -> addr
+};
+
+}  // namespace aceso
+
+#endif  // SRC_RUNTIME_ALLOCATOR_SIM_H_

@@ -1,0 +1,139 @@
+#include "src/runtime/event_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace aceso {
+namespace {
+
+struct Event {
+  double time;
+  TaskId task;
+  // Deterministic ordering: earliest time first, ties by task id.
+  bool operator>(const Event& other) const {
+    if (time != other.time) {
+      return time > other.time;
+    }
+    return task > other.task;
+  }
+};
+
+}  // namespace
+
+ResourceId EventSimulator::AddResource(std::string name) {
+  resources_.push_back(Resource{std::move(name), 0.0, 0.0, {}});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+TaskId EventSimulator::AddTask(std::string name, double duration,
+                               ResourceId resource) {
+  ACESO_CHECK_GE(duration, 0.0);
+  ACESO_CHECK(resource == kNoResource ||
+              resource < static_cast<ResourceId>(resources_.size()));
+  Task task;
+  task.name = std::move(name);
+  task.duration = duration;
+  task.resource = resource;
+  tasks_.push_back(std::move(task));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void EventSimulator::AddDependency(TaskId before, TaskId after) {
+  ACESO_CHECK(before >= 0 && before < static_cast<TaskId>(tasks_.size()));
+  ACESO_CHECK(after >= 0 && after < static_cast<TaskId>(tasks_.size()));
+  tasks_[static_cast<size_t>(before)].successors.push_back(after);
+  ++tasks_[static_cast<size_t>(after)].unmet_deps;
+}
+
+StatusOr<double> EventSimulator::Run() {
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<bool> resource_running(resources_.size(), false);
+  size_t finished = 0;
+  double makespan = 0.0;
+
+  auto start_task = [&](TaskId id, double start) {
+    Task& task = tasks_[static_cast<size_t>(id)];
+    task.start_time = start;
+    task.finish_time = start + task.duration;
+    if (task.resource != kNoResource) {
+      Resource& r = resources_[static_cast<size_t>(task.resource)];
+      r.free_time = task.finish_time;
+      r.busy_seconds += task.duration;
+      resource_running[static_cast<size_t>(task.resource)] = true;
+    }
+    events.push(Event{task.finish_time, id});
+  };
+
+  auto try_start_resource = [&](ResourceId rid) {
+    Resource& r = resources_[static_cast<size_t>(rid)];
+    if (resource_running[static_cast<size_t>(rid)] || r.ready_queue.empty()) {
+      return;
+    }
+    const TaskId next = r.ready_queue.front();
+    r.ready_queue.pop_front();
+    const Task& task = tasks_[static_cast<size_t>(next)];
+    start_task(next, std::max(task.ready_time, r.free_time));
+  };
+
+  auto on_ready = [&](TaskId id) {
+    Task& task = tasks_[static_cast<size_t>(id)];
+    if (task.resource == kNoResource) {
+      start_task(id, task.ready_time);
+    } else {
+      resources_[static_cast<size_t>(task.resource)].ready_queue.push_back(id);
+      try_start_resource(task.resource);
+    }
+  };
+
+  // Seed with all dependency-free tasks, in insertion order.
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].unmet_deps == 0) {
+      on_ready(static_cast<TaskId>(i));
+    }
+  }
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    ++finished;
+    makespan = std::max(makespan, event.time);
+    Task& task = tasks_[static_cast<size_t>(event.task)];
+    if (task.resource != kNoResource) {
+      resource_running[static_cast<size_t>(task.resource)] = false;
+    }
+    for (const TaskId succ : task.successors) {
+      Task& next = tasks_[static_cast<size_t>(succ)];
+      next.ready_time = std::max(next.ready_time, event.time);
+      if (--next.unmet_deps == 0) {
+        on_ready(succ);
+      }
+    }
+    if (task.resource != kNoResource) {
+      try_start_resource(task.resource);
+    }
+  }
+
+  if (finished != tasks_.size()) {
+    return FailedPrecondition("dependency cycle: only " +
+                              std::to_string(finished) + " of " +
+                              std::to_string(tasks_.size()) +
+                              " tasks completed");
+  }
+  return makespan;
+}
+
+double EventSimulator::StartTime(TaskId task) const {
+  return tasks_[static_cast<size_t>(task)].start_time;
+}
+
+double EventSimulator::FinishTime(TaskId task) const {
+  return tasks_[static_cast<size_t>(task)].finish_time;
+}
+
+double EventSimulator::ResourceBusySeconds(ResourceId resource) const {
+  return resources_[static_cast<size_t>(resource)].busy_seconds;
+}
+
+}  // namespace aceso

@@ -1,0 +1,87 @@
+// A small discrete-event simulation engine.
+//
+// The runtime executes a parallel training configuration as a task graph:
+// tasks have fixed durations, precedence dependencies, and may claim one
+// exclusive resource (a GPU stream or a network link). The engine computes
+// start/finish times under greedy list scheduling: when a resource is free,
+// the ready task that was *added first* runs next, which lets callers encode
+// schedule policies (e.g. 1F1B order) by insertion order.
+
+#ifndef SRC_RUNTIME_EVENT_SIM_H_
+#define SRC_RUNTIME_EVENT_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace aceso {
+
+using TaskId = int32_t;
+using ResourceId = int32_t;
+
+inline constexpr ResourceId kNoResource = -1;
+
+class EventSimulator {
+ public:
+  // Declares an exclusive resource.
+  ResourceId AddResource(std::string name);
+
+  // Declares a task of `duration` seconds that runs on `resource`
+  // (kNoResource = unconstrained).
+  TaskId AddTask(std::string name, double duration,
+                 ResourceId resource = kNoResource);
+
+  // `after` cannot start before `before` finishes.
+  void AddDependency(TaskId before, TaskId after);
+
+  // Runs the simulation; returns the makespan. Fails on dependency cycles.
+  StatusOr<double> Run();
+
+  // Valid after Run().
+  double StartTime(TaskId task) const;
+  double FinishTime(TaskId task) const;
+  double ResourceBusySeconds(ResourceId resource) const;
+
+  size_t num_tasks() const { return tasks_.size(); }
+  const std::string& task_name(TaskId task) const {
+    return tasks_[static_cast<size_t>(task)].name;
+  }
+  ResourceId task_resource(TaskId task) const {
+    return tasks_[static_cast<size_t>(task)].resource;
+  }
+  double task_duration(TaskId task) const {
+    return tasks_[static_cast<size_t>(task)].duration;
+  }
+  size_t num_resources() const { return resources_.size(); }
+  const std::string& resource_name(ResourceId resource) const {
+    return resources_[static_cast<size_t>(resource)].name;
+  }
+
+ private:
+  struct Task {
+    std::string name;
+    double duration = 0.0;
+    ResourceId resource = kNoResource;
+    int unmet_deps = 0;
+    double ready_time = 0.0;
+    double start_time = -1.0;
+    double finish_time = -1.0;
+    std::vector<TaskId> successors;
+  };
+  struct Resource {
+    std::string name;
+    double free_time = 0.0;
+    double busy_seconds = 0.0;
+    std::deque<TaskId> ready_queue;  // FIFO by insertion order
+  };
+
+  std::vector<Task> tasks_;
+  std::vector<Resource> resources_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_RUNTIME_EVENT_SIM_H_

@@ -1,0 +1,86 @@
+// The Aceso runtime, simulated: executes a parallel configuration under
+// 1F1B pipeline scheduling in a discrete-event simulation and reports
+// *actual* iteration time and memory consumption.
+//
+// This plays the role of the paper's modified Megatron-LM runtime: the
+// numbers it produces are what Exp#1 reports as throughput and what Exp#8/#9
+// compare the performance model's predictions against. It deliberately
+// models more detail than the closed-form model:
+//
+//   * per-microbatch scheduling emerges from task dependencies rather than
+//     the warmup/steady/cooldown decomposition of Eq. 2;
+//   * inter-stage transfers contend on shared link resources;
+//   * every task's duration carries fresh run-to-run jitter around the
+//     profiled mean;
+//   * memory is tracked through a caching-allocator simulation instead of
+//     Eq. 1's closed form.
+
+#ifndef SRC_RUNTIME_PIPELINE_EXECUTOR_H_
+#define SRC_RUNTIME_PIPELINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/config/parallel_config.h"
+#include "src/cost/perf_model.h"
+#include "src/plan/schedule.h"
+
+namespace aceso {
+
+struct ExecutionOptions {
+  uint64_t seed = 7;
+  // Pipeline schedule to execute (the performance model assumes 1F1B).
+  PipelineSchedule schedule = PipelineSchedule::k1F1B;
+  // Relative stddev of per-task duration jitter.
+  double run_jitter = 0.015;
+  // Skip the allocator simulation (faster, for time-only experiments).
+  bool simulate_memory = true;
+  // When non-empty, write the executed schedule as Chrome trace JSON here.
+  std::string chrome_trace_path;
+  // Fill ExecutionResult::ascii_timeline with a terminal rendering of the
+  // schedule (shows pipeline bubbles at a glance).
+  bool render_timeline = false;
+};
+
+struct StageExecution {
+  double gpu_busy_seconds = 0.0;
+  int64_t peak_allocated_bytes = 0;
+  int64_t peak_reserved_bytes = 0;
+  bool oom = false;
+};
+
+struct ExecutionResult {
+  bool oom = false;
+  double iteration_seconds = 0.0;
+  std::vector<StageExecution> stages;
+  // Populated when ExecutionOptions::render_timeline is set.
+  std::string ascii_timeline;
+
+  double Throughput(int64_t global_batch) const {
+    return iteration_seconds > 0.0
+               ? static_cast<double>(global_batch) / iteration_seconds
+               : 0.0;
+  }
+};
+
+class PipelineExecutor {
+ public:
+  // `model` supplies the graph, cluster, and profiled op costs; must outlive
+  // the executor.
+  explicit PipelineExecutor(const PerformanceModel* model);
+
+  // Simulates one training iteration of `config` (must be valid).
+  ExecutionResult Execute(const ParallelConfig& config,
+                          const ExecutionOptions& options = {}) const;
+
+  // Effective TFLOPS/GPU of an execution (paper appendix A: 3x forward
+  // FLOPs, excluding recomputation).
+  double EffectiveTflopsPerGpu(const ExecutionResult& result) const;
+
+ private:
+  const PerformanceModel* model_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_RUNTIME_PIPELINE_EXECUTOR_H_

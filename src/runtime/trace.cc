@@ -1,0 +1,122 @@
+#include "src/runtime/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace aceso {
+
+std::string ToChromeTraceJson(const EventSimulator& sim) {
+  std::ostringstream oss;
+  oss << "[\n";
+  bool first = true;
+  // Thread metadata: one row per resource.
+  for (size_t r = 0; r < sim.num_resources(); ++r) {
+    if (!first) {
+      oss << ",\n";
+    }
+    first = false;
+    oss << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << r
+        << R"(,"args":{"name":")" << sim.resource_name(static_cast<ResourceId>(r))
+        << R"("}})";
+  }
+  for (size_t t = 0; t < sim.num_tasks(); ++t) {
+    const auto task = static_cast<TaskId>(t);
+    const ResourceId resource = sim.task_resource(task);
+    if (sim.FinishTime(task) < 0.0) {
+      continue;  // never ran
+    }
+    if (!first) {
+      oss << ",\n";
+    }
+    first = false;
+    // Times in microseconds, as the trace format expects.
+    oss << R"({"name":")" << sim.task_name(task)
+        << R"(","ph":"X","pid":1,"tid":)"
+        << (resource == kNoResource ? sim.num_resources() : static_cast<size_t>(resource))
+        << R"(,"ts":)" << sim.StartTime(task) * 1e6 << R"(,"dur":)"
+        << sim.task_duration(task) * 1e6 << "}";
+  }
+  oss << "\n]\n";
+  return oss.str();
+}
+
+Status WriteChromeTrace(const EventSimulator& sim, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Internal("cannot open trace file: " + path);
+  }
+  out << ToChromeTraceJson(sim);
+  out.flush();
+  if (!out) {
+    return Internal("trace write failed: " + path);
+  }
+  return OkStatus();
+}
+
+std::string RenderAsciiTimeline(const EventSimulator& sim, int width) {
+  width = std::max(width, 10);
+  double makespan = 0.0;
+  for (size_t t = 0; t < sim.num_tasks(); ++t) {
+    makespan = std::max(makespan, sim.FinishTime(static_cast<TaskId>(t)));
+  }
+  if (makespan <= 0.0) {
+    return "(empty timeline)\n";
+  }
+
+  // busy[r][c] accumulates the busy fraction of column c on resource r.
+  std::vector<std::vector<double>> busy(
+      sim.num_resources(), std::vector<double>(static_cast<size_t>(width), 0.0));
+  const double column_seconds = makespan / width;
+  for (size_t t = 0; t < sim.num_tasks(); ++t) {
+    const auto task = static_cast<TaskId>(t);
+    const ResourceId r = sim.task_resource(task);
+    if (r == kNoResource || sim.FinishTime(task) < 0.0) {
+      continue;
+    }
+    const double start = sim.StartTime(task);
+    const double finish = sim.FinishTime(task);
+    int c0 = static_cast<int>(start / column_seconds);
+    int c1 = static_cast<int>(finish / column_seconds);
+    c0 = std::clamp(c0, 0, width - 1);
+    c1 = std::clamp(c1, 0, width - 1);
+    for (int c = c0; c <= c1; ++c) {
+      const double col_begin = c * column_seconds;
+      const double col_end = col_begin + column_seconds;
+      const double overlap =
+          std::min(finish, col_end) - std::max(start, col_begin);
+      if (overlap > 0.0) {
+        busy[static_cast<size_t>(r)][static_cast<size_t>(c)] +=
+            overlap / column_seconds;
+      }
+    }
+  }
+
+  std::ostringstream oss;
+  size_t label_width = 0;
+  for (size_t r = 0; r < sim.num_resources(); ++r) {
+    label_width = std::max(
+        label_width, sim.resource_name(static_cast<ResourceId>(r)).size());
+  }
+  for (size_t r = 0; r < sim.num_resources(); ++r) {
+    const std::string& name = sim.resource_name(static_cast<ResourceId>(r));
+    oss << name << std::string(label_width - name.size(), ' ') << " |";
+    for (int c = 0; c < width; ++c) {
+      const double fraction = busy[r][static_cast<size_t>(c)];
+      oss << (fraction > 0.66 ? '#' : fraction > 0.15 ? '+' : '.');
+    }
+    oss << "|\n";
+  }
+  const std::string end_label = FormatSeconds(makespan);
+  oss << std::string(label_width, ' ') << " 0";
+  const int pad = width - 1 - static_cast<int>(end_label.size());
+  oss << std::string(static_cast<size_t>(std::max(pad, 1)), ' ') << end_label
+      << "\n";
+  return oss.str();
+}
+
+}  // namespace aceso

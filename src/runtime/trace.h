@@ -1,0 +1,28 @@
+// Execution-trace rendering for the discrete-event runtime: Chrome trace
+// (chrome://tracing / Perfetto) JSON export and a terminal timeline.
+
+#ifndef SRC_RUNTIME_TRACE_H_
+#define SRC_RUNTIME_TRACE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/runtime/event_sim.h"
+
+namespace aceso {
+
+// Serializes a finished simulation (Run() must have completed) as Chrome
+// trace-event JSON: one "thread" per resource, one duration event per task.
+std::string ToChromeTraceJson(const EventSimulator& sim);
+
+// Writes the Chrome trace to `path`.
+Status WriteChromeTrace(const EventSimulator& sim, const std::string& path);
+
+// Renders an ASCII timeline: one row per resource, `width` columns spanning
+// the makespan, '#' for busy, '.' for idle — the pipeline-bubble picture at
+// a glance.
+std::string RenderAsciiTimeline(const EventSimulator& sim, int width = 100);
+
+}  // namespace aceso
+
+#endif  // SRC_RUNTIME_TRACE_H_

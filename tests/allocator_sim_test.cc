@@ -1,0 +1,126 @@
+#include "src/runtime/allocator_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace aceso {
+namespace {
+
+TEST(RoundSizeTest, SmallRoundsTo512) {
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(1), 512);
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(512), 512);
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(513), 1024);
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(0), 512);
+}
+
+TEST(RoundSizeTest, LargeRoundsTo2MiB) {
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(kMiB), 2 * kMiB);
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(2 * kMiB), 2 * kMiB);
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(2 * kMiB + 1), 4 * kMiB);
+  EXPECT_EQ(CachingAllocatorSim::RoundSize(100 * kMiB), 100 * kMiB);
+}
+
+TEST(AllocatorTest, AllocTracksUsage) {
+  CachingAllocatorSim alloc(kGiB);
+  const int64_t h = alloc.Alloc(10 * kMiB);
+  ASSERT_GE(h, 0);
+  EXPECT_EQ(alloc.allocated_bytes(), 10 * kMiB);
+  EXPECT_EQ(alloc.reserved_bytes(), 10 * kMiB);
+}
+
+TEST(AllocatorTest, FreeKeepsReserved) {
+  // The caching allocator retains freed blocks (§3.3's "extra memory").
+  CachingAllocatorSim alloc(kGiB);
+  const int64_t h = alloc.Alloc(10 * kMiB);
+  alloc.Free(h);
+  EXPECT_EQ(alloc.allocated_bytes(), 0);
+  EXPECT_EQ(alloc.reserved_bytes(), 10 * kMiB);
+}
+
+TEST(AllocatorTest, CacheReuseAvoidsGrowth) {
+  CachingAllocatorSim alloc(kGiB);
+  const int64_t h1 = alloc.Alloc(10 * kMiB);
+  alloc.Free(h1);
+  const int64_t h2 = alloc.Alloc(10 * kMiB);
+  ASSERT_GE(h2, 0);
+  EXPECT_EQ(alloc.reserved_bytes(), 10 * kMiB);  // reused, not grown
+}
+
+TEST(AllocatorTest, OversizedCachedBlockSplitsOnReuse) {
+  CachingAllocatorSim alloc(kGiB);
+  const int64_t big = alloc.Alloc(100 * kMiB);
+  alloc.Free(big);
+  // A 2 MiB request reuses a slice of the 100 MiB block; the remainder stays
+  // cached, so reserved memory does not grow.
+  const int64_t small = alloc.Alloc(2 * kMiB);
+  ASSERT_GE(small, 0);
+  EXPECT_EQ(alloc.allocated_bytes(), 2 * kMiB);
+  EXPECT_EQ(alloc.reserved_bytes(), 100 * kMiB);
+  // The 98 MiB remainder serves further requests without growth.
+  const int64_t mid = alloc.Alloc(90 * kMiB);
+  ASSERT_GE(mid, 0);
+  EXPECT_EQ(alloc.reserved_bytes(), 100 * kMiB);
+}
+
+TEST(AllocatorTest, PeaksAreMonotone) {
+  CachingAllocatorSim alloc(kGiB);
+  const int64_t a = alloc.Alloc(10 * kMiB);
+  const int64_t b = alloc.Alloc(20 * kMiB);
+  alloc.Free(a);
+  alloc.Free(b);
+  EXPECT_EQ(alloc.peak_allocated(), 30 * kMiB);
+  EXPECT_EQ(alloc.peak_reserved(), 30 * kMiB);
+  EXPECT_EQ(alloc.allocated_bytes(), 0);
+}
+
+TEST(AllocatorTest, ReclaimsCacheBeforeOom) {
+  CachingAllocatorSim alloc(100 * kMiB);
+  const int64_t a = alloc.Alloc(60 * kMiB);
+  alloc.Free(a);
+  // 60 MiB is cached; an 80 MiB request cannot reuse it but fits after the
+  // cache is released back to the device.
+  const int64_t b = alloc.Alloc(80 * kMiB);
+  EXPECT_GE(b, 0);
+  EXPECT_FALSE(alloc.oom());
+  EXPECT_EQ(alloc.reserved_bytes(), 80 * kMiB);
+}
+
+TEST(AllocatorTest, OomWhenCapacityExhausted) {
+  CachingAllocatorSim alloc(100 * kMiB);
+  const int64_t a = alloc.Alloc(60 * kMiB);
+  ASSERT_GE(a, 0);
+  const int64_t b = alloc.Alloc(60 * kMiB);  // 120 > 100 and nothing cached
+  EXPECT_EQ(b, -1);
+  EXPECT_TRUE(alloc.oom());
+}
+
+TEST(AllocatorTest, FreeNegativeHandleIsNoop) {
+  CachingAllocatorSim alloc(kGiB);
+  alloc.Free(-1);  // e.g. the handle of a failed allocation
+  EXPECT_EQ(alloc.allocated_bytes(), 0);
+}
+
+TEST(AllocatorDeathTest, DoubleFreeAborts) {
+  CachingAllocatorSim alloc(kGiB);
+  const int64_t h = alloc.Alloc(kMiB);
+  alloc.Free(h);
+  EXPECT_DEATH(alloc.Free(h), "double free");
+}
+
+TEST(AllocatorTest, SteadyStateReuseInPipelinePattern) {
+  // The 1F1B pattern: allocate activation, free it one step later,
+  // repeatedly. Reserved memory must stabilize rather than grow.
+  CachingAllocatorSim alloc(kGiB);
+  int64_t prev = alloc.Alloc(8 * kMiB);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t next = alloc.Alloc(8 * kMiB);
+    alloc.Free(prev);
+    prev = next;
+  }
+  alloc.Free(prev);
+  EXPECT_LE(alloc.peak_reserved(), 16 * kMiB);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,102 @@
+#include "src/baselines/alpa_like.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class AlpaTest : public ::testing::Test {
+ protected:
+  AlpaTest()
+      : graph_(models::Gpt3(0.35)),
+        cluster_(ClusterSpec::WithGpuCount(8)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_) {}
+
+  AlpaOptions FastOptions() {
+    AlpaOptions options;
+    options.layer_group_counts = {8};
+    options.max_microbatch = 16;
+    return options;
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+};
+
+TEST_F(AlpaTest, FindsFeasibleConfig) {
+  auto result = AlpaLikeSearch(model_, FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->found);
+  EXPECT_FALSE(result->best.perf.oom);
+  EXPECT_TRUE(result->best.config.Validate(graph_, cluster_).ok());
+}
+
+TEST_F(AlpaTest, ChargesSimulatedCompileTime) {
+  auto result = AlpaLikeSearch(model_, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->simulated_profile_seconds, 0.0);
+  EXPECT_GT(result->TotalSearchSeconds(), result->search_seconds);
+}
+
+TEST_F(AlpaTest, RecomputationIsGlobalOnly) {
+  auto result = AlpaLikeSearch(model_, FastOptions());
+  ASSERT_TRUE(result.ok());
+  // Every stage is either fully recomputed or not at all.
+  for (const StageConfig& stage : result->best.config.stages()) {
+    const int rc = stage.NumRecomputed();
+    EXPECT_TRUE(rc == 0 || rc == stage.num_ops);
+  }
+}
+
+TEST_F(AlpaTest, FailsCompilationBeyondLayerLimit) {
+  // Exp#3: models deeper than the XLA limit fail.
+  const OpGraph deep = models::DeepTransformer(128);
+  ProfileDatabase db(cluster_);
+  PerformanceModel model(&deep, cluster_, &db);
+  AlpaOptions options = FastOptions();
+  options.max_layers_before_failure = 64;
+  const auto result = AlpaLikeSearch(model, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(AlpaTest, SucceedsAtTheLayerLimit) {
+  const OpGraph deep = models::DeepTransformer(32);
+  ProfileDatabase db(cluster_);
+  PerformanceModel model(&deep, cluster_, &db);
+  AlpaOptions options;
+  options.layer_group_counts = {8};
+  options.max_microbatch = 4;
+  const auto result = AlpaLikeSearch(model, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(AlpaTest, MoreLayerGroupsCostMoreKernels) {
+  AlpaOptions small = FastOptions();
+  small.layer_group_counts = {4};
+  AlpaOptions large = FastOptions();
+  large.layer_group_counts = {16};
+  auto a = AlpaLikeSearch(model_, small);
+  auto b = AlpaLikeSearch(model_, large);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->simulated_profile_seconds, a->simulated_profile_seconds);
+}
+
+TEST_F(AlpaTest, SingleGpuDegenerates) {
+  const ClusterSpec one = ClusterSpec::SingleGpu();
+  ProfileDatabase db(one);
+  PerformanceModel model(&graph_, one, &db);
+  auto result = AlpaLikeSearch(model, FastOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->found);
+  EXPECT_EQ(result->best.config.num_stages(), 1);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,100 @@
+// Cross-model property sweep over the baseline searchers: on every model
+// family and cluster size, each baseline must produce a valid, feasible,
+// executable configuration, and Aceso must never lose to it under the
+// performance model given a modest budget.
+
+#include <gtest/gtest.h>
+
+#include "src/aceso.h"
+
+namespace aceso {
+namespace {
+
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ protected:
+  BaselineSweep() {
+    auto graph = models::BuildByName(std::get<0>(GetParam()));
+    EXPECT_TRUE(graph.ok());
+    graph_ = *std::move(graph);
+    cluster_ = ClusterSpec::WithGpuCount(std::get<1>(GetParam()));
+    db_ = std::make_unique<ProfileDatabase>(cluster_);
+    model_ = std::make_unique<PerformanceModel>(&graph_, cluster_, db_.get());
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  std::unique_ptr<ProfileDatabase> db_;
+  std::unique_ptr<PerformanceModel> model_;
+};
+
+TEST_P(BaselineSweep, MegatronGridFindsValidFeasiblePlan) {
+  const BaselineResult result = MegatronGridSearch(*model_);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.best.config.Validate(graph_, cluster_).ok());
+  EXPECT_FALSE(result.best.perf.oom);
+  // Global uniformity: one (tp, dp) pair and one recompute policy per plan.
+  std::set<std::tuple<int, int, bool>> combos;
+  for (const StageConfig& stage : result.best.config.stages()) {
+    for (size_t i = 0; i < stage.ops.size(); ++i) {
+      const Operator& op = graph_.op(stage.first_op + static_cast<int>(i));
+      if (op.tp_class == TpClass::kPartitioned) {
+        combos.insert({stage.ops[i].tp, stage.ops[i].dp,
+                       stage.ops[i].recompute});
+      }
+    }
+  }
+  EXPECT_LE(combos.size(), 2u);  // clamping of small ops may add one combo
+}
+
+TEST_P(BaselineSweep, AlpaLikeFindsValidFeasiblePlan) {
+  AlpaOptions options;
+  options.layer_group_counts = {8};
+  options.max_microbatch = 16;
+  const auto result = AlpaLikeSearch(*model_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->found);
+  EXPECT_TRUE(result->best.config.Validate(graph_, cluster_).ok());
+  EXPECT_FALSE(result->best.perf.oom);
+}
+
+TEST_P(BaselineSweep, AcesoNotWorseThanMegatronGrid) {
+  const BaselineResult megatron = MegatronGridSearch(*model_);
+  SearchOptions options;
+  options.time_budget_seconds = 1.0;
+  const SearchResult aceso = AcesoSearch(*model_, options);
+  ASSERT_TRUE(megatron.found);
+  ASSERT_TRUE(aceso.found);
+  // Megatron's space is a strict subset of Aceso's; with a modest budget
+  // Aceso must come within a whisker (search is anytime, so allow 3%).
+  EXPECT_LE(aceso.best.perf.iteration_time,
+            megatron.best.perf.iteration_time * 1.03);
+}
+
+TEST_P(BaselineSweep, BaselinePlansExecuteInRuntime) {
+  const BaselineResult megatron = MegatronGridSearch(*model_);
+  ASSERT_TRUE(megatron.found);
+  PipelineExecutor executor(model_.get());
+  const ExecutionResult run = executor.Execute(megatron.best.config);
+  EXPECT_FALSE(run.oom);
+  EXPECT_GT(run.Throughput(graph_.global_batch_size()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, BaselineSweep,
+    ::testing::Combine(::testing::Values("gpt3-0.35b", "t5-0.77b",
+                                         "wresnet-0.5b", "bert-0.34b"),
+                       ::testing::Values(4, 8)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::to_string(std::get<1>(info.param)) + "gpu";
+      for (char& c : name) {
+        if (c == '-' || c == '.') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace aceso

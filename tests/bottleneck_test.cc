@@ -1,0 +1,108 @@
+#include "src/core/bottleneck.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+PerfResult MakePerf(std::vector<double> stage_times,
+                    std::vector<int64_t> memories, int64_t limit) {
+  PerfResult perf;
+  perf.memory_limit = limit;
+  for (size_t i = 0; i < stage_times.size(); ++i) {
+    StageUsage usage;
+    usage.stage_time = stage_times[i];
+    usage.memory_bytes = memories[i];
+    usage.comp_time = 1.0;
+    usage.comm_time = 0.1;
+    perf.stages.push_back(usage);
+  }
+  int64_t max_mem = 0;
+  double max_time = -1;
+  for (size_t i = 0; i < perf.stages.size(); ++i) {
+    if (perf.stages[i].memory_bytes > max_mem) {
+      max_mem = perf.stages[i].memory_bytes;
+      perf.max_memory_stage = static_cast<int>(i);
+    }
+    if (perf.stages[i].stage_time > max_time) {
+      max_time = perf.stages[i].stage_time;
+      perf.slowest_stage = static_cast<int>(i);
+    }
+  }
+  perf.iteration_time = max_time;
+  perf.oom = max_mem > limit;
+  return perf;
+}
+
+TEST(BottleneckTest, FeasibleConfigOrdersByStageTime) {
+  const PerfResult perf = MakePerf({5.0, 9.0, 3.0}, {10, 10, 10}, 100);
+  const auto bottlenecks = OrderedBottlenecks(perf);
+  ASSERT_EQ(bottlenecks.size(), 3u);
+  EXPECT_EQ(bottlenecks[0].stage, 1);
+  EXPECT_EQ(bottlenecks[1].stage, 0);
+  EXPECT_EQ(bottlenecks[2].stage, 2);
+  EXPECT_FALSE(bottlenecks[0].memory_bound);
+}
+
+TEST(BottleneckTest, OomConfigOrdersByMemory) {
+  // Heuristic-1 "safety first": OOM overrides time even when another stage
+  // is slower.
+  const PerfResult perf = MakePerf({9.0, 1.0}, {50, 200}, 100);
+  const auto bottlenecks = OrderedBottlenecks(perf);
+  ASSERT_EQ(bottlenecks.size(), 2u);
+  EXPECT_EQ(bottlenecks[0].stage, 1);
+  EXPECT_TRUE(bottlenecks[0].memory_bound);
+  ASSERT_EQ(bottlenecks[0].resources.size(), 1u);
+  EXPECT_EQ(bottlenecks[0].resources[0], Resource::kMemory);
+}
+
+TEST(BottleneckTest, TimeBottleneckRanksResourcesByProportion) {
+  PerfResult perf = MakePerf({5.0, 2.0}, {10, 10}, 100);
+  // Make stage 0 communication-heavy relative to the rest.
+  perf.stages[0].comp_time = 1.0;
+  perf.stages[0].comm_time = 3.0;
+  perf.stages[1].comp_time = 4.0;
+  perf.stages[1].comm_time = 0.1;
+  const auto bottlenecks = OrderedBottlenecks(perf);
+  ASSERT_EQ(bottlenecks[0].stage, 0);
+  ASSERT_EQ(bottlenecks[0].resources.size(), 2u);
+  EXPECT_EQ(bottlenecks[0].resources[0], Resource::kCommunication);
+  EXPECT_EQ(bottlenecks[0].resources[1], Resource::kComputation);
+}
+
+TEST(BottleneckTest, ComputationFirstWhenDominant) {
+  PerfResult perf = MakePerf({5.0, 2.0}, {10, 10}, 100);
+  perf.stages[0].comp_time = 4.0;
+  perf.stages[0].comm_time = 0.2;
+  const auto bottlenecks = OrderedBottlenecks(perf);
+  EXPECT_EQ(bottlenecks[0].resources[0], Resource::kComputation);
+}
+
+TEST(BottleneckTest, RecomputeTimeCountsAsComputation) {
+  // The proportion is relative to the *other stages* (paper definition):
+  // stage 0's comm share here is 1.0/1.1, so without recompute time the
+  // communication resource would rank first; 40.0 of recompute time lifts
+  // the computation share (40.5/45.5) above it.
+  PerfResult perf = MakePerf({5.0, 2.0}, {10, 10}, 100);
+  perf.stages[0].comp_time = 0.5;
+  perf.stages[0].comm_time = 1.0;
+  perf.stages[0].recompute_time = 40.0;
+  const auto bottlenecks = OrderedBottlenecks(perf);
+  EXPECT_EQ(bottlenecks[0].resources[0], Resource::kComputation);
+}
+
+TEST(BottleneckTest, SingleStage) {
+  const PerfResult perf = MakePerf({5.0}, {10}, 100);
+  const auto bottlenecks = OrderedBottlenecks(perf);
+  ASSERT_EQ(bottlenecks.size(), 1u);
+  EXPECT_EQ(bottlenecks[0].stage, 0);
+}
+
+TEST(ResourceNameTest, Names) {
+  EXPECT_STREQ(ResourceName(Resource::kComputation), "computation");
+  EXPECT_STREQ(ResourceName(Resource::kCommunication), "communication");
+  EXPECT_STREQ(ResourceName(Resource::kMemory), "memory");
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,97 @@
+#include "src/config/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class ConfigIoTest : public ::testing::Test {
+ protected:
+  ConfigIoTest()
+      : graph_(models::Gpt3(0.35)), cluster_(ClusterSpec::WithGpuCount(8)) {}
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+};
+
+TEST_F(ConfigIoTest, RoundTripPreservesSemantics) {
+  auto config = MakeEvenConfig(graph_, cluster_, 4, 2);
+  ASSERT_TRUE(config.ok());
+  // Make it interesting: recompute flags and a flipped dim.
+  config->MutableOpSettings(3).recompute = true;
+  config->MutableOpSettings(10).recompute = true;
+  const std::string text = SerializeConfig(*config, graph_.name());
+  auto parsed = ParseConfig(text, graph_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->SemanticHash(graph_), config->SemanticHash(graph_));
+  EXPECT_TRUE(parsed->Validate(graph_, cluster_).ok());
+}
+
+TEST_F(ConfigIoTest, RoundTripHeterogeneousStage) {
+  auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
+  ASSERT_TRUE(config.ok());
+  // Mixed settings inside the stage.
+  StageConfig& stage = config->mutable_stage(0);
+  for (int i = 0; i < stage.num_ops / 2; ++i) {
+    const Operator& op = graph_.op(i);
+    if (op.tp_class == TpClass::kPartitioned) {
+      stage.ops[static_cast<size_t>(i)].tp_dim = TpDim::kRow;
+    }
+  }
+  const std::string text = SerializeConfig(*config, graph_.name());
+  auto parsed = ParseConfig(text, graph_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->SemanticHash(graph_), config->SemanticHash(graph_));
+}
+
+TEST_F(ConfigIoTest, RejectsWrongModel) {
+  auto config = MakeEvenConfig(graph_, cluster_, 2, 2);
+  ASSERT_TRUE(config.ok());
+  const std::string text = SerializeConfig(*config, "gpt3-13b");
+  auto parsed = ParseConfig(text, graph_);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ConfigIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseConfig("not a config", graph_).ok());
+  EXPECT_FALSE(ParseConfig("record {\n  type = something_else\n}\n", graph_)
+                   .ok());
+  EXPECT_FALSE(ParseConfig("", graph_).ok());
+}
+
+TEST_F(ConfigIoTest, RejectsTruncatedOps) {
+  auto config = MakeEvenConfig(graph_, cluster_, 2, 2);
+  ASSERT_TRUE(config.ok());
+  std::string text = SerializeConfig(*config, graph_.name());
+  // Corrupt a run length.
+  const size_t star = text.find('*');
+  ASSERT_NE(star, std::string::npos);
+  text[star + 1] = '1';
+  text[star + 2] = ' ';
+  auto parsed = ParseConfig(text, graph_);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(ConfigIoTest, FileRoundTrip) {
+  auto config = MakeEvenConfig(graph_, cluster_, 3, 2);
+  ASSERT_TRUE(config.ok());
+  const std::string path = ::testing::TempDir() + "/config_io_test.txt";
+  ASSERT_TRUE(SaveConfigToFile(path, *config, graph_.name()).ok());
+  auto loaded = LoadConfigFromFile(path, graph_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SemanticHash(graph_), config->SemanticHash(graph_));
+  std::remove(path.c_str());
+}
+
+TEST_F(ConfigIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadConfigFromFile("/does/not/exist", graph_);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,148 @@
+#include "src/runtime/event_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+TEST(EventSimTest, SingleTask) {
+  EventSimulator sim;
+  const TaskId t = sim.AddTask("t", 2.5);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(*makespan, 2.5);
+  EXPECT_DOUBLE_EQ(sim.StartTime(t), 0.0);
+  EXPECT_DOUBLE_EQ(sim.FinishTime(t), 2.5);
+}
+
+TEST(EventSimTest, ChainOfDependencies) {
+  EventSimulator sim;
+  const TaskId a = sim.AddTask("a", 1.0);
+  const TaskId b = sim.AddTask("b", 2.0);
+  const TaskId c = sim.AddTask("c", 3.0);
+  sim.AddDependency(a, b);
+  sim.AddDependency(b, c);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(*makespan, 6.0);
+  EXPECT_DOUBLE_EQ(sim.StartTime(c), 3.0);
+}
+
+TEST(EventSimTest, IndependentTasksRunConcurrently) {
+  EventSimulator sim;
+  sim.AddTask("a", 5.0);
+  sim.AddTask("b", 3.0);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(*makespan, 5.0);
+}
+
+TEST(EventSimTest, ResourceSerializesTasks) {
+  EventSimulator sim;
+  const ResourceId gpu = sim.AddResource("gpu");
+  sim.AddTask("a", 2.0, gpu);
+  sim.AddTask("b", 3.0, gpu);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(*makespan, 5.0);
+  EXPECT_DOUBLE_EQ(sim.ResourceBusySeconds(gpu), 5.0);
+}
+
+TEST(EventSimTest, ResourceFifoFollowsInsertionOrder) {
+  EventSimulator sim;
+  const ResourceId gpu = sim.AddResource("gpu");
+  const TaskId first = sim.AddTask("first", 1.0, gpu);
+  const TaskId second = sim.AddTask("second", 1.0, gpu);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_LT(sim.StartTime(first), sim.StartTime(second));
+}
+
+TEST(EventSimTest, DiamondDependency) {
+  EventSimulator sim;
+  const TaskId src = sim.AddTask("src", 1.0);
+  const TaskId left = sim.AddTask("left", 2.0);
+  const TaskId right = sim.AddTask("right", 4.0);
+  const TaskId sink = sim.AddTask("sink", 1.0);
+  sim.AddDependency(src, left);
+  sim.AddDependency(src, right);
+  sim.AddDependency(left, sink);
+  sim.AddDependency(right, sink);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(*makespan, 6.0);  // 1 + max(2,4) + 1
+}
+
+TEST(EventSimTest, DependencyPlusResourceContention) {
+  EventSimulator sim;
+  const ResourceId link = sim.AddResource("link");
+  // Two transfers on the same link, each gated by a different producer.
+  const TaskId p1 = sim.AddTask("p1", 1.0);
+  const TaskId p2 = sim.AddTask("p2", 1.5);
+  const TaskId x1 = sim.AddTask("x1", 2.0, link);
+  const TaskId x2 = sim.AddTask("x2", 2.0, link);
+  sim.AddDependency(p1, x1);
+  sim.AddDependency(p2, x2);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  // x1 runs [1,3); x2 ready at 1.5 but the link is busy until 3 -> [3,5).
+  EXPECT_DOUBLE_EQ(sim.StartTime(x2), 3.0);
+  EXPECT_DOUBLE_EQ(*makespan, 5.0);
+}
+
+TEST(EventSimTest, CycleDetected) {
+  EventSimulator sim;
+  const TaskId a = sim.AddTask("a", 1.0);
+  const TaskId b = sim.AddTask("b", 1.0);
+  sim.AddDependency(a, b);
+  sim.AddDependency(b, a);
+  auto makespan = sim.Run();
+  ASSERT_FALSE(makespan.ok());
+  EXPECT_EQ(makespan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EventSimTest, ZeroDurationTasks) {
+  EventSimulator sim;
+  const TaskId a = sim.AddTask("a", 0.0);
+  const TaskId b = sim.AddTask("b", 1.0);
+  sim.AddDependency(a, b);
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(*makespan, 1.0);
+}
+
+TEST(EventSimTest, EmptyGraph) {
+  EventSimulator sim;
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_DOUBLE_EQ(*makespan, 0.0);
+}
+
+TEST(EventSimTest, LargePipelineScales) {
+  // A 4-stage, 256-microbatch 1F1B-like grid runs quickly and produces a
+  // sane makespan.
+  EventSimulator sim;
+  constexpr int kStages = 4;
+  constexpr int kMicrobatches = 256;
+  std::vector<ResourceId> gpus;
+  for (int s = 0; s < kStages; ++s) {
+    gpus.push_back(sim.AddResource("gpu"));
+  }
+  std::vector<std::vector<TaskId>> fwd(kStages);
+  for (int s = 0; s < kStages; ++s) {
+    for (int m = 0; m < kMicrobatches; ++m) {
+      const TaskId t = sim.AddTask("f", 1.0, gpus[static_cast<size_t>(s)]);
+      fwd[static_cast<size_t>(s)].push_back(t);
+      if (s > 0) {
+        sim.AddDependency(fwd[static_cast<size_t>(s) - 1][static_cast<size_t>(m)], t);
+      }
+    }
+  }
+  auto makespan = sim.Run();
+  ASSERT_TRUE(makespan.ok());
+  // Ideal pipeline: (stages - 1) + microbatches units.
+  EXPECT_DOUBLE_EQ(*makespan, kStages - 1 + kMicrobatches);
+}
+
+}  // namespace
+}  // namespace aceso

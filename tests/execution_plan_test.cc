@@ -1,0 +1,184 @@
+#include "src/plan/execution_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest()
+      : graph_(models::Gpt3(0.35)), cluster_(ClusterSpec::WithGpuCount(8)) {}
+
+  ParallelConfig Even(int stages, int mbs = 2) {
+    auto config = MakeEvenConfig(graph_, cluster_, stages, mbs);
+    EXPECT_TRUE(config.ok());
+    if (mbs > config->microbatch_size()) {
+      config->set_microbatch_size(mbs);
+    }
+    return *std::move(config);
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+};
+
+TEST_F(PlanTest, OneProgramPerDevice) {
+  const ParallelConfig config = Even(4);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  EXPECT_EQ(plan.num_devices(), 8);
+  EXPECT_EQ(plan.num_stages(), 4);
+}
+
+TEST_F(PlanTest, VerifiesForEveryStageCount) {
+  for (int stages : {1, 2, 4, 8}) {
+    const ParallelConfig config = Even(stages);
+    const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+    EXPECT_TRUE(plan.Verify().ok()) << "stages=" << stages;
+  }
+}
+
+TEST_F(PlanTest, ForwardBackwardCountsMatchMicrobatches) {
+  const ParallelConfig config = Even(2);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  const int64_t n_mb = config.NumMicrobatches(graph_);
+  for (const DeviceProgram& program : plan.programs()) {
+    int64_t fwd = 0;
+    int64_t bwd = 0;
+    for (const Instruction& inst : program.instructions) {
+      if (inst.kind == InstructionKind::kForward) {
+        ++fwd;
+      } else if (inst.kind == InstructionKind::kBackward) {
+        ++bwd;
+      }
+    }
+    EXPECT_EQ(fwd, n_mb);
+    EXPECT_EQ(bwd, n_mb);
+  }
+}
+
+TEST_F(PlanTest, FirstStageNeverReceivesActivations) {
+  const ParallelConfig config = Even(4);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  for (const DeviceProgram& program : plan.programs()) {
+    if (program.stage != 0) {
+      continue;
+    }
+    for (const Instruction& inst : program.instructions) {
+      EXPECT_NE(inst.kind, InstructionKind::kRecvActivation);
+      EXPECT_NE(inst.kind, InstructionKind::kSendGradient);
+    }
+  }
+}
+
+TEST_F(PlanTest, LastStageNeverSendsActivations) {
+  const ParallelConfig config = Even(4);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  for (const DeviceProgram& program : plan.programs()) {
+    if (program.stage != plan.num_stages() - 1) {
+      continue;
+    }
+    for (const Instruction& inst : program.instructions) {
+      EXPECT_NE(inst.kind, InstructionKind::kSendActivation);
+      EXPECT_NE(inst.kind, InstructionKind::kRecvGradient);
+    }
+  }
+}
+
+TEST_F(PlanTest, WarmupDepthFollows1F1B) {
+  // Stage s of p performs min(p - s, N) forwards before its first backward.
+  const ParallelConfig config = Even(4);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  for (const DeviceProgram& program : plan.programs()) {
+    int fwd_before_bwd = 0;
+    for (const Instruction& inst : program.instructions) {
+      if (inst.kind == InstructionKind::kForward) {
+        ++fwd_before_bwd;
+      } else if (inst.kind == InstructionKind::kBackward) {
+        break;
+      }
+    }
+    EXPECT_EQ(fwd_before_bwd, plan.num_stages() - program.stage)
+        << "device " << program.device;
+  }
+}
+
+TEST_F(PlanTest, GradientSyncOnlyWithDataParallelism) {
+  // Pure pipeline (1 device per stage, tp=1, dp=1): no gradient sync.
+  const ParallelConfig config = Even(8);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  for (const DeviceProgram& program : plan.programs()) {
+    bool has_dp = false;
+    for (const OpParallel& setting :
+         config.stage(program.stage).ops) {
+      has_dp = has_dp || setting.dp > 1;
+    }
+    bool has_sync = false;
+    for (const Instruction& inst : program.instructions) {
+      has_sync = has_sync || inst.kind == InstructionKind::kGradientSync;
+    }
+    EXPECT_EQ(has_sync, has_dp) << "device " << program.device;
+  }
+}
+
+TEST_F(PlanTest, EveryProgramEndsWithOptimizerStep) {
+  const ParallelConfig config = Even(2);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  for (const DeviceProgram& program : plan.programs()) {
+    ASSERT_FALSE(program.instructions.empty());
+    EXPECT_EQ(program.instructions.back().kind,
+              InstructionKind::kOptimizerStep);
+  }
+}
+
+TEST_F(PlanTest, SummaryAndDumpAreNonEmpty) {
+  const ParallelConfig config = Even(2);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, config);
+  EXPECT_NE(plan.Summary().find("2 stages"), std::string::npos);
+  EXPECT_NE(plan.DumpDevice(0).find("device 0"), std::string::npos);
+}
+
+TEST_F(PlanTest, InstructionToString) {
+  Instruction inst{InstructionKind::kSendActivation, 3, 1, 64 * kMiB};
+  const std::string s = inst.ToString();
+  EXPECT_NE(s.find("send_act"), std::string::npos);
+  EXPECT_NE(s.find("mb=3"), std::string::npos);
+  EXPECT_NE(s.find("peer=s1"), std::string::npos);
+}
+
+TEST_F(PlanTest, GpipeLoweringVerifies) {
+  const ParallelConfig config = Even(4);
+  const ExecutionPlan plan =
+      ExecutionPlan::Lower(graph_, config, PipelineSchedule::kGpipe);
+  EXPECT_TRUE(plan.Verify().ok());
+  // GPipe: every forward precedes every backward on each device.
+  for (const DeviceProgram& program : plan.programs()) {
+    bool seen_backward = false;
+    for (const Instruction& inst : program.instructions) {
+      if (inst.kind == InstructionKind::kBackward) {
+        seen_backward = true;
+      }
+      if (inst.kind == InstructionKind::kForward) {
+        EXPECT_FALSE(seen_backward) << "device " << program.device;
+      }
+    }
+  }
+}
+
+TEST_F(PlanTest, TpDpRanksAssigned) {
+  auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
+  ASSERT_TRUE(config.ok());
+  config->mutable_stage(0).SetUniformParallelism(graph_, 4, 2);
+  ASSERT_TRUE(config->Validate(graph_, cluster_).ok());
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph_, *config);
+  // 8 devices: tp ranks cycle 0..3, dp ranks 0..1.
+  for (int d = 0; d < 8; ++d) {
+    EXPECT_EQ(plan.program(d).tp_rank, d % 4);
+    EXPECT_EQ(plan.program(d).dp_rank, d / 4);
+  }
+}
+
+}  // namespace
+}  // namespace aceso

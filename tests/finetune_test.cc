@@ -1,0 +1,94 @@
+#include "src/core/finetune.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class FineTuneTest : public ::testing::Test {
+ protected:
+  FineTuneTest()
+      : graph_(models::Gpt3(0.35)),
+        cluster_(ClusterSpec::WithGpuCount(8)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_) {}
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+};
+
+TEST_F(FineTuneTest, NeverWorsensTheConfig) {
+  auto maybe = MakeEvenConfig(graph_, cluster_, 2, 8);
+  ASSERT_TRUE(maybe.ok());
+  ParallelConfig config = *maybe;
+  const PerfResult before = model_.Evaluate(config);
+  const TimeBudget budget(5.0);
+  const PerfResult after = FineTune(model_, config, before, budget);
+  EXPECT_FALSE(before.BetterThan(after));
+  EXPECT_TRUE(config.Validate(graph_, cluster_).ok());
+}
+
+TEST_F(FineTuneTest, ReturnsEvaluationOfFinalConfig) {
+  auto maybe = MakeEvenConfig(graph_, cluster_, 2, 8);
+  ASSERT_TRUE(maybe.ok());
+  ParallelConfig config = *maybe;
+  const PerfResult before = model_.Evaluate(config);
+  const TimeBudget budget(5.0);
+  const PerfResult after = FineTune(model_, config, before, budget);
+  const PerfResult check = model_.Evaluate(config);
+  EXPECT_DOUBLE_EQ(after.iteration_time, check.iteration_time);
+}
+
+TEST_F(FineTuneTest, CanImproveASuboptimalUniformPlan) {
+  // A deliberately poor plan: full tensor parallelism on a single stage of 8
+  // GPUs with a big microbatch. Fine-tuning's tp/dp split adjustment should
+  // find something faster.
+  auto maybe = MakeEvenConfig(graph_, cluster_, 1, 8);
+  ASSERT_TRUE(maybe.ok());
+  ParallelConfig config = *maybe;
+  config.mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  ASSERT_TRUE(config.Validate(graph_, cluster_).ok());
+  const PerfResult before = model_.Evaluate(config);
+  const TimeBudget budget(10.0);
+  FineTuneOptions options;
+  options.max_split_points_per_stage = 16;
+  const PerfResult after = FineTune(model_, config, before, budget, options);
+  EXPECT_LE(after.iteration_time, before.iteration_time);
+}
+
+TEST_F(FineTuneTest, ExpiredBudgetIsNoop) {
+  auto maybe = MakeEvenConfig(graph_, cluster_, 2, 8);
+  ASSERT_TRUE(maybe.ok());
+  ParallelConfig config = *maybe;
+  const ParallelConfig original = config;
+  const PerfResult before = model_.Evaluate(config);
+  const TimeBudget budget(1e-9);  // effectively expired
+  // Give the budget a moment to expire.
+  while (!budget.Expired()) {
+  }
+  FineTune(model_, config, before, budget);
+  EXPECT_EQ(config.SemanticHash(graph_), original.SemanticHash(graph_));
+}
+
+TEST_F(FineTuneTest, MixedTpDpWithinStageIsReachable) {
+  // The paper's Wide-ResNet case study: fine-tuning can leave different ops
+  // of one stage with different (tp, dp). Verify the mechanism can produce
+  // a heterogeneous stage at all.
+  const OpGraph wrn = models::WideResnet(0.5);
+  ProfileDatabase db(cluster_);
+  PerformanceModel model(&wrn, cluster_, &db);
+  auto maybe = MakeEvenConfig(wrn, cluster_, 1, 8);
+  ASSERT_TRUE(maybe.ok());
+  ParallelConfig config = *maybe;
+  const PerfResult before = model.Evaluate(config);
+  const TimeBudget budget(10.0);
+  FineTune(model, config, before, budget);
+  EXPECT_TRUE(config.Validate(wrn, cluster_).ok());
+}
+
+}  // namespace
+}  // namespace aceso

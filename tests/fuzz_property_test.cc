@@ -1,0 +1,158 @@
+// Property/fuzz tests over synthetic random models: the validator, cost
+// model, primitive applications, search, plan lowering, and runtime must
+// hold their invariants on arbitrary (structurally valid) operator chains,
+// not just the zoo's regular transformers and CNNs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/aceso.h"
+#include "src/ir/models/synthetic.h"
+
+namespace aceso {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  FuzzTest() : rng_(static_cast<uint64_t>(GetParam()) * 0x9E37 + 17) {}
+
+  Rng rng_;
+};
+
+TEST_P(FuzzTest, EvenConfigsValidateAndEvaluate) {
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const int gpus = 1 << rng_.NextInt(0, 4);  // 1..16 (one node block is 8)
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(gpus == 16 ? 16 : gpus);
+  ProfileDatabase db(cluster, /*seed=*/GetParam());
+  PerformanceModel model(&graph, cluster, &db);
+  for (int stages = 1; stages <= std::min(cluster.num_gpus(), 4); ++stages) {
+    auto config = MakeEvenConfig(graph, cluster, stages, 1);
+    if (!config.ok()) {
+      continue;  // stage count not constructible for this model
+    }
+    ASSERT_TRUE(config->Validate(graph, cluster).ok());
+    const PerfResult perf = model.Evaluate(*config);
+    EXPECT_TRUE(std::isfinite(perf.iteration_time));
+    EXPECT_GT(perf.iteration_time, 0.0);
+    for (const StageUsage& usage : perf.stages) {
+      EXPECT_GE(usage.fwd_time, 0.0);
+      EXPECT_GE(usage.comm_time, 0.0);
+      EXPECT_GT(usage.memory_bytes, 0);
+    }
+  }
+}
+
+TEST_P(FuzzTest, AllPrimitiveCandidatesStayValid) {
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster, /*seed=*/GetParam());
+  PerformanceModel model(&graph, cluster, &db);
+  auto config = MakeEvenConfig(graph, cluster, std::min(4, graph.num_ops()),
+                               1);
+  if (!config.ok()) {
+    GTEST_SKIP() << config.status().ToString();
+  }
+  const PerfResult perf = model.Evaluate(*config);
+  for (int kind = 0; kind < kNumPrimitives; ++kind) {
+    for (int stage = 0; stage < config->num_stages(); ++stage) {
+      for (const Candidate& candidate : GeneratePrimitiveCandidates(
+               model, *config, perf, static_cast<PrimitiveKind>(kind),
+               stage)) {
+        EXPECT_TRUE(candidate.config.Validate(graph, cluster).ok())
+            << candidate.description;
+        EXPECT_EQ(candidate.config.TotalDevices(), cluster.num_gpus());
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, SearchProducesValidFeasibleOrNothing) {
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster, /*seed=*/GetParam());
+  PerformanceModel model(&graph, cluster, &db);
+  SearchOptions options;
+  options.time_budget_seconds = 0.15;
+  options.max_stages = 4;
+  const SearchResult result = AcesoSearch(model, options);
+  if (result.found) {
+    EXPECT_TRUE(result.best.config.Validate(graph, cluster).ok());
+    for (const ScoredConfig& top : result.top_configs) {
+      EXPECT_FALSE(top.perf.oom);
+      EXPECT_TRUE(top.config.Validate(graph, cluster).ok());
+    }
+  }
+}
+
+TEST_P(FuzzTest, PlanLowersAndVerifies) {
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  for (int stages = 1; stages <= 4; ++stages) {
+    auto config = MakeEvenConfig(graph, cluster, stages, 2);
+    if (!config.ok()) {
+      continue;
+    }
+    const ExecutionPlan plan = ExecutionPlan::Lower(graph, *config);
+    EXPECT_EQ(plan.num_devices(), cluster.num_gpus());
+    EXPECT_TRUE(plan.Verify().ok()) << "stages=" << stages;
+  }
+}
+
+TEST_P(FuzzTest, RuntimeAgreesWithModelWithinBand) {
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster, /*seed=*/GetParam());
+  PerformanceModel model(&graph, cluster, &db);
+  PipelineExecutor executor(&model);
+  auto config = MakeEvenConfig(graph, cluster, 2, 2);
+  if (!config.ok()) {
+    GTEST_SKIP() << config.status().ToString();
+  }
+  const PerfResult predicted = model.Evaluate(*config);
+  ExecutionOptions exec;
+  exec.simulate_memory = false;  // synthetic models may not fit 30 GB
+  const ExecutionResult actual = executor.Execute(*config, exec);
+  EXPECT_GT(actual.iteration_seconds, predicted.iteration_time * 0.5);
+  EXPECT_LT(actual.iteration_seconds, predicted.iteration_time * 2.0);
+}
+
+TEST_P(FuzzTest, RandomZeroFlagsNeverIncreaseMemory) {
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster, /*seed=*/GetParam());
+  PerformanceModel model(&graph, cluster, &db);
+  auto config = MakeEvenConfig(graph, cluster, 2, 8);
+  if (!config.ok()) {
+    GTEST_SKIP() << config.status().ToString();
+  }
+  const PerfResult plain = model.Evaluate(*config);
+  ParallelConfig flagged = *config;
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    flagged.MutableOpSettings(i).zero_opt = rng_.NextBool(0.5);
+  }
+  const PerfResult sharded = model.Evaluate(flagged);
+  EXPECT_LE(sharded.MaxMemory(), plain.MaxMemory());
+  EXPECT_TRUE(std::isfinite(sharded.iteration_time));
+}
+
+TEST_P(FuzzTest, ConfigIoRoundTripsOnRandomModels) {
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  auto config = MakeEvenConfig(graph, cluster, 2, 4);
+  if (!config.ok()) {
+    GTEST_SKIP() << config.status().ToString();
+  }
+  // Random recompute flags.
+  for (int i = 0; i < graph.num_ops(); ++i) {
+    config->MutableOpSettings(i).recompute = rng_.NextBool(0.3);
+  }
+  auto parsed = ParseConfig(SerializeConfig(*config, graph.name()), graph);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->SemanticHash(graph), config->SemanticHash(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,75 @@
+#include "src/hw/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+TEST(PrecisionTest, BytesPerElement) {
+  EXPECT_EQ(BytesPerElement(Precision::kFp16), 2);
+  EXPECT_EQ(BytesPerElement(Precision::kFp32), 4);
+}
+
+TEST(PrecisionTest, Names) {
+  EXPECT_STREQ(PrecisionName(Precision::kFp16), "fp16");
+  EXPECT_STREQ(PrecisionName(Precision::kFp32), "fp32");
+}
+
+TEST(GpuSpecTest, PeakFlopsByPrecision) {
+  GpuSpec gpu;
+  EXPECT_GT(gpu.PeakFlops(Precision::kFp16), gpu.PeakFlops(Precision::kFp32));
+}
+
+TEST(GpuSpecTest, EfficiencySaturatesWithWork) {
+  GpuSpec gpu;
+  const double small = gpu.Efficiency(1e6);
+  const double medium = gpu.Efficiency(1e9);
+  const double large = gpu.Efficiency(1e12);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_LE(large, gpu.max_efficiency);
+  EXPECT_NEAR(large, gpu.max_efficiency, 0.01);
+}
+
+TEST(GpuSpecTest, ComputeTimeIncludesLaunchOverhead) {
+  GpuSpec gpu;
+  EXPECT_GE(gpu.ComputeTime(0.0, 0, Precision::kFp16),
+            gpu.kernel_launch_seconds);
+}
+
+TEST(GpuSpecTest, ComputeTimeMonotoneInWork) {
+  GpuSpec gpu;
+  double prev = 0.0;
+  for (double flops = 1e6; flops <= 1e13; flops *= 10) {
+    const double t = gpu.ComputeTime(flops, 0, Precision::kFp16);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GpuSpecTest, MemoryBoundOpsLimitedByBandwidth) {
+  GpuSpec gpu;
+  // An op with almost no FLOPs but huge traffic is bandwidth-bound.
+  const int64_t bytes = int64_t{8} * 1024 * 1024 * 1024;
+  const double t = gpu.ComputeTime(1e3, bytes, Precision::kFp32);
+  const double expected = static_cast<double>(bytes) / gpu.hbm_bandwidth;
+  EXPECT_NEAR(t, expected + gpu.kernel_launch_seconds, expected * 0.01);
+}
+
+TEST(GpuSpecTest, SplittingWorkIsSublinearSpeedup) {
+  // The efficiency curve makes an 8-way split slower than 1/8 the time —
+  // the core tensor-parallelism trade-off of the paper.
+  GpuSpec gpu;
+  const double whole = gpu.ComputeTime(8e9, 0, Precision::kFp16);
+  const double eighth = gpu.ComputeTime(1e9, 0, Precision::kFp16);
+  EXPECT_GT(eighth, whole / 8.0);
+}
+
+TEST(GpuSpecTest, FasterAtFp16) {
+  GpuSpec gpu;
+  EXPECT_LT(gpu.ComputeTime(1e12, 0, Precision::kFp16),
+            gpu.ComputeTime(1e12, 0, Precision::kFp32));
+}
+
+}  // namespace
+}  // namespace aceso

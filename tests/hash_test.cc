@@ -1,0 +1,71 @@
+#include "src/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace aceso {
+namespace {
+
+TEST(FnvHashTest, EmptyStringIsOffsetBasis) {
+  EXPECT_EQ(FnvHashString(""), kFnvOffsetBasis);
+}
+
+TEST(FnvHashTest, KnownVector) {
+  // FNV-1a 64-bit of "a" is a published constant.
+  EXPECT_EQ(FnvHashString("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(FnvHashTest, DifferentStringsDiffer) {
+  EXPECT_NE(FnvHashString("abc"), FnvHashString("abd"));
+  EXPECT_NE(FnvHashString("abc"), FnvHashString("acb"));
+}
+
+TEST(FnvHashTest, SeedChaining) {
+  const uint64_t h1 = FnvHashString("ab");
+  const uint64_t h2 = FnvHashString("b", FnvHashString("a"));
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(HashCombineTest, OrderDependent) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HasherTest, FieldOrderMatters) {
+  Hasher a;
+  a.Add(1).Add(2);
+  Hasher b;
+  b.Add(2).Add(1);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(HasherTest, MixedTypes) {
+  Hasher h;
+  h.Add(uint64_t{7}).Add(-3).Add(true).Add(2.5).Add(std::string_view("x"));
+  Hasher same;
+  same.Add(uint64_t{7}).Add(-3).Add(true).Add(2.5).Add(std::string_view("x"));
+  EXPECT_EQ(h.Digest(), same.Digest());
+}
+
+TEST(HasherTest, DoubleBitPatternDistinguished) {
+  Hasher a;
+  a.Add(0.0);
+  Hasher b;
+  b.Add(1.0);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(HasherTest, ManyInputsFewCollisions) {
+  std::set<uint64_t> digests;
+  for (int i = 0; i < 10000; ++i) {
+    Hasher h;
+    h.Add(i).Add(i * 3);
+    digests.insert(h.Digest());
+  }
+  EXPECT_EQ(digests.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,172 @@
+// Cross-module integration tests: full search -> execute pipelines, the
+// paper's case studies, and end-to-end accuracy properties.
+
+#include <gtest/gtest.h>
+
+#include "src/aceso.h"
+
+namespace aceso {
+namespace {
+
+TEST(IntegrationTest, SearchThenExecuteGpt) {
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  SearchOptions options;
+  options.time_budget_seconds = 1.0;
+  const SearchResult search = AcesoSearch(model, options);
+  ASSERT_TRUE(search.found);
+
+  PipelineExecutor executor(&model);
+  const ExecutionResult run = executor.Execute(search.best.config);
+  EXPECT_FALSE(run.oom);
+  EXPECT_GT(run.Throughput(graph.global_batch_size()), 0.0);
+}
+
+TEST(IntegrationTest, TimePredictionAccuracy) {
+  // Exp#8's property at test scale: the performance model's iteration-time
+  // prediction lands within 15% of the simulated actual execution.
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  PipelineExecutor executor(&model);
+  for (int stages : {1, 2, 4}) {
+    auto config = MakeEvenConfig(graph, cluster, stages, 2);
+    ASSERT_TRUE(config.ok());
+    const PerfResult predicted = model.Evaluate(*config);
+    const ExecutionResult actual = executor.Execute(*config);
+    const double err = std::abs(actual.iteration_seconds -
+                                predicted.iteration_time) /
+                       actual.iteration_seconds;
+    EXPECT_LT(err, 0.15) << "stages=" << stages;
+  }
+}
+
+TEST(IntegrationTest, MemoryPredictionIsSafeOverestimate) {
+  // Exp#9's property: predictions avoid underestimating enough to OOM —
+  // predicted >= actual * 0.9 across stage counts.
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  PipelineExecutor executor(&model);
+  for (int stages : {1, 2, 4}) {
+    auto config = MakeEvenConfig(graph, cluster, stages, 2);
+    ASSERT_TRUE(config.ok());
+    const PerfResult predicted = model.Evaluate(*config);
+    const ExecutionResult actual = executor.Execute(*config);
+    for (int s = 0; s < stages; ++s) {
+      const int64_t predicted_mem =
+          predicted.stages[static_cast<size_t>(s)].memory_bytes;
+      const int64_t actual_mem =
+          actual.stages[static_cast<size_t>(s)].peak_reserved_bytes;
+      EXPECT_GT(static_cast<double>(predicted_mem),
+                static_cast<double>(actual_mem) * 0.9)
+          << "stage " << s << " of " << stages;
+    }
+  }
+}
+
+TEST(IntegrationTest, CaseStudyGpt13BOn4Gpus) {
+  // §5.4 case study: for GPT-3 1.3B on 4 GPUs, Aceso prefers pipeline
+  // parallelism with little recomputation and uneven stages, while
+  // Megatron's grid prefers data parallelism with recomputation. Aceso's
+  // plan must be at least as fast.
+  const OpGraph graph = models::Gpt3(1.3);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+
+  SearchOptions options;
+  options.time_budget_seconds = 2.0;
+  const SearchResult aceso = AcesoSearch(model, options);
+  const BaselineResult megatron = MegatronGridSearch(model);
+  ASSERT_TRUE(aceso.found);
+  ASSERT_TRUE(megatron.found);
+  EXPECT_LE(aceso.best.perf.iteration_time,
+            megatron.best.perf.iteration_time * 1.02);
+}
+
+TEST(IntegrationTest, AcesoMatchesOrBeatsAlpaLike) {
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+
+  SearchOptions options;
+  options.time_budget_seconds = 3.0;
+  const SearchResult aceso = AcesoSearch(model, options);
+  AlpaOptions alpa_options;
+  alpa_options.layer_group_counts = {8, 24};
+  const auto alpa = AlpaLikeSearch(model, alpa_options);
+  ASSERT_TRUE(aceso.found);
+  ASSERT_TRUE(alpa.ok());
+  ASSERT_TRUE(alpa->found);
+  EXPECT_LE(aceso.best.perf.iteration_time,
+            alpa->best.perf.iteration_time * 1.05);
+  // And at a tiny fraction of Alpa's (simulated-compile-inclusive) cost.
+  EXPECT_LT(aceso.search_seconds, alpa->TotalSearchSeconds() * 0.05);
+}
+
+TEST(IntegrationTest, ProfileDatabaseReuseAcrossSearches) {
+  // The second search reuses the first's measurements: no new profiling.
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  SearchOptions options;
+  options.time_budget_seconds = 0.5;
+  AcesoSearch(model, options);
+  const size_t entries_after_first = db.NumEntries();
+  const double profiling_after_first = db.SimulatedProfilingSeconds();
+  AcesoSearch(model, options);
+  EXPECT_EQ(db.NumEntries(), entries_after_first);
+  EXPECT_DOUBLE_EQ(db.SimulatedProfilingSeconds(), profiling_after_first);
+}
+
+TEST(IntegrationTest, ScalesToDeepModels) {
+  // Exp#3's property at test scale: the search handles a 256-layer model
+  // (where the Alpa-like solver refuses to compile) within budget.
+  const OpGraph graph = models::DeepTransformer(256);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+
+  SearchOptions options;
+  options.time_budget_seconds = 3.0;
+  options.max_stages = 8;
+  const SearchResult aceso = AcesoSearch(model, options);
+  ASSERT_TRUE(aceso.found);
+  EXPECT_FALSE(aceso.best.perf.oom);
+
+  const auto alpa = AlpaLikeSearch(model);
+  EXPECT_FALSE(alpa.ok());  // compilation failure beyond 64 layers
+}
+
+TEST(IntegrationTest, TopConfigsRunnableInRuntime) {
+  // §5.1: the top-5 configurations are all executable; picking the actual
+  // best among them is well-defined.
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  SearchOptions options;
+  options.time_budget_seconds = 1.0;
+  const SearchResult search = AcesoSearch(model, options);
+  ASSERT_TRUE(search.found);
+  ASSERT_FALSE(search.top_configs.empty());
+
+  PipelineExecutor executor(&model);
+  double best_actual = 1e300;
+  for (const ScoredConfig& candidate : search.top_configs) {
+    const ExecutionResult run = executor.Execute(candidate.config);
+    EXPECT_FALSE(run.oom);
+    best_actual = std::min(best_actual, run.iteration_seconds);
+  }
+  EXPECT_LT(best_actual, 1e300);
+}
+
+}  // namespace
+}  // namespace aceso

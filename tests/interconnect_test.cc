@@ -1,0 +1,91 @@
+#include "src/hw/interconnect.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+class InterconnectTest : public ::testing::Test {
+ protected:
+  ClusterSpec cluster_ = ClusterSpec::PaperCluster();
+  InterconnectModel model_{cluster_};
+};
+
+TEST_F(InterconnectTest, P2PIntraNodeFasterThanInter) {
+  const int64_t bytes = 64 * kMiB;
+  EXPECT_LT(model_.P2PTime(bytes, /*cross_node=*/false),
+            model_.P2PTime(bytes, /*cross_node=*/true));
+}
+
+TEST_F(InterconnectTest, P2PScalesWithBytes) {
+  EXPECT_LT(model_.P2PTime(kMiB, false), model_.P2PTime(64 * kMiB, false));
+}
+
+TEST_F(InterconnectTest, SingletonDomainIsFree) {
+  const CommDomain domain{1, false};
+  EXPECT_EQ(model_.CollectiveTime(CollectiveKind::kAllReduce, kGiB, domain),
+            0.0);
+}
+
+TEST_F(InterconnectTest, ZeroBytesIsFree) {
+  const CommDomain domain{8, false};
+  EXPECT_EQ(model_.CollectiveTime(CollectiveKind::kAllReduce, 0, domain), 0.0);
+}
+
+TEST_F(InterconnectTest, AllReduceCostsTwiceAllGather) {
+  const CommDomain domain{8, false};
+  const int64_t bytes = 256 * kMiB;
+  const double ar = model_.CollectiveTime(CollectiveKind::kAllReduce, bytes,
+                                          domain);
+  const double ag = model_.CollectiveTime(CollectiveKind::kAllGather, bytes,
+                                          domain);
+  EXPECT_NEAR(ar, 2.0 * ag, ar * 0.01);
+}
+
+TEST_F(InterconnectTest, ReduceScatterEqualsAllGather) {
+  const CommDomain domain{4, false};
+  const int64_t bytes = 32 * kMiB;
+  EXPECT_DOUBLE_EQ(
+      model_.CollectiveTime(CollectiveKind::kAllGather, bytes, domain),
+      model_.CollectiveTime(CollectiveKind::kReduceScatter, bytes, domain));
+}
+
+TEST_F(InterconnectTest, CrossNodeDomainIsSlower) {
+  const int64_t bytes = 128 * kMiB;
+  const double intra = model_.CollectiveTime(CollectiveKind::kAllReduce, bytes,
+                                             CommDomain{8, false});
+  const double inter = model_.CollectiveTime(CollectiveKind::kAllReduce, bytes,
+                                             CommDomain{8, true});
+  EXPECT_LT(intra, inter);
+}
+
+TEST_F(InterconnectTest, RingBandwidthTermSaturates) {
+  // 2(n-1)/n approaches 2: doubling the ring size far less than doubles the
+  // time for large n.
+  const int64_t bytes = kGiB;
+  const double n8 = model_.CollectiveTime(CollectiveKind::kAllReduce, bytes,
+                                          CommDomain{8, false});
+  const double n4 = model_.CollectiveTime(CollectiveKind::kAllReduce, bytes,
+                                          CommDomain{4, false});
+  EXPECT_LT(n8 / n4, 1.2);
+}
+
+TEST_F(InterconnectTest, BroadcastMovesOneBuffer) {
+  const CommDomain domain{4, false};
+  const int64_t bytes = 512 * kMiB;
+  const double t = model_.CollectiveTime(CollectiveKind::kBroadcast, bytes,
+                                         domain);
+  const double wire = static_cast<double>(bytes) / cluster_.nvlink_bandwidth;
+  EXPECT_NEAR(t, wire + 3 * cluster_.nvlink_latency, wire * 0.01);
+}
+
+TEST(CollectiveKindTest, Names) {
+  EXPECT_STREQ(CollectiveKindName(CollectiveKind::kAllReduce), "all-reduce");
+  EXPECT_STREQ(CollectiveKindName(CollectiveKind::kAllGather), "all-gather");
+  EXPECT_STREQ(CollectiveKindName(CollectiveKind::kReduceScatter),
+               "reduce-scatter");
+  EXPECT_STREQ(CollectiveKindName(CollectiveKind::kBroadcast), "broadcast");
+}
+
+}  // namespace
+}  // namespace aceso

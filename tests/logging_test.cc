@@ -1,0 +1,48 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, FilteredMessagesDoNotEvaluateCheaply) {
+  // The streamed expression after a filtered ACESO_LOG is still evaluated
+  // (standard macro semantics) but must not crash or emit.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  ACESO_LOG(ERROR) << "suppressed " << 42;
+  ACESO_LOG(DEBUG) << "suppressed too";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ACESO_CHECK(1 + 1 == 2) << "never shown";
+  ACESO_CHECK_EQ(4, 4);
+  ACESO_CHECK_NE(4, 5);
+  ACESO_CHECK_LT(1, 2);
+  ACESO_CHECK_LE(2, 2);
+  ACESO_CHECK_GT(3, 2);
+  ACESO_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(ACESO_CHECK(false) << "boom", "Check failed: false");
+}
+
+TEST(LoggingDeathTest, CheckEqFailureAborts) {
+  const int a = 1;
+  const int b = 2;
+  EXPECT_DEATH(ACESO_CHECK_EQ(a, b), "Check failed");
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,93 @@
+#include "src/baselines/megatron.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class MegatronTest : public ::testing::Test {
+ protected:
+  MegatronTest()
+      : graph_(models::Gpt3(0.35)),
+        cluster_(ClusterSpec::WithGpuCount(8)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_) {}
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+};
+
+TEST_F(MegatronTest, MakeConfigBasics) {
+  auto config = MakeMegatronConfig(graph_, cluster_, 2, 2, 2, 4, false);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config->num_stages(), 2);
+  EXPECT_EQ(config->TotalDevices(), 8);
+  EXPECT_TRUE(config->Validate(graph_, cluster_).ok());
+}
+
+TEST_F(MegatronTest, ConfigIsGloballyUniform) {
+  auto config = MakeMegatronConfig(graph_, cluster_, 2, 2, 2, 4, true);
+  ASSERT_TRUE(config.ok());
+  for (const StageConfig& stage : config->stages()) {
+    EXPECT_EQ(stage.num_devices, 4);
+    for (const OpParallel& setting : stage.ops) {
+      EXPECT_TRUE(setting.recompute);
+      EXPECT_LE(setting.tp, 2);
+    }
+  }
+}
+
+TEST_F(MegatronTest, RejectsMismatchedDeviceProduct) {
+  EXPECT_FALSE(MakeMegatronConfig(graph_, cluster_, 2, 2, 4, 4, false).ok());
+}
+
+TEST_F(MegatronTest, RejectsCrossNodeTensorParallelism) {
+  const ClusterSpec multi = ClusterSpec::WithGpuCount(16);
+  EXPECT_FALSE(MakeMegatronConfig(graph_, multi, 16, 1, 1, 1, false).ok());
+}
+
+TEST_F(MegatronTest, RejectsDpNotDividingMicrobatch) {
+  EXPECT_FALSE(MakeMegatronConfig(graph_, cluster_, 1, 8, 1, 4, false).ok());
+}
+
+TEST_F(MegatronTest, EvenOpSplitAcrossStages) {
+  auto config = MakeMegatronConfig(graph_, cluster_, 1, 1, 8, 1, false);
+  ASSERT_TRUE(config.ok());
+  int min_ops = graph_.num_ops();
+  int max_ops = 0;
+  for (const StageConfig& stage : config->stages()) {
+    min_ops = std::min(min_ops, stage.num_ops);
+    max_ops = std::max(max_ops, stage.num_ops);
+  }
+  EXPECT_LE(max_ops - min_ops, 1);
+}
+
+TEST_F(MegatronTest, GridSearchFindsFeasibleConfig) {
+  const BaselineResult result = MegatronGridSearch(model_);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.best.perf.oom);
+  EXPECT_GT(result.configs_explored, 10);
+  EXPECT_TRUE(result.best.config.Validate(graph_, cluster_).ok());
+}
+
+TEST_F(MegatronTest, GridSearchIsFast) {
+  const BaselineResult result = MegatronGridSearch(model_);
+  EXPECT_LT(result.search_seconds, 30.0);
+  EXPECT_EQ(result.simulated_profile_seconds, 0.0);
+}
+
+TEST_F(MegatronTest, GridSearchOnSingleGpu) {
+  const ClusterSpec one = ClusterSpec::SingleGpu();
+  ProfileDatabase db(one);
+  PerformanceModel model(&graph_, one, &db);
+  const BaselineResult result = MegatronGridSearch(model);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.best.config.num_stages(), 1);
+}
+
+}  // namespace
+}  // namespace aceso

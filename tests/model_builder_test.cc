@@ -1,0 +1,162 @@
+#include "src/ir/model_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+TEST(TransformerLayerTest, DecoderLayerHasEightOps) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  TransformerLayerSpec spec;
+  AppendTransformerLayer(graph, "l0.", spec);
+  EXPECT_EQ(graph.num_ops(), 8);  // ln, qkv, core, proj, ln, fc1, gelu, fc2
+}
+
+TEST(TransformerLayerTest, CrossAttentionAddsFourOps) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  TransformerLayerSpec spec;
+  spec.cross_seq_len = 2048;
+  AppendTransformerLayer(graph, "l0.", spec);
+  EXPECT_EQ(graph.num_ops(), 12);  // + ln_cross, xqkv, xcore, xproj
+}
+
+TEST(TransformerLayerTest, ParamCountMatchesFormula) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  TransformerLayerSpec spec;
+  spec.hidden = 1024;
+  spec.ffn_hidden = 4096;
+  AppendTransformerLayer(graph, "l0.", spec);
+  // qkv 3h^2 + proj h^2 + fc1 h*f + fc2 f*h + 2 layernorms 2h each.
+  const int64_t h = 1024;
+  const int64_t f = 4096;
+  const int64_t expected_elems = 3 * h * h + h * h + 2 * h * f + 2 * 2 * h;
+  EXPECT_EQ(graph.TotalParamCount(), expected_elems);
+}
+
+TEST(TransformerLayerTest, FlopsDominatedByMatmuls) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  TransformerLayerSpec spec;
+  spec.hidden = 2048;
+  spec.ffn_hidden = 8192;
+  spec.seq_len = 2048;
+  AppendTransformerLayer(graph, "l0.", spec);
+  const double s = 2048;
+  const double h = 2048;
+  const double f = 8192;
+  // 2sh*3h (qkv) + 4s^2h (attn) + 2shh (proj) + 2shf*2 (mlp).
+  const double matmul_flops =
+      6 * s * h * h + 4 * s * s * h + 2 * s * h * h + 4 * s * h * f;
+  EXPECT_NEAR(graph.TotalFwdFlops(), matmul_flops, matmul_flops * 0.02);
+}
+
+TEST(TransformerLayerTest, MegatronPartitionDims) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  AppendTransformerLayer(graph, "l0.", TransformerLayerSpec{});
+  // Column-parallel qkv/fc1, row-parallel proj/fc2.
+  for (const Operator& op : graph.ops()) {
+    if (op.kind == OpKind::kQkvProj || op.kind == OpKind::kMlpFc1) {
+      EXPECT_EQ(op.default_tp_dim, TpDim::kColumn) << op.name;
+    }
+    if (op.kind == OpKind::kAttnOutProj || op.kind == OpKind::kMlpFc2) {
+      EXPECT_EQ(op.default_tp_dim, TpDim::kRow) << op.name;
+    }
+  }
+}
+
+TEST(TransformerLayerTest, AttentionCoreHasScoreWorkspace) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  TransformerLayerSpec spec;
+  spec.num_heads = 16;
+  spec.seq_len = 2048;
+  AppendTransformerLayer(graph, "l0.", spec);
+  for (const Operator& op : graph.ops()) {
+    if (op.kind == OpKind::kAttnCore) {
+      EXPECT_EQ(op.work_bytes, int64_t{16} * 2048 * 2048 * 2);
+      EXPECT_EQ(op.tp_class, TpClass::kShardFollower);
+    }
+  }
+}
+
+TEST(TransformerLayerTest, LayerNormIsReplicated) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  AppendTransformerLayer(graph, "l0.", TransformerLayerSpec{});
+  for (const Operator& op : graph.ops()) {
+    if (op.kind == OpKind::kLayerNorm) {
+      EXPECT_EQ(op.tp_class, TpClass::kReplicated);
+      EXPECT_EQ(op.max_tp, 1);
+    }
+  }
+}
+
+TEST(EmbeddingTest, VocabParallel) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  AppendEmbedding(graph, "", 51200, 1024, 2048);
+  ASSERT_EQ(graph.num_ops(), 1);
+  const Operator& op = graph.op(0);
+  EXPECT_EQ(op.param_bytes, int64_t{51200} * 1024 * 2);
+  EXPECT_EQ(op.tp_class, TpClass::kPartitioned);
+}
+
+TEST(LmHeadTest, ProducesHeadAndLoss) {
+  OpGraph graph("t", Precision::kFp16, 8);
+  AppendLmHead(graph, "", 51200, 1024, 2048);
+  EXPECT_EQ(graph.num_ops(), 2);
+  EXPECT_EQ(graph.op(0).kind, OpKind::kLmHead);
+  EXPECT_EQ(graph.op(1).kind, OpKind::kSoftmaxLoss);
+}
+
+TEST(BottleneckBlockTest, OpCountAndShapes) {
+  OpGraph graph("r", Precision::kFp32, 8);
+  BottleneckSpec spec;
+  AppendBottleneckBlock(graph, "b0.", spec);
+  // conv1 + bn/relu + conv2 + bn/relu + conv3 + bn/relu + residual = 10 ops.
+  EXPECT_EQ(graph.num_ops(), 10);
+}
+
+TEST(BottleneckBlockTest, StrideHalvesSpatialSize) {
+  OpGraph graph("r", Precision::kFp32, 8);
+  BottleneckSpec spec;
+  spec.in_hw = 56;
+  spec.stride = 2;
+  spec.in_channels = 256;
+  spec.out_channels = 512;
+  AppendBottleneckBlock(graph, "b0.", spec);
+  // The final residual output is 28x28x512 in fp32.
+  const Operator& last = graph.op(graph.num_ops() - 1);
+  EXPECT_EQ(last.out_bytes, int64_t{28} * 28 * 512 * 4);
+}
+
+TEST(BottleneckBlockTest, ProjectionShortcutAddsParams) {
+  OpGraph plain("r", Precision::kFp32, 8);
+  BottleneckSpec same;
+  same.in_channels = 256;
+  same.out_channels = 256;
+  AppendBottleneckBlock(plain, "b.", same);
+
+  OpGraph projected("r", Precision::kFp32, 8);
+  BottleneckSpec changed = same;
+  changed.out_channels = 512;
+  AppendBottleneckBlock(projected, "b.", changed);
+
+  const Operator& plain_res = plain.op(plain.num_ops() - 1);
+  const Operator& proj_res = projected.op(projected.num_ops() - 1);
+  EXPECT_EQ(plain_res.param_bytes, 0);
+  EXPECT_GT(proj_res.param_bytes, 0);
+}
+
+TEST(ConvStemTest, DownsamplesByFour) {
+  OpGraph graph("r", Precision::kFp32, 8);
+  AppendConvStem(graph, "", 3, 64, 224);
+  ASSERT_EQ(graph.num_ops(), 2);
+  EXPECT_EQ(graph.op(1).out_bytes, int64_t{56} * 56 * 64 * 4);
+}
+
+TEST(ClassifierHeadTest, ThreeOps) {
+  OpGraph graph("r", Precision::kFp32, 8);
+  AppendClassifierHead(graph, "", 2048, 7, 1000);
+  EXPECT_EQ(graph.num_ops(), 3);
+  EXPECT_EQ(graph.op(1).kind, OpKind::kFullyConnected);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,72 @@
+#include "src/ir/operator.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+Operator MakeOp() {
+  Operator op;
+  op.name = "fc";
+  op.kind = OpKind::kMlpFc1;
+  op.fwd_flops = 1e9;
+  op.param_bytes = 1024;
+  op.in_bytes = 64;
+  op.out_bytes = 128;
+  op.max_tp = 8;
+  op.tp_class = TpClass::kPartitioned;
+  return op;
+}
+
+TEST(OperatorTest, SignatureStableUnderRename) {
+  Operator a = MakeOp();
+  Operator b = MakeOp();
+  b.name = "different";
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(OperatorTest, SignatureChangesWithCostFields) {
+  const Operator base = MakeOp();
+  Operator flops = base;
+  flops.fwd_flops *= 2;
+  EXPECT_NE(base.Signature(), flops.Signature());
+
+  Operator params = base;
+  params.param_bytes += 1;
+  EXPECT_NE(base.Signature(), params.Signature());
+
+  Operator act = base;
+  act.out_bytes += 1;
+  EXPECT_NE(base.Signature(), act.Signature());
+
+  Operator cls = base;
+  cls.tp_class = TpClass::kReplicated;
+  EXPECT_NE(base.Signature(), cls.Signature());
+}
+
+TEST(OperatorTest, SignatureIgnoresDefaultDim) {
+  // The partition dimension is a configuration choice, not operator
+  // identity: profiles are shared across dims.
+  Operator a = MakeOp();
+  Operator b = MakeOp();
+  a.default_tp_dim = TpDim::kColumn;
+  b.default_tp_dim = TpDim::kRow;
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(OperatorTest, KindNamesDistinct) {
+  EXPECT_STRNE(OpKindName(OpKind::kMlpFc1), OpKindName(OpKind::kMlpFc2));
+  EXPECT_STREQ(OpKindName(OpKind::kLayerNorm), "layernorm");
+  EXPECT_STREQ(OpKindName(OpKind::kConv2d), "conv2d");
+}
+
+TEST(OperatorTest, TpDimAndClassNames) {
+  EXPECT_STREQ(TpDimName(TpDim::kColumn), "column");
+  EXPECT_STREQ(TpDimName(TpDim::kRow), "row");
+  EXPECT_STREQ(TpClassName(TpClass::kPartitioned), "partitioned");
+  EXPECT_STREQ(TpClassName(TpClass::kShardFollower), "shard_follower");
+  EXPECT_STREQ(TpClassName(TpClass::kReplicated), "replicated");
+}
+
+}  // namespace
+}  // namespace aceso

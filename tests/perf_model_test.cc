@@ -1,0 +1,253 @@
+#include "src/cost/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  PerfModelTest()
+      : graph_(models::Gpt3(0.35)),
+        cluster_(ClusterSpec::WithGpuCount(8)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_) {}
+
+  ParallelConfig Even(int stages, int mbs = 1) {
+    auto config = MakeEvenConfig(graph_, cluster_, stages, mbs);
+    EXPECT_TRUE(config.ok()) << config.status().ToString();
+    return *std::move(config);
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+};
+
+TEST_F(PerfModelTest, ProducesPositiveTimes) {
+  const PerfResult perf = model_.Evaluate(Even(4));
+  EXPECT_GT(perf.iteration_time, 0.0);
+  ASSERT_EQ(perf.stages.size(), 4u);
+  for (const StageUsage& s : perf.stages) {
+    EXPECT_GT(s.fwd_time, 0.0);
+    EXPECT_GT(s.bwd_time, s.fwd_time);  // backward is ~2x forward
+    EXPECT_GT(s.memory_bytes, 0);
+  }
+}
+
+TEST_F(PerfModelTest, EvaluationCounterAdvances) {
+  model_.ResetEvaluationCount();
+  const ParallelConfig config = Even(2);
+  model_.Evaluate(config);
+  model_.Evaluate(config);
+  EXPECT_EQ(model_.NumEvaluations(), 2);
+}
+
+TEST_F(PerfModelTest, DeterministicEvaluation) {
+  const ParallelConfig config = Even(4);
+  const PerfResult a = model_.Evaluate(config);
+  const PerfResult b = model_.Evaluate(config);
+  EXPECT_DOUBLE_EQ(a.iteration_time, b.iteration_time);
+  EXPECT_EQ(a.MaxMemory(), b.MaxMemory());
+}
+
+TEST_F(PerfModelTest, IterationTimeIsMaxStageTime) {
+  const PerfResult perf = model_.Evaluate(Even(4));
+  double max_stage = 0.0;
+  for (const StageUsage& s : perf.stages) {
+    max_stage = std::max(max_stage, s.stage_time);
+  }
+  EXPECT_DOUBLE_EQ(perf.iteration_time, max_stage);
+  EXPECT_DOUBLE_EQ(
+      perf.stages[static_cast<size_t>(perf.slowest_stage)].stage_time,
+      max_stage);
+}
+
+TEST_F(PerfModelTest, Eq2Decomposition) {
+  // stage_time = warmup + steady + cooldown + dp_sync, with warmup equal to
+  // the upstream forward prefix.
+  const ParallelConfig config = Even(4);
+  const PerfResult perf = model_.Evaluate(config);
+  double fwd_prefix = 0.0;
+  double bwd_prefix = 0.0;
+  const int64_t n_mb = config.NumMicrobatches(graph_);
+  for (const StageUsage& s : perf.stages) {
+    EXPECT_DOUBLE_EQ(s.warmup_time, fwd_prefix);
+    EXPECT_DOUBLE_EQ(s.cooldown_time, bwd_prefix);
+    EXPECT_DOUBLE_EQ(s.steady_time,
+                     static_cast<double>(n_mb) * (s.fwd_time + s.bwd_time));
+    EXPECT_DOUBLE_EQ(s.stage_time, s.warmup_time + s.steady_time +
+                                       s.cooldown_time + s.dp_sync_time);
+    fwd_prefix += s.fwd_time;
+    bwd_prefix += s.bwd_time;
+  }
+}
+
+TEST_F(PerfModelTest, Eq1MemoryDecomposition) {
+  const ParallelConfig config = Even(4);
+  const PerfResult perf = model_.Evaluate(config);
+  const int p = config.num_stages();
+  for (int s = 0; s < p; ++s) {
+    const StageUsage& u = perf.stages[static_cast<size_t>(s)];
+    EXPECT_EQ(u.memory_bytes,
+              u.param_bytes + u.optimizer_bytes +
+                  u.activation_bytes_per_mb * (p - s) + u.reserved_bytes);
+  }
+}
+
+TEST_F(PerfModelTest, EarlierStagesHoldMoreActivationCopies) {
+  // With a balanced partition, 1F1B makes stage 0 the memory-heaviest
+  // (paper §3.1 / Figure 3).
+  const PerfResult perf = model_.Evaluate(Even(4));
+  EXPECT_GT(perf.stages[0].activation_bytes_per_mb * 4,
+            perf.stages[3].activation_bytes_per_mb * 1);
+}
+
+TEST_F(PerfModelTest, OptimizerMultiplierByPrecision) {
+  EXPECT_DOUBLE_EQ(OptimizerMultiplier(Precision::kFp16), 7.0);
+  EXPECT_DOUBLE_EQ(OptimizerMultiplier(Precision::kFp32), 3.0);
+}
+
+TEST_F(PerfModelTest, RecomputeTradesTimeForMemory) {
+  ParallelConfig base = Even(2, 4);
+  ParallelConfig recomputed = base;
+  for (int i = 0; i < graph_.num_ops(); ++i) {
+    recomputed.MutableOpSettings(i).recompute = true;
+  }
+  const PerfResult perf_base = model_.Evaluate(base);
+  const PerfResult perf_rc = model_.Evaluate(recomputed);
+  EXPECT_LT(perf_rc.MaxMemory(), perf_base.MaxMemory());
+  EXPECT_GT(perf_rc.iteration_time, perf_base.iteration_time);
+  EXPECT_GT(perf_rc.stages[0].recompute_time, 0.0);
+}
+
+TEST_F(PerfModelTest, LargerMicrobatchImprovesComputeEfficiency) {
+  const PerfResult mbs1 = model_.Evaluate(Even(2, 1));
+  const PerfResult mbs8 = model_.Evaluate(Even(2, 8));
+  // Total compute time over the iteration shrinks with bigger kernels.
+  const auto total_comp = [](const PerfResult& r, int64_t n_mb) {
+    double t = 0.0;
+    for (const StageUsage& s : r.stages) {
+      t += s.comp_time * static_cast<double>(n_mb);
+    }
+    return t;
+  };
+  EXPECT_LT(total_comp(mbs8, 128), total_comp(mbs1, 1024));
+  // ... but holds more memory per in-flight microbatch.
+  EXPECT_GT(mbs8.stages[0].activation_bytes_per_mb,
+            mbs1.stages[0].activation_bytes_per_mb);
+}
+
+TEST_F(PerfModelTest, TensorParallelismAddsCommunication) {
+  // One stage, all devices: tp=8 has tp collectives, dp=8 has grad sync.
+  ParallelConfig tp_config = Even(1, 8);
+  tp_config.mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  ASSERT_TRUE(tp_config.Validate(graph_, cluster_).ok());
+  const PerfResult perf = model_.Evaluate(tp_config);
+  EXPECT_GT(perf.stages[0].comm_time, 0.0);
+}
+
+TEST_F(PerfModelTest, DataParallelismAddsGradientSync) {
+  ParallelConfig dp_config = Even(1, 8);
+  dp_config.mutable_stage(0).SetUniformParallelism(graph_, 1, 8);
+  ASSERT_TRUE(dp_config.Validate(graph_, cluster_).ok());
+  const PerfResult perf = model_.Evaluate(dp_config);
+  EXPECT_GT(perf.stages[0].dp_sync_time, 0.0);
+}
+
+TEST_F(PerfModelTest, TpShardsParameterMemory) {
+  ParallelConfig tp_config = Even(1, 8);
+  tp_config.mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  ParallelConfig dp_config = Even(1, 8);
+  dp_config.mutable_stage(0).SetUniformParallelism(graph_, 1, 8);
+  const PerfResult tp = model_.Evaluate(tp_config);
+  const PerfResult dp = model_.Evaluate(dp_config);
+  // dp replicates parameters; tp shards the big matmuls.
+  EXPECT_LT(tp.stages[0].param_bytes, dp.stages[0].param_bytes);
+}
+
+TEST_F(PerfModelTest, OomFlagSetWhenMemoryExceedsCapacity) {
+  // Shrink the device memory until the config cannot fit.
+  ClusterSpec tiny = cluster_;
+  tiny.gpu.memory_bytes = 1 * kGiB;
+  ProfileDatabase tiny_db(tiny);
+  PerformanceModel tiny_model(&graph_, tiny, &tiny_db);
+  const PerfResult perf = tiny_model.Evaluate(Even(1, 8));
+  EXPECT_TRUE(perf.oom);
+  EXPECT_GT(perf.MaxMemory(), perf.memory_limit);
+}
+
+TEST_F(PerfModelTest, BetterThanOrdersFeasibleBeforeOom) {
+  PerfResult feasible;
+  feasible.oom = false;
+  feasible.iteration_time = 100.0;
+  PerfResult oom;
+  oom.oom = true;
+  oom.iteration_time = 1.0;
+  EXPECT_TRUE(feasible.BetterThan(oom));
+  EXPECT_FALSE(oom.BetterThan(feasible));
+}
+
+TEST_F(PerfModelTest, StageWalkMatchesEvaluateAggregates) {
+  const ParallelConfig config = Even(3, 2);
+  const PerfResult perf = model_.Evaluate(config);
+  for (int s = 0; s < 3; ++s) {
+    const StageWalk walk = model_.WalkStage(config, s);
+    double fwd = walk.p2p_fwd;
+    int64_t params = 0;
+    for (const OpBreakdown& op : walk.ops) {
+      fwd += op.fwd_kernel + op.fwd_comm;
+      params += op.param_bytes;
+    }
+    EXPECT_NEAR(fwd, perf.stages[static_cast<size_t>(s)].fwd_time, 1e-12);
+    EXPECT_EQ(params, perf.stages[static_cast<size_t>(s)].param_bytes);
+  }
+}
+
+TEST_F(PerfModelTest, TimeShareSumsToOne) {
+  const PerfResult perf = model_.Evaluate(Even(2));
+  for (const StageUsage& s : perf.stages) {
+    const double total = s.TimeShare(Resource::kComputation) +
+                         s.TimeShare(Resource::kCommunication);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+// Property sweep: for every model family and stage count, the evaluation is
+// finite, positive, and internally consistent.
+class PerfSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(PerfSweepTest, EvaluationConsistent) {
+  const auto& [name, stages] = GetParam();
+  auto graph = models::BuildByName(name);
+  ASSERT_TRUE(graph.ok());
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&*graph, cluster, &db);
+  auto config = MakeEvenConfig(*graph, cluster, stages, 1);
+  ASSERT_TRUE(config.ok());
+  const PerfResult perf = model.Evaluate(*config);
+  EXPECT_TRUE(std::isfinite(perf.iteration_time));
+  EXPECT_GT(perf.iteration_time, 0.0);
+  EXPECT_EQ(perf.stages.size(), static_cast<size_t>(stages));
+  for (const StageUsage& s : perf.stages) {
+    EXPECT_GE(s.comm_time, 0.0);
+    EXPECT_GT(s.comp_time, 0.0);
+    EXPECT_GT(s.memory_bytes, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PerfSweepTest,
+    ::testing::Combine(::testing::Values("gpt3-0.35b", "t5-0.77b",
+                                         "wresnet-0.5b", "deepnet-16"),
+                       ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,153 @@
+#include "src/runtime/pipeline_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : graph_(models::Gpt3(0.35)),
+        cluster_(ClusterSpec::WithGpuCount(4)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_),
+        executor_(&model_) {}
+
+  ParallelConfig Even(int stages, int mbs = 1) {
+    auto config = MakeEvenConfig(graph_, cluster_, stages, mbs);
+    EXPECT_TRUE(config.ok());
+    return *std::move(config);
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+  PipelineExecutor executor_;
+};
+
+TEST_F(ExecutorTest, ProducesPositiveIterationTime) {
+  const ExecutionResult result = executor_.Execute(Even(2, 2));
+  EXPECT_GT(result.iteration_seconds, 0.0);
+  EXPECT_EQ(result.stages.size(), 2u);
+}
+
+TEST_F(ExecutorTest, DeterministicForSameSeed) {
+  const ParallelConfig config = Even(2, 2);
+  ExecutionOptions options;
+  options.seed = 11;
+  const ExecutionResult a = executor_.Execute(config, options);
+  const ExecutionResult b = executor_.Execute(config, options);
+  EXPECT_DOUBLE_EQ(a.iteration_seconds, b.iteration_seconds);
+  EXPECT_EQ(a.stages[0].peak_reserved_bytes, b.stages[0].peak_reserved_bytes);
+}
+
+TEST_F(ExecutorTest, SeedVariesTiming) {
+  const ParallelConfig config = Even(2, 2);
+  ExecutionOptions a;
+  a.seed = 1;
+  ExecutionOptions b;
+  b.seed = 2;
+  EXPECT_NE(executor_.Execute(config, a).iteration_seconds,
+            executor_.Execute(config, b).iteration_seconds);
+}
+
+TEST_F(ExecutorTest, ActualTracksPrediction) {
+  // The executor and the closed-form model describe the same plan; their
+  // iteration times agree within a loose factor (Exp#8 measures the tight
+  // one).
+  const ParallelConfig config = Even(4, 2);
+  const PerfResult predicted = model_.Evaluate(config);
+  const ExecutionResult actual = executor_.Execute(config);
+  EXPECT_GT(actual.iteration_seconds, predicted.iteration_time * 0.7);
+  EXPECT_LT(actual.iteration_seconds, predicted.iteration_time * 1.3);
+}
+
+TEST_F(ExecutorTest, PipelineOverlapBeatsSequentialSum) {
+  // The pipeline makespan is far below the sum of all stage busy times
+  // (i.e. stages really do overlap).
+  const ExecutionResult result = executor_.Execute(Even(4, 2));
+  double busy_sum = 0.0;
+  for (const StageExecution& s : result.stages) {
+    busy_sum += s.gpu_busy_seconds;
+  }
+  EXPECT_LT(result.iteration_seconds, busy_sum * 0.9);
+}
+
+TEST_F(ExecutorTest, MemorySimulationReportsPeaks) {
+  const ExecutionResult result = executor_.Execute(Even(2, 2));
+  for (const StageExecution& s : result.stages) {
+    EXPECT_GT(s.peak_allocated_bytes, 0);
+    EXPECT_GE(s.peak_reserved_bytes, s.peak_allocated_bytes);
+  }
+}
+
+TEST_F(ExecutorTest, ModelOverestimatesActualMemory) {
+  // §3.3: the performance model deliberately overestimates reserved memory;
+  // the simulated allocator should come in at or below the prediction for
+  // the heaviest stage.
+  const ParallelConfig config = Even(2, 4);
+  const PerfResult predicted = model_.Evaluate(config);
+  const ExecutionResult actual = executor_.Execute(config);
+  const int64_t predicted_peak = predicted.MaxMemory();
+  int64_t actual_peak = 0;
+  for (const StageExecution& s : actual.stages) {
+    actual_peak = std::max(actual_peak, s.peak_reserved_bytes);
+  }
+  EXPECT_LT(actual_peak, static_cast<int64_t>(
+                             static_cast<double>(predicted_peak) * 1.15));
+}
+
+TEST_F(ExecutorTest, SkippingMemorySimulationLeavesZeroes) {
+  ExecutionOptions options;
+  options.simulate_memory = false;
+  const ExecutionResult result = executor_.Execute(Even(2, 2), options);
+  EXPECT_FALSE(result.oom);
+  EXPECT_EQ(result.stages[0].peak_reserved_bytes, 0);
+}
+
+TEST_F(ExecutorTest, OomDetectedOnTinyDevice) {
+  ClusterSpec tiny = cluster_;
+  tiny.gpu.memory_bytes = 2 * kGiB;
+  ProfileDatabase db(tiny);
+  PerformanceModel model(&graph_, tiny, &db);
+  PipelineExecutor executor(&model);
+  auto config = MakeEvenConfig(graph_, tiny, 1, 8);
+  ASSERT_TRUE(config.ok());
+  const ExecutionResult result = executor.Execute(*config);
+  EXPECT_TRUE(result.oom);
+}
+
+TEST_F(ExecutorTest, RecomputationLowersActualMemory) {
+  ParallelConfig plain = Even(2, 4);
+  ParallelConfig recomputed = plain;
+  for (int i = 0; i < graph_.num_ops(); ++i) {
+    recomputed.MutableOpSettings(i).recompute = true;
+  }
+  const ExecutionResult a = executor_.Execute(plain);
+  const ExecutionResult b = executor_.Execute(recomputed);
+  EXPECT_LT(b.stages[0].peak_reserved_bytes, a.stages[0].peak_reserved_bytes);
+  EXPECT_GT(b.iteration_seconds, a.iteration_seconds);
+}
+
+TEST_F(ExecutorTest, ThroughputAndTflopsHelpers) {
+  const ExecutionResult result = executor_.Execute(Even(2, 2));
+  EXPECT_GT(result.Throughput(graph_.global_batch_size()), 0.0);
+  const double tflops = executor_.EffectiveTflopsPerGpu(result);
+  EXPECT_GT(tflops, 1.0);
+  EXPECT_LT(tflops, 125.0);  // below fp16 peak
+}
+
+TEST_F(ExecutorTest, EarlierStagesHoldMoreMemory) {
+  // 1F1B keeps (p - s) microbatches in flight: with a balanced partition,
+  // the first stage's peak dominates the last stage's.
+  const ExecutionResult result = executor_.Execute(Even(4, 2));
+  EXPECT_GT(result.stages[0].peak_reserved_bytes,
+            result.stages[3].peak_reserved_bytes);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,134 @@
+#include "src/core/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace aceso {
+namespace {
+
+TEST(PrimitiveTableTest, HasPaperRowsPlusExtensions) {
+  EXPECT_EQ(kNumPaperPrimitives, 10);
+  EXPECT_EQ(PrimitiveTable().size(), static_cast<size_t>(kNumPrimitives));
+  EXPECT_EQ(kNumPrimitives, 12);  // 10 paper rows + inc/dec-zero extension
+}
+
+TEST(PrimitiveTableTest, IndexedByKind) {
+  const auto& table = PrimitiveTable();
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(table[i].kind), i);
+  }
+}
+
+TEST(PrimitiveTableTest, IncDecPairsAreOpposites) {
+  // Each inc/dec pair has mirrored trends in every resource column.
+  const auto& table = PrimitiveTable();
+  auto mirror = [](Trend t) {
+    if (t == Trend::kIncrease) return Trend::kDecrease;
+    if (t == Trend::kDecrease) return Trend::kIncrease;
+    return Trend::kUnchanged;
+  };
+  for (size_t i = 0; i < table.size(); i += 2) {
+    const PrimitiveInfo& inc = table[i];
+    const PrimitiveInfo& dec = table[i + 1];
+    EXPECT_EQ(dec.computation, mirror(inc.computation))
+        << PrimitiveName(inc.kind);
+    EXPECT_EQ(dec.communication, mirror(inc.communication))
+        << PrimitiveName(inc.kind);
+    EXPECT_EQ(dec.memory, mirror(inc.memory)) << PrimitiveName(inc.kind);
+  }
+}
+
+TEST(PrimitiveTableTest, NoFreeLunch) {
+  // §3.2.1: no primitive decreases every resource.
+  for (const PrimitiveInfo& info : PrimitiveTable()) {
+    const bool all_decrease = info.computation == Trend::kDecrease &&
+                              info.communication == Trend::kDecrease &&
+                              info.memory == Trend::kDecrease;
+    EXPECT_FALSE(all_decrease) << PrimitiveName(info.kind);
+  }
+}
+
+TEST(QueryTest, MemoryDecreasingPrimitives) {
+  // Default query covers the paper's Table-1 rows only.
+  const auto prims = PrimitivesDecreasing(Resource::kMemory);
+  // dec-op#, dec-mbs, inc-dp, inc-tp, inc-rc.
+  EXPECT_EQ(prims.size(), 5u);
+  EXPECT_NE(std::find(prims.begin(), prims.end(), PrimitiveKind::kIncRc),
+            prims.end());
+  EXPECT_NE(std::find(prims.begin(), prims.end(), PrimitiveKind::kIncTp),
+            prims.end());
+  EXPECT_NE(std::find(prims.begin(), prims.end(), PrimitiveKind::kDecMbs),
+            prims.end());
+}
+
+TEST(QueryTest, CommunicationDecreasingPrimitives) {
+  const auto prims = PrimitivesDecreasing(Resource::kCommunication);
+  // dec-dp, dec-tp.
+  EXPECT_EQ(prims.size(), 2u);
+  EXPECT_NE(std::find(prims.begin(), prims.end(), PrimitiveKind::kDecDp),
+            prims.end());
+  EXPECT_NE(std::find(prims.begin(), prims.end(), PrimitiveKind::kDecTp),
+            prims.end());
+}
+
+TEST(QueryTest, ComputationDecreasingPrimitives) {
+  const auto prims = PrimitivesDecreasing(Resource::kComputation);
+  // dec-op#, inc-mbs, inc-dp, inc-tp, dec-rc.
+  EXPECT_EQ(prims.size(), 5u);
+  EXPECT_NE(std::find(prims.begin(), prims.end(), PrimitiveKind::kIncMbs),
+            prims.end());
+  EXPECT_NE(std::find(prims.begin(), prims.end(), PrimitiveKind::kDecRc),
+            prims.end());
+}
+
+TEST(PartnerTest, DeviceMigrationsHavePartners) {
+  const auto inc_tp = PartnerPrimitives(PrimitiveKind::kIncTp);
+  EXPECT_EQ(inc_tp.size(), 2u);
+  const auto inc_op = PartnerPrimitives(PrimitiveKind::kIncOpCount);
+  ASSERT_EQ(inc_op.size(), 1u);
+  EXPECT_EQ(inc_op[0], PrimitiveKind::kDecOpCount);
+}
+
+TEST(QueryTest, ExtensionsOnlyWhenRequested) {
+  const auto paper = PrimitivesDecreasing(Resource::kMemory);
+  EXPECT_EQ(std::find(paper.begin(), paper.end(), PrimitiveKind::kIncZero),
+            paper.end());
+  const auto extended =
+      PrimitivesDecreasing(Resource::kMemory, /*include_extensions=*/true);
+  EXPECT_NE(std::find(extended.begin(), extended.end(),
+                      PrimitiveKind::kIncZero),
+            extended.end());
+  EXPECT_EQ(extended.size(), paper.size() + 1);
+
+  const auto comm_extended = PrimitivesDecreasing(
+      Resource::kCommunication, /*include_extensions=*/true);
+  EXPECT_NE(std::find(comm_extended.begin(), comm_extended.end(),
+                      PrimitiveKind::kDecZero),
+            comm_extended.end());
+}
+
+TEST(PartnerTest, MbsAndRcActAlone) {
+  EXPECT_TRUE(PartnerPrimitives(PrimitiveKind::kIncMbs).empty());
+  EXPECT_TRUE(PartnerPrimitives(PrimitiveKind::kDecMbs).empty());
+  EXPECT_TRUE(PartnerPrimitives(PrimitiveKind::kIncRc).empty());
+  EXPECT_TRUE(PartnerPrimitives(PrimitiveKind::kDecRc).empty());
+}
+
+TEST(NamesTest, AllPrimitiveNamesUnique) {
+  std::vector<std::string> names;
+  for (const PrimitiveInfo& info : PrimitiveTable()) {
+    names.push_back(PrimitiveName(info.kind));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(NamesTest, TrendNames) {
+  EXPECT_STREQ(TrendName(Trend::kIncrease), "increase");
+  EXPECT_STREQ(TrendName(Trend::kUnchanged), "unchanged");
+  EXPECT_STREQ(TrendName(Trend::kDecrease), "decrease");
+}
+
+}  // namespace
+}  // namespace aceso

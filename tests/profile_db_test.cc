@@ -1,0 +1,158 @@
+#include "src/profile/profile_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace aceso {
+namespace {
+
+Operator MakeMatmul() {
+  Operator op;
+  op.name = "fc";
+  op.kind = OpKind::kMlpFc1;
+  op.fwd_flops = 2.0 * 2048 * 1024 * 4096;
+  op.param_bytes = int64_t{1024} * 4096 * 2;
+  op.in_bytes = int64_t{2048} * 1024 * 2;
+  op.out_bytes = int64_t{2048} * 4096 * 2;
+  op.max_tp = 16;
+  op.tp_class = TpClass::kPartitioned;
+  return op;
+}
+
+class ProfileDbTest : public ::testing::Test {
+ protected:
+  ClusterSpec cluster_ = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db_{cluster_, /*seed=*/42};
+};
+
+TEST_F(ProfileDbTest, MeasurementsArePositive) {
+  const OpMeasurement m = db_.OpTime(MakeMatmul(), Precision::kFp16, 1, 1);
+  EXPECT_GT(m.fwd_seconds, 0.0);
+  EXPECT_GT(m.bwd_seconds, 0.0);
+}
+
+TEST_F(ProfileDbTest, BackwardCostsMoreThanForward) {
+  const OpMeasurement m = db_.OpTime(MakeMatmul(), Precision::kFp16, 1, 4);
+  EXPECT_GT(m.bwd_seconds, m.fwd_seconds);
+}
+
+TEST_F(ProfileDbTest, MemoizationReturnsIdenticalValues) {
+  const Operator op = MakeMatmul();
+  const OpMeasurement a = db_.OpTime(op, Precision::kFp16, 2, 4);
+  const OpMeasurement b = db_.OpTime(op, Precision::kFp16, 2, 4);
+  EXPECT_DOUBLE_EQ(a.fwd_seconds, b.fwd_seconds);
+  EXPECT_EQ(db_.NumEntries(), 1u);
+}
+
+TEST_F(ProfileDbTest, ShardingReducesTimeSublinearly) {
+  const Operator op = MakeMatmul();
+  const double whole = db_.OpTime(op, Precision::kFp16, 1, 8).fwd_seconds;
+  const double shard8 = db_.OpTime(op, Precision::kFp16, 8, 8).fwd_seconds;
+  EXPECT_LT(shard8, whole);
+  EXPECT_GT(shard8, whole / 8.0);  // efficiency loss, the tp trade-off
+}
+
+TEST_F(ProfileDbTest, LargerBatchImprovesEfficiency) {
+  const Operator op = MakeMatmul();
+  const double b1 = db_.OpTime(op, Precision::kFp16, 1, 1).fwd_seconds;
+  const double b8 = db_.OpTime(op, Precision::kFp16, 1, 8).fwd_seconds;
+  EXPECT_LT(b8, 8.0 * b1);  // sublinear growth
+  EXPECT_GT(b8, b1);
+}
+
+TEST_F(ProfileDbTest, DeterministicAcrossInstancesWithSameSeed) {
+  ProfileDatabase other(cluster_, /*seed=*/42);
+  const Operator op = MakeMatmul();
+  EXPECT_DOUBLE_EQ(db_.OpTime(op, Precision::kFp16, 4, 2).fwd_seconds,
+                   other.OpTime(op, Precision::kFp16, 4, 2).fwd_seconds);
+}
+
+TEST_F(ProfileDbTest, SeedChangesMeasurements) {
+  ProfileDatabase other(cluster_, /*seed=*/43);
+  const Operator op = MakeMatmul();
+  EXPECT_NE(db_.OpTime(op, Precision::kFp16, 4, 2).fwd_seconds,
+            other.OpTime(op, Precision::kFp16, 4, 2).fwd_seconds);
+}
+
+TEST_F(ProfileDbTest, MeasurementNearAnalyticTime) {
+  // Averaged jittered runs stay within the systematic-bias envelope (±5%)
+  // of the analytic hardware model.
+  const Operator op = MakeMatmul();
+  const OpMeasurement m = db_.OpTime(op, Precision::kFp16, 1, 1);
+  const double ideal = cluster_.gpu.ComputeTime(
+      op.fwd_flops, op.in_bytes + op.out_bytes + op.param_bytes,
+      Precision::kFp16);
+  EXPECT_NEAR(m.fwd_seconds, ideal, ideal * 0.08);
+}
+
+TEST_F(ProfileDbTest, CollectiveTimeInterpolatesBetweenBuckets) {
+  const CommDomain domain{4, false};
+  const int64_t low = 1 << 20;
+  const int64_t high = 1 << 21;
+  const double t_low =
+      db_.CollectiveTime(CollectiveKind::kAllReduce, low, domain);
+  const double t_mid = db_.CollectiveTime(CollectiveKind::kAllReduce,
+                                          low + low / 2, domain);
+  const double t_high =
+      db_.CollectiveTime(CollectiveKind::kAllReduce, high, domain);
+  EXPECT_GT(t_mid, t_low);
+  EXPECT_LT(t_mid, t_high);
+}
+
+TEST_F(ProfileDbTest, CollectiveSingletonFree) {
+  EXPECT_EQ(db_.CollectiveTime(CollectiveKind::kAllReduce, kMiB,
+                               CommDomain{1, false}),
+            0.0);
+}
+
+TEST_F(ProfileDbTest, ProfilingOverheadAccumulates) {
+  EXPECT_EQ(db_.SimulatedProfilingSeconds(), 0.0);
+  db_.OpTime(MakeMatmul(), Precision::kFp16, 1, 1);
+  const double after_one = db_.SimulatedProfilingSeconds();
+  EXPECT_GT(after_one, 0.0);
+  // A cache hit adds nothing.
+  db_.OpTime(MakeMatmul(), Precision::kFp16, 1, 1);
+  EXPECT_DOUBLE_EQ(db_.SimulatedProfilingSeconds(), after_one);
+}
+
+TEST_F(ProfileDbTest, SaveLoadRoundTrip) {
+  const Operator op = MakeMatmul();
+  const OpMeasurement m = db_.OpTime(op, Precision::kFp16, 2, 4);
+  db_.CollectiveTime(CollectiveKind::kAllReduce, kMiB, CommDomain{4, false});
+  const std::string path = ::testing::TempDir() + "/profile_db_test.txt";
+  ASSERT_TRUE(db_.Save(path).ok());
+
+  ProfileDatabase loaded(cluster_, /*seed=*/999);  // different seed
+  ASSERT_TRUE(loaded.Load(path).ok());
+  // The loaded database returns the *stored* measurement, not a fresh
+  // (different-seed) one.
+  EXPECT_DOUBLE_EQ(loaded.OpTime(op, Precision::kFp16, 2, 4).fwd_seconds,
+                   m.fwd_seconds);
+  std::remove(path.c_str());
+}
+
+TEST_F(ProfileDbTest, ConcurrentAccessIsSafe) {
+  const Operator op = MakeMatmul();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, &op, t] {
+      for (int i = 0; i < 200; ++i) {
+        db_.OpTime(op, Precision::kFp16, 1 << (i % 4), 1 + t % 3);
+        db_.CollectiveTime(CollectiveKind::kAllGather, (i + 1) * 1000,
+                           CommDomain{2 + t % 4, false});
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GT(db_.NumEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace aceso

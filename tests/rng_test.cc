@@ -1,0 +1,125 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace aceso {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ReseedingResets) {
+  Rng rng(7);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Seed(7);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(42);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(2024);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(RngTest, NextBoolProbabilityEdges) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng rng(4);
+  int trues = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    trues += rng.NextBool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.03);
+}
+
+TEST(RngTest, MixU64IsDeterministicAndSpreads) {
+  EXPECT_EQ(MixU64(1), MixU64(1));
+  EXPECT_NE(MixU64(1), MixU64(2));
+  // Adjacent inputs should differ in many bits.
+  const uint64_t x = MixU64(100) ^ MixU64(101);
+  EXPECT_GT(__builtin_popcountll(x), 16);
+}
+
+TEST(RngTest, SplitMix64AdvancesState) {
+  uint64_t state = 0;
+  const uint64_t a = SplitMix64(state);
+  const uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,110 @@
+#include "src/plan/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/models/model_zoo.h"
+#include "src/runtime/pipeline_executor.h"
+
+namespace aceso {
+namespace {
+
+// Sanity of one order: every microbatch forwarded and backwarded exactly
+// once, forward always before backward.
+void CheckOrder(const std::vector<std::pair<bool, int>>& order, int n_mb) {
+  std::vector<int> fwd(static_cast<size_t>(n_mb), 0);
+  std::vector<int> bwd(static_cast<size_t>(n_mb), 0);
+  for (const auto& [is_fwd, m] : order) {
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, n_mb);
+    if (is_fwd) {
+      ++fwd[static_cast<size_t>(m)];
+      EXPECT_EQ(bwd[static_cast<size_t>(m)], 0);
+    } else {
+      ++bwd[static_cast<size_t>(m)];
+      EXPECT_EQ(fwd[static_cast<size_t>(m)], 1);
+    }
+  }
+  for (int m = 0; m < n_mb; ++m) {
+    EXPECT_EQ(fwd[static_cast<size_t>(m)], 1);
+    EXPECT_EQ(bwd[static_cast<size_t>(m)], 1);
+  }
+}
+
+class ScheduleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ScheduleSweep, OrdersAreComplete) {
+  const auto [schedule_int, stages, n_mb] = GetParam();
+  const auto schedule = static_cast<PipelineSchedule>(schedule_int);
+  for (int s = 0; s < stages; ++s) {
+    CheckOrder(LocalScheduleOrder(schedule, s, stages, n_mb), n_mb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleSweep,
+    ::testing::Combine(::testing::Values(0, 1),       // 1F1B, GPipe
+                       ::testing::Values(1, 2, 4, 7), // stage counts
+                       ::testing::Values(1, 3, 8, 32)));
+
+TEST(ScheduleTest, OneFOneBWarmupDepth) {
+  const auto order = LocalScheduleOrder(PipelineSchedule::k1F1B, 1, 4, 8);
+  int warmup = 0;
+  for (const auto& [is_fwd, m] : order) {
+    if (!is_fwd) {
+      break;
+    }
+    ++warmup;
+  }
+  EXPECT_EQ(warmup, 3);  // stages - stage
+}
+
+TEST(ScheduleTest, GpipeRunsAllForwardsFirst) {
+  const auto order = LocalScheduleOrder(PipelineSchedule::kGpipe, 0, 4, 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(order[static_cast<size_t>(i)].first);
+  }
+  for (int i = 8; i < 16; ++i) {
+    EXPECT_FALSE(order[static_cast<size_t>(i)].first);
+  }
+}
+
+TEST(ScheduleTest, PeakInFlight) {
+  EXPECT_EQ(PeakInFlightMicrobatches(PipelineSchedule::k1F1B, 0, 4, 32), 4);
+  EXPECT_EQ(PeakInFlightMicrobatches(PipelineSchedule::k1F1B, 3, 4, 32), 1);
+  EXPECT_EQ(PeakInFlightMicrobatches(PipelineSchedule::kGpipe, 0, 4, 32), 32);
+  // Fewer microbatches than stages clamps 1F1B's warmup.
+  EXPECT_EQ(PeakInFlightMicrobatches(PipelineSchedule::k1F1B, 0, 8, 2), 2);
+}
+
+TEST(ScheduleTest, Names) {
+  EXPECT_STREQ(PipelineScheduleName(PipelineSchedule::k1F1B), "1F1B");
+  EXPECT_STREQ(PipelineScheduleName(PipelineSchedule::kGpipe), "GPipe");
+}
+
+TEST(ScheduleTest, GpipeUsesFarMoreMemoryInRuntime) {
+  // The reason 1F1B exists: GPipe holds all microbatches' activations.
+  const OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  PipelineExecutor executor(&model);
+  auto config = MakeEvenConfig(graph, cluster, 4, 1);
+  ASSERT_TRUE(config.ok());
+
+  ExecutionOptions fifo;
+  const ExecutionResult one_f_one_b = executor.Execute(*config, fifo);
+  ExecutionOptions gpipe;
+  gpipe.schedule = PipelineSchedule::kGpipe;
+  const ExecutionResult all_fwd = executor.Execute(*config, gpipe);
+  // GPipe either OOMs outright or reserves much more memory.
+  if (!all_fwd.oom) {
+    EXPECT_GT(all_fwd.stages[0].peak_reserved_bytes,
+              2 * one_f_one_b.stages[0].peak_reserved_bytes);
+  } else {
+    EXPECT_FALSE(one_f_one_b.oom);
+  }
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,207 @@
+#include "src/core/search.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/models/model_zoo.h"
+
+namespace aceso {
+namespace {
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest()
+      : graph_(models::Gpt3(0.35)),
+        cluster_(ClusterSpec::WithGpuCount(4)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_) {}
+
+  SearchOptions FastOptions() {
+    SearchOptions options;
+    options.time_budget_seconds = 0.5;
+    options.max_hops = 5;
+    return options;
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+};
+
+TEST_F(SearchTest, FindsAFeasibleConfiguration) {
+  const SearchResult result = AcesoSearch(model_, FastOptions());
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.best.perf.oom);
+  EXPECT_TRUE(result.best.config.Validate(graph_, cluster_).ok());
+  EXPECT_GT(result.stats.configs_explored, 0);
+}
+
+TEST_F(SearchTest, ImprovesOnInitialConfiguration) {
+  auto initial = MakeEvenConfig(graph_, cluster_, 2, 1);
+  ASSERT_TRUE(initial.ok());
+  const PerfResult initial_perf = model_.Evaluate(*initial);
+  const SearchResult result = AcesoSearchForStages(model_, FastOptions(), 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_LT(result.best.perf.iteration_time, initial_perf.iteration_time);
+}
+
+TEST_F(SearchTest, RespectsTimeBudgetRoughly) {
+  SearchOptions options = FastOptions();
+  options.time_budget_seconds = 0.3;
+  const SearchResult result = AcesoSearch(model_, options);
+  // Allow generous slack for the final in-flight iteration.
+  EXPECT_LT(result.search_seconds, options.time_budget_seconds + 2.0);
+}
+
+TEST_F(SearchTest, ConvergenceTrendIsMonotone) {
+  const SearchResult result = AcesoSearch(model_, FastOptions());
+  double prev = 1e300;
+  for (const ConvergencePoint& point : result.convergence) {
+    EXPECT_LE(point.best_iteration_time, prev + 1e-12);
+    prev = point.best_iteration_time;
+  }
+}
+
+TEST_F(SearchTest, TopConfigsSortedAndDistinct) {
+  const SearchResult result = AcesoSearch(model_, FastOptions());
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.top_configs.size(), 5u);
+  for (size_t i = 1; i < result.top_configs.size(); ++i) {
+    EXPECT_LE(result.top_configs[i - 1].perf.iteration_time,
+              result.top_configs[i].perf.iteration_time);
+    EXPECT_NE(result.top_configs[i - 1].config.SemanticHash(graph_),
+              result.top_configs[i].config.SemanticHash(graph_));
+  }
+  // The best of top_configs matches the reported best.
+  if (!result.top_configs.empty()) {
+    EXPECT_DOUBLE_EQ(result.top_configs[0].perf.iteration_time,
+                     result.best.perf.iteration_time);
+  }
+}
+
+TEST_F(SearchTest, StatsHistogramsMatchImprovementCount) {
+  const SearchResult result = AcesoSearch(model_, FastOptions());
+  EXPECT_EQ(result.stats.bottleneck_attempts.size(),
+            static_cast<size_t>(result.stats.improvements));
+  EXPECT_EQ(result.stats.hops_used.size(),
+            static_cast<size_t>(result.stats.improvements));
+  for (int hops : result.stats.hops_used) {
+    EXPECT_GE(hops, 1);
+    EXPECT_LE(hops, FastOptions().max_hops);
+  }
+  for (int attempts : result.stats.bottleneck_attempts) {
+    EXPECT_GE(attempts, 1);
+  }
+}
+
+TEST_F(SearchTest, SingleStageCountSearchWorks) {
+  const SearchResult result = AcesoSearchForStages(model_, FastOptions(), 3);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.best.config.num_stages(), 3);
+}
+
+TEST_F(SearchTest, ImpossibleStageCountReturnsNotFound) {
+  const SearchResult result = AcesoSearchForStages(model_, FastOptions(), 5);
+  EXPECT_FALSE(result.found);  // 5 stages on 4 GPUs
+}
+
+TEST_F(SearchTest, MaxHopsOneStillImproves) {
+  SearchOptions options = FastOptions();
+  options.max_hops = 1;
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  for (int hops : result.stats.hops_used) {
+    EXPECT_EQ(hops, 1);
+  }
+}
+
+TEST_F(SearchTest, RandomSearchWithoutHeuristic2AlsoFindsConfigs) {
+  SearchOptions options = FastOptions();
+  options.use_heuristic2 = false;
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.best.perf.oom);
+}
+
+TEST_F(SearchTest, Heuristic2ConvergesAtLeastAsFastAsRandom) {
+  SearchOptions with = FastOptions();
+  with.time_budget_seconds = 0.4;
+  SearchOptions without = with;
+  without.use_heuristic2 = false;
+  const SearchResult guided = AcesoSearchForStages(model_, with, 2);
+  const SearchResult random = AcesoSearchForStages(model_, without, 2);
+  ASSERT_TRUE(guided.found);
+  ASSERT_TRUE(random.found);
+  EXPECT_LE(guided.best.perf.iteration_time,
+            random.best.perf.iteration_time * 1.10);
+}
+
+TEST_F(SearchTest, RobustToInitialConfiguration) {
+  // Exp#7: different starts converge to similar quality.
+  SearchOptions balanced = FastOptions();
+  SearchOptions op_imbalanced = FastOptions();
+  op_imbalanced.initial_config = InitialConfigKind::kOpImbalanced;
+  SearchOptions gpu_imbalanced = FastOptions();
+  gpu_imbalanced.initial_config = InitialConfigKind::kGpuImbalanced;
+
+  const SearchResult a = AcesoSearchForStages(model_, balanced, 4);
+  const SearchResult b = AcesoSearchForStages(model_, op_imbalanced, 4);
+  const SearchResult c = AcesoSearchForStages(model_, gpu_imbalanced, 4);
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  ASSERT_TRUE(c.found);
+  EXPECT_LT(b.best.perf.iteration_time, a.best.perf.iteration_time * 1.3);
+  EXPECT_LT(c.best.perf.iteration_time, a.best.perf.iteration_time * 1.3);
+}
+
+TEST_F(SearchTest, StatsMergeAccumulates) {
+  SearchStats a;
+  a.iterations = 3;
+  a.improvements = 1;
+  a.configs_explored = 10;
+  a.bottleneck_attempts = {1};
+  a.hops_used = {2};
+  SearchStats b;
+  b.iterations = 2;
+  b.improvements = 2;
+  b.configs_explored = 5;
+  b.bottleneck_attempts = {1, 2};
+  b.hops_used = {1, 3};
+  a.Merge(b);
+  EXPECT_EQ(a.iterations, 5);
+  EXPECT_EQ(a.improvements, 3);
+  EXPECT_EQ(a.configs_explored, 15);
+  EXPECT_EQ(a.bottleneck_attempts.size(), 3u);
+  EXPECT_EQ(a.hops_used.size(), 3u);
+}
+
+TEST_F(SearchTest, WorksWithDedupDisabled) {
+  SearchOptions options = FastOptions();
+  options.enable_dedup = false;
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.best.perf.oom);
+}
+
+TEST_F(SearchTest, WorksWithoutRecomputeAttachment) {
+  SearchOptions options = FastOptions();
+  options.enable_recompute_attachment = false;
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.best.perf.oom);
+}
+
+TEST_F(SearchTest, MemoryPressureTriggersRecomputation) {
+  // On a memory-starved device, the found configuration must use
+  // recomputation (or very high parallelism) to become feasible.
+  ClusterSpec tiny = cluster_;
+  tiny.gpu.memory_bytes = 6 * kGiB;
+  ProfileDatabase tiny_db(tiny);
+  PerformanceModel tiny_model(&graph_, tiny, &tiny_db);
+  const SearchResult result = AcesoSearch(tiny_model, FastOptions());
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.best.perf.oom);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,52 @@
+#include "src/common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace aceso {
+namespace {
+
+TEST(StopwatchTest, ElapsedGrows) {
+  Stopwatch watch;
+  const double t0 = watch.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double t1 = watch.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_GT(watch.ElapsedMillis(), 4.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.005);
+}
+
+TEST(TimeBudgetTest, UnlimitedNeverExpires) {
+  const TimeBudget budget(0.0);
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_FALSE(budget.Expired());
+  EXPECT_GT(budget.RemainingSeconds(), 1e12);
+}
+
+TEST(TimeBudgetTest, ExpiresAfterDeadline) {
+  const TimeBudget budget(0.01);
+  EXPECT_FALSE(budget.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_TRUE(budget.Expired());
+  EXPECT_EQ(budget.RemainingSeconds(), 0.0);
+}
+
+TEST(TimeBudgetTest, RemainingShrinks) {
+  const TimeBudget budget(10.0);
+  const double r0 = budget.RemainingSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_LT(budget.RemainingSeconds(), r0);
+  EXPECT_FALSE(budget.Expired());
+  EXPECT_DOUBLE_EQ(budget.budget_seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace aceso

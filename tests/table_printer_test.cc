@@ -1,0 +1,52 @@
+#include "src/common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer_name", "22"});
+  const std::string out = table.ToString();
+  // Header line and both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  // All lines have the same column start for "value"/"1"/"22".
+  const size_t value_col = out.find("value");
+  const size_t one_col = out.find("1\n") != std::string::npos
+                             ? out.find("1 ")
+                             : out.find("1");
+  EXPECT_NE(value_col, std::string::npos);
+  EXPECT_NE(one_col, std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorUnderHeader) {
+  TablePrinter table({"a"});
+  table.AddRow({"b"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"col1", "col2"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("col1"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TablePrinterTest, RowCountTracksAdds) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowWidthAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only_one"}), "row width mismatch");
+}
+
+}  // namespace
+}  // namespace aceso

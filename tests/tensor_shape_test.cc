@@ -1,0 +1,44 @@
+#include "src/ir/tensor_shape.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+TEST(TensorShapeTest, DefaultIsScalar) {
+  TensorShape shape;
+  EXPECT_EQ(shape.rank(), 0);
+  EXPECT_EQ(shape.NumElements(), 1);
+}
+
+TEST(TensorShapeTest, InitializerList) {
+  TensorShape shape{2048, 1024};
+  EXPECT_EQ(shape.rank(), 2);
+  EXPECT_EQ(shape.dim(0), 2048);
+  EXPECT_EQ(shape.dim(1), 1024);
+  EXPECT_EQ(shape.NumElements(), 2048 * 1024);
+}
+
+TEST(TensorShapeTest, VectorConstructor) {
+  TensorShape shape(std::vector<int64_t>{3, 4, 5});
+  EXPECT_EQ(shape.NumElements(), 60);
+}
+
+TEST(TensorShapeTest, LargeShapesDoNotOverflow) {
+  TensorShape shape{51200, 1024, 64};
+  EXPECT_EQ(shape.NumElements(), int64_t{51200} * 1024 * 64);
+}
+
+TEST(TensorShapeTest, ToString) {
+  TensorShape shape{2, 3};
+  EXPECT_EQ(shape.ToString(), "[2, 3]");
+  EXPECT_EQ(TensorShape{}.ToString(), "[]");
+}
+
+TEST(TensorShapeTest, Equality) {
+  EXPECT_EQ(TensorShape({1, 2}), TensorShape({1, 2}));
+  EXPECT_FALSE(TensorShape({1, 2}) == TensorShape({2, 1}));
+}
+
+}  // namespace
+}  // namespace aceso

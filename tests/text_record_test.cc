@@ -1,0 +1,102 @@
+#include "src/common/text_record.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace aceso {
+namespace {
+
+TEST(TextRecordTest, SetGetRoundTrip) {
+  TextRecord rec;
+  rec.Set("name", "fc1");
+  rec.SetInt("tp", 4);
+  rec.SetDouble("time", 1.25);
+  EXPECT_TRUE(rec.Has("name"));
+  EXPECT_EQ(*rec.Get("name"), "fc1");
+  EXPECT_EQ(*rec.GetInt("tp"), 4);
+  EXPECT_DOUBLE_EQ(*rec.GetDouble("time"), 1.25);
+}
+
+TEST(TextRecordTest, MissingFieldIsNotFound) {
+  TextRecord rec;
+  EXPECT_FALSE(rec.Has("x"));
+  EXPECT_EQ(rec.Get("x").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TextRecordTest, NonNumericFieldFailsTypedGet) {
+  TextRecord rec;
+  rec.Set("v", "hello");
+  EXPECT_EQ(rec.GetInt("v").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rec.GetDouble("v").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TextRecordTest, DoubleSurvivesSerializationExactly) {
+  TextRecord rec;
+  rec.SetDouble("v", 0.1234567890123456789);
+  auto records = ParseRecords(SerializeRecords({rec}));
+  ASSERT_TRUE(records.ok());
+  EXPECT_DOUBLE_EQ(*(*records)[0].GetDouble("v"), 0.1234567890123456789);
+}
+
+TEST(SerializeTest, MultipleRecordsRoundTrip) {
+  TextRecord a;
+  a.Set("k", "1");
+  TextRecord b;
+  b.Set("k", "2");
+  b.Set("extra", "yes");
+  auto parsed = ParseRecords(SerializeRecords({a, b}));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(*(*parsed)[0].Get("k"), "1");
+  EXPECT_EQ(*(*parsed)[1].Get("extra"), "yes");
+}
+
+TEST(ParseTest, IgnoresCommentsAndBlankLines) {
+  auto parsed = ParseRecords("# comment\n\nrecord {\n  a = 1\n}\n\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+}
+
+TEST(ParseTest, ValueMayContainSpaces) {
+  auto parsed = ParseRecords("record {\n  name = hello world\n}\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*(*parsed)[0].Get("name"), "hello world");
+}
+
+TEST(ParseTest, RejectsNestedRecord) {
+  auto parsed = ParseRecords("record {\nrecord {\n}\n}\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParseTest, RejectsStrayClose) {
+  EXPECT_FALSE(ParseRecords("}\n").ok());
+}
+
+TEST(ParseTest, RejectsLineWithoutEquals) {
+  EXPECT_FALSE(ParseRecords("record {\n  garbage\n}\n").ok());
+}
+
+TEST(ParseTest, RejectsUnterminatedRecord) {
+  EXPECT_FALSE(ParseRecords("record {\n  a = 1\n").ok());
+}
+
+TEST(FileTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/records_test.txt";
+  TextRecord rec;
+  rec.Set("x", "y");
+  ASSERT_TRUE(WriteRecordsToFile(path, {rec}).ok());
+  auto read = ReadRecordsFromFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ(*(*read)[0].Get("x"), "y");
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MissingFileIsNotFound) {
+  auto read = ReadRecordsFromFile("/nonexistent/path/file.txt");
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace aceso

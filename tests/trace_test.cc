@@ -1,0 +1,76 @@
+#include "src/runtime/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace aceso {
+namespace {
+
+EventSimulator MakeSmallSim() {
+  EventSimulator sim;
+  const ResourceId gpu0 = sim.AddResource("gpu0");
+  const ResourceId gpu1 = sim.AddResource("gpu1");
+  const TaskId a = sim.AddTask("f0", 1.0, gpu0);
+  const TaskId b = sim.AddTask("f1", 2.0, gpu1);
+  sim.AddDependency(a, b);
+  EXPECT_TRUE(sim.Run().ok());
+  return sim;
+}
+
+TEST(ChromeTraceTest, ContainsTasksAndThreads) {
+  const EventSimulator sim = MakeSmallSim();
+  const std::string json = ToChromeTraceJson(sim);
+  EXPECT_NE(json.find("\"f0\""), std::string::npos);
+  EXPECT_NE(json.find("\"f1\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"gpu1\""), std::string::npos);
+  // JSON array delimiters present.
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(ChromeTraceTest, DurationsInMicroseconds) {
+  const EventSimulator sim = MakeSmallSim();
+  const std::string json = ToChromeTraceJson(sim);
+  // f1 runs for 2 s = 2e6 us.
+  EXPECT_NE(json.find("\"dur\":2e+06"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WritesFile) {
+  const EventSimulator sim = MakeSmallSim();
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(sim, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+TEST(AsciiTimelineTest, ShowsBusyAndIdle) {
+  const EventSimulator sim = MakeSmallSim();
+  const std::string timeline = RenderAsciiTimeline(sim, 30);
+  // gpu0 busy first third, idle after; gpu1 the reverse.
+  EXPECT_NE(timeline.find("gpu0"), std::string::npos);
+  EXPECT_NE(timeline.find("gpu1"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_NE(timeline.find('.'), std::string::npos);
+}
+
+TEST(AsciiTimelineTest, EmptySimulation) {
+  EventSimulator sim;
+  EXPECT_TRUE(sim.Run().ok());
+  EXPECT_EQ(RenderAsciiTimeline(sim), "(empty timeline)\n");
+}
+
+TEST(AsciiTimelineTest, RowPerResource) {
+  const EventSimulator sim = MakeSmallSim();
+  const std::string timeline = RenderAsciiTimeline(sim, 40);
+  int rows = 0;
+  for (const char c : timeline) {
+    rows += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(rows, 3);  // 2 resources + axis line
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,45 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace aceso {
+namespace {
+
+TEST(FormatBytesTest, PicksUnit) {
+  EXPECT_EQ(FormatBytes(100), "100 B");
+  EXPECT_EQ(FormatBytes(2 * kKiB), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.00 MB");
+  EXPECT_EQ(FormatBytes(30 * kGiB), "30.00 GB");
+}
+
+TEST(FormatBytesTest, FractionalValues) {
+  EXPECT_EQ(FormatBytes(kGiB + kGiB / 2), "1.50 GB");
+}
+
+TEST(FormatFlopsTest, PicksUnit) {
+  EXPECT_EQ(FormatFlops(2.5e12), "2.50 TFLOP");
+  EXPECT_EQ(FormatFlops(3e9), "3.00 GFLOP");
+  EXPECT_EQ(FormatFlops(4e6), "4.00 MFLOP");
+}
+
+TEST(FormatSecondsTest, PicksUnit) {
+  EXPECT_EQ(FormatSeconds(2.0), "2.00 s");
+  EXPECT_EQ(FormatSeconds(0.005), "5.00 ms");
+  EXPECT_EQ(FormatSeconds(25e-6), "25.00 us");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 4), "3.1416");
+  EXPECT_EQ(FormatDouble(10.0, 0), "10");
+}
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kKiB, 1024);
+  EXPECT_EQ(kMiB, 1024 * 1024);
+  EXPECT_EQ(kGiB, int64_t{1024} * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(kTera, 1e12);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,159 @@
+// Tests for the inc-zero/dec-zero extension primitives (ZeRO-style
+// optimizer-state sharding) — the paper's "Aceso can be extended with new
+// primitives" hook, exercised end-to-end: config semantics, cost model,
+// candidate generation, search-space gating, and persistence.
+
+#include <gtest/gtest.h>
+
+#include "src/aceso.h"
+
+namespace aceso {
+namespace {
+
+class ZeroTest : public ::testing::Test {
+ protected:
+  ZeroTest()
+      : graph_(models::Gpt3(0.35)),
+        cluster_(ClusterSpec::WithGpuCount(8)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_) {}
+
+  // A single-stage pure-dp configuration where ZeRO matters most.
+  ParallelConfig DpConfig() {
+    auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
+    EXPECT_TRUE(config.ok());
+    config->mutable_stage(0).SetUniformParallelism(graph_, 1, 8);
+    EXPECT_TRUE(config->Validate(graph_, cluster_).ok());
+    return *std::move(config);
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+};
+
+TEST_F(ZeroTest, ShardingReducesMemoryAddsCommunication) {
+  ParallelConfig plain = DpConfig();
+  ParallelConfig sharded = plain;
+  for (int i = 0; i < graph_.num_ops(); ++i) {
+    sharded.MutableOpSettings(i).zero_opt = true;
+  }
+  const PerfResult a = model_.Evaluate(plain);
+  const PerfResult b = model_.Evaluate(sharded);
+  EXPECT_LT(b.stages[0].optimizer_bytes, a.stages[0].optimizer_bytes);
+  EXPECT_LT(b.MaxMemory(), a.MaxMemory());
+  EXPECT_GT(b.stages[0].dp_sync_time, a.stages[0].dp_sync_time);
+  // Computation is untouched.
+  EXPECT_DOUBLE_EQ(b.stages[0].comp_time, a.stages[0].comp_time);
+}
+
+TEST_F(ZeroTest, NoEffectWithoutDataParallelism) {
+  // tp-only stage: the flag is semantically inert.
+  auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
+  ASSERT_TRUE(config.ok());
+  config->mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  ParallelConfig flagged = *config;
+  for (int i = 0; i < graph_.num_ops(); ++i) {
+    flagged.MutableOpSettings(i).zero_opt = true;
+  }
+  const PerfResult a = model_.Evaluate(*config);
+  const PerfResult b = model_.Evaluate(flagged);
+  EXPECT_EQ(a.MaxMemory(), b.MaxMemory());
+  EXPECT_DOUBLE_EQ(a.iteration_time, b.iteration_time);
+  // And the semantic hash ignores the inert flag.
+  EXPECT_EQ(config->SemanticHash(graph_), flagged.SemanticHash(graph_));
+}
+
+TEST_F(ZeroTest, HashDistinguishesShardedDpConfigs) {
+  ParallelConfig plain = DpConfig();
+  ParallelConfig sharded = plain;
+  sharded.MutableOpSettings(0).zero_opt = true;
+  EXPECT_NE(plain.SemanticHash(graph_), sharded.SemanticHash(graph_));
+}
+
+TEST_F(ZeroTest, CandidatesToggleTheStage) {
+  const ParallelConfig config = DpConfig();
+  const PerfResult perf = model_.Evaluate(config);
+  const auto inc = GeneratePrimitiveCandidates(
+      model_, config, perf, PrimitiveKind::kIncZero, 0);
+  ASSERT_EQ(inc.size(), 1u);
+  int flagged = 0;
+  for (const OpParallel& setting : inc[0].config.stage(0).ops) {
+    flagged += setting.zero_opt ? 1 : 0;
+  }
+  EXPECT_GT(flagged, 0);
+  EXPECT_TRUE(inc[0].config.Validate(graph_, cluster_).ok());
+
+  // dec-zero on the already-sharded candidate reverses it.
+  const PerfResult inc_perf = model_.Evaluate(inc[0].config);
+  const auto dec = GeneratePrimitiveCandidates(
+      model_, inc[0].config, inc_perf, PrimitiveKind::kDecZero, 0);
+  ASSERT_EQ(dec.size(), 1u);
+  EXPECT_EQ(dec[0].config.SemanticHash(graph_),
+            config.SemanticHash(graph_));
+}
+
+TEST_F(ZeroTest, NoCandidatesWhenNothingToToggle) {
+  const ParallelConfig config = DpConfig();  // all zero_opt = false
+  const PerfResult perf = model_.Evaluate(config);
+  EXPECT_TRUE(GeneratePrimitiveCandidates(model_, config, perf,
+                                          PrimitiveKind::kDecZero, 0)
+                  .empty());
+}
+
+TEST_F(ZeroTest, SearchUsesZeroOnlyWhenEnabled) {
+  // A memory-starved device where ZeRO is the cheapest relief.
+  ClusterSpec tiny = cluster_;
+  tiny.gpu.memory_bytes = 7 * kGiB;
+  ProfileDatabase tiny_db(tiny);
+  PerformanceModel tiny_model(&graph_, tiny, &tiny_db);
+
+  SearchOptions off;
+  off.time_budget_seconds = 0.5;
+  SearchOptions on = off;
+  on.enable_zero_primitives = true;
+
+  const SearchResult without = AcesoSearch(tiny_model, off);
+  const SearchResult with = AcesoSearch(tiny_model, on);
+  ASSERT_TRUE(with.found);
+  // The paper-space search must never produce a ZeRO-flagged plan.
+  if (without.found) {
+    for (const StageConfig& stage : without.best.config.stages()) {
+      for (const OpParallel& setting : stage.ops) {
+        EXPECT_FALSE(setting.zero_opt && setting.dp > 1);
+      }
+    }
+    // The extended space is at least as good.
+    EXPECT_LE(with.best.perf.iteration_time,
+              without.best.perf.iteration_time * 1.02);
+  }
+}
+
+TEST_F(ZeroTest, ConfigIoRoundTripsZeroFlags) {
+  ParallelConfig config = DpConfig();
+  for (int i = 0; i < graph_.num_ops(); i += 3) {
+    config.MutableOpSettings(i).zero_opt = true;
+  }
+  auto parsed = ParseConfig(SerializeConfig(config, graph_.name()), graph_);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->SemanticHash(graph_), config.SemanticHash(graph_));
+  for (int i = 0; i < graph_.num_ops(); ++i) {
+    EXPECT_EQ(parsed->OpSettings(i).zero_opt, config.OpSettings(i).zero_opt);
+  }
+}
+
+TEST_F(ZeroTest, RuntimeMemoryDropsUnderSharding) {
+  ParallelConfig plain = DpConfig();
+  ParallelConfig sharded = plain;
+  for (int i = 0; i < graph_.num_ops(); ++i) {
+    sharded.MutableOpSettings(i).zero_opt = true;
+  }
+  PipelineExecutor executor(&model_);
+  const ExecutionResult a = executor.Execute(plain);
+  const ExecutionResult b = executor.Execute(sharded);
+  EXPECT_LT(b.stages[0].peak_reserved_bytes, a.stages[0].peak_reserved_bytes);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -1,0 +1,127 @@
+// aceso_plan: lower a saved configuration to an execution plan and run it in
+// the simulated runtime.
+//
+//   aceso_plan --model gpt3-1.3b --gpus 8 --config config.txt
+//              [--dump-device N] [--timeline] [--trace out.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/aceso.h"
+
+namespace {
+
+struct Args {
+  std::string model = "gpt3-1.3b";
+  int gpus = 8;
+  std::string config_path;
+  int dump_device = -1;
+  bool timeline = false;
+  std::string trace_path;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --model NAME --gpus N --config FILE "
+               "[--dump-device N] [--timeline] [--trace FILE]\n",
+               argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.model = v;
+    } else if (flag == "--gpus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.gpus = std::atoi(v);
+    } else if (flag == "--config") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.config_path = v;
+    } else if (flag == "--dump-device") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.dump_device = std::atoi(v);
+    } else if (flag == "--timeline") {
+      args.timeline = true;
+    } else if (flag == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.trace_path = v;
+    } else {
+      return false;
+    }
+  }
+  return !args.config_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aceso;
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  auto graph = models::BuildByName(args.model);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(args.gpus);
+  auto config = LoadConfigFromFile(args.config_path, *graph);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const Status valid = config->Validate(*graph, cluster);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+
+  // Lower and verify the plan.
+  const ExecutionPlan plan = ExecutionPlan::Lower(*graph, *config);
+  const Status plan_ok = plan.Verify();
+  if (!plan_ok.ok()) {
+    std::fprintf(stderr, "plan verification failed: %s\n",
+                 plan_ok.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", plan.Summary().c_str());
+  if (args.dump_device >= 0 && args.dump_device < plan.num_devices()) {
+    std::printf("%s\n", plan.DumpDevice(args.dump_device).c_str());
+  }
+
+  // Execute in the simulated runtime.
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&*graph, cluster, &db);
+  PipelineExecutor executor(&model);
+  ExecutionOptions options;
+  options.render_timeline = args.timeline;
+  options.chrome_trace_path = args.trace_path;
+  const ExecutionResult run = executor.Execute(*config, options);
+
+  std::printf("actual: %s iteration %s, %.1f samples/s, %.2f TFLOPS/GPU\n",
+              run.oom ? "OOM," : "", FormatSeconds(run.iteration_seconds).c_str(),
+              run.Throughput(graph->global_batch_size()),
+              executor.EffectiveTflopsPerGpu(run));
+  if (args.timeline) {
+    std::printf("\n%s", run.ascii_timeline.c_str());
+  }
+  if (!args.trace_path.empty()) {
+    std::printf("chrome trace written to %s\n", args.trace_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// aceso_search: command-line configuration search.
+//
+//   aceso_search --model gpt3-1.3b --gpus 8 [--budget 5] [--max-hops 7]
+//                [--out config.txt] [--seed 42] [--stages N]
+//
+// Prints the searched configuration and its predicted performance;
+// optionally writes it to a file loadable by aceso_plan / LoadConfigFromFile.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/aceso.h"
+
+namespace {
+
+struct Args {
+  std::string model = "gpt3-1.3b";
+  int gpus = 8;
+  double budget = 2.0;
+  int max_hops = 7;
+  int stages = 0;  // 0 = search all stage counts
+  uint64_t seed = 20240422;
+  std::string out;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--model NAME] [--gpus N] [--budget SECONDS] "
+      "[--max-hops N] [--stages N] [--seed N] [--out FILE]\n"
+      "models: gpt3-{0.35,1.3,2.6,6.7,13}b  t5-{0.77,3,6,11,22}b\n"
+      "        wresnet-{0.5,2,4,6.8,13}b  deepnet-<layers>\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.model = v;
+    } else if (flag == "--gpus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.gpus = std::atoi(v);
+    } else if (flag == "--budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.budget = std::atof(v);
+    } else if (flag == "--max-hops") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_hops = std::atoi(v);
+    } else if (flag == "--stages") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.stages = std::atoi(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else {
+      return false;
+    }
+  }
+  return args.gpus > 0 && args.budget > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aceso;
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  auto graph = models::BuildByName(args.model);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(args.gpus);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&*graph, cluster, &db);
+
+  std::printf("%s on %s, budget %.1fs\n", graph->Summary().c_str(),
+              cluster.ToString().c_str(), args.budget);
+
+  SearchOptions options;
+  options.time_budget_seconds = args.budget;
+  options.max_hops = args.max_hops;
+  options.seed = args.seed;
+  const SearchResult result =
+      args.stages > 0 ? AcesoSearchForStages(model, options, args.stages)
+                      : AcesoSearch(model, options);
+  if (!result.found) {
+    std::fprintf(stderr, "no feasible configuration found\n");
+    return 1;
+  }
+
+  std::printf("\n%s\n", result.best.config.ToString(*graph).c_str());
+  std::printf("predicted: %s\n", result.best.perf.Summary().c_str());
+  std::printf("search: %.2fs, %lld configs explored, %lld improvements\n",
+              result.search_seconds,
+              static_cast<long long>(result.stats.configs_explored),
+              static_cast<long long>(result.stats.improvements));
+
+  if (!args.out.empty()) {
+    const Status status =
+        SaveConfigToFile(args.out, result.best.config, graph->name());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved to %s\n", args.out.c_str());
+  }
+  return 0;
+}
