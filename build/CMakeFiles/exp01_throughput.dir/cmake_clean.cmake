@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_throughput.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp01_throughput.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp01_throughput.dir/bench/exp01_throughput.cc.o"
+  "CMakeFiles/exp01_throughput.dir/bench/exp01_throughput.cc.o.d"
+  "bench/exp01_throughput"
+  "bench/exp01_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

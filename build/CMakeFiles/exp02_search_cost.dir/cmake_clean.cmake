@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_search_cost.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp02_search_cost.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp02_search_cost.dir/bench/exp02_search_cost.cc.o"
+  "CMakeFiles/exp02_search_cost.dir/bench/exp02_search_cost.cc.o.d"
+  "bench/exp02_search_cost"
+  "bench/exp02_search_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_search_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

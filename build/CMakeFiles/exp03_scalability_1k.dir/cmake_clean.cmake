@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_scalability_1k.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp03_scalability_1k.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp03_scalability_1k.dir/bench/exp03_scalability_1k.cc.o"
+  "CMakeFiles/exp03_scalability_1k.dir/bench/exp03_scalability_1k.cc.o.d"
+  "bench/exp03_scalability_1k"
+  "bench/exp03_scalability_1k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_scalability_1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

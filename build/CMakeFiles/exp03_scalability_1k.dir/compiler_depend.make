@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp03_scalability_1k.
+# This may be replaced when dependencies are built.

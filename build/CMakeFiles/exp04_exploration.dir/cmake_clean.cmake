@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp04_exploration.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp04_exploration.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp04_exploration.dir/bench/exp04_exploration.cc.o"
+  "CMakeFiles/exp04_exploration.dir/bench/exp04_exploration.cc.o.d"
+  "bench/exp04_exploration"
+  "bench/exp04_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp04_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

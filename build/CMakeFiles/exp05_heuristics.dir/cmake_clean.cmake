@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_heuristics.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp05_heuristics.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp05_heuristics.dir/bench/exp05_heuristics.cc.o"
+  "CMakeFiles/exp05_heuristics.dir/bench/exp05_heuristics.cc.o.d"
+  "bench/exp05_heuristics"
+  "bench/exp05_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

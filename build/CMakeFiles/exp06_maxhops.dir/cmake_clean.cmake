@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_maxhops.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp06_maxhops.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp06_maxhops.dir/bench/exp06_maxhops.cc.o"
+  "CMakeFiles/exp06_maxhops.dir/bench/exp06_maxhops.cc.o.d"
+  "bench/exp06_maxhops"
+  "bench/exp06_maxhops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_maxhops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp06_maxhops.
+# This may be replaced when dependencies are built.

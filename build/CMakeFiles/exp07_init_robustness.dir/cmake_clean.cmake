@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_init_robustness.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp07_init_robustness.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp07_init_robustness.dir/bench/exp07_init_robustness.cc.o"
+  "CMakeFiles/exp07_init_robustness.dir/bench/exp07_init_robustness.cc.o.d"
+  "bench/exp07_init_robustness"
+  "bench/exp07_init_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_init_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

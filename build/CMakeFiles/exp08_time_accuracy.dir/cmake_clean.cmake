@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_time_accuracy.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp08_time_accuracy.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp08_time_accuracy.dir/bench/exp08_time_accuracy.cc.o"
+  "CMakeFiles/exp08_time_accuracy.dir/bench/exp08_time_accuracy.cc.o.d"
+  "bench/exp08_time_accuracy"
+  "bench/exp08_time_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_time_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

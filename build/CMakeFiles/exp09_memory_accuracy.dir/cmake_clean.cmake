@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_memory_accuracy.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp09_memory_accuracy.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp09_memory_accuracy.dir/bench/exp09_memory_accuracy.cc.o"
+  "CMakeFiles/exp09_memory_accuracy.dir/bench/exp09_memory_accuracy.cc.o.d"
+  "bench/exp09_memory_accuracy"
+  "bench/exp09_memory_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_memory_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

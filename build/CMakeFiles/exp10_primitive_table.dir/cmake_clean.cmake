@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_primitive_table.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp10_primitive_table.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp10_primitive_table.dir/bench/exp10_primitive_table.cc.o"
+  "CMakeFiles/exp10_primitive_table.dir/bench/exp10_primitive_table.cc.o.d"
+  "bench/exp10_primitive_table"
+  "bench/exp10_primitive_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_primitive_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_ablation.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp11_ablation.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp11_ablation.dir/bench/exp11_ablation.cc.o"
+  "CMakeFiles/exp11_ablation.dir/bench/exp11_ablation.cc.o.d"
+  "bench/exp11_ablation"
+  "bench/exp11_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_zero_extension.dir/bench/bench_util.cc.o"
+  "CMakeFiles/exp12_zero_extension.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/exp12_zero_extension.dir/bench/exp12_zero_extension.cc.o"
+  "CMakeFiles/exp12_zero_extension.dir/bench/exp12_zero_extension.cc.o.d"
+  "bench/exp12_zero_extension"
+  "bench/exp12_zero_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_zero_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp12_zero_extension.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_perf_model.dir/bench/micro_perf_model.cc.o"
+  "CMakeFiles/micro_perf_model.dir/bench/micro_perf_model.cc.o.d"
+  "bench/micro_perf_model"
+  "bench/micro_perf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

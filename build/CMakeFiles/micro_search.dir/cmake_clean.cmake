@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_search.dir/bench/micro_search.cc.o"
+  "CMakeFiles/micro_search.dir/bench/micro_search.cc.o.d"
+  "bench/micro_search"
+  "bench/micro_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_recluster.dir/elastic_recluster.cpp.o"
+  "CMakeFiles/elastic_recluster.dir/elastic_recluster.cpp.o.d"
+  "elastic_recluster"
+  "elastic_recluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_recluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_case_studies.dir/paper_case_studies.cpp.o"
+  "CMakeFiles/paper_case_studies.dir/paper_case_studies.cpp.o.d"
+  "paper_case_studies"
+  "paper_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_compare.dir/schedule_compare.cpp.o"
+  "CMakeFiles/schedule_compare.dir/schedule_compare.cpp.o.d"
+  "schedule_compare"
+  "schedule_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alpa_like.cc" "src/baselines/CMakeFiles/aceso_baselines.dir/alpa_like.cc.o" "gcc" "src/baselines/CMakeFiles/aceso_baselines.dir/alpa_like.cc.o.d"
+  "/root/repo/src/baselines/dp_solver.cc" "src/baselines/CMakeFiles/aceso_baselines.dir/dp_solver.cc.o" "gcc" "src/baselines/CMakeFiles/aceso_baselines.dir/dp_solver.cc.o.d"
+  "/root/repo/src/baselines/megatron.cc" "src/baselines/CMakeFiles/aceso_baselines.dir/megatron.cc.o" "gcc" "src/baselines/CMakeFiles/aceso_baselines.dir/megatron.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aceso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/aceso_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/aceso_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/aceso_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aceso_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aceso_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aceso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

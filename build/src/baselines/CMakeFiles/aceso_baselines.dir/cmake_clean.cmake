@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_baselines.dir/alpa_like.cc.o"
+  "CMakeFiles/aceso_baselines.dir/alpa_like.cc.o.d"
+  "CMakeFiles/aceso_baselines.dir/dp_solver.cc.o"
+  "CMakeFiles/aceso_baselines.dir/dp_solver.cc.o.d"
+  "CMakeFiles/aceso_baselines.dir/megatron.cc.o"
+  "CMakeFiles/aceso_baselines.dir/megatron.cc.o.d"
+  "libaceso_baselines.a"
+  "libaceso_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_common.dir/logging.cc.o"
+  "CMakeFiles/aceso_common.dir/logging.cc.o.d"
+  "CMakeFiles/aceso_common.dir/rng.cc.o"
+  "CMakeFiles/aceso_common.dir/rng.cc.o.d"
+  "CMakeFiles/aceso_common.dir/status.cc.o"
+  "CMakeFiles/aceso_common.dir/status.cc.o.d"
+  "CMakeFiles/aceso_common.dir/table_printer.cc.o"
+  "CMakeFiles/aceso_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/aceso_common.dir/text_record.cc.o"
+  "CMakeFiles/aceso_common.dir/text_record.cc.o.d"
+  "CMakeFiles/aceso_common.dir/thread_pool.cc.o"
+  "CMakeFiles/aceso_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/aceso_common.dir/units.cc.o"
+  "CMakeFiles/aceso_common.dir/units.cc.o.d"
+  "libaceso_common.a"
+  "libaceso_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

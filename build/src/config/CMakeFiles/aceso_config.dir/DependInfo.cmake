@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config_io.cc" "src/config/CMakeFiles/aceso_config.dir/config_io.cc.o" "gcc" "src/config/CMakeFiles/aceso_config.dir/config_io.cc.o.d"
+  "/root/repo/src/config/parallel_config.cc" "src/config/CMakeFiles/aceso_config.dir/parallel_config.cc.o" "gcc" "src/config/CMakeFiles/aceso_config.dir/parallel_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aceso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aceso_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aceso_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_config.dir/config_io.cc.o"
+  "CMakeFiles/aceso_config.dir/config_io.cc.o.d"
+  "CMakeFiles/aceso_config.dir/parallel_config.cc.o"
+  "CMakeFiles/aceso_config.dir/parallel_config.cc.o.d"
+  "libaceso_config.a"
+  "libaceso_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

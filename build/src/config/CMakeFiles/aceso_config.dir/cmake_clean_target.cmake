@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaceso_config.a"
+)

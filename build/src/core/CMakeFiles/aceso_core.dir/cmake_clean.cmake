@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_core.dir/apply.cc.o"
+  "CMakeFiles/aceso_core.dir/apply.cc.o.d"
+  "CMakeFiles/aceso_core.dir/bottleneck.cc.o"
+  "CMakeFiles/aceso_core.dir/bottleneck.cc.o.d"
+  "CMakeFiles/aceso_core.dir/finetune.cc.o"
+  "CMakeFiles/aceso_core.dir/finetune.cc.o.d"
+  "CMakeFiles/aceso_core.dir/primitives.cc.o"
+  "CMakeFiles/aceso_core.dir/primitives.cc.o.d"
+  "CMakeFiles/aceso_core.dir/search.cc.o"
+  "CMakeFiles/aceso_core.dir/search.cc.o.d"
+  "libaceso_core.a"
+  "libaceso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

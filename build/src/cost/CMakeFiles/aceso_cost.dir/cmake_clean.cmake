@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_cost.dir/perf_model.cc.o"
+  "CMakeFiles/aceso_cost.dir/perf_model.cc.o.d"
+  "CMakeFiles/aceso_cost.dir/resource_usage.cc.o"
+  "CMakeFiles/aceso_cost.dir/resource_usage.cc.o.d"
+  "libaceso_cost.a"
+  "libaceso_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cc" "src/hw/CMakeFiles/aceso_hw.dir/cluster.cc.o" "gcc" "src/hw/CMakeFiles/aceso_hw.dir/cluster.cc.o.d"
+  "/root/repo/src/hw/gpu_spec.cc" "src/hw/CMakeFiles/aceso_hw.dir/gpu_spec.cc.o" "gcc" "src/hw/CMakeFiles/aceso_hw.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/hw/interconnect.cc" "src/hw/CMakeFiles/aceso_hw.dir/interconnect.cc.o" "gcc" "src/hw/CMakeFiles/aceso_hw.dir/interconnect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aceso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

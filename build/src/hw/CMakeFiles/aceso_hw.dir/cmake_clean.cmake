@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_hw.dir/cluster.cc.o"
+  "CMakeFiles/aceso_hw.dir/cluster.cc.o.d"
+  "CMakeFiles/aceso_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/aceso_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/aceso_hw.dir/interconnect.cc.o"
+  "CMakeFiles/aceso_hw.dir/interconnect.cc.o.d"
+  "libaceso_hw.a"
+  "libaceso_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

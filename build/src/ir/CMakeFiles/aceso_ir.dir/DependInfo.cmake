@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/model_builder.cc" "src/ir/CMakeFiles/aceso_ir.dir/model_builder.cc.o" "gcc" "src/ir/CMakeFiles/aceso_ir.dir/model_builder.cc.o.d"
+  "/root/repo/src/ir/models/model_zoo.cc" "src/ir/CMakeFiles/aceso_ir.dir/models/model_zoo.cc.o" "gcc" "src/ir/CMakeFiles/aceso_ir.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/ir/models/synthetic.cc" "src/ir/CMakeFiles/aceso_ir.dir/models/synthetic.cc.o" "gcc" "src/ir/CMakeFiles/aceso_ir.dir/models/synthetic.cc.o.d"
+  "/root/repo/src/ir/op_graph.cc" "src/ir/CMakeFiles/aceso_ir.dir/op_graph.cc.o" "gcc" "src/ir/CMakeFiles/aceso_ir.dir/op_graph.cc.o.d"
+  "/root/repo/src/ir/operator.cc" "src/ir/CMakeFiles/aceso_ir.dir/operator.cc.o" "gcc" "src/ir/CMakeFiles/aceso_ir.dir/operator.cc.o.d"
+  "/root/repo/src/ir/tensor_shape.cc" "src/ir/CMakeFiles/aceso_ir.dir/tensor_shape.cc.o" "gcc" "src/ir/CMakeFiles/aceso_ir.dir/tensor_shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aceso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aceso_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_ir.dir/model_builder.cc.o"
+  "CMakeFiles/aceso_ir.dir/model_builder.cc.o.d"
+  "CMakeFiles/aceso_ir.dir/models/model_zoo.cc.o"
+  "CMakeFiles/aceso_ir.dir/models/model_zoo.cc.o.d"
+  "CMakeFiles/aceso_ir.dir/models/synthetic.cc.o"
+  "CMakeFiles/aceso_ir.dir/models/synthetic.cc.o.d"
+  "CMakeFiles/aceso_ir.dir/op_graph.cc.o"
+  "CMakeFiles/aceso_ir.dir/op_graph.cc.o.d"
+  "CMakeFiles/aceso_ir.dir/operator.cc.o"
+  "CMakeFiles/aceso_ir.dir/operator.cc.o.d"
+  "CMakeFiles/aceso_ir.dir/tensor_shape.cc.o"
+  "CMakeFiles/aceso_ir.dir/tensor_shape.cc.o.d"
+  "libaceso_ir.a"
+  "libaceso_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/execution_plan.cc" "src/plan/CMakeFiles/aceso_plan.dir/execution_plan.cc.o" "gcc" "src/plan/CMakeFiles/aceso_plan.dir/execution_plan.cc.o.d"
+  "/root/repo/src/plan/schedule.cc" "src/plan/CMakeFiles/aceso_plan.dir/schedule.cc.o" "gcc" "src/plan/CMakeFiles/aceso_plan.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/aceso_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aceso_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aceso_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aceso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_plan.dir/execution_plan.cc.o"
+  "CMakeFiles/aceso_plan.dir/execution_plan.cc.o.d"
+  "CMakeFiles/aceso_plan.dir/schedule.cc.o"
+  "CMakeFiles/aceso_plan.dir/schedule.cc.o.d"
+  "libaceso_plan.a"
+  "libaceso_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

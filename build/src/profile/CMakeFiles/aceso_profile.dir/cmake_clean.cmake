@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_profile.dir/profile_db.cc.o"
+  "CMakeFiles/aceso_profile.dir/profile_db.cc.o.d"
+  "libaceso_profile.a"
+  "libaceso_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

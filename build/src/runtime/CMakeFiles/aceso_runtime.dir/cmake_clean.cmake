@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_runtime.dir/allocator_sim.cc.o"
+  "CMakeFiles/aceso_runtime.dir/allocator_sim.cc.o.d"
+  "CMakeFiles/aceso_runtime.dir/event_sim.cc.o"
+  "CMakeFiles/aceso_runtime.dir/event_sim.cc.o.d"
+  "CMakeFiles/aceso_runtime.dir/pipeline_executor.cc.o"
+  "CMakeFiles/aceso_runtime.dir/pipeline_executor.cc.o.d"
+  "CMakeFiles/aceso_runtime.dir/trace.cc.o"
+  "CMakeFiles/aceso_runtime.dir/trace.cc.o.d"
+  "libaceso_runtime.a"
+  "libaceso_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

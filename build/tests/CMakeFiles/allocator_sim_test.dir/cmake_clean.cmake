@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_sim_test.dir/allocator_sim_test.cc.o"
+  "CMakeFiles/allocator_sim_test.dir/allocator_sim_test.cc.o.d"
+  "allocator_sim_test"
+  "allocator_sim_test.pdb"
+  "allocator_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpa_like_test.dir/alpa_like_test.cc.o"
+  "CMakeFiles/alpa_like_test.dir/alpa_like_test.cc.o.d"
+  "alpa_like_test"
+  "alpa_like_test.pdb"
+  "alpa_like_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpa_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

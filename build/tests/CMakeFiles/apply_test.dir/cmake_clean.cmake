@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apply_test.dir/apply_test.cc.o"
+  "CMakeFiles/apply_test.dir/apply_test.cc.o.d"
+  "apply_test"
+  "apply_test.pdb"
+  "apply_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

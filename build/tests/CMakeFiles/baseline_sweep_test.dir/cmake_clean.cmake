@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sweep_test.dir/baseline_sweep_test.cc.o"
+  "CMakeFiles/baseline_sweep_test.dir/baseline_sweep_test.cc.o.d"
+  "baseline_sweep_test"
+  "baseline_sweep_test.pdb"
+  "baseline_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

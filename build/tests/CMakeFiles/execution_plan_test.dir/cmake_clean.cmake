@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_plan_test.dir/execution_plan_test.cc.o"
+  "CMakeFiles/execution_plan_test.dir/execution_plan_test.cc.o.d"
+  "execution_plan_test"
+  "execution_plan_test.pdb"
+  "execution_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

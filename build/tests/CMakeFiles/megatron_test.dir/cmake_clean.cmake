@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megatron_test.dir/megatron_test.cc.o"
+  "CMakeFiles/megatron_test.dir/megatron_test.cc.o.d"
+  "megatron_test"
+  "megatron_test.pdb"
+  "megatron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megatron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_db_test.dir/profile_db_test.cc.o"
+  "CMakeFiles/profile_db_test.dir/profile_db_test.cc.o.d"
+  "profile_db_test"
+  "profile_db_test.pdb"
+  "profile_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

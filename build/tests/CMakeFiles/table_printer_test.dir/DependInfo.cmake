@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table_printer_test.cc" "tests/CMakeFiles/table_printer_test.dir/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/table_printer_test.dir/table_printer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/aceso_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aceso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aceso_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/aceso_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/aceso_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/aceso_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/aceso_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aceso_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aceso_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aceso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

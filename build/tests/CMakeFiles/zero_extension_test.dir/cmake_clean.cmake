@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_extension_test.dir/zero_extension_test.cc.o"
+  "CMakeFiles/zero_extension_test.dir/zero_extension_test.cc.o.d"
+  "zero_extension_test"
+  "zero_extension_test.pdb"
+  "zero_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

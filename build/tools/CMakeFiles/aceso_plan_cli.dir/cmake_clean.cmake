@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_plan_cli.dir/aceso_plan.cc.o"
+  "CMakeFiles/aceso_plan_cli.dir/aceso_plan.cc.o.d"
+  "aceso_plan"
+  "aceso_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_plan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aceso_search_cli.dir/aceso_search.cc.o"
+  "CMakeFiles/aceso_search_cli.dir/aceso_search.cc.o.d"
+  "aceso_search"
+  "aceso_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aceso_search_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
