@@ -6,6 +6,7 @@
 //   * configuration-semantic deduplication,
 //   * the recompute attachment on every primitive,
 //   * the op-level fine-tuning pass,
+//   * the stage-cost cache (every stage walk recomputed from scratch),
 // and reports the best predicted iteration time and exploration statistics.
 //
 // Expected shape: the full system converges to the best (or tied-best)
@@ -36,34 +37,50 @@ int main() {
   struct Variant {
     const char* name;
     void (*tweak)(SearchOptions&);
+    bool disable_stage_cache;
   };
   const Variant variants[] = {
-      {"full system", [](SearchOptions&) {}},
+      {"full system", [](SearchOptions&) {}, false},
       {"w/o heuristic-2",
-       [](SearchOptions& o) { o.use_heuristic2 = false; }},
-      {"w/o dedup", [](SearchOptions& o) { o.enable_dedup = false; }},
+       [](SearchOptions& o) { o.use_heuristic2 = false; }, false},
+      {"w/o dedup", [](SearchOptions& o) { o.enable_dedup = false; }, false},
       {"w/o rc attachment",
-       [](SearchOptions& o) { o.enable_recompute_attachment = false; }},
+       [](SearchOptions& o) { o.enable_recompute_attachment = false; },
+       false},
       {"w/o fine-tuning",
-       [](SearchOptions& o) { o.enable_finetune = false; }},
+       [](SearchOptions& o) { o.enable_finetune = false; }, false},
+      {"w/o stage cache", [](SearchOptions&) {}, true},
   };
 
   for (const auto& [name, gpus] : settings) {
     std::printf("\n--- %s @%dgpu ---\n", name.c_str(), gpus);
     Workload workload(name, gpus);
     TablePrinter table({"variant", "best pred iter(s)", "configs explored",
-                        "improvements"});
+                        "improvements", "cache hit%"});
     for (const Variant& variant : variants) {
       SearchOptions options = DefaultSearchOptions();
       variant.tweak(options);
+      // Every variant starts from a cold cache so none inherits the
+      // previous run's warm entries.
+      workload.model().mutable_stage_cache().Clear();
+      workload.model().mutable_stage_cache().set_enabled(
+          !variant.disable_stage_cache);
       const SearchResult result = AcesoSearch(workload.model(), options);
+      const int64_t lookups =
+          result.stats.cache_hits + result.stats.cache_misses;
       table.AddRow({variant.name,
                     result.found
                         ? FormatDouble(result.best.perf.iteration_time, 2)
                         : "x",
                     std::to_string(result.stats.configs_explored),
-                    std::to_string(result.stats.improvements)});
+                    std::to_string(result.stats.improvements),
+                    lookups > 0
+                        ? FormatDouble(100.0 * result.stats.cache_hits /
+                                           static_cast<double>(lookups),
+                                       1)
+                        : "-"});
     }
+    workload.model().mutable_stage_cache().set_enabled(true);
     table.Print(std::cout);
   }
   return 0;

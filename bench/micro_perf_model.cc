@@ -4,17 +4,27 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "src/aceso.h"
 
 namespace aceso {
 namespace {
 
+StageCacheOptions CacheOptions(bool enabled) {
+  StageCacheOptions options;
+  options.enabled = enabled;
+  return options;
+}
+
 struct Fixture {
-  Fixture(const std::string& name, int gpus, int stages)
+  Fixture(const std::string& name, int gpus, int stages,
+          bool cache_enabled = true)
       : graph(*models::BuildByName(name)),
         cluster(ClusterSpec::WithGpuCount(gpus)),
         db(cluster),
-        model(&graph, cluster, &db),
+        model(&graph, cluster, &db, CacheOptions(cache_enabled)),
         config(*MakeEvenConfig(graph, cluster, stages, 2)) {
     // Warm the memoized database so the benchmark measures steady state.
     model.Evaluate(config);
@@ -34,6 +44,82 @@ void BM_EvaluateGpt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EvaluateGpt)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_EvaluateGptUncached(benchmark::State& state) {
+  Fixture f("gpt3-1.3b", 8, static_cast<int>(state.range(0)),
+            /*cache_enabled=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.Evaluate(f.config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateGptUncached)->Arg(1)->Arg(4)->Arg(8);
+
+// Writes the bits of `pattern` into the recompute flags of stage 0's first
+// `flag_ops` ops — a cheap stand-in for "one primitive mutated one stage".
+void ApplyStagePattern(ParallelConfig& config, int flag_ops,
+                       uint64_t pattern) {
+  for (int i = 0; i < flag_ops; ++i) {
+    config.mutable_stage(0).ops[static_cast<size_t>(i)].recompute =
+        ((pattern >> i) & 1) != 0;
+  }
+}
+
+// The search's dominant pattern: re-evaluation after one primitive mutated a
+// single stage. The candidate sets GeneratePrimitiveCandidates() emits at
+// successive hops overlap heavily (and sibling stage-count searches share
+// the cache), so the steady state cycles through a bounded pool of stage
+// variants: model that with 64 distinct single-stage deltas applied
+// round-robin. With the cache, every stage walk is a hit after the first
+// lap; without it, each iteration re-walks all p stages.
+void ReEvaluateStageDelta(benchmark::State& state, bool cache_enabled) {
+  Fixture f("gpt3-1.3b", 8, static_cast<int>(state.range(0)), cache_enabled);
+  const StageConfig& stage0 = f.config.stage(0);
+  const int flag_ops = std::min(stage0.num_ops, 20);
+  constexpr uint64_t kPoolSize = 64;
+  uint64_t next = 0;
+  for (auto _ : state) {
+    ApplyStagePattern(f.config, flag_ops, next % kPoolSize);
+    ++next;
+    benchmark::DoNotOptimize(f.model.Evaluate(f.config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ReEvaluateStageDeltaCached(benchmark::State& state) {
+  ReEvaluateStageDelta(state, /*cache_enabled=*/true);
+}
+BENCHMARK(BM_ReEvaluateStageDeltaCached)->Arg(4)->Arg(8);
+
+void BM_ReEvaluateStageDeltaUncached(benchmark::State& state) {
+  ReEvaluateStageDelta(state, /*cache_enabled=*/false);
+}
+BENCHMARK(BM_ReEvaluateStageDeltaUncached)->Arg(4)->Arg(8);
+
+// Worst case for the cache: a never-before-seen stage delta every iteration.
+// The mutated stage is a genuine miss (hash + walk + insert) while the other
+// p-1 stage walks are hits, so this bounds the cache's first-visit overhead.
+void ReEvaluateFreshDelta(benchmark::State& state, bool cache_enabled) {
+  Fixture f("gpt3-1.3b", 8, static_cast<int>(state.range(0)), cache_enabled);
+  const StageConfig& stage0 = f.config.stage(0);
+  const int flag_ops = std::min(stage0.num_ops, 20);
+  uint64_t pattern = 0;
+  for (auto _ : state) {
+    ApplyStagePattern(f.config, flag_ops, ++pattern);
+    benchmark::DoNotOptimize(f.model.Evaluate(f.config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ReEvaluateFreshDeltaCached(benchmark::State& state) {
+  ReEvaluateFreshDelta(state, /*cache_enabled=*/true);
+}
+BENCHMARK(BM_ReEvaluateFreshDeltaCached)->Arg(4)->Arg(8);
+
+void BM_ReEvaluateFreshDeltaUncached(benchmark::State& state) {
+  ReEvaluateFreshDelta(state, /*cache_enabled=*/false);
+}
+BENCHMARK(BM_ReEvaluateFreshDeltaUncached)->Arg(4)->Arg(8);
 
 void BM_EvaluateWideResnet(benchmark::State& state) {
   Fixture f("wresnet-0.5b", 8, 4);
@@ -60,6 +146,15 @@ void BM_SemanticHash(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SemanticHash);
+
+void BM_StageSemanticHash(benchmark::State& state) {
+  Fixture f("gpt3-1.3b", 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.config.StageSemanticHash(f.graph, f.cluster, 2));
+  }
+}
+BENCHMARK(BM_StageSemanticHash);
 
 void BM_Validate(benchmark::State& state) {
   Fixture f("gpt3-1.3b", 8, 4);

@@ -34,6 +34,7 @@
 #include "src/core/search.h"
 #include "src/cost/perf_model.h"
 #include "src/cost/resource_usage.h"
+#include "src/cost/stage_cache.h"
 #include "src/hw/cluster.h"
 #include "src/hw/gpu_spec.h"
 #include "src/hw/interconnect.h"

@@ -33,6 +33,15 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
   return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
 }
 
+// Pass-through hasher for unordered containers keyed by values that are
+// already well-mixed 64-bit hashes (semantic hashes, cache keys): re-hashing
+// them through std::hash costs cycles without improving distribution.
+struct IdentityHash {
+  size_t operator()(uint64_t value) const noexcept {
+    return static_cast<size_t>(value);
+  }
+};
+
 // Streaming hasher for composing structured hashes field by field.
 class Hasher {
  public:

@@ -172,6 +172,36 @@ Status ParallelConfig::Validate(const OpGraph& graph,
   return OkStatus();
 }
 
+namespace {
+
+// Folds one stage's op settings into `h`, canonicalizing fields that do not
+// affect semantics (partition dimensions at tp == 1, ZeRO flags at dp == 1).
+// Shared by the whole-config SemanticHash and the per-stage cache key so the
+// two can never disagree about what a setting means. Each op packs into a
+// single word (one hash combine per op): this hash sits on the search's
+// innermost loop — once per candidate for deduplication and once per stage
+// for every stage-cost cache probe.
+void HashStageOps(const OpGraph& graph, const StageConfig& stage, Hasher& h) {
+  for (int i = 0; i < stage.num_ops; ++i) {
+    const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+    const Operator& op = graph.op(stage.first_op + i);
+    // The partition dimension only matters for sharded partitioned ops.
+    const bool dim_matters =
+        setting.tp > 1 && op.tp_class == TpClass::kPartitioned;
+    const uint64_t dim =
+        dim_matters ? static_cast<uint64_t>(setting.tp_dim) + 1 : 0;
+    // ZeRO only changes semantics for data-parallel ops.
+    const bool zero = setting.dp > 1 && setting.zero_opt;
+    // tp and dp are device counts (< 2^16 for any plausible cluster).
+    h.Add(static_cast<uint64_t>(setting.tp) |
+          static_cast<uint64_t>(setting.dp) << 16 | dim << 32 |
+          static_cast<uint64_t>(setting.recompute) << 35 |
+          static_cast<uint64_t>(zero) << 36);
+  }
+}
+
+}  // namespace
+
 uint64_t ParallelConfig::SemanticHash(const OpGraph& graph) const {
   Hasher h;
   h.Add(microbatch_size_);
@@ -179,20 +209,27 @@ uint64_t ParallelConfig::SemanticHash(const OpGraph& graph) const {
   for (const StageConfig& stage : stages_) {
     h.Add(stage.num_ops);
     h.Add(stage.num_devices);
-    for (int i = 0; i < stage.num_ops; ++i) {
-      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
-      const Operator& op = graph.op(stage.first_op + i);
-      h.Add(setting.tp);
-      h.Add(setting.dp);
-      // The partition dimension only matters for sharded partitioned ops.
-      const bool dim_matters =
-          setting.tp > 1 && op.tp_class == TpClass::kPartitioned;
-      h.Add(dim_matters ? static_cast<int>(setting.tp_dim) : 0);
-      h.Add(setting.recompute);
-      // ZeRO only changes semantics for data-parallel ops.
-      h.Add(setting.dp > 1 ? setting.zero_opt : false);
-    }
+    HashStageOps(graph, stage, h);
   }
+  return h.Digest();
+}
+
+uint64_t ParallelConfig::StageSemanticHash(const OpGraph& graph,
+                                           const ClusterSpec& cluster,
+                                           int stage_index) const {
+  const StageConfig& stage = stages_.at(static_cast<size_t>(stage_index));
+  const int first_device = StageFirstDevice(stage_index);
+  Hasher h;
+  h.Add(microbatch_size_);
+  h.Add(stage.first_op);
+  h.Add(stage.num_ops);
+  h.Add(stage.num_devices);
+  // Placement context (see header): node offset drives every
+  // GroupCrossesNodes() answer inside the walk; the receives-input bit
+  // distinguishes stage 0 (no p2p charge) from later stages.
+  h.Add(first_device % cluster.gpus_per_node);
+  h.Add(stage_index > 0);
+  HashStageOps(graph, stage, h);
   return h.Digest();
 }
 

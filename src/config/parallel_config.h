@@ -97,6 +97,19 @@ class ParallelConfig {
   // Partition dimensions of ops whose tp == 1 are canonicalized away.
   uint64_t SemanticHash(const OpGraph& graph) const;
 
+  // Key for the incremental stage-cost cache: hashes everything
+  // PerformanceModel::WalkStage() reads for stage `stage_index` — the op
+  // range, per-op settings (canonicalized like SemanticHash), microbatch
+  // size, stage width, and the stage's device-placement context. On the
+  // homogeneous-node cluster model, every topology question the walk asks
+  // (collective node-crossing, inter-stage p2p link class) is a function of
+  // the stage's first-device offset within its node and whether the stage
+  // receives pipeline input at all, so those two facts are the entire
+  // placement context. Keys are only comparable within one (graph, cluster)
+  // pair — exactly the lifetime of a PerformanceModel.
+  uint64_t StageSemanticHash(const OpGraph& graph, const ClusterSpec& cluster,
+                             int stage_index) const;
+
   // Multi-line human-readable dump.
   std::string ToString(const OpGraph& graph) const;
 

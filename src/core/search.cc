@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
@@ -59,7 +60,8 @@ class SingleSearch {
     ScoredConfig current;
     current.config = *std::move(initial);
     current.perf = model_.Evaluate(current.config);
-    visited_.insert(current.config.SemanticHash(model_.graph()));
+    current.semantic_hash = current.config.SemanticHash(model_.graph());
+    visited_.insert(current.semantic_hash);
     RecordTopK(current);
 
     ScoredConfig best = current;
@@ -78,7 +80,9 @@ class SingleSearch {
         if (options_.enable_finetune) {
           current.perf =
               FineTune(model_, current.config, current.perf, budget_);
-          visited_.insert(current.config.SemanticHash(model_.graph()));
+          // Fine-tuning mutates the config, so its hash must be refreshed.
+          current.semantic_hash = current.config.SemanticHash(model_.graph());
+          visited_.insert(current.semantic_hash);
           RecordTopK(current);
         }
         if (current.perf.BetterThan(best.perf)) {
@@ -87,11 +91,13 @@ class SingleSearch {
               {global_watch_.ElapsedSeconds(), Score(best.perf)});
         }
       } else {
-        // Restart from the most promising unexplored configuration.
+        // Restart from the most promising unexplored configuration. Entries
+        // are shared with the hop groups that discovered them, so restarts
+        // (rare) pay the copy instead of every push (hot).
         if (unexplored_.empty()) {
           break;  // converged: nothing left to try
         }
-        current = std::move(unexplored_.begin()->second);
+        current = *unexplored_.begin()->second;
         unexplored_.erase(unexplored_.begin());
       }
     }
@@ -100,13 +106,10 @@ class SingleSearch {
     result.convergence.push_back(
         {global_watch_.ElapsedSeconds(), Score(result.best.perf)});
     result.stats = std::move(stats_);
-    for (auto& [hash, scored] : top_k_) {
+    // top_k_ is score-ordered, so this emits best-first directly.
+    for (auto& [score, scored] : top_k_) {
       result.top_configs.push_back(std::move(scored));
     }
-    std::sort(result.top_configs.begin(), result.top_configs.end(),
-              [](const ScoredConfig& a, const ScoredConfig& b) {
-                return Score(a.perf) < Score(b.perf);
-              });
     return result;
   }
 
@@ -181,8 +184,10 @@ class SingleSearch {
         ShuffleInPlace(primitives);
       }
 
-      // Generate and evaluate every candidate of this primitive group.
-      std::vector<ScoredConfig> group;
+      // Generate and evaluate every candidate of this primitive group. The
+      // candidates are shared (not copied) between the recursion group and
+      // the unexplored pool.
+      std::vector<std::shared_ptr<const ScoredConfig>> group;
       for (const PrimitiveKind kind : primitives) {
         if (budget_.Expired()) {
           return std::nullopt;
@@ -190,6 +195,8 @@ class SingleSearch {
         for (Candidate& candidate : GeneratePrimitiveCandidates(
                  model_, config.config, config.perf, kind, bottleneck.stage,
                  options_.enable_recompute_attachment)) {
+          // The hash is computed exactly once per candidate and carried in
+          // the ScoredConfig for the top-k bookkeeping.
           const uint64_t hash =
               candidate.config.SemanticHash(model_.graph());
           if (options_.enable_dedup && !visited_.insert(hash).second) {
@@ -197,6 +204,7 @@ class SingleSearch {
           }
           ScoredConfig scored;
           scored.config = std::move(candidate.config);
+          scored.semantic_hash = hash;
           scored.perf = model_.Evaluate(scored.config);
           ++stats_.configs_explored;
           RecordTopK(scored);
@@ -206,8 +214,10 @@ class SingleSearch {
             improvement.hops = hop + 1;
             return improvement;
           }
-          PushUnexplored(scored);
-          group.push_back(std::move(scored));
+          auto shared = std::make_shared<const ScoredConfig>(
+              std::move(scored));
+          PushUnexplored(shared);
+          group.push_back(std::move(shared));
         }
       }
 
@@ -215,18 +225,19 @@ class SingleSearch {
       // random order without it.
       if (options_.use_heuristic2) {
         std::sort(group.begin(), group.end(),
-                  [](const ScoredConfig& a, const ScoredConfig& b) {
-                    return Score(a.perf) < Score(b.perf);
+                  [](const std::shared_ptr<const ScoredConfig>& a,
+                     const std::shared_ptr<const ScoredConfig>& b) {
+                    return Score(a->perf) < Score(b->perf);
                   });
       } else {
         ShuffleInPlace(group);
       }
-      for (const ScoredConfig& next : group) {
+      for (const std::shared_ptr<const ScoredConfig>& next : group) {
         if (budget_.Expired()) {
           return std::nullopt;
         }
         std::optional<Improvement> found =
-            MultiHop(next, init_perf, hop + 1, nullptr);
+            MultiHop(*next, init_perf, hop + 1, nullptr);
         if (found.has_value()) {
           return found;
         }
@@ -242,30 +253,32 @@ class SingleSearch {
     }
   }
 
-  void PushUnexplored(const ScoredConfig& scored) {
-    unexplored_.emplace(Score(scored.perf), scored);
+  void PushUnexplored(const std::shared_ptr<const ScoredConfig>& scored) {
+    unexplored_.emplace(Score(scored->perf), scored);
     while (unexplored_.size() > kMaxUnexplored) {
       unexplored_.erase(std::prev(unexplored_.end()));
     }
   }
 
+  // Keeps the k best distinct feasible configs in a score-ordered multimap:
+  // the worst entry is *std::prev(end()), so eviction is O(log k) instead of
+  // an O(k) scan, and emission in Run() needs no final sort.
   void RecordTopK(const ScoredConfig& scored) {
     if (scored.perf.oom || options_.top_k <= 0) {
       return;
     }
-    const uint64_t hash = scored.config.SemanticHash(model_.graph());
-    if (top_k_.count(hash) > 0) {
-      return;
+    const double score = Score(scored.perf);
+    if (static_cast<int>(top_k_.size()) >= options_.top_k &&
+        score >= std::prev(top_k_.end())->first) {
+      return;  // full and not better than the current worst
     }
-    top_k_.emplace(hash, scored);
+    if (!top_k_hashes_.insert(scored.semantic_hash).second) {
+      return;  // already recorded
+    }
+    top_k_.emplace(score, scored);
     if (static_cast<int>(top_k_.size()) > options_.top_k) {
-      // Drop the worst.
-      auto worst = top_k_.begin();
-      for (auto it = top_k_.begin(); it != top_k_.end(); ++it) {
-        if (Score(it->second.perf) > Score(worst->second.perf)) {
-          worst = it;
-        }
-      }
+      auto worst = std::prev(top_k_.end());
+      top_k_hashes_.erase(worst->second.semantic_hash);
       top_k_.erase(worst);
     }
   }
@@ -278,9 +291,10 @@ class SingleSearch {
   Rng rng_;
 
   SearchStats stats_;
-  std::unordered_set<uint64_t> visited_;
-  std::multimap<double, ScoredConfig> unexplored_;
-  std::map<uint64_t, ScoredConfig> top_k_;
+  std::unordered_set<uint64_t, IdentityHash> visited_;
+  std::multimap<double, std::shared_ptr<const ScoredConfig>> unexplored_;
+  std::multimap<double, ScoredConfig> top_k_;
+  std::unordered_set<uint64_t, IdentityHash> top_k_hashes_;
 };
 
 // Merges per-stage-count results into one.
@@ -328,6 +342,9 @@ void SearchStats::Merge(const SearchStats& other) {
   iterations += other.iterations;
   improvements += other.improvements;
   configs_explored += other.configs_explored;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
   bottleneck_attempts.insert(bottleneck_attempts.end(),
                              other.bottleneck_attempts.begin(),
                              other.bottleneck_attempts.end());
@@ -335,13 +352,29 @@ void SearchStats::Merge(const SearchStats& other) {
                    other.hops_used.end());
 }
 
+namespace {
+
+// The stage-cost cache is shared by every search against `model` (possibly
+// concurrently), so per-run activity is attributed as a counter delta.
+void RecordCacheDelta(const PerformanceModel& model,
+                      const StageCacheStats& before, SearchStats* stats) {
+  const StageCacheStats delta = model.stage_cache().stats() - before;
+  stats->cache_hits += delta.hits;
+  stats->cache_misses += delta.misses;
+  stats->cache_evictions += delta.evictions;
+}
+
+}  // namespace
+
 SearchResult AcesoSearchForStages(const PerformanceModel& model,
                                   const SearchOptions& options,
                                   int num_stages) {
   Stopwatch watch;
+  const StageCacheStats cache_before = model.stage_cache().stats();
   SingleSearch search(model, options, num_stages, options.time_budget_seconds,
                       watch);
   SearchResult result = search.Run();
+  RecordCacheDelta(model, cache_before, &result.stats);
   result.search_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -365,6 +398,7 @@ SearchResult AcesoSearch(const PerformanceModel& model,
   }
 
   Stopwatch watch;
+  const StageCacheStats cache_before = model.stage_cache().stats();
   std::vector<SearchResult> results(stage_counts.size());
 
   size_t threads = options.num_threads > 0
@@ -387,6 +421,7 @@ SearchResult AcesoSearch(const PerformanceModel& model,
   });
 
   SearchResult merged = MergeResults(std::move(results), options.top_k);
+  RecordCacheDelta(model, cache_before, &merged.stats);
   merged.search_seconds = watch.ElapsedSeconds();
   return merged;
 }

@@ -73,10 +73,13 @@ struct SearchOptions {
   InitialConfigKind initial_config = InitialConfigKind::kBalanced;
 };
 
-// A configuration with its evaluation.
+// A configuration with its evaluation. The search computes the semantic
+// hash once per candidate (for §4.3 deduplication) and carries it here so
+// top-k bookkeeping never re-hashes the config.
 struct ScoredConfig {
   ParallelConfig config;
   PerfResult perf;
+  uint64_t semantic_hash = 0;
 };
 
 // One point of a convergence trend (Exp#5/6/7 figures).
@@ -89,6 +92,12 @@ struct SearchStats {
   int64_t iterations = 0;       // Algorithm 1 loop executions
   int64_t improvements = 0;     // iterations that found a better config
   int64_t configs_explored = 0; // candidate evaluations
+
+  // Stage-cost cache activity attributed to this search run (delta of the
+  // shared cache's counters over the run; see PerformanceModel::stage_cache).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
 
   // Per improvement: 1-based index of the bottleneck that yielded it
   // (Fig. 11a) and the number of hops of the successful chain (Fig. 11b).

@@ -47,8 +47,13 @@ double OptimizerMultiplier(Precision precision) {
 
 PerformanceModel::PerformanceModel(const OpGraph* graph,
                                    const ClusterSpec& cluster,
-                                   ProfileDatabase* db)
-    : graph_(graph), cluster_(cluster), interconnect_(cluster), db_(db) {
+                                   ProfileDatabase* db,
+                                   StageCacheOptions cache_options)
+    : graph_(graph),
+      cluster_(cluster),
+      interconnect_(cluster),
+      db_(db),
+      stage_cache_(cache_options) {
   ACESO_CHECK(graph != nullptr);
   ACESO_CHECK(db != nullptr);
 }
@@ -211,6 +216,34 @@ StageWalk PerformanceModel::WalkStage(const ParallelConfig& config,
   return walk;
 }
 
+StageCost AggregateStageCost(const StageWalk& walk) {
+  StageCost cost;
+  // Activation accounting prices the caching allocator's block rounding
+  // (§3.3: the model deliberately over- rather than under-estimates).
+  cost.activation_bytes_per_mb = RoundUpAllocSize(walk.boundary_bytes);
+  for (const OpBreakdown& op : walk.ops) {
+    cost.fwd_time += op.fwd_kernel + op.fwd_comm;
+    cost.bwd_time += op.bwd_kernel + op.bwd_comm;
+    cost.comp_time += op.fwd_kernel + op.bwd_kernel;
+    cost.comm_time += op.fwd_comm + op.bwd_comm;
+    if (op.recompute) {
+      cost.bwd_time += op.fwd_kernel;
+      cost.recompute_time += op.fwd_kernel;
+    }
+    cost.dp_sync_time += op.dp_sync;
+    if (op.stored_bytes > 0) {
+      cost.activation_bytes_per_mb += RoundUpAllocSize(op.stored_bytes);
+    }
+    cost.param_bytes += op.param_bytes;
+    cost.optimizer_bytes += op.optimizer_bytes;
+    cost.reserved_bytes = std::max(cost.reserved_bytes, op.workspace_bytes);
+  }
+  cost.fwd_time += walk.p2p_fwd;
+  cost.bwd_time += walk.p2p_bwd;
+  cost.comm_time += walk.p2p_fwd + walk.p2p_bwd;
+  return cost;
+}
+
 PerfResult PerformanceModel::Evaluate(const ParallelConfig& config) const {
   eval_count_.fetch_add(1, std::memory_order_relaxed);
 
@@ -222,43 +255,39 @@ PerfResult PerformanceModel::Evaluate(const ParallelConfig& config) const {
   result.stages.resize(static_cast<size_t>(p));
 
   for (int s = 0; s < p; ++s) {
-    const StageWalk walk = WalkStage(config, s);
+    // Incremental path: reuse the memoized cost when this stage (including
+    // its placement context) has been walked before — by this evaluation's
+    // predecessor, or by a sibling search sharing the model.
+    std::shared_ptr<const StageCost> cached;
+    StageCost local;
+    if (stage_cache_.enabled()) {
+      const uint64_t key = config.StageSemanticHash(*graph_, cluster_, s);
+      cached = stage_cache_.Lookup(key);
+      if (cached == nullptr) {
+        cached = std::make_shared<const StageCost>(
+            AggregateStageCost(WalkStage(config, s)));
+        stage_cache_.Insert(key, cached);
+      }
+    } else {
+      local = AggregateStageCost(WalkStage(config, s));
+    }
+    const StageCost& cost = cached != nullptr ? *cached : local;
     StageUsage& usage = result.stages[static_cast<size_t>(s)];
 
-    // Activation accounting prices the caching allocator's block rounding
-    // (§3.3: the model deliberately over- rather than under-estimates).
-    int64_t act_per_mb = RoundUpAllocSize(walk.boundary_bytes);
-    int64_t params = 0;
-    int64_t optimizer = 0;
-    int64_t reserved = 0;
-    for (const OpBreakdown& op : walk.ops) {
-      usage.fwd_time += op.fwd_kernel + op.fwd_comm;
-      usage.bwd_time += op.bwd_kernel + op.bwd_comm;
-      usage.comp_time += op.fwd_kernel + op.bwd_kernel;
-      usage.comm_time += op.fwd_comm + op.bwd_comm;
-      if (op.recompute) {
-        usage.bwd_time += op.fwd_kernel;
-        usage.recompute_time += op.fwd_kernel;
-      }
-      usage.dp_sync_time += op.dp_sync;
-      if (op.stored_bytes > 0) {
-        act_per_mb += RoundUpAllocSize(op.stored_bytes);
-      }
-      params += op.param_bytes;
-      optimizer += op.optimizer_bytes;
-      reserved = std::max(reserved, op.workspace_bytes);
-    }
-    usage.fwd_time += walk.p2p_fwd;
-    usage.bwd_time += walk.p2p_bwd;
-    usage.comm_time += walk.p2p_fwd + walk.p2p_bwd;
-
-    usage.param_bytes = params;
-    usage.optimizer_bytes = optimizer;
-    usage.activation_bytes_per_mb = act_per_mb;
-    usage.reserved_bytes = reserved;
+    usage.fwd_time = cost.fwd_time;
+    usage.bwd_time = cost.bwd_time;
+    usage.comp_time = cost.comp_time;
+    usage.comm_time = cost.comm_time;
+    usage.recompute_time = cost.recompute_time;
+    usage.dp_sync_time = cost.dp_sync_time;
+    usage.param_bytes = cost.param_bytes;
+    usage.optimizer_bytes = cost.optimizer_bytes;
+    usage.activation_bytes_per_mb = cost.activation_bytes_per_mb;
+    usage.reserved_bytes = cost.reserved_bytes;
     const int in_flight = std::max(1, p - s);  // 1F1B in-flight microbatches
-    usage.memory_bytes =
-        params + usage.optimizer_bytes + act_per_mb * in_flight + reserved;
+    usage.memory_bytes = cost.param_bytes + cost.optimizer_bytes +
+                         cost.activation_bytes_per_mb * in_flight +
+                         cost.reserved_bytes;
   }
 
   // --- Eq. 2: stage times and iteration time ---

@@ -26,6 +26,7 @@
 
 #include "src/config/parallel_config.h"
 #include "src/cost/resource_usage.h"
+#include "src/cost/stage_cache.h"
 #include "src/hw/interconnect.h"
 #include "src/ir/op_graph.h"
 #include "src/profile/profile_db.h"
@@ -76,15 +77,45 @@ struct StageWalk {
   double p2p_bwd = 0.0;
 };
 
+// The per-stage reduction of a StageWalk: everything Evaluate() needs that
+// depends only on the stage itself (keyed by StageSemanticHash). The
+// remaining StageUsage fields — warmup/steady/cooldown times and the
+// 1F1B in-flight memory total — depend on cross-stage context and are
+// derived from these components per evaluation. This is the value type of
+// the stage-cost cache: a hit substitutes O(1) arithmetic for the O(#ops)
+// walk and re-aggregation.
+struct StageCost {
+  double fwd_time = 0.0;
+  double bwd_time = 0.0;
+  double comp_time = 0.0;
+  double comm_time = 0.0;
+  double recompute_time = 0.0;
+  double dp_sync_time = 0.0;
+  int64_t param_bytes = 0;
+  int64_t optimizer_bytes = 0;
+  int64_t activation_bytes_per_mb = 0;  // allocator-rounded, incl. boundary
+  int64_t reserved_bytes = 0;
+};
+
+// Reduces a walk to its stage-local cost components. Cached and uncached
+// evaluations both funnel through this exact function so their arithmetic
+// (and therefore every PerfResult bit) is identical.
+StageCost AggregateStageCost(const StageWalk& walk);
+
 class PerformanceModel {
  public:
   // `graph` and `db` must outlive the model. Thread-safe: Evaluate() may be
-  // called concurrently (the database memoization is internally locked).
+  // called concurrently (the database memoization and the stage-cost cache
+  // are internally locked).
   PerformanceModel(const OpGraph* graph, const ClusterSpec& cluster,
-                   ProfileDatabase* db);
+                   ProfileDatabase* db, StageCacheOptions cache_options = {});
 
   // Predicts the performance of `config`, which must already be
-  // structurally valid for the graph/cluster.
+  // structurally valid for the graph/cluster. With the stage-cost cache
+  // enabled (default), per-stage walks are memoized by StageSemanticHash;
+  // the search mutates one or two stages per primitive, so re-evaluations
+  // walk only the changed stages. Cached and uncached evaluations produce
+  // bit-identical PerfResults (the cache key covers every walk input).
   PerfResult Evaluate(const ParallelConfig& config) const;
 
   // The per-op cost walk of one stage (shared with the runtime simulator).
@@ -103,12 +134,24 @@ class PerformanceModel {
   const ClusterSpec& cluster() const { return cluster_; }
   ProfileDatabase& db() const { return *db_; }
 
+  // The shared stage-cost cache (hit/miss/eviction counters live here).
+  const StageCostCache& stage_cache() const { return stage_cache_; }
+  StageCostCache& mutable_stage_cache() { return stage_cache_; }
+  // Setup-time toggle; not synchronized against concurrent Evaluate().
+  void set_stage_cache_enabled(bool enabled) {
+    stage_cache_.set_enabled(enabled);
+    if (!enabled) {
+      stage_cache_.Clear();
+    }
+  }
+
  private:
   const OpGraph* graph_;
   ClusterSpec cluster_;
   InterconnectModel interconnect_;
   ProfileDatabase* db_;
   mutable std::atomic<int64_t> eval_count_{0};
+  mutable StageCostCache stage_cache_;
 };
 
 }  // namespace aceso

@@ -1,0 +1,377 @@
+// Tests for the incremental-evaluation layer: unit behaviour of the sharded
+// StageCostCache, key properties of ParallelConfig::StageSemanticHash, the
+// bit-exactness guarantee of cached Evaluate(), and thread-safety when the
+// cache is hammered from a search-style thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/aceso.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+
+namespace aceso {
+namespace {
+
+StageCacheOptions DisabledCache() {
+  StageCacheOptions options;
+  options.enabled = false;
+  return options;
+}
+
+uint64_t Bits(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// Bitwise comparison (EXPECT_EQ on doubles would also accept -0.0 == 0.0 and
+// reject NaN == NaN; the cache promises the stronger bit-identity).
+bool StageUsageIdentical(const StageUsage& a, const StageUsage& b) {
+  return Bits(a.fwd_time) == Bits(b.fwd_time) &&
+         Bits(a.bwd_time) == Bits(b.bwd_time) &&
+         Bits(a.comp_time) == Bits(b.comp_time) &&
+         Bits(a.comm_time) == Bits(b.comm_time) &&
+         Bits(a.recompute_time) == Bits(b.recompute_time) &&
+         Bits(a.dp_sync_time) == Bits(b.dp_sync_time) &&
+         Bits(a.warmup_time) == Bits(b.warmup_time) &&
+         Bits(a.steady_time) == Bits(b.steady_time) &&
+         Bits(a.cooldown_time) == Bits(b.cooldown_time) &&
+         Bits(a.stage_time) == Bits(b.stage_time) &&
+         a.param_bytes == b.param_bytes &&
+         a.optimizer_bytes == b.optimizer_bytes &&
+         a.activation_bytes_per_mb == b.activation_bytes_per_mb &&
+         a.reserved_bytes == b.reserved_bytes &&
+         a.memory_bytes == b.memory_bytes;
+}
+
+bool PerfIdentical(const PerfResult& a, const PerfResult& b) {
+  if (a.oom != b.oom || Bits(a.iteration_time) != Bits(b.iteration_time) ||
+      a.slowest_stage != b.slowest_stage ||
+      a.max_memory_stage != b.max_memory_stage ||
+      a.memory_limit != b.memory_limit || a.stages.size() != b.stages.size()) {
+    return false;
+  }
+  for (size_t s = 0; s < a.stages.size(); ++s) {
+    if (!StageUsageIdentical(a.stages[s], b.stages[s])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+#define EXPECT_PERF_IDENTICAL(a, b) EXPECT_TRUE(PerfIdentical((a), (b)))
+
+TEST(StageCostCacheTest, StoresLooksUpAndCounts) {
+  StageCacheOptions options;
+  options.capacity = 8;
+  options.num_shards = 1;
+  StageCostCache cache(options);
+
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  auto walk = std::make_shared<const StageCost>();
+  cache.Insert(1, walk);
+  EXPECT_EQ(cache.Lookup(1), walk);
+
+  const StageCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(StageCostCacheTest, EvictsOldestPastCapacity) {
+  StageCacheOptions options;
+  options.capacity = 4;
+  options.num_shards = 1;
+  StageCostCache cache(options);
+
+  for (uint64_t key = 0; key < 6; ++key) {
+    cache.Insert(key, std::make_shared<const StageCost>());
+  }
+  // FIFO: keys 0 and 1 are gone, 2..5 remain.
+  EXPECT_EQ(cache.Lookup(0), nullptr);
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_NE(cache.Lookup(2), nullptr);
+  EXPECT_NE(cache.Lookup(5), nullptr);
+
+  const StageCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2);
+  EXPECT_EQ(stats.entries, 4);
+}
+
+TEST(StageCostCacheTest, DisabledCacheStoresNothing) {
+  StageCostCache cache(DisabledCache());
+  cache.Insert(1, std::make_shared<const StageCost>());
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  const StageCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0);  // disabled lookups don't count
+  EXPECT_EQ(stats.entries, 0);
+}
+
+TEST(StageCostCacheTest, ReinsertKeepsFirstValue) {
+  StageCostCache cache;
+  auto first = std::make_shared<const StageCost>();
+  cache.Insert(7, first);
+  cache.Insert(7, std::make_shared<const StageCost>());
+  EXPECT_EQ(cache.Lookup(7), first);
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+class StageHashTest : public ::testing::Test {
+ protected:
+  StageHashTest()
+      : graph_(*models::BuildByName("gpt3-0.35b")),
+        cluster_(ClusterSpec::WithGpuCount(16)) {}
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+};
+
+TEST_F(StageHashTest, IgnoresUntouchedStages) {
+  auto config = MakeEvenConfig(graph_, cluster_, 4, 1);
+  ASSERT_TRUE(config.ok());
+  ParallelConfig mutated = *config;
+  // Toggle recompute on one op of stage 2: a localized primitive-style edit.
+  const int victim = mutated.stage(2).first_op;
+  mutated.MutableOpSettings(victim).recompute =
+      !mutated.OpSettings(victim).recompute;
+
+  for (int s = 0; s < 4; ++s) {
+    const uint64_t before = config->StageSemanticHash(graph_, cluster_, s);
+    const uint64_t after = mutated.StageSemanticHash(graph_, cluster_, s);
+    if (s == 2) {
+      EXPECT_NE(before, after);
+    } else {
+      // Device placement is unchanged, so every other stage keeps its key
+      // (this is what makes re-evaluation after one primitive incremental).
+      EXPECT_EQ(before, after);
+    }
+  }
+}
+
+TEST_F(StageHashTest, FoldsInNodeOffsetOfFirstDevice) {
+  // Two hand-built layouts whose second stage has identical content but a
+  // different first-device offset within its node (8 GPUs/node): upstream
+  // width 8 puts it at node offset 0, width 4 at offset 4. The walk's
+  // node-crossing answers differ, so the keys must too.
+  auto make = [&](int upstream_devices) {
+    ParallelConfig config;
+    config.set_microbatch_size(2);
+    StageConfig upstream;
+    upstream.first_op = 0;
+    upstream.num_ops = 4;
+    upstream.num_devices = upstream_devices;
+    upstream.SetUniformParallelism(graph_, 1, upstream_devices);
+    StageConfig probe;
+    probe.first_op = 4;
+    probe.num_ops = 4;
+    probe.num_devices = 4;
+    probe.SetUniformParallelism(graph_, 2, 2);
+    config.mutable_stages().push_back(std::move(upstream));
+    config.mutable_stages().push_back(std::move(probe));
+    return config;
+  };
+
+  const uint64_t at_node_boundary =
+      make(8).StageSemanticHash(graph_, cluster_, 1);
+  const uint64_t mid_node = make(4).StageSemanticHash(graph_, cluster_, 1);
+  const uint64_t next_node_boundary =
+      make(16).StageSemanticHash(graph_, cluster_, 1);
+  EXPECT_NE(at_node_boundary, mid_node);
+  // Shifting by a whole node preserves the placement context — and the key,
+  // which is what lets sibling stage-count searches share walks.
+  EXPECT_EQ(at_node_boundary, next_node_boundary);
+}
+
+TEST_F(StageHashTest, CanonicalizesLikeSemanticHash) {
+  auto config = MakeEvenConfig(graph_, cluster_, 2, 1);
+  ASSERT_TRUE(config.ok());
+  ParallelConfig flipped = *config;
+  bool exercised = false;
+  for (int i = 0; i < graph_.num_ops(); ++i) {
+    OpParallel& setting = flipped.MutableOpSettings(i);
+    if (setting.tp == 1) {
+      setting.tp_dim =
+          setting.tp_dim == TpDim::kColumn ? TpDim::kRow : TpDim::kColumn;
+      exercised = true;
+    }
+    if (setting.dp == 1) {
+      setting.zero_opt = !setting.zero_opt;
+      exercised = true;
+    }
+  }
+  if (!exercised) {
+    GTEST_SKIP() << "no op with tp==1 or dp==1 in this config";
+  }
+  for (int s = 0; s < config->num_stages(); ++s) {
+    EXPECT_EQ(config->StageSemanticHash(graph_, cluster_, s),
+              flipped.StageSemanticHash(graph_, cluster_, s));
+  }
+}
+
+// The acceptance property: cached and uncached evaluation agree bit-for-bit
+// across randomized primitive-application walks on real zoo models.
+class CacheExactnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CacheExactnessTest, CachedMatchesUncachedAcrossPrimitiveWalks) {
+  const OpGraph graph = *models::BuildByName(GetParam());
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(16);
+  ProfileDatabase db(cluster);
+  PerformanceModel cached(&graph, cluster, &db);
+  PerformanceModel plain(&graph, cluster, &db, DisabledCache());
+  Rng rng(20260806);
+
+  auto start = MakeEvenConfig(graph, cluster, 4, 1);
+  ASSERT_TRUE(start.ok());
+  ParallelConfig current = *start;
+  PerfResult current_perf = plain.Evaluate(current);
+  EXPECT_PERF_IDENTICAL(cached.Evaluate(current), current_perf);
+
+  int applied = 0;
+  for (int step = 0; step < 60 && applied < 25; ++step) {
+    const auto kind = static_cast<PrimitiveKind>(
+        rng.NextInt(0, kNumPrimitives - 1));
+    const int stage = rng.NextInt(0, current.num_stages() - 1);
+    std::vector<Candidate> candidates = GeneratePrimitiveCandidates(
+        plain, current, current_perf, kind, stage);
+    if (candidates.empty()) {
+      continue;
+    }
+    Candidate& pick =
+        candidates[rng.NextBelow(candidates.size())];
+    current = std::move(pick.config);
+    current_perf = plain.Evaluate(current);
+    // Fresh config: mostly cache hits on untouched stages. Evaluate twice so
+    // the all-hits path is covered as well.
+    EXPECT_PERF_IDENTICAL(cached.Evaluate(current), current_perf);
+    EXPECT_PERF_IDENTICAL(cached.Evaluate(current), current_perf);
+    ++applied;
+  }
+  EXPECT_GT(applied, 5) << "random walk applied too few primitives";
+  const StageCacheStats stats = cached.stage_cache().stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, CacheExactnessTest,
+                         ::testing::Values("gpt3-0.35b", "wresnet-0.5b"));
+
+// A tiny-capacity cache must also stay exact: eviction may cost hits, never
+// correctness.
+TEST(CacheExactnessEvictionTest, TinyCacheStaysExact) {
+  const OpGraph graph = *models::BuildByName("gpt3-0.35b");
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster);
+  StageCacheOptions tiny;
+  tiny.capacity = 3;
+  tiny.num_shards = 2;
+  PerformanceModel cached(&graph, cluster, &db, tiny);
+  PerformanceModel plain(&graph, cluster, &db, DisabledCache());
+
+  auto config = MakeEvenConfig(graph, cluster, 4, 1);
+  ASSERT_TRUE(config.ok());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < graph.num_ops(); i += 3) {
+      ParallelConfig variant = *config;
+      variant.MutableOpSettings(i).recompute = true;
+      EXPECT_PERF_IDENTICAL(cached.Evaluate(variant), plain.Evaluate(variant));
+    }
+  }
+  EXPECT_GT(cached.stage_cache().stats().evictions, 0);
+}
+
+// Concurrency: many workers evaluating overlapping configurations against
+// one shared model/cache must all see reference results. Mismatches are
+// counted (not EXPECTed) inside workers to stay thread-clean.
+TEST(StageCacheConcurrencyTest, ParallelEvaluationsMatchReference) {
+  const OpGraph graph = *models::BuildByName("gpt3-0.35b");
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(16);
+  ProfileDatabase db(cluster);
+  PerformanceModel plain(&graph, cluster, &db, DisabledCache());
+  StageCacheOptions small;
+  small.capacity = 64;  // small enough to evict under this workload
+  small.num_shards = 4;
+  PerformanceModel cached(&graph, cluster, &db, small);
+
+  // Variant pool: localized recompute edits plus a microbatch doubling, the
+  // same shapes the search's primitives produce.
+  std::vector<ParallelConfig> configs;
+  auto base = MakeEvenConfig(graph, cluster, 4, 1);
+  ASSERT_TRUE(base.ok());
+  for (int i = 0; i < graph.num_ops() && configs.size() < 40; i += 2) {
+    ParallelConfig variant = *base;
+    variant.MutableOpSettings(i).recompute = true;
+    configs.push_back(variant);
+    ParallelConfig bigger = variant;
+    bigger.set_microbatch_size(base->microbatch_size() * 2);
+    if (bigger.Validate(graph, cluster).ok()) {
+      configs.push_back(std::move(bigger));
+    }
+  }
+  ASSERT_GT(configs.size(), 8u);
+
+  std::vector<PerfResult> reference;
+  reference.reserve(configs.size());
+  for (const ParallelConfig& config : configs) {
+    reference.push_back(plain.Evaluate(config));
+  }
+
+  constexpr int kWorkers = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int64_t> mismatches{0};
+  ThreadPool pool(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    pool.Submit([&, w] {
+      Rng rng(static_cast<uint64_t>(w) * 7919 + 1);
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t i = rng.NextBelow(configs.size());
+        if (!PerfIdentical(cached.Evaluate(configs[i]), reference[i])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(mismatches.load(), 0);
+  const StageCacheStats stats = cached.stage_cache().stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+}
+
+TEST(SearchCacheStatsTest, SearchReportsCacheCounters) {
+  const OpGraph graph = *models::BuildByName("gpt3-0.35b");
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  SearchOptions options;
+  options.time_budget_seconds = 0.3;
+  options.max_stages = 4;
+  const SearchResult result = AcesoSearch(model, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_GT(result.stats.configs_explored, 0);
+  EXPECT_GT(result.stats.cache_misses, 0);
+  // Localized edits re-walk only mutated stages, so the bulk of stage walks
+  // must come from the cache.
+  EXPECT_GT(result.stats.cache_hits, result.stats.cache_misses);
+}
+
+TEST(SearchCacheStatsTest, DisabledCacheReportsNothing) {
+  const OpGraph graph = *models::BuildByName("gpt3-0.35b");
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db, DisabledCache());
+  SearchOptions options;
+  options.time_budget_seconds = 0.1;
+  const SearchResult result = AcesoSearchForStages(model, options, 2);
+  EXPECT_EQ(result.stats.cache_hits, 0);
+  EXPECT_EQ(result.stats.cache_misses, 0);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -116,6 +116,15 @@ int main(int argc, char** argv) {
               result.search_seconds,
               static_cast<long long>(result.stats.configs_explored),
               static_cast<long long>(result.stats.improvements));
+  const long long lookups = static_cast<long long>(result.stats.cache_hits +
+                                                   result.stats.cache_misses);
+  if (lookups > 0) {
+    std::printf("stage cache: %.1f%% hits (%lld/%lld lookups, %lld evictions)\n",
+                100.0 * static_cast<double>(result.stats.cache_hits) /
+                    static_cast<double>(lookups),
+                static_cast<long long>(result.stats.cache_hits), lookups,
+                static_cast<long long>(result.stats.cache_evictions));
+  }
 
   if (!args.out.empty()) {
     const Status status =
