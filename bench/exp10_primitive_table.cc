@@ -87,7 +87,7 @@ int main() {
   const int devices[4] = {8, 4, 2, 2};
   const int tps[4] = {1, 4, 1, 2};
   for (int s = 0; s < 4; ++s) {
-    StageConfig& stage = config.mutable_stage(s);
+    StageConfig& stage = config.MutableStage(s);
     stage.num_devices = devices[s];
     stage.SetUniformParallelism(workload.graph(), tps[s],
                                 devices[s] / tps[s]);
@@ -96,7 +96,7 @@ int main() {
     config.MutableOpSettings(i).recompute = true;
   }
   // Stage 2's data-parallel ops start ZeRO-sharded so dec-zero has work.
-  for (OpParallel& setting : config.mutable_stage(2).ops) {
+  for (OpParallel& setting : config.MutableStage(2).ops) {
     if (setting.dp > 1) {
       setting.zero_opt = true;
     }
@@ -111,7 +111,7 @@ int main() {
   ParallelConfig small_config = *small_maybe;
   small_config.set_microbatch_size(2);
   for (int s = 0; s < 2; ++s) {
-    StageConfig& stage = small_config.mutable_stage(s);
+    StageConfig& stage = small_config.MutableStage(s);
     stage.SetUniformParallelism(small_workload.graph(), 8, 1);
   }
   ACESO_CHECK(

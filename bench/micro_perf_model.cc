@@ -60,7 +60,7 @@ BENCHMARK(BM_EvaluateGptUncached)->Arg(1)->Arg(4)->Arg(8);
 void ApplyStagePattern(ParallelConfig& config, int flag_ops,
                        uint64_t pattern) {
   for (int i = 0; i < flag_ops; ++i) {
-    config.mutable_stage(0).ops[static_cast<size_t>(i)].recompute =
+    config.MutableStage(0).ops[static_cast<size_t>(i)].recompute =
         ((pattern >> i) & 1) != 0;
   }
 }

@@ -358,7 +358,7 @@ StatusOr<BaselineResult> AlpaLikeSearch(const PerformanceModel& model,
                 setting.recompute = true;
               }
             }
-            config.mutable_stages().push_back(std::move(stage));
+            config.AddStage(std::move(stage));
           }
           if (!config.Validate(graph, cluster).ok()) {
             continue;

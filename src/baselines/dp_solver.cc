@@ -206,7 +206,7 @@ BaselineResult DpSolverSearch(const PerformanceModel& model,
             setting.recompute = true;
           }
         }
-        config.mutable_stages().push_back(std::move(stage));
+        config.AddStage(std::move(stage));
       }
       if (!config.Validate(graph, cluster).ok()) {
         continue;

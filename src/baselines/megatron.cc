@@ -41,7 +41,7 @@ StatusOr<ParallelConfig> MakeMegatronConfig(const OpGraph& graph,
       }
     }
     first_op += stage.num_ops;
-    config.mutable_stages().push_back(std::move(stage));
+    config.AddStage(std::move(stage));
   }
   ACESO_RETURN_IF_ERROR(config.Validate(graph, cluster));
   return config;

@@ -161,7 +161,7 @@ StatusOr<ParallelConfig> ParseConfig(const std::string& text,
       return InvalidArgument("op run-length total mismatch in stage " +
                              std::to_string(config.num_stages()));
     }
-    config.mutable_stages().push_back(std::move(stage));
+    config.AddStage(std::move(stage));
   }
   if (config.num_stages() != static_cast<int>(*num_stages)) {
     return InvalidArgument("stage count mismatch");

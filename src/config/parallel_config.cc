@@ -53,17 +53,209 @@ int StageConfig::NumRecomputed() const {
   return count;
 }
 
+uint64_t PackOpSemanticWord(const Operator& op, const OpParallel& setting) {
+  // The partition dimension only matters for sharded partitioned ops.
+  const bool dim_matters =
+      setting.tp > 1 && op.tp_class == TpClass::kPartitioned;
+  const uint64_t dim =
+      dim_matters ? static_cast<uint64_t>(setting.tp_dim) + 1 : 0;
+  // ZeRO only changes semantics for data-parallel ops.
+  const bool zero = setting.dp > 1 && setting.zero_opt;
+  // tp and dp are device counts (< 2^16 for any plausible cluster).
+  return static_cast<uint64_t>(setting.tp) |
+         static_cast<uint64_t>(setting.dp) << 16 | dim << 32 |
+         static_cast<uint64_t>(setting.recompute) << 35 |
+         static_cast<uint64_t>(zero) << 36;
+}
+
+// ----- StageBlock -----
+
+StageBlock::~StageBlock() {
+  delete words_.load(std::memory_order_acquire);
+  delete spare_.load(std::memory_order_acquire);
+}
+
+StageConfig& StageBlock::BeginMutation() {
+  // The caller holds this block uniquely (CoW guarantees it), so no reader
+  // can be folding the cache we unpublish here. Park it for buffer reuse
+  // instead of freeing: candidate construction mutates and re-hashes in a
+  // tight loop, and the parked buffer saves an allocation per rehash.
+  WordCache* old = const_cast<WordCache*>(
+      words_.exchange(nullptr, std::memory_order_acq_rel));
+  if (old != nullptr) {
+    delete spare_.exchange(old, std::memory_order_acq_rel);
+  }
+  return config_;
+}
+
+void StageBlock::ComputeWords(const OpGraph& graph, const StageConfig& config,
+                              std::vector<uint64_t>& words) {
+  words.resize(static_cast<size_t>(config.num_ops));
+  for (int i = 0; i < config.num_ops; ++i) {
+    words[static_cast<size_t>(i)] =
+        PackOpSemanticWord(graph.op(config.first_op + i),
+                           config.ops[static_cast<size_t>(i)]);
+  }
+}
+
+uint64_t StageBlock::FoldOpWords(const OpGraph& graph, uint64_t state) const {
+  const WordCache* cache = words_.load(std::memory_order_acquire);
+  if (cache != nullptr && cache->graph == &graph) {
+    for (const uint64_t word : cache->words) {
+      state = HashCombine(state, word);
+    }
+    return state;
+  }
+  // Miss: recompute into the parked buffer if this thread wins it, a fresh
+  // one otherwise (concurrent post-mutation readers may race here).
+  WordCache* fresh = spare_.exchange(nullptr, std::memory_order_acq_rel);
+  if (fresh == nullptr) {
+    fresh = new WordCache;
+  }
+  fresh->graph = &graph;
+  ComputeWords(graph, config_, fresh->words);
+  for (const uint64_t word : fresh->words) {
+    state = HashCombine(state, word);
+  }
+  if (cache == nullptr) {
+    // Publish-once: the winner's cache lives until mutation or destruction,
+    // so concurrent readers never see it freed; losers park their copy.
+    const WordCache* expected = nullptr;
+    if (!words_.compare_exchange_strong(expected, fresh,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      delete spare_.exchange(fresh, std::memory_order_acq_rel);
+    }
+  } else {
+    // A cache for a different graph is already published. It cannot be
+    // swapped out safely under concurrent readers, so keep it and treat
+    // this graph as uncached. (In practice a config is only ever hashed
+    // against one graph; this path exists for correctness, not speed.)
+    delete spare_.exchange(fresh, std::memory_order_acq_rel);
+  }
+  return state;
+}
+
+// ----- ParallelConfig: special members -----
+
+ParallelConfig::ParallelConfig() = default;
+
+ParallelConfig::ParallelConfig(const ParallelConfig& other) {
+  // Lock the source: copying a config while another thread hashes it must
+  // see a consistent prefix cache. Shares every stage block (the CoW win).
+  std::lock_guard<std::mutex> lock(other.sem_mu_);
+  microbatch_size_ = other.microbatch_size_;
+  stages_ = other.stages_;
+  sem_graph_ = other.sem_graph_;
+  sem_valid_ = other.sem_valid_;
+  std::copy_n(other.sem_prefix_.begin(),
+              std::min(sem_valid_, sem_prefix_.size()), sem_prefix_.begin());
+}
+
+ParallelConfig& ParallelConfig::operator=(const ParallelConfig& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Assignment mutates *this, which the contract makes exclusive; only the
+  // source needs locking.
+  std::lock_guard<std::mutex> lock(other.sem_mu_);
+  microbatch_size_ = other.microbatch_size_;
+  stages_ = other.stages_;
+  sem_graph_ = other.sem_graph_;
+  sem_valid_ = other.sem_valid_;
+  std::copy_n(other.sem_prefix_.begin(),
+              std::min(sem_valid_, sem_prefix_.size()), sem_prefix_.begin());
+  return *this;
+}
+
+ParallelConfig::ParallelConfig(ParallelConfig&& other) noexcept
+    : microbatch_size_(other.microbatch_size_),
+      stages_(std::move(other.stages_)),
+      sem_graph_(other.sem_graph_),
+      sem_valid_(other.sem_valid_) {
+  std::copy_n(other.sem_prefix_.begin(),
+              std::min(sem_valid_, sem_prefix_.size()), sem_prefix_.begin());
+  other.sem_valid_ = 0;
+}
+
+ParallelConfig& ParallelConfig::operator=(ParallelConfig&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  microbatch_size_ = other.microbatch_size_;
+  stages_ = std::move(other.stages_);
+  sem_graph_ = other.sem_graph_;
+  sem_valid_ = other.sem_valid_;
+  std::copy_n(other.sem_prefix_.begin(),
+              std::min(sem_valid_, sem_prefix_.size()), sem_prefix_.begin());
+  other.sem_valid_ = 0;
+  return *this;
+}
+
+// ----- ParallelConfig: mutation -----
+
+void ParallelConfig::InvalidateSemanticPrefix(int stage_index) {
+  // No lock: mutation requires exclusive access (file-header contract), so
+  // no concurrent hasher can be reading the prefix state here, and taking
+  // sem_mu_ would only tax the candidate-construction hot path.
+  if (stage_index < 0) {
+    sem_valid_ = 0;
+    return;
+  }
+  // Prefix entries [0, stage_index] (header + stages before the mutated
+  // one) stay valid; everything folded from the mutated stage on is stale.
+  sem_valid_ =
+      std::min(sem_valid_, static_cast<size_t>(stage_index) + 1);
+}
+
+void ParallelConfig::set_microbatch_size(int mbs) {
+  if (mbs == microbatch_size_) {
+    return;
+  }
+  microbatch_size_ = mbs;
+  InvalidateSemanticPrefix(-1);  // folded into the header of every hash
+}
+
+StageConfig& ParallelConfig::MutableStage(int i) {
+  std::shared_ptr<StageBlock>& block = stages_.at(static_cast<size_t>(i));
+  if (block.use_count() > 1) {
+    // Shared with another config: clone before writing (copy-on-write).
+    block = std::make_shared<StageBlock>(*block);
+  }
+  InvalidateSemanticPrefix(i);
+  return block->BeginMutation();
+}
+
+void ParallelConfig::AddStage(StageConfig stage) {
+  stages_.push_back(std::make_shared<StageBlock>(std::move(stage)));
+  // The stage count is folded into the hash header, so the whole prefix is
+  // stale, not just the new tail entry.
+  InvalidateSemanticPrefix(-1);
+}
+
+ParallelConfig ParallelConfig::DeepCopy() const {
+  ParallelConfig copy;
+  copy.microbatch_size_ = microbatch_size_;
+  copy.stages_.reserve(stages_.size());
+  for (const std::shared_ptr<StageBlock>& block : stages_) {
+    copy.stages_.push_back(std::make_shared<StageBlock>(*block));
+  }
+  return copy;
+}
+
+// ----- ParallelConfig: queries -----
+
 int ParallelConfig::StageFirstDevice(int stage_index) const {
   int first = 0;
   for (int i = 0; i < stage_index; ++i) {
-    first += stages_[static_cast<size_t>(i)].num_devices;
+    first += stages_[static_cast<size_t>(i)]->config().num_devices;
   }
   return first;
 }
 
 int ParallelConfig::TotalDevices() const {
   int total = 0;
-  for (const StageConfig& stage : stages_) {
+  for (const StageConfig& stage : stages()) {
     total += stage.num_devices;
   }
   return total;
@@ -71,19 +263,19 @@ int ParallelConfig::TotalDevices() const {
 
 const OpParallel& ParallelConfig::OpSettings(int op_index) const {
   const int stage_index = StageOfOp(op_index);
-  const StageConfig& stage = stages_[static_cast<size_t>(stage_index)];
-  return stage.ops[static_cast<size_t>(op_index - stage.first_op)];
+  const StageConfig& st = stage(stage_index);
+  return st.ops[static_cast<size_t>(op_index - st.first_op)];
 }
 
 OpParallel& ParallelConfig::MutableOpSettings(int op_index) {
   const int stage_index = StageOfOp(op_index);
-  StageConfig& stage = stages_[static_cast<size_t>(stage_index)];
-  return stage.ops[static_cast<size_t>(op_index - stage.first_op)];
+  StageConfig& st = MutableStage(stage_index);
+  return st.ops[static_cast<size_t>(op_index - st.first_op)];
 }
 
 int ParallelConfig::StageOfOp(int op_index) const {
   for (size_t s = 0; s < stages_.size(); ++s) {
-    const StageConfig& stage = stages_[s];
+    const StageConfig& stage = stages_[s]->config();
     if (op_index >= stage.first_op && op_index < stage.end_op()) {
       return static_cast<int>(s);
     }
@@ -117,7 +309,7 @@ Status ParallelConfig::Validate(const OpGraph& graph,
   }
   int next_op = 0;
   for (size_t s = 0; s < stages_.size(); ++s) {
-    const StageConfig& stage = stages_[s];
+    const StageConfig& stage = stages_[s]->config();
     const std::string tag = "stage " + std::to_string(s);
     if (stage.first_op != next_op) {
       return InvalidArgument(tag + " starts at op " +
@@ -172,52 +364,72 @@ Status ParallelConfig::Validate(const OpGraph& graph,
   return OkStatus();
 }
 
+// ----- ParallelConfig: semantic hashing -----
+
 namespace {
 
-// Folds one stage's op settings into `h`, canonicalizing fields that do not
-// affect semantics (partition dimensions at tp == 1, ZeRO flags at dp == 1).
-// Shared by the whole-config SemanticHash and the per-stage cache key so the
-// two can never disagree about what a setting means. Each op packs into a
-// single word (one hash combine per op): this hash sits on the search's
-// innermost loop — once per candidate for deduplication and once per stage
-// for every stage-cost cache probe.
+// From-scratch fold of one stage's op settings (reference path; the cached
+// path folds the same words out of the stage block's word cache).
 void HashStageOps(const OpGraph& graph, const StageConfig& stage, Hasher& h) {
   for (int i = 0; i < stage.num_ops; ++i) {
-    const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
-    const Operator& op = graph.op(stage.first_op + i);
-    // The partition dimension only matters for sharded partitioned ops.
-    const bool dim_matters =
-        setting.tp > 1 && op.tp_class == TpClass::kPartitioned;
-    const uint64_t dim =
-        dim_matters ? static_cast<uint64_t>(setting.tp_dim) + 1 : 0;
-    // ZeRO only changes semantics for data-parallel ops.
-    const bool zero = setting.dp > 1 && setting.zero_opt;
-    // tp and dp are device counts (< 2^16 for any plausible cluster).
-    h.Add(static_cast<uint64_t>(setting.tp) |
-          static_cast<uint64_t>(setting.dp) << 16 | dim << 32 |
-          static_cast<uint64_t>(setting.recompute) << 35 |
-          static_cast<uint64_t>(zero) << 36);
+    h.Add(PackOpSemanticWord(graph.op(stage.first_op + i),
+                             stage.ops[static_cast<size_t>(i)]));
   }
 }
 
 }  // namespace
 
+uint64_t ParallelConfig::FoldStage(const OpGraph& graph, uint64_t state,
+                                   int stage_index) const {
+  const StageBlock& block = *stages_[static_cast<size_t>(stage_index)];
+  const StageConfig& stage = block.config();
+  state = HashCombine(state, static_cast<uint64_t>(stage.num_ops));
+  state = HashCombine(state, static_cast<uint64_t>(stage.num_devices));
+  return block.FoldOpWords(graph, state);
+}
+
 uint64_t ParallelConfig::SemanticHash(const OpGraph& graph) const {
-  Hasher h;
-  h.Add(microbatch_size_);
-  h.Add(static_cast<int>(stages_.size()));
-  for (const StageConfig& stage : stages_) {
-    h.Add(stage.num_ops);
-    h.Add(stage.num_devices);
-    HashStageOps(graph, stage, h);
+  const size_t n = stages_.size();
+  std::lock_guard<std::mutex> lock(sem_mu_);
+  if (sem_graph_ != &graph) {
+    sem_graph_ = &graph;
+    sem_valid_ = 0;
   }
-  return h.Digest();
+  if (n > kMaxCachedStages) {
+    // Past the inline prefix: refold everything each call. The per-stage
+    // word caches still apply, so this stays cheaper than the reference
+    // walk; only the prefix reuse is lost.
+    uint64_t state = kFnvOffsetBasis;
+    state = HashCombine(state, static_cast<uint64_t>(microbatch_size_));
+    state = HashCombine(state, static_cast<uint64_t>(static_cast<int>(n)));
+    for (size_t k = 0; k < n; ++k) {
+      state = FoldStage(graph, state, static_cast<int>(k));
+    }
+    return state;
+  }
+  if (sem_valid_ == 0) {
+    // Header: same fields, same order as SemanticHashUncached.
+    uint64_t state = kFnvOffsetBasis;
+    state = HashCombine(state, static_cast<uint64_t>(microbatch_size_));
+    state = HashCombine(state, static_cast<uint64_t>(static_cast<int>(n)));
+    sem_prefix_[0] = state;
+    sem_valid_ = 1;
+  }
+  // Re-fold from the first stale stage only; each step reuses the stage
+  // block's cached op words when present.
+  for (size_t k = sem_valid_; k <= n; ++k) {
+    sem_prefix_[k] =
+        FoldStage(graph, sem_prefix_[k - 1], static_cast<int>(k - 1));
+  }
+  sem_valid_ = n + 1;
+  return sem_prefix_[n];
 }
 
 uint64_t ParallelConfig::StageSemanticHash(const OpGraph& graph,
                                            const ClusterSpec& cluster,
                                            int stage_index) const {
-  const StageConfig& stage = stages_.at(static_cast<size_t>(stage_index));
+  const StageBlock& block = *stages_.at(static_cast<size_t>(stage_index));
+  const StageConfig& stage = block.config();
   const int first_device = StageFirstDevice(stage_index);
   Hasher h;
   h.Add(microbatch_size_);
@@ -229,16 +441,45 @@ uint64_t ParallelConfig::StageSemanticHash(const OpGraph& graph,
   // distinguishes stage 0 (no p2p charge) from later stages.
   h.Add(first_device % cluster.gpus_per_node);
   h.Add(stage_index > 0);
-  HashStageOps(graph, stage, h);
+  return block.FoldOpWords(graph, h.Digest());
+}
+
+uint64_t ParallelConfig::SemanticHashUncached(const OpGraph& graph) const {
+  Hasher h;
+  h.Add(microbatch_size_);
+  h.Add(static_cast<int>(stages_.size()));
+  for (const StageConfig& stage : stages()) {
+    h.Add(stage.num_ops);
+    h.Add(stage.num_devices);
+    HashStageOps(graph, stage, h);
+  }
   return h.Digest();
 }
+
+uint64_t ParallelConfig::StageSemanticHashUncached(const OpGraph& graph,
+                                                   const ClusterSpec& cluster,
+                                                   int stage_index) const {
+  const StageConfig& st = stage(stage_index);
+  const int first_device = StageFirstDevice(stage_index);
+  Hasher h;
+  h.Add(microbatch_size_);
+  h.Add(st.first_op);
+  h.Add(st.num_ops);
+  h.Add(st.num_devices);
+  h.Add(first_device % cluster.gpus_per_node);
+  h.Add(stage_index > 0);
+  HashStageOps(graph, st, h);
+  return h.Digest();
+}
+
+// ----- ParallelConfig: printing -----
 
 std::string ParallelConfig::ToString(const OpGraph& graph) const {
   std::ostringstream oss;
   oss << "config: mbs=" << microbatch_size_ << " stages=" << num_stages()
       << "\n";
   for (int s = 0; s < num_stages(); ++s) {
-    const StageConfig& stage = stages_[static_cast<size_t>(s)];
+    const StageConfig& stage = this->stage(s);
     oss << "  stage " << s << ": ops [" << stage.first_op << ", "
         << stage.end_op() << ") devices=" << stage.num_devices << "\n";
     // Group runs of ops with identical settings for readability. The
@@ -275,7 +516,7 @@ std::string ParallelConfig::ShortString() const {
   std::ostringstream oss;
   oss << "mbs=" << microbatch_size_;
   for (int s = 0; s < num_stages(); ++s) {
-    const StageConfig& stage = stages_[static_cast<size_t>(s)];
+    const StageConfig& stage = this->stage(s);
     // Report the most common (tp, dp) pair of the stage for compactness.
     std::map<std::pair<int, int>, int> counts;
     for (const OpParallel& setting : stage.ops) {
@@ -396,7 +637,7 @@ StatusOr<ParallelConfig> MakeConfigWithSplits(
     // size; dp absorbs the clamp.
     stage.SetUniformParallelism(graph, stage.num_devices, 1);
     first_op += stage.num_ops;
-    config.mutable_stages().push_back(std::move(stage));
+    config.AddStage(std::move(stage));
   }
   // Raise the microbatch size to the minimum every op's dp accepts.
   int required_mbs = microbatch_size;

@@ -6,11 +6,33 @@
 // partition dimension, and a recompute flag, and fixes one global microbatch
 // size. This representation can express Megatron-LM and Alpa configurations
 // (uniform settings) as well as Aceso's heterogeneous per-op plans.
+//
+// Copy-on-write representation. The search constructs tens of thousands of
+// candidate configurations per second, and each Table-1 primitive mutates
+// only one or two stages, so stages are stored as shared, logically
+// immutable blocks (StageBlock): copying a ParallelConfig copies #stages
+// pointers, and MutableStage(i) clones stage i on first write while every
+// untouched stage stays shared with the parent. Each block lazily caches the
+// packed per-op hash words of its stage, and the config carries an
+// incremental prefix of its whole-config semantic hash, so re-hashing a
+// candidate recomputes only the mutated stages — the cached-hash values are
+// bit-identical to the from-scratch *Uncached reference implementations.
+//
+// Mutation contract: MutableStage(i) (and MutableOpSettings, which routes
+// through it) requires exclusive access to the config, and the returned
+// reference is a short-lived mutation handle — finish mutating before the
+// config is copied, hashed, or shared. Hashing (SemanticHash,
+// StageSemanticHash, Evaluate) is safe concurrently on the same config from
+// multiple threads once mutation has stopped.
 
 #ifndef SRC_CONFIG_PARALLEL_CONFIG_H_
 #define SRC_CONFIG_PARALLEL_CONFIG_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,20 +76,127 @@ struct StageConfig {
   int NumRecomputed() const;
 };
 
+// Packs one op's semantic settings into a single hash word, canonicalizing
+// fields that do not affect semantics (partition dimensions at tp == 1,
+// ZeRO flags at dp == 1). Every semantic hash in the system — whole-config,
+// per-stage cache key, cached or from-scratch — folds exactly these words,
+// so no two consumers can ever disagree about what a setting means.
+uint64_t PackOpSemanticWord(const Operator& op, const OpParallel& setting);
+
+// A shareable pipeline-stage block: the stage data plus a lazily computed
+// cache of its packed per-op hash words. Blocks are logically immutable
+// while shared; ParallelConfig::MutableStage() clones a shared block before
+// handing out mutable access (copy-on-write). The word cache is computed on
+// first hash for a given graph and published once (lock-free); concurrent
+// hashing of a shared block is safe, concurrent mutation is not (see the
+// mutation contract above).
+class StageBlock {
+ public:
+  explicit StageBlock(StageConfig config) : config_(std::move(config)) {}
+  // Copies the stage data only; the clone starts with a cold word cache.
+  StageBlock(const StageBlock& other) : config_(other.config_) {}
+  StageBlock& operator=(const StageBlock&) = delete;
+  ~StageBlock();
+
+  const StageConfig& config() const { return config_; }
+
+  // Mutable access for the owning config; drops the cached words (the
+  // caller is about to change what they hash to).
+  StageConfig& BeginMutation();
+
+  // Folds this stage's packed op words into `state` with HashCombine — the
+  // shared inner loop of SemanticHash and StageSemanticHash. Computes and
+  // caches the words on first use for `graph`; cached folds touch no
+  // Operator data at all.
+  uint64_t FoldOpWords(const OpGraph& graph, uint64_t state) const;
+
+ private:
+  struct WordCache {
+    const OpGraph* graph;
+    std::vector<uint64_t> words;  // one PackOpSemanticWord() per op
+  };
+
+  static void ComputeWords(const OpGraph& graph, const StageConfig& config,
+                           std::vector<uint64_t>& words);
+
+  StageConfig config_;
+  mutable std::atomic<const WordCache*> words_{nullptr};
+  // Invalidated cache parked by BeginMutation() for buffer reuse: the next
+  // recompute refills it instead of allocating. Stolen with an atomic
+  // exchange, so concurrent post-mutation readers race safely (losers
+  // allocate fresh).
+  mutable std::atomic<WordCache*> spare_{nullptr};
+};
+
 class ParallelConfig {
  public:
-  ParallelConfig() = default;
+  ParallelConfig();
+  ParallelConfig(const ParallelConfig& other);
+  ParallelConfig& operator=(const ParallelConfig& other);
+  ParallelConfig(ParallelConfig&& other) noexcept;
+  ParallelConfig& operator=(ParallelConfig&& other) noexcept;
 
   int microbatch_size() const { return microbatch_size_; }
-  void set_microbatch_size(int mbs) { microbatch_size_ = mbs; }
+  void set_microbatch_size(int mbs);
 
   int num_stages() const { return static_cast<int>(stages_.size()); }
   const StageConfig& stage(int i) const {
-    return stages_.at(static_cast<size_t>(i));
+    return stages_.at(static_cast<size_t>(i))->config();
   }
-  StageConfig& mutable_stage(int i) { return stages_.at(static_cast<size_t>(i)); }
-  const std::vector<StageConfig>& stages() const { return stages_; }
-  std::vector<StageConfig>& mutable_stages() { return stages_; }
+
+  // Copy-on-write mutator: clones stage i's block if it is shared with
+  // another config, invalidates the hash caches from stage i on, and
+  // returns the (now uniquely owned) stage for in-place mutation. See the
+  // mutation contract in the file header.
+  StageConfig& MutableStage(int i);
+
+  // Appends a stage (configuration builders).
+  void AddStage(StageConfig stage);
+
+  // Lightweight range view over the stages, yielding const StageConfig&:
+  //   for (const StageConfig& stage : config.stages()) ...
+  class StageView {
+   public:
+    class Iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = StageConfig;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const StageConfig*;
+      using reference = const StageConfig&;
+
+      const StageConfig& operator*() const { return (*it_)->config(); }
+      const StageConfig* operator->() const { return &(*it_)->config(); }
+      Iterator& operator++() {
+        ++it_;
+        return *this;
+      }
+      bool operator==(const Iterator& other) const { return it_ == other.it_; }
+      bool operator!=(const Iterator& other) const { return it_ != other.it_; }
+
+     private:
+      friend class StageView;
+      explicit Iterator(const std::shared_ptr<StageBlock>* it) : it_(it) {}
+      const std::shared_ptr<StageBlock>* it_;
+    };
+
+    Iterator begin() const { return Iterator(blocks_->data()); }
+    Iterator end() const { return Iterator(blocks_->data() + blocks_->size()); }
+    size_t size() const { return blocks_->size(); }
+    bool empty() const { return blocks_->empty(); }
+
+   private:
+    friend class ParallelConfig;
+    explicit StageView(const std::vector<std::shared_ptr<StageBlock>>* blocks)
+        : blocks_(blocks) {}
+    const std::vector<std::shared_ptr<StageBlock>>* blocks_;
+  };
+  StageView stages() const { return StageView(&stages_); }
+
+  // A copy that shares no stage blocks with this config and starts with
+  // cold hash caches — the pre-CoW copy semantics. Benchmarks use it as the
+  // deep-copy baseline; tests use it to build guaranteed-unshared configs.
+  ParallelConfig DeepCopy() const;
 
   // First global device index of stage i (stages occupy contiguous ranges in
   // stage order).
@@ -78,6 +207,7 @@ class ParallelConfig {
 
   // The per-op settings for global op index `op_index`.
   const OpParallel& OpSettings(int op_index) const;
+  // Mutable per-op settings; clones the owning stage first (CoW).
   OpParallel& MutableOpSettings(int op_index);
 
   // Stage that owns global op `op_index`.
@@ -95,6 +225,10 @@ class ParallelConfig {
   // Configuration-semantic hash for deduplication (§4.3): equal iff the
   // stage partition, per-op settings, and microbatch size are equal.
   // Partition dimensions of ops whose tp == 1 are canonicalized away.
+  // Incremental: the fold state after each stage is cached, so re-hashing
+  // after a localized mutation recombines the cached prefix with the
+  // mutated stages' (cached-word) folds instead of re-walking every op.
+  // Bit-identical to SemanticHashUncached() always.
   uint64_t SemanticHash(const OpGraph& graph) const;
 
   // Key for the incremental stage-cost cache: hashes everything
@@ -106,9 +240,20 @@ class ParallelConfig {
   // the stage's first-device offset within its node and whether the stage
   // receives pipeline input at all, so those two facts are the entire
   // placement context. Keys are only comparable within one (graph, cluster)
-  // pair — exactly the lifetime of a PerformanceModel.
+  // pair — exactly the lifetime of a PerformanceModel. Reuses the stage
+  // block's cached op words, so key derivation for an unmutated stage does
+  // no per-op work beyond one HashCombine per op.
   uint64_t StageSemanticHash(const OpGraph& graph, const ClusterSpec& cluster,
                              int stage_index) const;
+
+  // Reference implementations that ignore every cache and recompute from
+  // the raw per-op settings. The cached variants above must agree with
+  // these bit-for-bit (property-tested); they exist to make that guarantee
+  // checkable and to document the hash layout in one obvious place.
+  uint64_t SemanticHashUncached(const OpGraph& graph) const;
+  uint64_t StageSemanticHashUncached(const OpGraph& graph,
+                                     const ClusterSpec& cluster,
+                                     int stage_index) const;
 
   // Multi-line human-readable dump.
   std::string ToString(const OpGraph& graph) const;
@@ -117,8 +262,33 @@ class ParallelConfig {
   std::string ShortString() const;
 
  private:
+  // Folds one stage's header (num_ops, num_devices) and op words — the
+  // per-stage step of the whole-config hash.
+  uint64_t FoldStage(const OpGraph& graph, uint64_t state,
+                     int stage_index) const;
+
+  // Drops cached whole-config hash state from stage `stage_index` on
+  // (mutation entry point). Negative index drops everything.
+  void InvalidateSemanticPrefix(int stage_index);
+
   int microbatch_size_ = 1;
-  std::vector<StageConfig> stages_;
+  std::vector<std::shared_ptr<StageBlock>> stages_;
+
+  // Incremental whole-config hash state: sem_prefix_[k] is the fold state
+  // after the header (microbatch size, stage count) and stages [0, k);
+  // sem_valid_ counts the leading entries that are current. The prefix is
+  // a fixed inline array so config copies never allocate for it — configs
+  // with more than kMaxCachedStages stages (the search caps at 12) skip
+  // prefix caching and refold from the header (still using cached words).
+  // Guarded by sem_mu_ against concurrent const hashing; mutators adjust
+  // sem_valid_ without contention concerns (mutation is exclusive by
+  // contract, but they still take the lock — mutation is far off the hash
+  // hot path).
+  static constexpr size_t kMaxCachedStages = 15;
+  mutable std::mutex sem_mu_;
+  mutable const OpGraph* sem_graph_ = nullptr;
+  mutable std::array<uint64_t, kMaxCachedStages + 1> sem_prefix_{};
+  mutable size_t sem_valid_ = 0;
 };
 
 // ----- Initial configuration generators (§5.1, Exp#7) -----

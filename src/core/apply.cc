@@ -80,7 +80,7 @@ void FixRecompute(const PerformanceModel& model, ParallelConfig& config,
   const PerfResult perf = model.Evaluate(config);
   const int64_t limit = model.cluster().gpu.memory_bytes;
   const StageUsage& usage = perf.stages[static_cast<size_t>(stage_index)];
-  StageConfig& stage = config.mutable_stage(stage_index);
+  StageConfig& stage = config.MutableStage(stage_index);
   const int64_t in_flight =
       std::max(1, config.num_stages() - stage_index);
   const int mbs = config.microbatch_size();
@@ -146,8 +146,8 @@ bool MoveOps(const PerformanceModel& model, ParallelConfig& config, int from,
       to >= config.num_stages()) {
     return false;
   }
-  StageConfig& src = config.mutable_stage(from);
-  StageConfig& dst = config.mutable_stage(to);
+  StageConfig& src = config.MutableStage(from);
+  StageConfig& dst = config.MutableStage(to);
   if (count >= src.num_ops) {
     return false;  // never empty a stage
   }
@@ -340,8 +340,8 @@ void EmitDeviceMigrations(CandidateBuilder& builder,
     const int lose_ratio = g_lose / (g_lose - d);
     for (const bool lose_from_tp : {true, false}) {
       ParallelConfig next = config;
-      StageConfig& gain_stage = next.mutable_stage(gain);
-      StageConfig& lose_stage = next.mutable_stage(lose);
+      StageConfig& gain_stage = next.MutableStage(gain);
+      StageConfig& lose_stage = next.MutableStage(lose);
       const int gain_tp = StageModalTp(gain_stage);
       const int lose_tp = StageModalTp(lose_stage);
       if (lose_from_tp && lose_tp < lose_ratio) {
@@ -484,7 +484,7 @@ std::vector<Candidate> GeneratePrimitiveCandidates(
       // (a) In-place conversion: grow tp at dp's expense or vice versa.
       {
         ParallelConfig next = config;
-        StageConfig& s = next.mutable_stage(stage);
+        StageConfig& s = next.MutableStage(stage);
         const int tp = StageModalTp(s);
         const int new_tp = into_tp ? tp * 2 : tp / 2;
         if (new_tp >= 1 && new_tp <= s.num_devices) {
@@ -521,7 +521,7 @@ std::vector<Candidate> GeneratePrimitiveCandidates(
       // (a) In-place conversion.
       {
         ParallelConfig next = config;
-        StageConfig& s = next.mutable_stage(stage);
+        StageConfig& s = next.MutableStage(stage);
         const int tp = StageModalTp(s);
         const int new_tp = from_tp ? tp / 2 : tp * 2;
         if (new_tp >= 1 && new_tp <= s.num_devices) {
@@ -569,7 +569,7 @@ std::vector<Candidate> GeneratePrimitiveCandidates(
       // (b) Recompute one more op: the largest non-recomputed activation.
       {
         ParallelConfig next = config;
-        StageConfig& s = next.mutable_stage(stage);
+        StageConfig& s = next.MutableStage(stage);
         int best = -1;
         int64_t best_bytes = 0;
         for (int i = 0; i < s.num_ops; ++i) {
@@ -597,7 +597,7 @@ std::vector<Candidate> GeneratePrimitiveCandidates(
       // stage (the extension is stage-granular, like recomputation).
       const bool enable = kind == PrimitiveKind::kIncZero;
       ParallelConfig next = config;
-      StageConfig& s = next.mutable_stage(stage);
+      StageConfig& s = next.MutableStage(stage);
       bool changed = false;
       for (OpParallel& setting : s.ops) {
         if (setting.dp > 1 && setting.zero_opt != enable) {
@@ -625,7 +625,7 @@ std::vector<Candidate> GeneratePrimitiveCandidates(
       // (b) Drop the single most expensive recompute.
       {
         ParallelConfig next = config;
-        StageConfig& s = next.mutable_stage(stage);
+        StageConfig& s = next.MutableStage(stage);
         int best = -1;
         double best_time = 0.0;
         for (int i = 0; i < s.num_ops; ++i) {

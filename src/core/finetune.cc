@@ -44,9 +44,15 @@ bool RetargetTail(const OpGraph& graph, StageConfig& stage, int split,
 
 PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
                     const PerfResult& initial_perf, const TimeBudget& budget,
-                    const FineTuneOptions& options) {
+                    const FineTuneOptions& options,
+                    int64_t* trial_evaluations) {
   PerfResult best = initial_perf;
   const OpGraph& graph = model.graph();
+  auto count_trial = [trial_evaluations] {
+    if (trial_evaluations != nullptr) {
+      ++*trial_evaluations;
+    }
+  };
 
   // --- 1. Flexible tp/dp combination inside each stage ---
   for (int s = 0; s < config.num_stages() && !budget.Expired(); ++s) {
@@ -58,12 +64,13 @@ PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
           break;
         }
         ParallelConfig trial = config;
-        if (!RetargetTail(graph, trial.mutable_stage(s), split, increase)) {
+        if (!RetargetTail(graph, trial.MutableStage(s), split, increase)) {
           continue;
         }
         if (!trial.Validate(graph, model.cluster()).ok()) {
           continue;
         }
+        count_trial();
         const PerfResult perf = model.Evaluate(trial);
         if (perf.BetterThan(best)) {
           config = std::move(trial);
@@ -90,11 +97,12 @@ PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
       }
       ParallelConfig trial = config;
       OpParallel& trial_setting =
-          trial.mutable_stage(s).ops[static_cast<size_t>(i)];
+          trial.MutableStage(s).ops[static_cast<size_t>(i)];
       trial_setting.tp_dim = trial_setting.tp_dim == TpDim::kColumn
                                  ? TpDim::kRow
                                  : TpDim::kColumn;
       ++flips;
+      count_trial();
       const PerfResult perf = model.Evaluate(trial);
       if (perf.BetterThan(best)) {
         config = std::move(trial);

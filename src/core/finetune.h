@@ -28,10 +28,13 @@ struct FineTuneOptions {
 };
 
 // Fine-tunes `config` in place; returns the evaluation of the final config.
-// Stops early when `budget` expires.
+// Stops early when `budget` expires. When `trial_evaluations` is non-null it
+// is incremented once per trial configuration evaluated, so callers (the
+// search) can attribute fine-tuning work to their explored-config counters.
 PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
                     const PerfResult& initial_perf, const TimeBudget& budget,
-                    const FineTuneOptions& options = {});
+                    const FineTuneOptions& options = {},
+                    int64_t* trial_evaluations = nullptr);
 
 }  // namespace aceso
 

@@ -60,6 +60,7 @@ class SingleSearch {
     ScoredConfig current;
     current.config = *std::move(initial);
     current.perf = model_.Evaluate(current.config);
+    ++stats_.configs_explored;  // the initial configuration counts too
     current.semantic_hash = current.config.SemanticHash(model_.graph());
     visited_.insert(current.semantic_hash);
     RecordTopK(current);
@@ -69,7 +70,7 @@ class SingleSearch {
     result.convergence.push_back(
         {global_watch_.ElapsedSeconds(), Score(best.perf)});
 
-    while (!budget_.Expired()) {
+    while (!Exhausted()) {
       ++stats_.iterations;
       std::optional<Improvement> improved = IterationSearch(current);
       if (improved.has_value()) {
@@ -78,8 +79,8 @@ class SingleSearch {
         stats_.hops_used.push_back(improved->hops);
         current = std::move(improved->found);
         if (options_.enable_finetune) {
-          current.perf =
-              FineTune(model_, current.config, current.perf, budget_);
+          current.perf = FineTune(model_, current.config, current.perf,
+                                  budget_, {}, &stats_.configs_explored);
           // Fine-tuning mutates the config, so its hash must be refreshed.
           current.semantic_hash = current.config.SemanticHash(model_.graph());
           visited_.insert(current.semantic_hash);
@@ -120,6 +121,18 @@ class SingleSearch {
     int bottleneck_attempt = 1;
   };
 
+  // The search stops at whichever budget binds first: the anytime wall-clock
+  // budget, or the deterministic evaluation budget (when set). Fine-tuning
+  // may overshoot the evaluation budget by one bounded pass; the overshoot
+  // is itself deterministic, so fixed-seed runs stay bit-reproducible.
+  bool Exhausted() const {
+    if (options_.max_evaluations > 0 &&
+        stats_.configs_explored >= options_.max_evaluations) {
+      return true;
+    }
+    return budget_.Expired();
+  }
+
   StatusOr<ParallelConfig> MakeInitial() const {
     switch (options_.initial_config) {
       case InitialConfigKind::kBalanced:
@@ -142,7 +155,7 @@ class SingleSearch {
     const int attempts = std::min<int>(
         static_cast<int>(bottlenecks.size()),
         options_.max_bottlenecks_per_iteration);
-    for (int b = 0; b < attempts && !budget_.Expired(); ++b) {
+    for (int b = 0; b < attempts && !Exhausted(); ++b) {
       std::optional<Improvement> found =
           MultiHop(start, start.perf, /*hop=*/0, &bottlenecks[static_cast<size_t>(b)]);
       if (found.has_value()) {
@@ -158,7 +171,7 @@ class SingleSearch {
   std::optional<Improvement> MultiHop(const ScoredConfig& config,
                                       const PerfResult& init_perf, int hop,
                                       const Bottleneck* forced) {
-    if (hop >= options_.max_hops || budget_.Expired()) {
+    if (hop >= options_.max_hops || Exhausted()) {
       return std::nullopt;
     }
     Bottleneck bottleneck;
@@ -189,7 +202,7 @@ class SingleSearch {
       // the unexplored pool.
       std::vector<std::shared_ptr<const ScoredConfig>> group;
       for (const PrimitiveKind kind : primitives) {
-        if (budget_.Expired()) {
+        if (Exhausted()) {
           return std::nullopt;
         }
         for (Candidate& candidate : GeneratePrimitiveCandidates(
@@ -233,7 +246,7 @@ class SingleSearch {
         ShuffleInPlace(group);
       }
       for (const std::shared_ptr<const ScoredConfig>& next : group) {
-        if (budget_.Expired()) {
+        if (Exhausted()) {
           return std::nullopt;
         }
         std::optional<Improvement> found =

@@ -30,6 +30,14 @@ struct SearchOptions {
   // Wall-clock budget shared by all stage-count searches (paper: 200 s).
   double time_budget_seconds = 2.0;
 
+  // Deterministic budget: stop a stage-count search once its
+  // SearchStats::configs_explored reaches this many evaluations (0 = no
+  // limit; the wall-clock budget still applies). Unlike the anytime
+  // wall-clock budget, a pure evaluation budget makes a fixed-seed search
+  // bit-reproducible across machines — tests and benchmarks use it to pin
+  // down exact search trajectories. Applies per stage count.
+  int64_t max_evaluations = 0;
+
   // MaxHops of the multi-hop search (paper default: 7).
   int max_hops = 7;
 
@@ -91,7 +99,13 @@ struct ConvergencePoint {
 struct SearchStats {
   int64_t iterations = 0;       // Algorithm 1 loop executions
   int64_t improvements = 0;     // iterations that found a better config
-  int64_t configs_explored = 0; // candidate evaluations
+  // Every configuration evaluation the search performed on its own behalf:
+  // the initial configuration, every generated candidate, and every
+  // fine-tuning trial. (Scratch evaluations inside FixRecompute — the §4.3
+  // attachment and the inc-rc/dec-rc fit/relax constructions — are
+  // bookkeeping of candidate *construction*, not exploration, and are not
+  // counted.)
+  int64_t configs_explored = 0;
 
   // Stage-cost cache activity attributed to this search run (delta of the
   // shared cache's counters over the run; see PerformanceModel::stage_cache).

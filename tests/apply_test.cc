@@ -62,7 +62,7 @@ TEST_F(ApplyTest, MoveOpsPreservesRecomputeFlags) {
   ParallelConfig config = Even(4);
   // Flag the last op of stage 1.
   const int last = config.stage(1).num_ops - 1;
-  config.mutable_stage(1).ops[static_cast<size_t>(last)].recompute = true;
+  config.MutableStage(1).ops[static_cast<size_t>(last)].recompute = true;
   ASSERT_TRUE(MoveOps(model_, config, 1, 2, 1));
   EXPECT_TRUE(config.stage(2).ops[0].recompute);
 }
@@ -202,8 +202,8 @@ TEST_F(CandidateTest, DecOpMovesOpsOutOfBottleneck) {
 TEST_F(CandidateTest, IncTpProducesDeviceMigrationOrSwap) {
   ParallelConfig config = Even(2, 8);
   // Stage 0 at tp4/dp... make sure both stages have dp head-room.
-  config.mutable_stage(0).SetUniformParallelism(graph_, 2, 2);
-  config.mutable_stage(1).SetUniformParallelism(graph_, 2, 2);
+  config.MutableStage(0).SetUniformParallelism(graph_, 2, 2);
+  config.MutableStage(1).SetUniformParallelism(graph_, 2, 2);
   ASSERT_TRUE(config.Validate(graph_, cluster_).ok());
   const auto candidates = Generate(config, PrimitiveKind::kIncTp, 0);
   ASSERT_FALSE(candidates.empty());

@@ -35,7 +35,7 @@ TEST_F(ConfigIoTest, RoundTripHeterogeneousStage) {
   auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
   ASSERT_TRUE(config.ok());
   // Mixed settings inside the stage.
-  StageConfig& stage = config->mutable_stage(0);
+  StageConfig& stage = config->MutableStage(0);
   for (int i = 0; i < stage.num_ops / 2; ++i) {
     const Operator& op = graph_.op(i);
     if (op.tp_class == TpClass::kPartitioned) {

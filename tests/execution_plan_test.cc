@@ -170,7 +170,7 @@ TEST_F(PlanTest, GpipeLoweringVerifies) {
 TEST_F(PlanTest, TpDpRanksAssigned) {
   auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
   ASSERT_TRUE(config.ok());
-  config->mutable_stage(0).SetUniformParallelism(graph_, 4, 2);
+  config->MutableStage(0).SetUniformParallelism(graph_, 4, 2);
   ASSERT_TRUE(config->Validate(graph_, cluster_).ok());
   const ExecutionPlan plan = ExecutionPlan::Lower(graph_, *config);
   // 8 devices: tp ranks cycle 0..3, dp ranks 0..1.

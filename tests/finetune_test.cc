@@ -50,7 +50,7 @@ TEST_F(FineTuneTest, CanImproveASuboptimalUniformPlan) {
   auto maybe = MakeEvenConfig(graph_, cluster_, 1, 8);
   ASSERT_TRUE(maybe.ok());
   ParallelConfig config = *maybe;
-  config.mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  config.MutableStage(0).SetUniformParallelism(graph_, 8, 1);
   ASSERT_TRUE(config.Validate(graph_, cluster_).ok());
   const PerfResult before = model_.Evaluate(config);
   const TimeBudget budget(10.0);

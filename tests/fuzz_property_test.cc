@@ -136,6 +136,129 @@ TEST_P(FuzzTest, RandomZeroFlagsNeverIncreaseMemory) {
   EXPECT_TRUE(std::isfinite(sharded.iteration_time));
 }
 
+// Applies one random config mutation through the copy-on-write mutator API,
+// exercising every kind of write the search performs: recompute toggles,
+// tp_dim flips, tp/dp retargeting, ZeRO flags, and microbatch changes.
+void MutateRandomly(const OpGraph& graph, ParallelConfig& config, Rng& rng) {
+  const int s = rng.NextInt(0, config.num_stages() - 1);
+  switch (rng.NextInt(0, 4)) {
+    case 0: {
+      StageConfig& stage = config.MutableStage(s);
+      OpParallel& setting =
+          stage.ops[static_cast<size_t>(rng.NextInt(0, stage.num_ops - 1))];
+      setting.recompute = !setting.recompute;
+      break;
+    }
+    case 1: {
+      StageConfig& stage = config.MutableStage(s);
+      OpParallel& setting =
+          stage.ops[static_cast<size_t>(rng.NextInt(0, stage.num_ops - 1))];
+      setting.tp_dim =
+          setting.tp_dim == TpDim::kColumn ? TpDim::kRow : TpDim::kColumn;
+      break;
+    }
+    case 2: {
+      // Halve tp / double dp (or back) for the whole stage where possible.
+      StageConfig& stage = config.MutableStage(s);
+      const bool increase = rng.NextBool(0.5);
+      for (int i = 0; i < stage.num_ops; ++i) {
+        OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+        const int new_tp = increase ? setting.tp * 2 : setting.tp / 2;
+        if (new_tp < 1 || new_tp > stage.num_devices) {
+          continue;
+        }
+        const int clamped = ClampOpTp(graph.op(stage.first_op + i), new_tp);
+        setting.tp = clamped;
+        setting.dp = stage.num_devices / clamped;
+      }
+      break;
+    }
+    case 3: {
+      const int op = rng.NextInt(0, graph.num_ops() - 1);
+      config.MutableOpSettings(op).zero_opt = rng.NextBool(0.5);
+      break;
+    }
+    default:
+      config.set_microbatch_size(1 << rng.NextInt(0, 3));
+      break;
+  }
+}
+
+TEST_P(FuzzTest, CowMutationNeverAliasesParentState) {
+  // Copying a config shares stage blocks; mutating the copy must never leak
+  // into the parent's observable state. Checked against a deep copy taken
+  // before any sharing, field by field and hash by hash.
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  auto made = MakeEvenConfig(graph, cluster, std::min(4, graph.num_ops()), 4);
+  if (!made.ok()) {
+    GTEST_SKIP() << made.status().ToString();
+  }
+  ParallelConfig parent = *std::move(made);
+  const ParallelConfig snapshot = parent.DeepCopy();
+  const uint64_t parent_hash = parent.SemanticHash(graph);
+
+  for (int round = 0; round < 20; ++round) {
+    ParallelConfig child = parent;  // shares all stage blocks
+    for (int m = 0; m < 3; ++m) {
+      MutateRandomly(graph, child, rng_);
+    }
+    // The parent still matches the pre-sharing snapshot exactly.
+    ASSERT_EQ(parent.num_stages(), snapshot.num_stages());
+    ASSERT_EQ(parent.microbatch_size(), snapshot.microbatch_size());
+    for (int s = 0; s < parent.num_stages(); ++s) {
+      const StageConfig& got = parent.stage(s);
+      const StageConfig& want = snapshot.stage(s);
+      ASSERT_EQ(got.first_op, want.first_op);
+      ASSERT_EQ(got.num_ops, want.num_ops);
+      ASSERT_EQ(got.num_devices, want.num_devices);
+      ASSERT_EQ(got.ops.size(), want.ops.size());
+      for (size_t i = 0; i < got.ops.size(); ++i) {
+        ASSERT_TRUE(got.ops[i] == want.ops[i]) << "stage " << s << " op " << i;
+      }
+    }
+    ASSERT_EQ(parent.SemanticHash(graph), parent_hash);
+  }
+}
+
+TEST_P(FuzzTest, IncrementalHashesMatchUncachedUnderMutationSequences) {
+  // The cached/incremental hash paths must agree bit-for-bit with the
+  // from-scratch reference implementations at every point of a random
+  // mutation/copy sequence — the exact access pattern of candidate
+  // generation (copy, mutate one or two stages, re-hash).
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  auto made = MakeEvenConfig(graph, cluster, std::min(4, graph.num_ops()), 4);
+  if (!made.ok()) {
+    GTEST_SKIP() << made.status().ToString();
+  }
+  ParallelConfig config = *std::move(made);
+  auto check_all = [&](const ParallelConfig& c) {
+    ASSERT_EQ(c.SemanticHash(graph), c.SemanticHashUncached(graph));
+    for (int s = 0; s < c.num_stages(); ++s) {
+      ASSERT_EQ(c.StageSemanticHash(graph, cluster, s),
+                c.StageSemanticHashUncached(graph, cluster, s))
+          << "stage " << s;
+    }
+    // Hashing is idempotent (the second call is fully cached).
+    ASSERT_EQ(c.SemanticHash(graph), c.SemanticHashUncached(graph));
+  };
+
+  check_all(config);
+  for (int round = 0; round < 40; ++round) {
+    ParallelConfig candidate = config;  // CoW copy, warm caches
+    MutateRandomly(graph, candidate, rng_);
+    if (rng_.NextBool(0.5)) {
+      MutateRandomly(graph, candidate, rng_);
+    }
+    check_all(candidate);
+    check_all(config);  // the base config's caches stay correct too
+    if (rng_.NextBool(0.3)) {
+      config = std::move(candidate);  // walk, like the search does
+    }
+  }
+}
+
 TEST_P(FuzzTest, ConfigIoRoundTripsOnRandomModels) {
   const OpGraph graph = models::SyntheticModel(rng_);
   const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);

@@ -5,6 +5,9 @@
 #include <set>
 #include <string>
 
+#include "src/config/parallel_config.h"
+#include "src/ir/models/model_zoo.h"
+
 namespace aceso {
 namespace {
 
@@ -65,6 +68,71 @@ TEST(HasherTest, ManyInputsFewCollisions) {
     digests.insert(h.Digest());
   }
   EXPECT_EQ(digests.size(), 10000u);
+}
+
+// ----- Configuration-hash golden values -----
+//
+// These constants were captured from the pre-copy-on-write implementation
+// (which re-walked every op on every hash). The incremental representation
+// must keep producing the exact same values: semantic hashes are persisted
+// implicitly through dedup behavior and stage-cost cache keys, and any
+// drift would silently invalidate cross-version comparisons of search
+// trajectories. If a hash-layout change is ever intentional, recapture
+// these and say so loudly in the commit.
+
+TEST(ConfigHashGoldenTest, Gpt3EvenConfigMatchesPreCowValues) {
+  const OpGraph graph = *models::BuildByName("gpt3-0.35b");
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(16);
+  const ParallelConfig config = *MakeEvenConfig(graph, cluster, 4, 1);
+
+  EXPECT_EQ(config.SemanticHash(graph), 518114822866887510ULL);
+  const uint64_t kStageKeys[4] = {12818917683426247322ULL,
+                                  14539861582369513248ULL,
+                                  3556924303830189156ULL,
+                                  10424588392720782350ULL};
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(config.StageSemanticHash(graph, cluster, s), kStageKeys[s])
+        << "stage " << s;
+  }
+
+  // A localized mutation (recompute on stage 2's first op) changes the
+  // whole-config hash and stage 2's key exactly as before, and leaves the
+  // other stages' keys untouched.
+  ParallelConfig mutated = config;
+  mutated.MutableOpSettings(mutated.stage(2).first_op).recompute = true;
+  EXPECT_EQ(mutated.SemanticHash(graph), 1490011249254862671ULL);
+  EXPECT_EQ(mutated.StageSemanticHash(graph, cluster, 2),
+            17200069606752991849ULL);
+  for (int s : {0, 1, 3}) {
+    EXPECT_EQ(mutated.StageSemanticHash(graph, cluster, s), kStageKeys[s]);
+  }
+
+  ParallelConfig bigger = config;
+  bigger.set_microbatch_size(4);
+  EXPECT_EQ(bigger.SemanticHash(graph), 16049058280529372890ULL);
+
+  // The parent config is unaffected by either derived mutation (CoW).
+  EXPECT_EQ(config.SemanticHash(graph), 518114822866887510ULL);
+}
+
+TEST(ConfigHashGoldenTest, WresnetConfigMatchesPreCowValues) {
+  const OpGraph graph = *models::BuildByName("wresnet-0.5b");
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  const ParallelConfig config = *MakeEvenConfig(graph, cluster, 2, 2);
+  EXPECT_EQ(config.SemanticHash(graph), 14021843154385322606ULL);
+  EXPECT_EQ(config.StageSemanticHash(graph, cluster, 1),
+            6343908077807864943ULL);
+}
+
+TEST(ConfigHashGoldenTest, CachedAndUncachedPathsAgree) {
+  const OpGraph graph = *models::BuildByName("gpt3-0.35b");
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(16);
+  const ParallelConfig config = *MakeEvenConfig(graph, cluster, 4, 1);
+  EXPECT_EQ(config.SemanticHash(graph), config.SemanticHashUncached(graph));
+  for (int s = 0; s < config.num_stages(); ++s) {
+    EXPECT_EQ(config.StageSemanticHash(graph, cluster, s),
+              config.StageSemanticHashUncached(graph, cluster, s));
+  }
 }
 
 }  // namespace

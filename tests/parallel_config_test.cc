@@ -138,14 +138,14 @@ TEST_F(ConfigTest, ValidateRejectsBadMicrobatch) {
 TEST_F(ConfigTest, ValidateRejectsDeviceMismatch) {
   auto config = MakeEvenConfig(graph_, cluster_, 2, 1);
   ASSERT_TRUE(config.ok());
-  config->mutable_stage(0).num_devices = 2;  // total now 6 != 8
+  config->MutableStage(0).num_devices = 2;  // total now 6 != 8
   EXPECT_FALSE(config->Validate(graph_, cluster_).ok());
 }
 
 TEST_F(ConfigTest, ValidateRejectsGapInOpCoverage) {
   auto config = MakeEvenConfig(graph_, cluster_, 2, 1);
   ASSERT_TRUE(config.ok());
-  config->mutable_stage(1).first_op += 1;
+  config->MutableStage(1).first_op += 1;
   EXPECT_FALSE(config->Validate(graph_, cluster_).ok());
 }
 
@@ -244,7 +244,7 @@ TEST_F(ConfigTest, TooManyStagesFails) {
 TEST_F(ConfigTest, SetUniformParallelismClampsPerOp) {
   auto config = MakeEvenConfig(graph_, cluster_, 1, 1);
   ASSERT_TRUE(config.ok());
-  StageConfig& stage = config->mutable_stage(0);
+  StageConfig& stage = config->MutableStage(0);
   stage.SetUniformParallelism(graph_, 8, 1);
   for (int i = 0; i < stage.num_ops; ++i) {
     const Operator& op = graph_.op(i);

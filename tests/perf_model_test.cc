@@ -146,7 +146,7 @@ TEST_F(PerfModelTest, LargerMicrobatchImprovesComputeEfficiency) {
 TEST_F(PerfModelTest, TensorParallelismAddsCommunication) {
   // One stage, all devices: tp=8 has tp collectives, dp=8 has grad sync.
   ParallelConfig tp_config = Even(1, 8);
-  tp_config.mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  tp_config.MutableStage(0).SetUniformParallelism(graph_, 8, 1);
   ASSERT_TRUE(tp_config.Validate(graph_, cluster_).ok());
   const PerfResult perf = model_.Evaluate(tp_config);
   EXPECT_GT(perf.stages[0].comm_time, 0.0);
@@ -154,7 +154,7 @@ TEST_F(PerfModelTest, TensorParallelismAddsCommunication) {
 
 TEST_F(PerfModelTest, DataParallelismAddsGradientSync) {
   ParallelConfig dp_config = Even(1, 8);
-  dp_config.mutable_stage(0).SetUniformParallelism(graph_, 1, 8);
+  dp_config.MutableStage(0).SetUniformParallelism(graph_, 1, 8);
   ASSERT_TRUE(dp_config.Validate(graph_, cluster_).ok());
   const PerfResult perf = model_.Evaluate(dp_config);
   EXPECT_GT(perf.stages[0].dp_sync_time, 0.0);
@@ -162,9 +162,9 @@ TEST_F(PerfModelTest, DataParallelismAddsGradientSync) {
 
 TEST_F(PerfModelTest, TpShardsParameterMemory) {
   ParallelConfig tp_config = Even(1, 8);
-  tp_config.mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  tp_config.MutableStage(0).SetUniformParallelism(graph_, 8, 1);
   ParallelConfig dp_config = Even(1, 8);
-  dp_config.mutable_stage(0).SetUniformParallelism(graph_, 1, 8);
+  dp_config.MutableStage(0).SetUniformParallelism(graph_, 1, 8);
   const PerfResult tp = model_.Evaluate(tp_config);
   const PerfResult dp = model_.Evaluate(dp_config);
   // dp replicates parameters; tp shards the big matmuls.

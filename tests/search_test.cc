@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/finetune.h"
 #include "src/ir/models/model_zoo.h"
 
 namespace aceso {
@@ -181,6 +182,84 @@ TEST_F(SearchTest, WorksWithDedupDisabled) {
   const SearchResult result = AcesoSearchForStages(model_, options, 2);
   ASSERT_TRUE(result.found);
   EXPECT_FALSE(result.best.perf.oom);
+}
+
+TEST_F(SearchTest, InitialConfigEvaluationIsCounted) {
+  // With an evaluation budget of 1, the search evaluates the initial
+  // configuration and stops before generating any candidate. That single
+  // evaluation must appear in configs_explored (it used to be dropped),
+  // and it must be the only model evaluation issued.
+  SearchOptions options = FastOptions();
+  options.time_budget_seconds = 1e6;
+  options.max_evaluations = 1;
+  const int64_t before = model_.NumEvaluations();
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.stats.configs_explored, 1);
+  EXPECT_EQ(model_.NumEvaluations() - before, 1);
+}
+
+TEST_F(SearchTest, FineTuneTrialsAreCounted) {
+  // FineTune's only model evaluations are its trial configurations, so its
+  // trial counter must match the model's evaluation delta exactly (these
+  // used to be invisible to SearchStats).
+  auto config = MakeEvenConfig(graph_, cluster_, 2, 1);
+  ASSERT_TRUE(config.ok());
+  const PerfResult initial = model_.Evaluate(*config);
+  const TimeBudget budget(1e6);
+  int64_t trials = 0;
+  const int64_t before = model_.NumEvaluations();
+  FineTune(model_, *config, initial, budget, {}, &trials);
+  EXPECT_EQ(trials, model_.NumEvaluations() - before);
+  EXPECT_GT(trials, 0);
+}
+
+TEST_F(SearchTest, ExploredCountNeverExceedsModelEvaluations) {
+  // Whole-search sanity: every counted exploration corresponds to a real
+  // model evaluation. (The converse is not exact: the recompute fix-up's
+  // scratch evaluations are candidate construction and stay uncounted.)
+  const int64_t before = model_.NumEvaluations();
+  const SearchResult result = AcesoSearchForStages(model_, FastOptions(), 2);
+  const int64_t evaluated = model_.NumEvaluations() - before;
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.stats.configs_explored, evaluated);
+  EXPECT_GT(result.stats.configs_explored, 1);
+}
+
+TEST_F(SearchTest, EvaluationBudgetStopsTheSearch) {
+  SearchOptions options = FastOptions();
+  options.time_budget_seconds = 1e6;  // only the evaluation budget binds
+  options.max_evaluations = 200;
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  // The budget is checked between candidates; a fine-tuning pass triggered
+  // just before the budget binds may overshoot by one bounded pass — at
+  // most (8 splits * 2 directions + 16 flips) per stage at default options.
+  EXPECT_GE(result.stats.configs_explored, 200);
+  EXPECT_LE(result.stats.configs_explored, 200 + 32 * 2);
+}
+
+TEST_F(SearchTest, FixedEvaluationBudgetIsBitReproducible) {
+  // Golden search trajectory, captured from the pre-copy-on-write
+  // implementation: under a pure evaluation budget the search is
+  // deterministic, so the CoW + incremental-hash representation must land
+  // on the exact same best configuration, iteration time, and iteration
+  // count. Any drift here means candidate generation or dedup behavior
+  // changed, not just performance.
+  SearchOptions options = FastOptions();
+  options.time_budget_seconds = 1e6;
+  options.max_evaluations = 3000;
+  const SearchResult a = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(a.found);
+  EXPECT_EQ(a.best.semantic_hash, 1672875804967310438ULL);
+  EXPECT_DOUBLE_EQ(a.best.perf.iteration_time, 22.649582163995891);
+  EXPECT_EQ(a.stats.configs_explored, 3000);
+  EXPECT_EQ(a.stats.iterations, 40);
+  // And it reproduces run-to-run in-process.
+  const SearchResult b = AcesoSearchForStages(model_, options, 2);
+  EXPECT_EQ(b.best.semantic_hash, a.best.semantic_hash);
+  EXPECT_DOUBLE_EQ(b.best.perf.iteration_time, a.best.perf.iteration_time);
+  EXPECT_EQ(b.stats.configs_explored, a.stats.configs_explored);
 }
 
 TEST_F(SearchTest, WorksWithoutRecomputeAttachment) {

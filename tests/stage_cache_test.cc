@@ -173,8 +173,8 @@ TEST_F(StageHashTest, FoldsInNodeOffsetOfFirstDevice) {
     probe.num_ops = 4;
     probe.num_devices = 4;
     probe.SetUniformParallelism(graph_, 2, 2);
-    config.mutable_stages().push_back(std::move(upstream));
-    config.mutable_stages().push_back(std::move(probe));
+    config.AddStage(std::move(upstream));
+    config.AddStage(std::move(probe));
     return config;
   };
 

@@ -22,7 +22,7 @@ class ZeroTest : public ::testing::Test {
   ParallelConfig DpConfig() {
     auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
     EXPECT_TRUE(config.ok());
-    config->mutable_stage(0).SetUniformParallelism(graph_, 1, 8);
+    config->MutableStage(0).SetUniformParallelism(graph_, 1, 8);
     EXPECT_TRUE(config->Validate(graph_, cluster_).ok());
     return *std::move(config);
   }
@@ -52,7 +52,7 @@ TEST_F(ZeroTest, NoEffectWithoutDataParallelism) {
   // tp-only stage: the flag is semantically inert.
   auto config = MakeEvenConfig(graph_, cluster_, 1, 8);
   ASSERT_TRUE(config.ok());
-  config->mutable_stage(0).SetUniformParallelism(graph_, 8, 1);
+  config->MutableStage(0).SetUniformParallelism(graph_, 8, 1);
   ParallelConfig flagged = *config;
   for (int i = 0; i < graph_.num_ops(); ++i) {
     flagged.MutableOpSettings(i).zero_opt = true;
