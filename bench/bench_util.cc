@@ -93,8 +93,9 @@ void PrintConvergence(const std::string& label,
     return;
   }
   auto print_point = [](const ConvergencePoint& point) {
-    // Infeasible (OOM) configurations carry a penalty score, not a time.
-    if (point.best_iteration_time >= 1e11) {
+    // While the best-so-far is infeasible its time is a model estimate for
+    // an over-memory configuration, not an achievable iteration time.
+    if (!point.feasible) {
       std::printf(" [%.2fs: OOM]", point.elapsed_seconds);
     } else {
       std::printf(" [%.2fs: %.2f]", point.elapsed_seconds,
@@ -110,6 +111,21 @@ void PrintConvergence(const std::string& label,
     print_point(trend[n - 1]);
   }
   std::printf("\n");
+}
+
+ImprovementHistograms ExtractImprovementHistograms(
+    const std::vector<TelemetryEvent>& events) {
+  ImprovementHistograms hist;
+  for (const TelemetryEvent& event : events) {
+    if (event.type() != "iteration" ||
+        !event.GetBool("accepted").value_or(false)) {
+      continue;
+    }
+    hist.bottleneck_attempts.push_back(
+        static_cast<int>(event.GetInt("bottleneck_attempt").value_or(0)));
+    hist.hops.push_back(static_cast<int>(event.GetInt("hops").value_or(0)));
+  }
+  return hist;
 }
 
 }  // namespace bench

@@ -73,6 +73,17 @@ void PrintConvergence(const std::string& label,
                       const std::vector<ConvergencePoint>& trend,
                       int max_rows = 12);
 
+// The Figure-11 histogram inputs, extracted from a telemetry event stream
+// (DESIGN.md §10): for every accepted iteration, the 1-based index of the
+// bottleneck that yielded the improvement and the hop count of the
+// improving primitive chain.
+struct ImprovementHistograms {
+  std::vector<int> bottleneck_attempts;
+  std::vector<int> hops;
+};
+ImprovementHistograms ExtractImprovementHistograms(
+    const std::vector<TelemetryEvent>& events);
+
 }  // namespace bench
 }  // namespace aceso
 

@@ -58,21 +58,27 @@ int main() {
     settings.resize(2);
   }
 
-  SearchStats aggregate;
+  // One shared telemetry sink across all settings: the histogram inputs are
+  // read back from the per-iteration event stream (DESIGN.md §10) rather
+  // than from SearchStats' ad-hoc vectors.
+  TelemetryOptions topts;
+  topts.ring_capacity = 1 << 20;
+  TelemetrySink telemetry(topts);
   for (const auto& [name, gpus] : settings) {
     Workload workload(name, gpus);
     SearchOptions options = DefaultSearchOptions();
-    const SearchResult result = AcesoSearch(workload.model(), options);
-    aggregate.Merge(result.stats);
+    options.telemetry = &telemetry;
+    AcesoSearch(workload.model(), options);
   }
+  const ImprovementHistograms hist =
+      ExtractImprovementHistograms(telemetry.Events());
   std::printf("\nsearch iterations: %lld, improvements: %lld\n\n",
-              static_cast<long long>(aggregate.iterations),
-              static_cast<long long>(aggregate.improvements));
+              static_cast<long long>(telemetry.counter("search.iterations")),
+              static_cast<long long>(telemetry.counter("search.accepts")));
   PrintHistogram("Figure 11(a): bottlenecks tried before improvement",
-                 aggregate.bottleneck_attempts, 4);
+                 hist.bottleneck_attempts, 4);
   std::printf("\n");
-  PrintHistogram("Figure 11(b): hops of the improving chain",
-                 aggregate.hops_used, 5);
+  PrintHistogram("Figure 11(b): hops of the improving chain", hist.hops, 5);
 
   // --- Figure 12: convergence with vs without Heuristic-2. ---
   std::printf("\nFigure 12: convergence trends (predicted iteration time)\n");

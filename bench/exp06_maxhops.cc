@@ -40,18 +40,33 @@ int main() {
     std::printf("\n--- %s, %d stages ---\n", panel.model, panel.stages);
     Workload workload(panel.model, panel.gpus);
     TablePrinter table({"MaxHops", "best pred iter(s)", "improvements",
-                        "configs explored"});
+                        "configs explored", "cand evaluated", "dedup%"});
     for (const int max_hops : {1, 3, 7, 11}) {
+      // Fresh counters-only sink per run; the candidate-economy columns come
+      // from the telemetry registry (DESIGN.md §10).
+      TelemetryOptions topts;
+      topts.ring_capacity = 0;
+      TelemetrySink telemetry(topts);
       SearchOptions options = DefaultSearchOptions();
       options.max_hops = max_hops;
+      options.telemetry = &telemetry;
       const SearchResult result =
           AcesoSearchForStages(workload.model(), options, panel.stages);
+      const int64_t generated = telemetry.counter("search.candidates_generated");
+      const int64_t deduped = telemetry.counter("search.candidates_deduped");
       table.AddRow({std::to_string(max_hops),
                     result.found
                         ? FormatDouble(result.best.perf.iteration_time, 2)
                         : "x",
                     std::to_string(result.stats.improvements),
-                    std::to_string(result.stats.configs_explored)});
+                    std::to_string(result.stats.configs_explored),
+                    std::to_string(
+                        telemetry.counter("search.candidates_evaluated")),
+                    generated > 0
+                        ? FormatDouble(100.0 * static_cast<double>(deduped) /
+                                           static_cast<double>(generated),
+                                       1)
+                        : "0"});
       PrintConvergence("MaxHops=" + std::to_string(max_hops),
                        result.convergence, 8);
     }

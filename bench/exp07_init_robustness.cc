@@ -30,21 +30,30 @@ int main() {
   for (const auto& [name, gpus] : settings) {
     std::printf("\n--- %s @%dgpu ---\n", name.c_str(), gpus);
     Workload workload(name, gpus);
-    TablePrinter table({"initial config", "best pred iter(s)", "improvements"});
+    TablePrinter table({"initial config", "best pred iter(s)", "improvements",
+                        "iterations", "restarts"});
     const std::vector<std::pair<std::string, InitialConfigKind>> starts = {
         {"balanced", InitialConfigKind::kBalanced},
         {"imbalance-op", InitialConfigKind::kOpImbalanced},
         {"imbalance-GPU", InitialConfigKind::kGpuImbalanced},
     };
     for (const auto& [label, kind] : starts) {
+      // Counters-only sink per start: how hard each start had to work (and
+      // whether it needed restarts) comes from telemetry (DESIGN.md §10).
+      TelemetryOptions topts;
+      topts.ring_capacity = 0;
+      TelemetrySink telemetry(topts);
       SearchOptions options = DefaultSearchOptions();
       options.initial_config = kind;
+      options.telemetry = &telemetry;
       const SearchResult result = AcesoSearch(workload.model(), options);
       table.AddRow({label,
                     result.found
                         ? FormatDouble(result.best.perf.iteration_time, 2)
                         : "x",
-                    std::to_string(result.stats.improvements)});
+                    std::to_string(result.stats.improvements),
+                    std::to_string(telemetry.counter("search.iterations")),
+                    std::to_string(telemetry.counter("search.restarts"))});
       PrintConvergence(label, result.convergence, 8);
     }
     table.Print(std::cout);

@@ -89,6 +89,9 @@ BENCHMARK(BM_FineTunePass);
 
 void BM_SearchIterationBudget100ms(benchmark::State& state) {
   // End-to-end anytime search slices: how much improvement per 100 ms.
+  // This is the telemetry-disabled pin: SearchOptions::telemetry stays
+  // null, so any regression here against the pre-telemetry baseline means
+  // the disabled path is no longer a branch-on-null no-op.
   Fixture f;
   for (auto _ : state) {
     SearchOptions options;
@@ -97,6 +100,24 @@ void BM_SearchIterationBudget100ms(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SearchIterationBudget100ms)->Unit(benchmark::kMillisecond);
+
+void BM_SearchIterationBudget100msTelemetry(benchmark::State& state) {
+  // Same slice with a live sink: the full per-iteration event + counter
+  // cost. Compare against BM_SearchIterationBudget100ms for the
+  // enabled-telemetry overhead.
+  Fixture f;
+  for (auto _ : state) {
+    TelemetryOptions topts;
+    topts.ring_capacity = 8192;
+    TelemetrySink sink(topts);
+    SearchOptions options;
+    options.time_budget_seconds = 0.1;
+    options.telemetry = &sink;
+    benchmark::DoNotOptimize(AcesoSearchForStages(f.model, options, 4));
+  }
+}
+BENCHMARK(BM_SearchIterationBudget100msTelemetry)
+    ->Unit(benchmark::kMillisecond);
 
 // ----- Per-candidate construction + hash (CoW vs deep copy) -----
 //

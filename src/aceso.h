@@ -20,6 +20,7 @@
 #include "src/baselines/baseline_result.h"
 #include "src/baselines/dp_solver.h"
 #include "src/baselines/megatron.h"
+#include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
@@ -42,6 +43,8 @@
 #include "src/ir/models/model_zoo.h"
 #include "src/ir/op_graph.h"
 #include "src/ir/operator.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/telemetry.h"
 #include "src/plan/execution_plan.h"
 #include "src/plan/schedule.h"
 #include "src/profile/profile_db.h"

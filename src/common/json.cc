@@ -1,0 +1,284 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace aceso {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(out, s);
+  return out;
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  out += buf;
+}
+
+namespace {
+
+// Single-pass recursive-descent validator over the RFC 8259 grammar.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  Status Run() {
+    SkipWs();
+    Status s = Value(/*depth=*/0);
+    if (!s.ok()) {
+      return s;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return OkStatus();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const std::string& what) const {
+    return InvalidArgument("JSON: " + what + " at byte " +
+                           std::to_string(pos_));
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (!Eof() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    if (Eof()) {
+      return Error("unexpected end of input, expected a value");
+    }
+    switch (Peek()) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return OkStatus();
+  }
+
+  Status Object(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) {
+      return OkStatus();
+    }
+    while (true) {
+      SkipWs();
+      if (Eof() || Peek() != '"') {
+        return Error("expected object key string");
+      }
+      Status s = String();
+      if (!s.ok()) {
+        return s;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      SkipWs();
+      s = Value(depth + 1);
+      if (!s.ok()) {
+        return s;
+      }
+      SkipWs();
+      if (Consume('}')) {
+        return OkStatus();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Status Array(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) {
+      return OkStatus();
+    }
+    while (true) {
+      SkipWs();
+      Status s = Value(depth + 1);
+      if (!s.ok()) {
+        return s;
+      }
+      SkipWs();
+      if (Consume(']')) {
+        return OkStatus();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Status String() {
+    ++pos_;  // opening '"'
+    while (true) {
+      if (Eof()) {
+        return Error("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return OkStatus();
+      }
+      if (c < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (Eof()) {
+          return Error("unterminated escape");
+        }
+        const char e = text_[pos_];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Error("\\u escape needs 4 hex digits");
+            }
+            ++pos_;
+          }
+        } else {
+          return Error("invalid escape character");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  Status Number() {
+    Consume('-');
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("expected digit");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+      if (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("expected digit after decimal point");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) {
+        ++pos_;
+      }
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("expected digit in exponent");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return OkStatus();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status JsonValidate(std::string_view text) { return Validator(text).Run(); }
+
+}  // namespace aceso

@@ -1,0 +1,43 @@
+// Minimal JSON utilities shared by every hand-emitted JSON writer in the
+// repository (Chrome traces, telemetry JSONL, BENCH_search.json): string
+// escaping, number formatting, and a strict validating parser used by tests
+// and tools to keep those writers honest.
+//
+// This is deliberately not a JSON library — the repo carries no JSON
+// dependency and its writers emit documents directly. What must be shared is
+// the part that is easy to get wrong everywhere: escaping arbitrary strings
+// (task names, model names, file paths) so the output stays parseable.
+
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace aceso {
+
+// Appends `s` to `out` with JSON string escaping applied (quotes,
+// backslashes, and control characters; no surrounding quotes added).
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+// Returns `s` escaped for embedding inside a JSON string literal.
+std::string JsonEscape(std::string_view s);
+
+// Appends a JSON number for `value`. Non-finite values (which JSON cannot
+// represent) are emitted as null; finite values round-trip through a
+// shortest-ish %.15g rendering that the validator below accepts.
+void AppendJsonNumber(std::string& out, double value);
+
+// Strict validation of a complete JSON document (RFC 8259 grammar: one
+// value, optionally surrounded by whitespace, nothing trailing). Returns
+// OkStatus() iff `text` parses; the error message carries the byte offset
+// and what was expected. Used by tests to gate every writer in the repo and
+// cheap enough (single pass, no allocation besides the error) for tools to
+// self-check their output.
+Status JsonValidate(std::string_view text);
+
+}  // namespace aceso
+
+#endif  // SRC_COMMON_JSON_H_

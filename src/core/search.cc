@@ -43,19 +43,31 @@ class SingleSearch {
   // experiment clock.
   SingleSearch(const PerformanceModel& model, const SearchOptions& options,
                int num_stages, double budget_seconds,
-               const Stopwatch& global_watch)
+               const Stopwatch& global_watch, int worker = 0)
       : model_(model),
         options_(options),
         num_stages_(num_stages),
         budget_(budget_seconds),
         global_watch_(global_watch),
+        telemetry_(options.telemetry),
+        worker_(worker),
         rng_(options.seed ^ MixU64(static_cast<uint64_t>(num_stages))) {}
 
   SearchResult Run() {
     SearchResult result;
+    const double run_start = global_watch_.ElapsedSeconds();
+    if (telemetry_ != nullptr) {
+      telemetry_->IncrCounter("search.workers");
+      telemetry_->Emit(std::move(TelemetryEvent("search_begin")
+                                     .Dbl("t", run_start)
+                                     .Int("worker", worker_)
+                                     .Int("stages", num_stages_)));
+    }
     auto initial = MakeInitial();
     if (!initial.ok()) {
-      return result;  // this stage count is not constructible
+      // This stage count is not constructible.
+      EmitSearchEnd(result, run_start, /*converged=*/false);
+      return result;
     }
     ScoredConfig current;
     current.config = *std::move(initial);
@@ -67,20 +79,36 @@ class SingleSearch {
 
     ScoredConfig best = current;
     result.found = true;
-    result.convergence.push_back(
-        {global_watch_.ElapsedSeconds(), Score(best.perf)});
+    result.convergence.push_back({global_watch_.ElapsedSeconds(),
+                                  best.perf.iteration_time, !best.perf.oom});
 
+    bool converged = false;
     while (!Exhausted()) {
       ++stats_.iterations;
+      const double iter_start =
+          telemetry_ != nullptr ? global_watch_.ElapsedSeconds() : 0.0;
+      iter_ = {};
       std::optional<Improvement> improved = IterationSearch(current);
-      if (improved.has_value()) {
+      const bool accepted = improved.has_value();
+      int hops = 0;
+      int attempt = 0;
+      const char* primitive = "";
+      int64_t finetune_trials = 0;
+      double finetune_delta = 0.0;
+      if (accepted) {
         ++stats_.improvements;
         stats_.bottleneck_attempts.push_back(improved->bottleneck_attempt);
         stats_.hops_used.push_back(improved->hops);
+        hops = improved->hops;
+        attempt = improved->bottleneck_attempt;
+        primitive = PrimitiveName(improved->primitive);
         current = std::move(improved->found);
         if (options_.enable_finetune) {
+          const double before_finetune = current.perf.iteration_time;
           current.perf = FineTune(model_, current.config, current.perf,
-                                  budget_, {}, &stats_.configs_explored);
+                                  budget_, {}, &finetune_trials);
+          stats_.configs_explored += finetune_trials;
+          finetune_delta = before_finetune - current.perf.iteration_time;
           // Fine-tuning mutates the config, so its hash must be refreshed.
           current.semantic_hash = current.config.SemanticHash(model_.graph());
           visited_.insert(current.semantic_hash);
@@ -88,24 +116,38 @@ class SingleSearch {
         }
         if (current.perf.BetterThan(best.perf)) {
           best = current;
-          result.convergence.push_back(
-              {global_watch_.ElapsedSeconds(), Score(best.perf)});
+          result.convergence.push_back({global_watch_.ElapsedSeconds(),
+                                        best.perf.iteration_time,
+                                        !best.perf.oom});
         }
       } else {
         // Restart from the most promising unexplored configuration. Entries
         // are shared with the hop groups that discovered them, so restarts
         // (rare) pay the copy instead of every push (hot).
         if (unexplored_.empty()) {
-          break;  // converged: nothing left to try
+          converged = true;  // nothing left to try
+        } else {
+          current = *unexplored_.begin()->second;
+          unexplored_.erase(unexplored_.begin());
+          if (telemetry_ != nullptr) {
+            telemetry_->IncrCounter("search.restarts");
+          }
         }
-        current = *unexplored_.begin()->second;
-        unexplored_.erase(unexplored_.begin());
+      }
+      if (telemetry_ != nullptr) {
+        EmitIteration(iter_start, accepted, attempt, hops, primitive,
+                      finetune_trials, finetune_delta, best);
+      }
+      if (converged) {
+        break;
       }
     }
 
     result.best = std::move(best);
-    result.convergence.push_back(
-        {global_watch_.ElapsedSeconds(), Score(result.best.perf)});
+    result.convergence.push_back({global_watch_.ElapsedSeconds(),
+                                  result.best.perf.iteration_time,
+                                  !result.best.perf.oom});
+    EmitSearchEnd(result, run_start, converged);
     result.stats = std::move(stats_);
     // top_k_ is score-ordered, so this emits best-first directly.
     for (auto& [score, scored] : top_k_) {
@@ -119,7 +161,78 @@ class SingleSearch {
     ScoredConfig found;
     int hops = 0;
     int bottleneck_attempt = 1;
+    // The primitive that produced the improving candidate (the last hop of
+    // the chain); reported in the per-iteration telemetry event.
+    PrimitiveKind primitive = PrimitiveKind::kIncOpCount;
   };
+
+  // Telemetry facts gathered over one Algorithm-1 iteration and emitted as
+  // one "iteration" event. Updated only when telemetry_ != nullptr.
+  struct IterationTelemetry {
+    int64_t generated = 0;  // candidates produced by primitive application
+    int64_t deduped = 0;    // dropped by §4.3 semantic deduplication
+    int64_t evaluated = 0;  // candidates scored by the performance model
+    int bottleneck_stage = -1;   // last bottleneck attempted
+    bool memory_bound = false;   // that bottleneck's kind
+    const char* bottleneck_resource = "";
+  };
+
+  void EmitIteration(double iter_start, bool accepted, int attempt, int hops,
+                     const char* primitive, int64_t finetune_trials,
+                     double finetune_delta, const ScoredConfig& best) {
+    const double now = global_watch_.ElapsedSeconds();
+    TelemetryEvent event("iteration");
+    event.Dbl("t", iter_start)
+        .Dbl("dur", now - iter_start)
+        .Int("worker", worker_)
+        .Int("stages", num_stages_)
+        .Int("iter", stats_.iterations)
+        .Bool("accepted", accepted)
+        .Int("bottleneck_stage", iter_.bottleneck_stage)
+        .Str("bottleneck_resource", iter_.bottleneck_resource)
+        .Bool("memory_bound", iter_.memory_bound)
+        .Int("bottleneck_attempt", attempt)
+        .Int("hops", hops)
+        .Str("primitive", primitive)
+        .Int("generated", iter_.generated)
+        .Int("deduped", iter_.deduped)
+        .Int("evaluated", iter_.evaluated)
+        .Int("finetune_trials", finetune_trials)
+        .Dbl("finetune_delta", finetune_delta)
+        .Dbl("best_time", best.perf.iteration_time)
+        .Bool("feasible", !best.perf.oom);
+    telemetry_->Emit(std::move(event));
+    telemetry_->IncrCounter("search.iterations");
+    telemetry_->IncrCounter(accepted ? "search.accepts" : "search.rejects");
+    telemetry_->IncrCounter("search.candidates_generated", iter_.generated);
+    telemetry_->IncrCounter("search.candidates_deduped", iter_.deduped);
+    telemetry_->IncrCounter("search.candidates_evaluated", iter_.evaluated);
+    if (finetune_trials > 0) {
+      telemetry_->IncrCounter("search.finetune_trials", finetune_trials);
+    }
+  }
+
+  void EmitSearchEnd(const SearchResult& result, double run_start,
+                     bool converged) {
+    if (telemetry_ == nullptr) {
+      return;
+    }
+    const double now = global_watch_.ElapsedSeconds();
+    telemetry_->RecordTimer("search.worker_seconds", now - run_start);
+    telemetry_->Emit(std::move(
+        TelemetryEvent("search_end")
+            .Dbl("t", now)
+            .Dbl("dur", now - run_start)
+            .Int("worker", worker_)
+            .Int("stages", num_stages_)
+            .Bool("found", result.found)
+            .Int("iterations", stats_.iterations)
+            .Int("improvements", stats_.improvements)
+            .Int("configs_explored", stats_.configs_explored)
+            .Dbl("best_time", result.best.perf.iteration_time)
+            .Bool("feasible", result.found && !result.best.perf.oom)
+            .Bool("converged", converged)));
+  }
 
   // The search stops at whichever budget binds first: the anytime wall-clock
   // budget, or the deterministic evaluation budget (when set). Fine-tuning
@@ -156,6 +269,13 @@ class SingleSearch {
         static_cast<int>(bottlenecks.size()),
         options_.max_bottlenecks_per_iteration);
     for (int b = 0; b < attempts && !Exhausted(); ++b) {
+      if (telemetry_ != nullptr) {
+        const Bottleneck& bn = bottlenecks[static_cast<size_t>(b)];
+        iter_.bottleneck_stage = bn.stage;
+        iter_.memory_bound = bn.memory_bound;
+        iter_.bottleneck_resource =
+            bn.resources.empty() ? "" : ResourceName(bn.resources.front());
+      }
       std::optional<Improvement> found =
           MultiHop(start, start.perf, /*hop=*/0, &bottlenecks[static_cast<size_t>(b)]);
       if (found.has_value()) {
@@ -212,7 +332,13 @@ class SingleSearch {
           // the ScoredConfig for the top-k bookkeeping.
           const uint64_t hash =
               candidate.config.SemanticHash(model_.graph());
+          if (telemetry_ != nullptr) {
+            ++iter_.generated;
+          }
           if (options_.enable_dedup && !visited_.insert(hash).second) {
+            if (telemetry_ != nullptr) {
+              ++iter_.deduped;
+            }
             continue;  // §4.3 deduplication
           }
           ScoredConfig scored;
@@ -220,11 +346,15 @@ class SingleSearch {
           scored.semantic_hash = hash;
           scored.perf = model_.Evaluate(scored.config);
           ++stats_.configs_explored;
+          if (telemetry_ != nullptr) {
+            ++iter_.evaluated;
+          }
           RecordTopK(scored);
           if (scored.perf.BetterThan(init_perf)) {
             Improvement improvement;
             improvement.found = std::move(scored);
             improvement.hops = hop + 1;
+            improvement.primitive = kind;
             return improvement;
           }
           auto shared = std::make_shared<const ScoredConfig>(
@@ -301,6 +431,12 @@ class SingleSearch {
   int num_stages_;
   TimeBudget budget_;
   const Stopwatch& global_watch_;
+  // Cached sink pointer: null disables every instrumentation point behind a
+  // single predictable branch (the telemetry-off hot path must stay within
+  // noise of the uninstrumented build; see micro_search).
+  TelemetrySink* telemetry_;
+  int worker_;
+  IterationTelemetry iter_;
   Rng rng_;
 
   SearchStats stats_;
@@ -336,16 +472,26 @@ SearchResult MergeResults(std::vector<SearchResult> results, int top_k) {
   if (static_cast<int>(merged.top_configs.size()) > top_k) {
     merged.top_configs.resize(static_cast<size_t>(top_k));
   }
-  // Convergence trend: running minimum over time across all searches.
+  // Convergence trend: running minimum over time across all searches, over
+  // feasible points only. Infeasible (OOM) bests carry model estimates for
+  // over-memory configurations — folding them into the minimum used to start
+  // every merged curve at the search's sentinel-score magnitude until the
+  // first feasible configuration appeared.
   std::sort(merged.convergence.begin(), merged.convergence.end(),
             [](const ConvergencePoint& a, const ConvergencePoint& b) {
               return a.elapsed_seconds < b.elapsed_seconds;
             });
+  std::vector<ConvergencePoint> feasible_trend;
+  feasible_trend.reserve(merged.convergence.size());
   double running = 1e300;
-  for (ConvergencePoint& point : merged.convergence) {
+  for (const ConvergencePoint& point : merged.convergence) {
+    if (!point.feasible) {
+      continue;
+    }
     running = std::min(running, point.best_iteration_time);
-    point.best_iteration_time = running;
+    feasible_trend.push_back({point.elapsed_seconds, running, true});
   }
+  merged.convergence = std::move(feasible_trend);
   return merged;
 }
 
@@ -420,22 +566,43 @@ SearchResult AcesoSearch(const PerformanceModel& model,
   threads = std::min({threads, stage_counts.size(),
                       static_cast<size_t>(std::max(
                           1u, std::thread::hardware_concurrency()))});
-  // With fewer workers than stage counts the searches (partially)
-  // serialize; scale each search's budget so the total wall-clock still
-  // lands on options.time_budget_seconds.
+  // With fewer workers than stage counts the searches serialize into
+  // ceil(N/threads) waves, so each search gets budget/waves and the total
+  // wall-clock lands on options.time_budget_seconds however unevenly the
+  // last wave fills. (Scaling by threads/N — the continuous version of the
+  // same idea — overshot by up to ~2x at small N: with 5 stage counts on 4
+  // threads it granted 0.8·T per search and the two waves totalled 1.6·T.)
+  const size_t waves = (stage_counts.size() + threads - 1) / threads;
   const double per_search_budget =
-      options.time_budget_seconds * static_cast<double>(threads) /
-      static_cast<double>(stage_counts.size());
+      options.time_budget_seconds / static_cast<double>(waves);
   ThreadPool pool(threads);
   ParallelFor(pool, stage_counts.size(), [&](size_t i) {
     SingleSearch search(model, options, stage_counts[i], per_search_budget,
-                        watch);
+                        watch, static_cast<int>(i));
     results[i] = search.Run();
   });
 
   SearchResult merged = MergeResults(std::move(results), options.top_k);
   RecordCacheDelta(model, cache_before, &merged.stats);
   merged.search_seconds = watch.ElapsedSeconds();
+  if (options.telemetry != nullptr) {
+    options.telemetry->RecordTimer("search.total_seconds",
+                                   merged.search_seconds);
+    options.telemetry->Emit(std::move(
+        TelemetryEvent("search_summary")
+            .Dbl("t", merged.search_seconds)
+            .Int("stage_counts", static_cast<int64_t>(stage_counts.size()))
+            .Int("threads", static_cast<int64_t>(threads))
+            .Int("waves", static_cast<int64_t>(waves))
+            .Dbl("per_search_budget", per_search_budget)
+            .Dbl("time_budget", options.time_budget_seconds)
+            .Bool("found", merged.found)
+            .Int("iterations", merged.stats.iterations)
+            .Int("improvements", merged.stats.improvements)
+            .Int("configs_explored", merged.stats.configs_explored)
+            .Dbl("best_time", merged.best.perf.iteration_time)
+            .Bool("feasible", merged.found && !merged.best.perf.oom)));
+  }
   return merged;
 }
 

@@ -17,6 +17,7 @@
 
 #include "src/config/parallel_config.h"
 #include "src/cost/perf_model.h"
+#include "src/obs/telemetry.h"
 
 namespace aceso {
 
@@ -79,6 +80,13 @@ struct SearchOptions {
   int max_bottlenecks_per_iteration = 4;
 
   InitialConfigKind initial_config = InitialConfigKind::kBalanced;
+
+  // Optional structured-telemetry sink (not owned; may outlive many
+  // searches and be shared between concurrent ones). Null disables all
+  // instrumentation: the search caches this pointer and pays exactly one
+  // branch on it per instrumentation point, keeping the disabled hot path
+  // unaffected. Event schema: DESIGN.md §10.
+  TelemetrySink* telemetry = nullptr;
 };
 
 // A configuration with its evaluation. The search computes the semantic
@@ -94,6 +102,13 @@ struct ScoredConfig {
 struct ConvergencePoint {
   double elapsed_seconds = 0.0;
   double best_iteration_time = 0.0;
+  // False while the best-so-far is still infeasible (OOM):
+  // best_iteration_time is then the model's estimate for an over-memory
+  // configuration, not an achievable time, and must stay out of feasible
+  // running-min curves. Merged results (AcesoSearch) contain only feasible
+  // points; per-stage-count results keep infeasible points flagged so
+  // callers can render the pre-feasibility phase.
+  bool feasible = true;
 };
 
 struct SearchStats {

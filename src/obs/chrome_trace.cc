@@ -1,0 +1,146 @@
+#include "src/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/common/json.h"
+
+namespace aceso {
+
+std::string ToChromeTraceJson(const TraceDocument& doc) {
+  std::string out;
+  out.reserve(128 + doc.slices.size() * 96);
+  out += "[\n";
+  bool first = true;
+  auto separator = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+  for (const auto& [tid, name] : doc.threads) {
+    separator();
+    out += R"({"name":"thread_name","ph":"M","pid":)";
+    out += std::to_string(doc.pid);
+    out += R"(,"tid":)";
+    out += std::to_string(tid);
+    out += R"(,"args":{"name":")";
+    AppendJsonEscaped(out, name);
+    out += R"("}})";
+  }
+  for (const TraceSlice& slice : doc.slices) {
+    separator();
+    out += R"({"name":")";
+    AppendJsonEscaped(out, slice.name);
+    out += R"(","ph":"X","pid":)";
+    out += std::to_string(doc.pid);
+    out += R"(,"tid":)";
+    out += std::to_string(slice.tid);
+    out += R"(,"ts":)";
+    AppendJsonNumber(out, slice.ts_seconds * 1e6);
+    out += R"(,"dur":)";
+    AppendJsonNumber(out, slice.dur_seconds * 1e6);
+    if (!slice.args.empty()) {
+      out += R"(,"args":{)";
+      bool first_arg = true;
+      for (const auto& [key, value] : slice.args) {
+        if (!first_arg) {
+          out += ',';
+        }
+        first_arg = false;
+        out += '"';
+        AppendJsonEscaped(out, key);
+        out += R"(":")";
+        AppendJsonEscaped(out, value);
+        out += '"';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status WriteChromeTrace(const TraceDocument& doc, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Internal("cannot open trace file: " + path);
+  }
+  file << ToChromeTraceJson(doc);
+  file.flush();
+  if (!file) {
+    return Internal("trace write failed: " + path);
+  }
+  return OkStatus();
+}
+
+namespace {
+
+std::string IntArg(const TelemetryEvent& e, std::string_view key) {
+  return std::to_string(e.GetInt(key).value_or(0));
+}
+
+}  // namespace
+
+TraceDocument BuildSearchTrace(const std::vector<TelemetryEvent>& events) {
+  TraceDocument doc;
+  for (const TelemetryEvent& e : events) {
+    const int tid = static_cast<int>(e.GetInt("worker").value_or(0));
+    if (e.type() == "search_begin") {
+      doc.threads.emplace_back(
+          tid, "stages=" + std::to_string(e.GetInt("stages").value_or(0)));
+    } else if (e.type() == "search_end") {
+      TraceSlice span;
+      const double dur = e.GetDbl("dur").value_or(0.0);
+      span.name = "search stages=" + std::to_string(e.GetInt("stages").value_or(0));
+      span.tid = tid;
+      span.ts_seconds = e.GetDbl("t").value_or(0.0) - dur;
+      span.dur_seconds = dur;
+      span.args = {{"iterations", IntArg(e, "iterations")},
+                   {"improvements", IntArg(e, "improvements")},
+                   {"configs_explored", IntArg(e, "configs_explored")}};
+      doc.slices.push_back(std::move(span));
+    } else if (e.type() == "iteration") {
+      TraceSlice slice;
+      const bool accepted = e.GetBool("accepted").value_or(false);
+      if (accepted) {
+        const std::string* primitive = e.GetStr("primitive");
+        slice.name = primitive != nullptr && !primitive->empty()
+                         ? *primitive
+                         : "accept";
+        slice.name += " x" + IntArg(e, "hops");
+      } else {
+        slice.name = "reject";
+      }
+      slice.tid = tid;
+      slice.ts_seconds = e.GetDbl("t").value_or(0.0);
+      slice.dur_seconds = e.GetDbl("dur").value_or(0.0);
+      slice.args = {
+          {"iter", IntArg(e, "iter")},
+          {"bottleneck_stage", IntArg(e, "bottleneck_stage")},
+          {"bottleneck_resource",
+           e.GetStr("bottleneck_resource") != nullptr
+               ? *e.GetStr("bottleneck_resource")
+               : ""},
+          {"generated", IntArg(e, "generated")},
+          {"deduped", IntArg(e, "deduped")},
+          {"evaluated", IntArg(e, "evaluated")},
+      };
+      doc.slices.push_back(std::move(slice));
+    }
+  }
+  // The per-iteration slices arrive interleaved across workers; Perfetto
+  // does not require ordering, but deterministic output is nicer to diff.
+  std::stable_sort(doc.slices.begin(), doc.slices.end(),
+                   [](const TraceSlice& a, const TraceSlice& b) {
+                     if (a.tid != b.tid) {
+                       return a.tid < b.tid;
+                     }
+                     return a.ts_seconds < b.ts_seconds;
+                   });
+  std::stable_sort(doc.threads.begin(), doc.threads.end());
+  return doc;
+}
+
+}  // namespace aceso

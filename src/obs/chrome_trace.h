@@ -1,0 +1,56 @@
+// Generic Chrome trace-event (chrome://tracing / Perfetto) document writer,
+// plus the builder that turns a search-telemetry event stream into a trace
+// of the search itself: one trace thread per stage-count worker, one slice
+// per Algorithm-1 iteration (accepted slices named after the improving
+// primitive), and one enclosing span per worker.
+//
+// The writer is shared with the runtime's execution-trace export
+// (src/runtime/trace.cc builds a TraceDocument from its EventSimulator), so
+// both emitters escape names the same way and stay valid JSON for
+// adversarial task/resource names.
+
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/telemetry.h"
+
+namespace aceso {
+
+// One duration ("ph":"X") slice. Times are in seconds; the writer converts
+// to the microseconds the trace format expects.
+struct TraceSlice {
+  std::string name;
+  int tid = 0;
+  double ts_seconds = 0.0;
+  double dur_seconds = 0.0;
+  // Optional string-valued args rendered as the slice's "args" object.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+struct TraceDocument {
+  // tid → display name, emitted as thread_name metadata events.
+  std::vector<std::pair<int, std::string>> threads;
+  std::vector<TraceSlice> slices;
+  int pid = 1;
+};
+
+// Serializes the document as a Chrome trace-event JSON array. All string
+// fields (thread names, slice names, arg keys/values) are JSON-escaped.
+std::string ToChromeTraceJson(const TraceDocument& doc);
+
+// Writes the document to `path`.
+Status WriteChromeTrace(const TraceDocument& doc, const std::string& path);
+
+// Builds the search trace from a telemetry event stream (DESIGN.md §10):
+// consumes "search_begin" / "iteration" / "search_end" events; other event
+// types are ignored. Workers appear as threads named "stages=P".
+TraceDocument BuildSearchTrace(const std::vector<TelemetryEvent>& events);
+
+}  // namespace aceso
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

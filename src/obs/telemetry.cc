@@ -1,0 +1,236 @@
+#include "src/obs/telemetry.h"
+
+#include <algorithm>
+
+#include "src/common/json.h"
+
+namespace aceso {
+
+TelemetryEvent& TelemetryEvent::Str(std::string key, std::string value) {
+  Field f;
+  f.key = std::move(key);
+  f.kind = Kind::kStr;
+  f.s = std::move(value);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryEvent& TelemetryEvent::Int(std::string key, int64_t value) {
+  Field f;
+  f.key = std::move(key);
+  f.kind = Kind::kInt;
+  f.i = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryEvent& TelemetryEvent::Dbl(std::string key, double value) {
+  Field f;
+  f.key = std::move(key);
+  f.kind = Kind::kDbl;
+  f.d = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TelemetryEvent& TelemetryEvent::Bool(std::string key, bool value) {
+  Field f;
+  f.key = std::move(key);
+  f.kind = Kind::kBool;
+  f.b = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+const TelemetryEvent::Field* TelemetryEvent::Find(std::string_view key) const {
+  for (const Field& f : fields_) {
+    if (f.key == key) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<int64_t> TelemetryEvent::GetInt(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  if (f->kind == Kind::kInt) {
+    return f->i;
+  }
+  if (f->kind == Kind::kBool) {
+    return f->b ? 1 : 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TelemetryEvent::GetDbl(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  if (f->kind == Kind::kDbl) {
+    return f->d;
+  }
+  if (f->kind == Kind::kInt) {
+    return static_cast<double>(f->i);
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> TelemetryEvent::GetBool(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr || f->kind != Kind::kBool) {
+    return std::nullopt;
+  }
+  return f->b;
+}
+
+const std::string* TelemetryEvent::GetStr(std::string_view key) const {
+  const Field* f = Find(key);
+  if (f == nullptr || f->kind != Kind::kStr) {
+    return nullptr;
+  }
+  return &f->s;
+}
+
+std::string TelemetryEvent::ToJsonLine() const { return ToJsonLineExcluding({}); }
+
+std::string TelemetryEvent::ToJsonLineExcluding(
+    const std::vector<std::string>& keys) const {
+  std::string out;
+  out.reserve(64 + fields_.size() * 24);
+  out += "{\"type\":\"";
+  AppendJsonEscaped(out, type_);
+  out += '"';
+  for (const Field& f : fields_) {
+    if (std::find(keys.begin(), keys.end(), f.key) != keys.end()) {
+      continue;
+    }
+    out += ",\"";
+    AppendJsonEscaped(out, f.key);
+    out += "\":";
+    switch (f.kind) {
+      case Kind::kStr:
+        out += '"';
+        AppendJsonEscaped(out, f.s);
+        out += '"';
+        break;
+      case Kind::kInt:
+        out += std::to_string(f.i);
+        break;
+      case Kind::kDbl:
+        AppendJsonNumber(out, f.d);
+        break;
+      case Kind::kBool:
+        out += f.b ? "true" : "false";
+        break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+TelemetrySink::TelemetrySink(TelemetryOptions options)
+    : options_(std::move(options)) {
+  if (!options_.jsonl_path.empty()) {
+    out_.open(options_.jsonl_path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+      status_ = Internal("cannot open telemetry file: " + options_.jsonl_path);
+    } else {
+      file_open_ = true;
+    }
+  }
+}
+
+TelemetrySink::~TelemetrySink() { Flush(); }
+
+Status TelemetrySink::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void TelemetrySink::Emit(TelemetryEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++emitted_;
+  if (file_open_) {
+    out_ << event.ToJsonLine() << '\n';
+    if (!out_ && status_.ok()) {
+      status_ = Internal("telemetry write failed: " + options_.jsonl_path);
+    }
+  }
+  if (options_.ring_capacity > 0) {
+    ring_.push_back(std::move(event));
+    while (ring_.size() > options_.ring_capacity) {
+      ring_.pop_front();
+      ++dropped_;
+    }
+  }
+}
+
+std::vector<TelemetryEvent> TelemetrySink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TelemetryEvent>(ring_.begin(), ring_.end());
+}
+
+size_t TelemetrySink::events_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+size_t TelemetrySink::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TelemetrySink::IncrCounter(std::string_view name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+int64_t TelemetrySink::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, int64_t> TelemetrySink::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::map<std::string, int64_t>(counters_.begin(), counters_.end());
+}
+
+void TelemetrySink::RecordTimer(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), TimerStat{}).first;
+  }
+  TimerStat& stat = it->second;
+  ++stat.count;
+  stat.total_seconds += seconds;
+  stat.max_seconds = std::max(stat.max_seconds, seconds);
+}
+
+std::map<std::string, TelemetrySink::TimerStat> TelemetrySink::Timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::map<std::string, TimerStat>(timers_.begin(), timers_.end());
+}
+
+Status TelemetrySink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_open_) {
+    out_.flush();
+    if (!out_ && status_.ok()) {
+      status_ = Internal("telemetry flush failed: " + options_.jsonl_path);
+    }
+  }
+  return status_;
+}
+
+}  // namespace aceso

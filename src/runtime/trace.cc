@@ -2,27 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/obs/chrome_trace.h"
 
 namespace aceso {
 
-std::string ToChromeTraceJson(const EventSimulator& sim) {
-  std::ostringstream oss;
-  oss << "[\n";
-  bool first = true;
-  // Thread metadata: one row per resource.
+// The simulation's trace document: one thread per resource (tasks without a
+// resource land on an extra tid past the last resource), one slice per task
+// that ran. Serialization — and, critically, the JSON escaping of task and
+// resource names — is shared with the search-trace exporter in src/obs.
+static TraceDocument BuildSimTraceDocument(const EventSimulator& sim) {
+  TraceDocument doc;
   for (size_t r = 0; r < sim.num_resources(); ++r) {
-    if (!first) {
-      oss << ",\n";
-    }
-    first = false;
-    oss << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << r
-        << R"(,"args":{"name":")" << sim.resource_name(static_cast<ResourceId>(r))
-        << R"("}})";
+    doc.threads.emplace_back(static_cast<int>(r),
+                             sim.resource_name(static_cast<ResourceId>(r)));
   }
   for (size_t t = 0; t < sim.num_tasks(); ++t) {
     const auto task = static_cast<TaskId>(t);
@@ -30,32 +26,23 @@ std::string ToChromeTraceJson(const EventSimulator& sim) {
     if (sim.FinishTime(task) < 0.0) {
       continue;  // never ran
     }
-    if (!first) {
-      oss << ",\n";
-    }
-    first = false;
-    // Times in microseconds, as the trace format expects.
-    oss << R"({"name":")" << sim.task_name(task)
-        << R"(","ph":"X","pid":1,"tid":)"
-        << (resource == kNoResource ? sim.num_resources() : static_cast<size_t>(resource))
-        << R"(,"ts":)" << sim.StartTime(task) * 1e6 << R"(,"dur":)"
-        << sim.task_duration(task) * 1e6 << "}";
+    TraceSlice slice;
+    slice.name = sim.task_name(task);
+    slice.tid = resource == kNoResource ? static_cast<int>(sim.num_resources())
+                                        : static_cast<int>(resource);
+    slice.ts_seconds = sim.StartTime(task);
+    slice.dur_seconds = sim.task_duration(task);
+    doc.slices.push_back(std::move(slice));
   }
-  oss << "\n]\n";
-  return oss.str();
+  return doc;
+}
+
+std::string ToChromeTraceJson(const EventSimulator& sim) {
+  return ToChromeTraceJson(BuildSimTraceDocument(sim));
 }
 
 Status WriteChromeTrace(const EventSimulator& sim, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Internal("cannot open trace file: " + path);
-  }
-  out << ToChromeTraceJson(sim);
-  out.flush();
-  if (!out) {
-    return Internal("trace write failed: " + path);
-  }
-  return OkStatus();
+  return WriteChromeTrace(BuildSimTraceDocument(sim), path);
 }
 
 std::string RenderAsciiTimeline(const EventSimulator& sim, int width) {

@@ -1,0 +1,134 @@
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace aceso {
+namespace {
+
+// ----- Escaping -----
+
+TEST(JsonEscapeTest, PlainTextPassesThrough) {
+  EXPECT_EQ(JsonEscape("gpt3-1.3b @8gpu"), "gpt3-1.3b @8gpu");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscapeTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(JsonEscapeTest, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string("\0", 1)), "\\u0000");
+}
+
+TEST(JsonEscapeTest, Utf8BytesPassThrough) {
+  // Multi-byte UTF-8 sequences are legal JSON string content as-is.
+  EXPECT_EQ(JsonEscape("gpu\xc3\xa9"), "gpu\xc3\xa9");
+}
+
+TEST(JsonEscapeTest, EscapedStringsValidateInsideDocuments) {
+  // Round-trip: any byte soup, once escaped and quoted, must parse.
+  const std::string adversarial =
+      "\"quotes\" \\back\\slashes\\ \nnew\rlines\t\x01\x02\x1f end";
+  const std::string doc = "{\"name\":\"" + JsonEscape(adversarial) + "\"}";
+  const Status status = JsonValidate(doc);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// ----- Number formatting -----
+
+TEST(JsonNumberTest, FormatsIntegralDoublesWithoutExponent) {
+  std::string out;
+  AppendJsonNumber(out, 2000000.0);
+  EXPECT_EQ(out, "2000000");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  std::string out;
+  AppendJsonNumber(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  AppendJsonNumber(out, std::nan(""));
+  EXPECT_EQ(out, "null");
+}
+
+TEST(JsonNumberTest, OutputAlwaysValidates) {
+  for (const double v : {0.0, -0.0, 1.5, -2.25, 1e-9, 1e21, -1e300,
+                         22.649582163995891, 1e12 + 3.5}) {
+    std::string out;
+    AppendJsonNumber(out, v);
+    const Status status = JsonValidate(out);
+    EXPECT_TRUE(status.ok()) << out << ": " << status.ToString();
+  }
+}
+
+// ----- Validator -----
+
+TEST(JsonValidateTest, AcceptsWellFormedDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           "-12.5e-3",
+           "\"plain\"",
+           R"({"a":[1,2,{"b":null}],"c":"\u00e9\n"})",
+           "  [1, 2, 3]  ",
+       }) {
+    const Status status = JsonValidate(doc);
+    EXPECT_TRUE(status.ok()) << doc << ": " << status.ToString();
+  }
+}
+
+TEST(JsonValidateTest, RejectsMalformedDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           "[1,]",
+           "{\"a\":}",
+           "{\"a\" 1}",
+           "{a:1}",
+           "01",
+           "1.",
+           "1e",
+           "+1",
+           "nul",
+           "\"unterminated",
+           "\"bad escape \\q\"",
+           "\"raw \n newline\"",
+           "\"short \\u12 hex\"",
+           "[1] trailing",
+           "[1][2]",
+       }) {
+    EXPECT_FALSE(JsonValidate(doc).ok()) << "accepted: " << doc;
+  }
+}
+
+TEST(JsonValidateTest, ErrorsCarryByteOffset) {
+  const Status status = JsonValidate("[1, x]");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("byte 4"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(JsonValidateTest, DeepNestingIsBounded) {
+  // 300 nested arrays exceeds kMaxDepth (256): rejected, not a stack
+  // overflow.
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(JsonValidate(deep).ok());
+}
+
+}  // namespace
+}  // namespace aceso

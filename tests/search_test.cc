@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/core/finetune.h"
 #include "src/ir/models/model_zoo.h"
+#include "src/obs/telemetry.h"
 
 namespace aceso {
 namespace {
@@ -268,6 +272,131 @@ TEST_F(SearchTest, WorksWithoutRecomputeAttachment) {
   const SearchResult result = AcesoSearchForStages(model_, options, 2);
   ASSERT_TRUE(result.found);
   EXPECT_FALSE(result.best.perf.oom);
+}
+
+TEST_F(SearchTest, BudgetHoldsWithUnevenWaves) {
+  // 5 stage counts on 4 worker threads serialize into 2 waves. The old
+  // budget split (budget * threads / N) granted 0.8*budget per search, so
+  // the two waves totalled 1.6x the requested wall-clock. The waves-based
+  // split must keep the total within the acceptance bound.
+  OpGraph graph = models::Gpt3(0.35);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+
+  SearchOptions options;
+  options.time_budget_seconds = 1.5;
+  options.min_stages = 1;
+  options.max_stages = 5;
+  options.num_threads = 4;
+  const SearchResult result = AcesoSearch(model, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.search_seconds, 1.15 * options.time_budget_seconds);
+}
+
+TEST_F(SearchTest, MergedConvergenceContainsNoInfeasibleScores) {
+  // Under memory pressure every search starts from an OOM configuration
+  // whose Score() is 1e12-range. Those sentinel magnitudes used to leak
+  // into the merged running-min curve as its first points; merged curves
+  // must now carry only feasible, achievable iteration times.
+  ClusterSpec tiny = cluster_;
+  tiny.gpu.memory_bytes = 6 * kGiB;
+  ProfileDatabase tiny_db(tiny);
+  PerformanceModel tiny_model(&graph_, tiny, &tiny_db);
+  const SearchResult result = AcesoSearch(tiny_model, FastOptions());
+  ASSERT_TRUE(result.found);
+  ASSERT_FALSE(result.convergence.empty());
+  for (const ConvergencePoint& point : result.convergence) {
+    EXPECT_TRUE(point.feasible);
+    EXPECT_LT(point.best_iteration_time, 1e11);
+  }
+}
+
+TEST_F(SearchTest, PerStageCountConvergenceFlagsInfeasiblePoints) {
+  // Single-stage-count results keep the pre-feasibility phase, but flagged:
+  // a point is either feasible with a real time, or marked infeasible.
+  ClusterSpec tiny = cluster_;
+  tiny.gpu.memory_bytes = 6 * kGiB;
+  ProfileDatabase tiny_db(tiny);
+  PerformanceModel tiny_model(&graph_, tiny, &tiny_db);
+  const SearchResult result =
+      AcesoSearchForStages(tiny_model, FastOptions(), 2);
+  ASSERT_FALSE(result.convergence.empty());
+  for (const ConvergencePoint& point : result.convergence) {
+    if (point.feasible) {
+      EXPECT_LT(point.best_iteration_time, 1e11);
+    }
+  }
+}
+
+TEST_F(SearchTest, TelemetryEmitsOneEventPerIteration) {
+  TelemetrySink sink;
+  SearchOptions options = FastOptions();
+  options.time_budget_seconds = 1e6;
+  options.max_evaluations = 3000;
+  options.telemetry = &sink;
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+
+  int64_t begins = 0, ends = 0, iterations = 0, accepted = 0;
+  for (const TelemetryEvent& event : sink.Events()) {
+    if (event.type() == "search_begin") ++begins;
+    if (event.type() == "search_end") ++ends;
+    if (event.type() == "iteration") {
+      ++iterations;
+      accepted += event.GetBool("accepted").value_or(false) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+  EXPECT_EQ(iterations, result.stats.iterations);
+  EXPECT_EQ(accepted, result.stats.improvements);
+  EXPECT_EQ(sink.counter("search.iterations"), result.stats.iterations);
+  EXPECT_EQ(sink.counter("search.accepts"), result.stats.improvements);
+  EXPECT_EQ(sink.counter("search.accepts") + sink.counter("search.rejects"),
+            result.stats.iterations);
+  EXPECT_EQ(sink.counter("search.finetune_trials") +
+                sink.counter("search.candidates_evaluated") + 1,
+            result.stats.configs_explored);
+}
+
+TEST_F(SearchTest, TelemetryDoesNotPerturbTheSearchTrajectory) {
+  // Instrumentation is observation only: under a fixed evaluation budget
+  // the instrumented search must land on the exact trajectory the golden
+  // test pins for the uninstrumented one.
+  TelemetrySink sink;
+  SearchOptions options = FastOptions();
+  options.time_budget_seconds = 1e6;
+  options.max_evaluations = 3000;
+  options.telemetry = &sink;
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.best.semantic_hash, 1672875804967310438ULL);
+  EXPECT_DOUBLE_EQ(result.best.perf.iteration_time, 22.649582163995891);
+  EXPECT_EQ(result.stats.configs_explored, 3000);
+  EXPECT_EQ(result.stats.iterations, 40);
+}
+
+TEST_F(SearchTest, TelemetryStreamIsDeterministicUnderEvaluationBudget) {
+  // Two fixed-seed runs under a pure evaluation budget must produce the
+  // same event stream, wall-clock fields aside.
+  auto run = [&] {
+    TelemetrySink sink;
+    SearchOptions options = FastOptions();
+    options.time_budget_seconds = 1e6;
+    options.max_evaluations = 1500;
+    options.telemetry = &sink;
+    AcesoSearchForStages(model_, options, 2);
+    std::vector<std::string> lines;
+    for (const TelemetryEvent& event : sink.Events()) {
+      lines.push_back(event.ToJsonLineExcluding({"t", "dur"}));
+    }
+    return lines;
+  };
+  const std::vector<std::string> first = run();
+  const std::vector<std::string> second = run();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 TEST_F(SearchTest, MemoryPressureTriggersRecomputation) {

@@ -1,0 +1,226 @@
+#include "src/obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/obs/chrome_trace.h"
+
+namespace aceso {
+namespace {
+
+// ----- TelemetryEvent -----
+
+TEST(TelemetryEventTest, SerializesTypedFieldsInInsertionOrder) {
+  TelemetryEvent event("iteration");
+  event.Int("iter", 3)
+      .Dbl("best_time", 22.5)
+      .Bool("accepted", true)
+      .Str("primitive", "inc-tp");
+  EXPECT_EQ(event.ToJsonLine(),
+            "{\"type\":\"iteration\",\"iter\":3,\"best_time\":22.5,"
+            "\"accepted\":true,\"primitive\":\"inc-tp\"}");
+}
+
+TEST(TelemetryEventTest, LinesAreAlwaysValidJson) {
+  TelemetryEvent event("e\"vil\n");
+  event.Str("k\"ey", "va\\lue\x01").Dbl("inf", 1.0 / 0.0).Int("n", -7);
+  const Status status = JsonValidate(event.ToJsonLine());
+  EXPECT_TRUE(status.ok()) << event.ToJsonLine() << ": " << status.ToString();
+}
+
+TEST(TelemetryEventTest, TypedGetters) {
+  TelemetryEvent event("t");
+  event.Int("i", 42).Dbl("d", 1.5).Bool("b", true).Str("s", "x");
+  EXPECT_EQ(event.GetInt("i"), 42);
+  EXPECT_EQ(event.GetDbl("d"), 1.5);
+  EXPECT_EQ(event.GetBool("b"), true);
+  ASSERT_NE(event.GetStr("s"), nullptr);
+  EXPECT_EQ(*event.GetStr("s"), "x");
+  // Widening conversions: bool reads as int, int reads as double.
+  EXPECT_EQ(event.GetInt("b"), 1);
+  EXPECT_EQ(event.GetDbl("i"), 42.0);
+  // Absent or mistyped keys.
+  EXPECT_FALSE(event.GetInt("missing").has_value());
+  EXPECT_FALSE(event.GetBool("i").has_value());
+  EXPECT_EQ(event.GetStr("i"), nullptr);
+}
+
+TEST(TelemetryEventTest, ExcludingDropsNamedKeys) {
+  TelemetryEvent event("t");
+  event.Dbl("t", 1.25).Dbl("dur", 0.5).Int("iter", 9);
+  EXPECT_EQ(event.ToJsonLineExcluding({"t", "dur"}),
+            "{\"type\":\"t\",\"iter\":9}");
+}
+
+// ----- TelemetrySink -----
+
+TEST(TelemetrySinkTest, RingKeepsMostRecentEvents) {
+  TelemetryOptions options;
+  options.ring_capacity = 3;
+  TelemetrySink sink(options);
+  for (int i = 0; i < 5; ++i) {
+    TelemetryEvent event("e");
+    event.Int("i", i);
+    sink.Emit(std::move(event));
+  }
+  EXPECT_EQ(sink.events_emitted(), 5u);
+  EXPECT_EQ(sink.events_dropped(), 2u);
+  const std::vector<TelemetryEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().GetInt("i"), 2);
+  EXPECT_EQ(events.back().GetInt("i"), 4);
+}
+
+TEST(TelemetrySinkTest, WritesValidJsonlFile) {
+  const std::string path = ::testing::TempDir() + "/telemetry_test.jsonl";
+  {
+    TelemetryOptions options;
+    options.jsonl_path = path;
+    TelemetrySink sink(options);
+    TelemetryEvent a("alpha");
+    a.Str("name", "quo\"ted\nname").Int("n", 1);
+    sink.Emit(std::move(a));
+    TelemetryEvent b("beta");
+    b.Dbl("v", 0.25);
+    sink.Emit(std::move(b));
+    ASSERT_TRUE(sink.status().ok()) << sink.status().ToString();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const Status status = JsonValidate(line);
+    EXPECT_TRUE(status.ok()) << line << ": " << status.ToString();
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetrySinkTest, OpenFailureLatchesIntoStatus) {
+  TelemetryOptions options;
+  options.jsonl_path = ::testing::TempDir() + "/no/such/dir/out.jsonl";
+  TelemetrySink sink(options);
+  EXPECT_FALSE(sink.status().ok());
+}
+
+TEST(TelemetrySinkTest, CountersAndTimers) {
+  TelemetrySink sink;
+  sink.IncrCounter("search.iterations");
+  sink.IncrCounter("search.iterations", 4);
+  sink.IncrCounter("search.accepts", 2);
+  EXPECT_EQ(sink.counter("search.iterations"), 5);
+  EXPECT_EQ(sink.counter("search.accepts"), 2);
+  EXPECT_EQ(sink.counter("never.touched"), 0);
+
+  sink.RecordTimer("search.worker_seconds", 0.5);
+  sink.RecordTimer("search.worker_seconds", 1.5);
+  const auto timers = sink.Timers();
+  ASSERT_EQ(timers.count("search.worker_seconds"), 1u);
+  const TelemetrySink::TimerStat& stat = timers.at("search.worker_seconds");
+  EXPECT_EQ(stat.count, 2);
+  EXPECT_DOUBLE_EQ(stat.total_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stat.max_seconds, 1.5);
+}
+
+TEST(TelemetrySinkTest, ConcurrentEmittersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  TelemetryOptions options;
+  options.ring_capacity = kThreads * kPerThread;
+  TelemetrySink sink(options);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TelemetryEvent event("e");
+        event.Int("thread", t).Int("i", i);
+        sink.Emit(std::move(event));
+        sink.IncrCounter("emits");
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(sink.events_emitted(),
+            static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(sink.events_dropped(), 0u);
+  EXPECT_EQ(sink.counter("emits"), kThreads * kPerThread);
+  EXPECT_EQ(sink.Events().size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+// ----- BuildSearchTrace -----
+
+std::vector<TelemetryEvent> SyntheticSearchEvents() {
+  std::vector<TelemetryEvent> events;
+  TelemetryEvent begin("search_begin");
+  begin.Dbl("t", 0.0).Int("worker", 0).Int("stages", 2);
+  events.push_back(std::move(begin));
+  TelemetryEvent iter("iteration");
+  iter.Dbl("t", 0.1)
+      .Dbl("dur", 0.1)
+      .Int("worker", 0)
+      .Int("stages", 2)
+      .Int("iter", 0)
+      .Bool("accepted", true)
+      .Int("bottleneck_stage", 1)
+      .Str("bottleneck_resource", "gpu \"mem\"")
+      .Int("hops", 3)
+      .Str("primitive", "inc-tp")
+      .Int("generated", 12)
+      .Int("deduped", 4)
+      .Int("evaluated", 8);
+  events.push_back(std::move(iter));
+  TelemetryEvent reject("iteration");
+  reject.Dbl("t", 0.3)
+      .Dbl("dur", 0.2)
+      .Int("worker", 0)
+      .Int("iter", 1)
+      .Bool("accepted", false);
+  events.push_back(std::move(reject));
+  TelemetryEvent end("search_end");
+  end.Dbl("t", 0.5)
+      .Dbl("dur", 0.5)
+      .Int("worker", 0)
+      .Int("stages", 2)
+      .Int("iterations", 2)
+      .Int("improvements", 1)
+      .Int("configs_explored", 20);
+  events.push_back(std::move(end));
+  return events;
+}
+
+TEST(BuildSearchTraceTest, WorkersBecomeThreadsIterationsBecomeSlices) {
+  const TraceDocument doc = BuildSearchTrace(SyntheticSearchEvents());
+  ASSERT_EQ(doc.threads.size(), 1u);
+  EXPECT_EQ(doc.threads[0].first, 0);
+  EXPECT_EQ(doc.threads[0].second, "stages=2");
+  // Worker span + 2 iteration slices.
+  ASSERT_EQ(doc.slices.size(), 3u);
+  // Slices are sorted by (tid, ts): span at 0.0, then the iterations.
+  EXPECT_EQ(doc.slices[0].name, "search stages=2");
+  EXPECT_DOUBLE_EQ(doc.slices[0].ts_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(doc.slices[0].dur_seconds, 0.5);
+  EXPECT_EQ(doc.slices[1].name, "inc-tp x3");
+  EXPECT_EQ(doc.slices[2].name, "reject");
+}
+
+TEST(BuildSearchTraceTest, TraceJsonSurvivesAdversarialResourceNames) {
+  const std::string json = ToChromeTraceJson(BuildSearchTrace(SyntheticSearchEvents()));
+  const Status status = JsonValidate(json);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(json.find("gpu \\\"mem\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aceso

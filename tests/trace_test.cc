@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/common/json.h"
+
 namespace aceso {
 namespace {
 
@@ -33,8 +35,42 @@ TEST(ChromeTraceTest, ContainsTasksAndThreads) {
 TEST(ChromeTraceTest, DurationsInMicroseconds) {
   const EventSimulator sim = MakeSmallSim();
   const std::string json = ToChromeTraceJson(sim);
-  // f1 runs for 2 s = 2e6 us.
-  EXPECT_NE(json.find("\"dur\":2e+06"), std::string::npos);
+  // f1 runs for 2 s = 2e6 us (the shared writer renders it as an integer).
+  EXPECT_NE(json.find("\"dur\":2000000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, OutputIsStrictlyValidJson) {
+  const EventSimulator sim = MakeSmallSim();
+  const Status status = JsonValidate(ToChromeTraceJson(sim));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ChromeTraceTest, EscapesAdversarialNames) {
+  // Task and resource names with every character class the old hand-rolled
+  // writer passed through unescaped: quotes, backslashes, newlines, tabs,
+  // and raw control characters.
+  EventSimulator sim;
+  const ResourceId gpu =
+      sim.AddResource("gpu \"0\" \\ prod\nrack\t7");
+  const TaskId a = sim.AddTask("fwd \"layer\\0\"\x01\x1f", 1.0, gpu);
+  const TaskId b = sim.AddTask("bwd\n\"layer\\0\"", 2.0, gpu);
+  sim.AddDependency(a, b);
+  ASSERT_TRUE(sim.Run().ok());
+
+  const std::string json = ToChromeTraceJson(sim);
+  const Status status = JsonValidate(json);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  // The escaped forms appear; raw control characters never do.
+  EXPECT_NE(json.find("fwd \\\"layer\\\\0\\\"\\u0001\\u001f"),
+            std::string::npos);
+  EXPECT_NE(json.find("gpu \\\"0\\\" \\\\ prod\\nrack\\t7"),
+            std::string::npos);
+  for (const char c : json) {
+    if (c == '\n') {
+      continue;  // the writer's structural separators, outside any string
+    }
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
 }
 
 TEST(ChromeTraceTest, WritesFile) {

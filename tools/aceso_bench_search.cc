@@ -19,10 +19,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/aceso.h"
+#include "tools/cli_flags.h"
 
 namespace aceso {
 namespace {
@@ -44,12 +47,13 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (v == nullptr) return false;
       args.out = v;
     } else if (flag == "--budget") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.budget = std::atof(v);
+      if (!cli::ParsePositiveDouble("--budget", next(), &args.budget)) {
+        return false;
+      }
     } else if (flag == "--quick") {
       args.quick = true;
     } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
@@ -126,6 +130,8 @@ struct SearchReport {
   double cache_hit_rate = 0.0;
   double best_iteration_time = 0.0;
   uint64_t semantic_hash = 0;
+  // Telemetry counters for the run (search.* names minus the prefix).
+  std::map<std::string, int64_t> counters;
 };
 
 SearchReport BenchSearch(const std::string& model_name, int gpus, int stages,
@@ -140,9 +146,20 @@ SearchReport BenchSearch(const std::string& model_name, int gpus, int stages,
   const ClusterSpec cluster = ClusterSpec::WithGpuCount(gpus);
   ProfileDatabase db(cluster);
   PerformanceModel model(&*graph, cluster, &db);
+  // Ring-only sink: the report folds in the counters registry, not events.
+  TelemetryOptions topts;
+  topts.ring_capacity = 0;
+  TelemetrySink telemetry(topts);
   SearchOptions options;
   options.time_budget_seconds = budget;
+  options.telemetry = &telemetry;
   const SearchResult result = AcesoSearchForStages(model, options, stages);
+  for (const auto& [name, value] : telemetry.Counters()) {
+    constexpr std::string_view kPrefix = "search.";
+    const std::string_view view = name;
+    report.counters[std::string(view.substr(
+        view.rfind(kPrefix, 0) == 0 ? kPrefix.size() : 0))] = value;
+  }
   report.configs_explored = result.stats.configs_explored;
   report.seconds = result.search_seconds;
   report.configs_per_sec =
@@ -196,8 +213,16 @@ void WriteJson(const Args& args, const CandidateReport& cand,
                  s.cache_hit_rate);
     std::fprintf(f, "      \"best_iteration_time\": %.6f,\n",
                  s.best_iteration_time);
-    std::fprintf(f, "      \"semantic_hash\": \"%llu\"\n",
+    std::fprintf(f, "      \"semantic_hash\": \"%llu\",\n",
                  static_cast<unsigned long long>(s.semantic_hash));
+    std::fprintf(f, "      \"counters\": {");
+    bool first = true;
+    for (const auto& [name, value] : s.counters) {
+      std::fprintf(f, "%s\n        \"%s\": %lld", first ? "" : ",",
+                   JsonEscape(name).c_str(), static_cast<long long>(value));
+      first = false;
+    }
+    std::fprintf(f, "\n      }\n");
     std::fprintf(f, "    }%s\n", i + 1 < searches.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/aceso.h"
+#include "tools/cli_flags.h"
 
 namespace {
 
@@ -29,6 +30,8 @@ void PrintUsage(const char* argv0) {
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
+  using aceso::cli::ParseInt;
+  using aceso::cli::ParsePositiveInt;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -39,17 +42,13 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (v == nullptr) return false;
       args.model = v;
     } else if (flag == "--gpus") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.gpus = std::atoi(v);
+      if (!ParsePositiveInt("--gpus", next(), &args.gpus)) return false;
     } else if (flag == "--config") {
       const char* v = next();
       if (v == nullptr) return false;
       args.config_path = v;
     } else if (flag == "--dump-device") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.dump_device = std::atoi(v);
+      if (!ParseInt("--dump-device", next(), &args.dump_device)) return false;
     } else if (flag == "--timeline") {
       args.timeline = true;
     } else if (flag == "--trace") {
@@ -57,6 +56,7 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (v == nullptr) return false;
       args.trace_path = v;
     } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }

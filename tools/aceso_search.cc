@@ -2,16 +2,21 @@
 //
 //   aceso_search --model gpt3-1.3b --gpus 8 [--budget 5] [--max-hops 7]
 //                [--out config.txt] [--seed 42] [--stages N]
+//                [--telemetry events.jsonl] [--search-trace trace.json]
 //
 // Prints the searched configuration and its predicted performance;
 // optionally writes it to a file loadable by aceso_plan / LoadConfigFromFile.
+// --telemetry streams one JSON line per search event (schema: DESIGN.md §10);
+// --search-trace writes a chrome://tracing view of the search itself, with
+// one thread per stage-count worker and one slice per iteration.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/aceso.h"
+#include "tools/cli_flags.h"
 
 namespace {
 
@@ -23,6 +28,8 @@ struct Args {
   int stages = 0;  // 0 = search all stage counts
   uint64_t seed = 20240422;
   std::string out;
+  std::string telemetry_path;
+  std::string search_trace_path;
 };
 
 void PrintUsage(const char* argv0) {
@@ -30,12 +37,17 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s [--model NAME] [--gpus N] [--budget SECONDS] "
       "[--max-hops N] [--stages N] [--seed N] [--out FILE]\n"
+      "          [--telemetry FILE.jsonl] [--search-trace FILE.json]\n"
       "models: gpt3-{0.35,1.3,2.6,6.7,13}b  t5-{0.77,3,6,11,22}b\n"
       "        wresnet-{0.5,2,4,6.8,13}b  deepnet-<layers>\n",
       argv0);
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
+  using aceso::cli::ParseInt;
+  using aceso::cli::ParsePositiveDouble;
+  using aceso::cli::ParsePositiveInt;
+  using aceso::cli::ParseUint64;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -46,34 +58,33 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (v == nullptr) return false;
       args.model = v;
     } else if (flag == "--gpus") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.gpus = std::atoi(v);
+      if (!ParsePositiveInt("--gpus", next(), &args.gpus)) return false;
     } else if (flag == "--budget") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.budget = std::atof(v);
+      if (!ParsePositiveDouble("--budget", next(), &args.budget)) return false;
     } else if (flag == "--max-hops") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.max_hops = std::atoi(v);
+      if (!ParsePositiveInt("--max-hops", next(), &args.max_hops)) return false;
     } else if (flag == "--stages") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.stages = std::atoi(v);
+      if (!ParseInt("--stages", next(), &args.stages)) return false;
     } else if (flag == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.seed = static_cast<uint64_t>(std::atoll(v));
+      if (!ParseUint64("--seed", next(), &args.seed)) return false;
     } else if (flag == "--out") {
       const char* v = next();
       if (v == nullptr) return false;
       args.out = v;
+    } else if (flag == "--telemetry") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.telemetry_path = v;
+    } else if (flag == "--search-trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.search_trace_path = v;
     } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
-  return args.gpus > 0 && args.budget > 0;
+  return true;
 }
 
 }  // namespace
@@ -98,13 +109,47 @@ int main(int argc, char** argv) {
   std::printf("%s on %s, budget %.1fs\n", graph->Summary().c_str(),
               cluster.ToString().c_str(), args.budget);
 
+  // The sink outlives the search; --search-trace alone still needs the
+  // in-memory ring even with no JSONL file.
+  std::unique_ptr<TelemetrySink> telemetry;
+  if (!args.telemetry_path.empty() || !args.search_trace_path.empty()) {
+    TelemetryOptions topts;
+    topts.jsonl_path = args.telemetry_path;
+    telemetry = std::make_unique<TelemetrySink>(topts);
+  }
+
   SearchOptions options;
   options.time_budget_seconds = args.budget;
   options.max_hops = args.max_hops;
   options.seed = args.seed;
+  options.telemetry = telemetry.get();
   const SearchResult result =
       args.stages > 0 ? AcesoSearchForStages(model, options, args.stages)
                       : AcesoSearch(model, options);
+
+  if (telemetry != nullptr) {
+    const Status sink_status = telemetry->Flush();
+    if (!sink_status.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", sink_status.ToString().c_str());
+      return 1;
+    }
+    if (!args.telemetry_path.empty()) {
+      std::printf("telemetry: %zu events to %s\n",
+                  telemetry->events_emitted(), args.telemetry_path.c_str());
+    }
+    if (!args.search_trace_path.empty()) {
+      const TraceDocument doc = BuildSearchTrace(telemetry->Events());
+      const Status trace_status =
+          WriteChromeTrace(doc, args.search_trace_path);
+      if (!trace_status.ok()) {
+        std::fprintf(stderr, "%s\n", trace_status.ToString().c_str());
+        return 1;
+      }
+      std::printf("search trace written to %s\n",
+                  args.search_trace_path.c_str());
+    }
+  }
+
   if (!result.found) {
     std::fprintf(stderr, "no feasible configuration found\n");
     return 1;

@@ -1,0 +1,93 @@
+// Strict numeric parsing for command-line flags.
+//
+// Unlike the atoi/atof family, these helpers consume the *entire* token and
+// fail on anything else: empty values, trailing garbage ("8x", "2.5s"),
+// out-of-range magnitudes, and values of the wrong sign where the flag
+// demands one. On failure they print which flag got which value, so a typo
+// exits with usage instead of silently parsing as 0.
+
+#ifndef TOOLS_CLI_FLAGS_H_
+#define TOOLS_CLI_FLAGS_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace aceso {
+namespace cli {
+
+inline bool FlagError(const char* flag, const char* value, const char* want) {
+  std::fprintf(stderr, "%s: expected %s, got \"%s\"\n", flag, want,
+               value == nullptr ? "(missing)" : value);
+  return false;
+}
+
+inline bool ParseInt(const char* flag, const char* value, int* out) {
+  if (value == nullptr || *value == '\0') {
+    return FlagError(flag, value, "an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (errno == ERANGE || *end != '\0' || end == value ||
+      parsed < std::numeric_limits<int>::min() ||
+      parsed > std::numeric_limits<int>::max()) {
+    return FlagError(flag, value, "an integer");
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+inline bool ParseUint64(const char* flag, const char* value, uint64_t* out) {
+  if (value == nullptr || *value == '\0' || *value == '-') {
+    return FlagError(flag, value, "a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (errno == ERANGE || *end != '\0' || end == value) {
+    return FlagError(flag, value, "a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+inline bool ParseDouble(const char* flag, const char* value, double* out) {
+  if (value == nullptr || *value == '\0') {
+    return FlagError(flag, value, "a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (errno == ERANGE || *end != '\0' || end == value) {
+    return FlagError(flag, value, "a number");
+  }
+  *out = parsed;
+  return true;
+}
+
+// Convenience variants with a positivity requirement, for budgets/counts
+// where zero or negative values are always caller error.
+inline bool ParsePositiveInt(const char* flag, const char* value, int* out) {
+  int parsed = 0;
+  if (!ParseInt(flag, value, &parsed)) return false;
+  if (parsed <= 0) return FlagError(flag, value, "a positive integer");
+  *out = parsed;
+  return true;
+}
+
+inline bool ParsePositiveDouble(const char* flag, const char* value,
+                                double* out) {
+  double parsed = 0.0;
+  if (!ParseDouble(flag, value, &parsed)) return false;
+  if (!(parsed > 0.0)) return FlagError(flag, value, "a positive number");
+  *out = parsed;
+  return true;
+}
+
+}  // namespace cli
+}  // namespace aceso
+
+#endif  // TOOLS_CLI_FLAGS_H_
