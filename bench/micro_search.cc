@@ -119,6 +119,38 @@ void BM_SearchIterationBudget100msTelemetry(benchmark::State& state) {
 BENCHMARK(BM_SearchIterationBudget100msTelemetry)
     ->Unit(benchmark::kMillisecond);
 
+void BM_SearchEvalThreads(benchmark::State& state) {
+  // Fixed-work search (deterministic evaluation budget, single stage
+  // count) at each intra-search evaluation-parallelism setting. The
+  // trajectory is bit-identical across args (DESIGN.md §11), so time per
+  // iteration is directly comparable: Arg(1) is the serial baseline and
+  // Arg(N)'s ratio to it is the parallel-evaluation speedup.
+  Fixture f;
+  const int eval_threads = static_cast<int>(state.range(0));
+  ThreadPool pool(static_cast<size_t>(eval_threads));
+  for (auto _ : state) {
+    SearchOptions options;
+    options.time_budget_seconds = 1e9;
+    options.max_evaluations = 500;
+    options.eval_threads = eval_threads;
+    if (eval_threads > 1) {
+      options.eval_pool = &pool;
+    }
+    benchmark::DoNotOptimize(AcesoSearchForStages(f.model, options, 4));
+  }
+  const ThreadPoolStats stats = pool.stats();
+  state.counters["pool_steals"] =
+      benchmark::Counter(static_cast<double>(stats.stolen));
+  state.counters["pool_helped"] =
+      benchmark::Counter(static_cast<double>(stats.helped));
+}
+BENCHMARK(BM_SearchEvalThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 // ----- Per-candidate construction + hash (CoW vs deep copy) -----
 //
 // The ISSUE-2 hot path: the search constructs a candidate by copying the

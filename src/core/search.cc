@@ -219,6 +219,18 @@ class SingleSearch {
     }
     const double now = global_watch_.ElapsedSeconds();
     telemetry_->RecordTimer("search.worker_seconds", now - run_start);
+    // Evaluation-batching counters, accumulated locally and flushed once:
+    // they are diagnostics of *how* candidates were evaluated, never part of
+    // the event stream, which stays bit-identical across eval_threads.
+    if (eval_batches_ > 0) {
+      telemetry_->IncrCounter("search.eval_batches", eval_batches_);
+      telemetry_->IncrCounter("search.eval_batch_candidates",
+                              eval_batch_candidates_);
+    }
+    if (eval_serial_candidates_ > 0) {
+      telemetry_->IncrCounter("search.eval_serial_candidates",
+                              eval_serial_candidates_);
+    }
     telemetry_->Emit(std::move(
         TelemetryEvent("search_end")
             .Dbl("t", now)
@@ -317,48 +329,95 @@ class SingleSearch {
         ShuffleInPlace(primitives);
       }
 
-      // Generate and evaluate every candidate of this primitive group. The
-      // candidates are shared (not copied) between the recursion group and
-      // the unexplored pool.
-      std::vector<std::shared_ptr<const ScoredConfig>> group;
+      // The candidate group of this resource, in three phases (DESIGN.md
+      // §11). Phase 1 (serial): generate every primitive's candidates and
+      // hash + §4.3-deduplicate them in generation order, so in-batch
+      // duplicates resolve exactly as the candidate-at-a-time loop did.
+      // Phase 2: evaluate the surviving candidates — the only expensive,
+      // side-effect-free step — concurrently when a pool is attached.
+      // Phase 3 (serial): reduce in generation order, replaying the serial
+      // loop's bookkeeping (budget checks at primitive boundaries, stats,
+      // telemetry, top-k, unexplored pool, first-improvement cut) so the
+      // trajectory is bit-identical to eval_threads == 1; where the serial
+      // loop would have stopped before generating a candidate, the
+      // speculative visited_ inserts past that point are rolled back.
+      if (Exhausted()) {
+        return std::nullopt;
+      }
+      std::vector<BatchCandidate> batch;
+      std::vector<KindSpan> spans;
+      spans.reserve(primitives.size());
       for (const PrimitiveKind kind : primitives) {
-        if (Exhausted()) {
-          return std::nullopt;
-        }
+        const size_t begin = batch.size();
         for (Candidate& candidate : GeneratePrimitiveCandidates(
                  model_, config.config, config.perf, kind, bottleneck.stage,
                  options_.enable_recompute_attachment)) {
+          BatchCandidate bc;
+          bc.scored.config = std::move(candidate.config);
           // The hash is computed exactly once per candidate and carried in
           // the ScoredConfig for the top-k bookkeeping.
-          const uint64_t hash =
-              candidate.config.SemanticHash(model_.graph());
+          bc.scored.semantic_hash =
+              bc.scored.config.SemanticHash(model_.graph());
+          if (options_.enable_dedup &&
+              !visited_.insert(bc.scored.semantic_hash).second) {
+            bc.duplicate = true;  // §4.3 deduplication
+          } else {
+            bc.inserted = options_.enable_dedup;
+          }
+          batch.push_back(std::move(bc));
+        }
+        spans.push_back({kind, begin, batch.size()});
+      }
+
+      EvaluateBatch(batch);
+
+      // The recursion group shares candidates (not copies) with the
+      // unexplored pool.
+      std::vector<std::shared_ptr<const ScoredConfig>> group;
+      for (const KindSpan& span : spans) {
+        // The serial loop checked the budget before generating each
+        // primitive's candidates; stopping here leaves the exact state it
+        // would have left.
+        if (Exhausted()) {
+          RollbackVisited(batch, span.begin);
+          return std::nullopt;
+        }
+        for (size_t i = span.begin; i < span.end; ++i) {
+          BatchCandidate& bc = batch[i];
           if (telemetry_ != nullptr) {
             ++iter_.generated;
           }
-          if (options_.enable_dedup && !visited_.insert(hash).second) {
+          if (bc.duplicate) {
             if (telemetry_ != nullptr) {
               ++iter_.deduped;
             }
-            continue;  // §4.3 deduplication
+            continue;
           }
-          ScoredConfig scored;
-          scored.config = std::move(candidate.config);
-          scored.semantic_hash = hash;
-          scored.perf = model_.Evaluate(scored.config);
+          if (!bc.evaluated) {
+            // Serial path: evaluate on first use, so a first-improvement cut
+            // below leaves the rest of the batch unevaluated, like the old
+            // candidate-at-a-time loop.
+            bc.scored.perf = model_.Evaluate(bc.scored.config);
+            bc.evaluated = true;
+            ++eval_serial_candidates_;
+          }
           ++stats_.configs_explored;
           if (telemetry_ != nullptr) {
             ++iter_.evaluated;
           }
-          RecordTopK(scored);
-          if (scored.perf.BetterThan(init_perf)) {
+          RecordTopK(bc.scored);
+          if (bc.scored.perf.BetterThan(init_perf)) {
+            // First improvement wins; the serial loop never generated the
+            // candidates after it, so un-visit them.
+            RollbackVisited(batch, i + 1);
             Improvement improvement;
-            improvement.found = std::move(scored);
+            improvement.found = std::move(bc.scored);
             improvement.hops = hop + 1;
-            improvement.primitive = kind;
+            improvement.primitive = span.kind;
             return improvement;
           }
-          auto shared = std::make_shared<const ScoredConfig>(
-              std::move(scored));
+          auto shared =
+              std::make_shared<const ScoredConfig>(std::move(bc.scored));
           PushUnexplored(shared);
           group.push_back(std::move(shared));
         }
@@ -387,6 +446,76 @@ class SingleSearch {
       }
     }
     return std::nullopt;
+  }
+
+  // One generated candidate of a hop's batch, in generation order.
+  struct BatchCandidate {
+    ScoredConfig scored;     // perf filled in by EvaluateBatch / reduction
+    bool duplicate = false;  // dropped by §4.3 dedup; never evaluated
+    bool inserted = false;   // this candidate's hash was added to visited_
+    bool evaluated = false;  // perf is valid
+  };
+
+  // The [begin, end) slice of the batch produced by one primitive kind.
+  struct KindSpan {
+    PrimitiveKind kind;
+    size_t begin;
+    size_t end;
+  };
+
+  // Phase 2: scores every non-duplicate candidate. Evaluate() is const and
+  // its caches (stage-cost cache, profile database) are sharded for
+  // concurrent access, so the batch fans out onto the evaluation pool when
+  // one is attached and the group is big enough to pay for the join; the
+  // submitting worker helps drain its own batch (TaskGroup::Wait), so this
+  // is safe even when every pool thread runs an outer stage-count search.
+  // Evaluation order does not affect any result bit: each task writes only
+  // its own candidate's perf, and all bookkeeping happens in the serial
+  // reduction that follows.
+  //
+  // Serial mode (no pool / small group) evaluates nothing here: the
+  // reduction evaluates lazily on first use, so candidates past a
+  // first-improvement cut are never evaluated — exactly the pre-batching
+  // work profile, with zero speculation. Parallel mode trades that
+  // speculative tail for concurrency; the reduction discards the extra
+  // perfs, so every result bit still matches.
+  void EvaluateBatch(std::vector<BatchCandidate>& batch) {
+    int64_t survivors = 0;
+    for (const BatchCandidate& bc : batch) {
+      if (!bc.duplicate) {
+        ++survivors;
+      }
+    }
+    ThreadPool* pool = options_.eval_pool;
+    if (survivors == 0 || pool == nullptr || options_.eval_threads <= 1 ||
+        survivors < std::max(1, options_.parallel_eval_threshold)) {
+      return;  // lazy: the reduction evaluates serially, on demand
+    }
+    TaskGroup tasks(*pool);
+    for (BatchCandidate& bc : batch) {
+      if (bc.duplicate) {
+        continue;
+      }
+      bc.evaluated = true;
+      tasks.Submit(
+          [this, &bc] { bc.scored.perf = model_.Evaluate(bc.scored.config); });
+    }
+    tasks.Wait();
+    ++eval_batches_;
+    eval_batch_candidates_ += survivors;
+  }
+
+  // Un-inserts the visited_ hashes of batch[first..] — the candidates the
+  // serial loop would never have generated (it stopped at an improvement or
+  // an exhausted budget). Only hashes this batch itself published are
+  // erased, so earlier candidates' dedup state survives intact.
+  void RollbackVisited(const std::vector<BatchCandidate>& batch,
+                       size_t first) {
+    for (size_t i = first; i < batch.size(); ++i) {
+      if (batch[i].inserted) {
+        visited_.erase(batch[i].scored.semantic_hash);
+      }
+    }
   }
 
   template <typename T>
@@ -438,6 +567,12 @@ class SingleSearch {
   int worker_;
   IterationTelemetry iter_;
   Rng rng_;
+
+  // Evaluation-batching diagnostics (DESIGN.md §11), flushed to telemetry
+  // counters once per search by EmitSearchEnd.
+  int64_t eval_batches_ = 0;
+  int64_t eval_batch_candidates_ = 0;
+  int64_t eval_serial_candidates_ = 0;
 
   SearchStats stats_;
   std::unordered_set<uint64_t, IdentityHash> visited_;
@@ -530,7 +665,15 @@ SearchResult AcesoSearchForStages(const PerformanceModel& model,
                                   int num_stages) {
   Stopwatch watch;
   const StageCacheStats cache_before = model.stage_cache().stats();
-  SingleSearch search(model, options, num_stages, options.time_budget_seconds,
+  // Intra-search evaluation parallelism with no caller-provided pool: spin
+  // up a local one for the duration of this search.
+  std::optional<ThreadPool> local_pool;
+  SearchOptions child = options;
+  if (child.eval_threads > 1 && child.eval_pool == nullptr) {
+    local_pool.emplace(static_cast<size_t>(child.eval_threads));
+    child.eval_pool = &*local_pool;
+  }
+  SingleSearch search(model, child, num_stages, child.time_budget_seconds,
                       watch);
   SearchResult result = search.Run();
   RecordCacheDelta(model, cache_before, &result.stats);
@@ -575,12 +718,46 @@ SearchResult AcesoSearch(const PerformanceModel& model,
   const size_t waves = (stage_counts.size() + threads - 1) / threads;
   const double per_search_budget =
       options.time_budget_seconds / static_cast<double>(waves);
-  ThreadPool pool(threads);
-  ParallelFor(pool, stage_counts.size(), [&](size_t i) {
-    SingleSearch search(model, options, stage_counts[i], per_search_budget,
-                        watch, static_cast<int>(i));
-    results[i] = search.Run();
-  });
+
+  // One shared pool for both levels of parallelism. It is sized for the
+  // wider of the two so eval_threads is honoured even when few stage counts
+  // run; the per-wave TaskGroup below keeps at most `threads` stage-count
+  // searches in flight regardless of pool width, preserving the waves
+  // budget math, while the extra workers (and any wave worker that finishes
+  // its search early) steal evaluation batches from the searches still
+  // running.
+  size_t pool_threads = threads;
+  SearchOptions child = options;
+  if (child.eval_threads > 1 && child.eval_pool == nullptr) {
+    pool_threads = std::max(threads, static_cast<size_t>(child.eval_threads));
+  }
+  ThreadPool pool(pool_threads);
+  if (child.eval_threads > 1 && child.eval_pool == nullptr) {
+    child.eval_pool = &pool;
+  }
+  for (size_t wave_begin = 0; wave_begin < stage_counts.size();
+       wave_begin += threads) {
+    TaskGroup wave(pool);
+    const size_t wave_end =
+        std::min(stage_counts.size(), wave_begin + threads);
+    for (size_t i = wave_begin; i < wave_end; ++i) {
+      wave.Submit([&model, &child, &stage_counts, &results, &watch,
+                   per_search_budget, i] {
+        SingleSearch search(model, child, stage_counts[i], per_search_budget,
+                            watch, static_cast<int>(i));
+        results[i] = search.Run();
+      });
+    }
+    wave.Wait();
+  }
+  if (options.telemetry != nullptr) {
+    // Pool activity is a counter-only diagnostic: the event stream must stay
+    // bit-identical across eval_threads (DESIGN.md §11).
+    const ThreadPoolStats ps = pool.stats();
+    options.telemetry->IncrCounter("search.pool_tasks", ps.executed);
+    options.telemetry->IncrCounter("search.pool_steals", ps.stolen);
+    options.telemetry->IncrCounter("search.pool_helped", ps.helped);
+  }
 
   SearchResult merged = MergeResults(std::move(results), options.top_k);
   RecordCacheDelta(model, cache_before, &merged.stats);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/config/parallel_config.h"
 #include "src/cost/perf_model.h"
 #include "src/obs/telemetry.h"
@@ -74,6 +75,29 @@ struct SearchOptions {
   // Worker threads for the parallel stage-count search; 0 = one per stage
   // count (capped at hardware concurrency).
   int num_threads = 0;
+
+  // ---- Intra-search parallel candidate evaluation (DESIGN.md §11) ----
+  // Evaluation threads for one hop's candidate group: the group is built
+  // and deduplicated serially, its surviving candidates are evaluated
+  // concurrently on a work-stealing pool, and the results are reduced
+  // serially in generation order — so the search trajectory (visit order,
+  // stats, telemetry event stream, final result) is bit-identical for every
+  // value of eval_threads. 1 (default) keeps the fully serial path.
+  int eval_threads = 1;
+
+  // Candidate groups with fewer surviving (post-dedup) candidates than this
+  // are evaluated serially even when eval_threads > 1: the fan-out/join
+  // overhead outweighs the win on tiny groups.
+  int parallel_eval_threshold = 4;
+
+  // The pool evaluation batches run on (not owned; must be safe for nested
+  // submission, i.e. aceso::ThreadPool). Null with eval_threads > 1 makes
+  // AcesoSearch / AcesoSearchForStages create one: AcesoSearch sizes a
+  // single shared pool max(num_threads, eval_threads) so idle stage-count
+  // workers drain their siblings' evaluation batches — the §4.3 fan-out
+  // otherwise leaves them parked whenever stage counts < cores or during
+  // the ragged last wave.
+  ThreadPool* eval_pool = nullptr;
 
   // How many bottleneck stages to try per iteration before giving up
   // (§3.2.3 secondary-bottleneck exploration).

@@ -120,6 +120,16 @@ double SimulatedProfiler::SimulatedMeasurementCost(
 ProfileDatabase::ProfileDatabase(const ClusterSpec& cluster, uint64_t seed)
     : cluster_(cluster), profiler_(cluster, seed) {}
 
+std::unique_lock<std::mutex> ProfileDatabase::LockShard(
+    const Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock_contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 OpMeasurement ProfileDatabase::OpTime(const Operator& op, Precision precision,
                                       int shard_degree, int local_batch) {
   OpProfileKey key;
@@ -128,36 +138,47 @@ OpMeasurement ProfileDatabase::OpTime(const Operator& op, Precision precision,
   key.local_batch = local_batch;
   key.precision = static_cast<int>(precision);
   const uint64_t hash = key.Hash();
+  Shard& shard = ShardFor(hash);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = op_entries_.find(hash);
-    if (it != op_entries_.end()) {
+    auto lock = LockShard(shard);
+    auto it = shard.op_entries.find(hash);
+    if (it != shard.op_entries.end()) {
       return it->second;
     }
   }
+  // Miss: measure with the shard unlocked (the measurement averages
+  // `runs_` simulated runs and is the expensive part — holding the lock
+  // here would convoy every concurrent lookup of this shard behind it),
+  // then double-check: emplace ignores our value if another filler beat us.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   const OpMeasurement m = profiler_.MeasureOp(op, key);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = op_entries_.emplace(hash, m);
+  auto lock = LockShard(shard);
+  auto [it, inserted] = shard.op_entries.emplace(hash, m);
   if (inserted) {
-    simulated_profiling_seconds_ += profiler_.SimulatedMeasurementCost(m);
+    shard.simulated_profiling_seconds += profiler_.SimulatedMeasurementCost(m);
   }
   return it->second;
 }
 
 double ProfileDatabase::CollectiveBucketTime(const CommProfileKey& key) {
   const uint64_t hash = key.Hash();
+  Shard& shard = ShardFor(hash);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = comm_entries_.find(hash);
-    if (it != comm_entries_.end()) {
+    auto lock = LockShard(shard);
+    auto it = shard.comm_entries.find(hash);
+    if (it != shard.comm_entries.end()) {
       return it->second;
     }
   }
+  // Same unlocked-measure + first-writer-wins insert as OpTime.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   const double t = profiler_.MeasureCollective(key);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = comm_entries_.emplace(hash, t);
+  auto lock = LockShard(shard);
+  auto [it, inserted] = shard.comm_entries.emplace(hash, t);
   if (inserted) {
-    simulated_profiling_seconds_ += 50 * t;
+    shard.simulated_profiling_seconds += 50 * t;
   }
   return it->second;
 }
@@ -186,21 +207,38 @@ double ProfileDatabase::CollectiveTime(CollectiveKind kind, int64_t bytes,
 }
 
 size_t ProfileDatabase::NumEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return op_entries_.size() + comm_entries_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    total += shard.op_entries.size() + shard.comm_entries.size();
+  }
+  return total;
 }
 
 double ProfileDatabase::SimulatedProfilingSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return simulated_profiling_seconds_;
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    total += shard.simulated_profiling_seconds;
+  }
+  return total;
+}
+
+ProfileDbStats ProfileDatabase::stats() const {
+  ProfileDbStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.lock_contended = lock_contended_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Status ProfileDatabase::Save(const std::string& path) const {
   std::vector<TextRecord> records;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    records.reserve(op_entries_.size() + comm_entries_.size());
-    for (const auto& [hash, m] : op_entries_) {
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    records.reserve(records.size() + shard.op_entries.size() +
+                    shard.comm_entries.size());
+    for (const auto& [hash, m] : shard.op_entries) {
       TextRecord rec;
       rec.Set("type", "op");
       rec.SetInt("key", static_cast<int64_t>(hash));
@@ -208,7 +246,7 @@ Status ProfileDatabase::Save(const std::string& path) const {
       rec.SetDouble("bwd", m.bwd_seconds);
       records.push_back(std::move(rec));
     }
-    for (const auto& [hash, t] : comm_entries_) {
+    for (const auto& [hash, t] : shard.comm_entries) {
       TextRecord rec;
       rec.Set("type", "comm");
       rec.SetInt("key", static_cast<int64_t>(hash));
@@ -224,7 +262,6 @@ Status ProfileDatabase::Load(const std::string& path) {
   if (!records.ok()) {
     return records.status();
   }
-  std::lock_guard<std::mutex> lock(mu_);
   for (const TextRecord& rec : *records) {
     auto type = rec.Get("type");
     auto key = rec.GetInt("key");
@@ -238,13 +275,17 @@ Status ProfileDatabase::Load(const std::string& path) {
       if (!fwd.ok() || !bwd.ok()) {
         return InvalidArgument("malformed op profile record");
       }
-      op_entries_[hash] = OpMeasurement{*fwd, *bwd};
+      Shard& shard = ShardFor(hash);
+      auto lock = LockShard(shard);
+      shard.op_entries[hash] = OpMeasurement{*fwd, *bwd};
     } else if (*type == "comm") {
       auto t = rec.GetDouble("time");
       if (!t.ok()) {
         return InvalidArgument("malformed comm profile record");
       }
-      comm_entries_[hash] = *t;
+      Shard& shard = ShardFor(hash);
+      auto lock = LockShard(shard);
+      shard.comm_entries[hash] = *t;
     } else {
       return InvalidArgument("unknown profile record type: " + *type);
     }

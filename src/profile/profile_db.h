@@ -12,10 +12,22 @@
 // the paper's methodology (50 runs per op). Entries are memoized on first
 // use, and the database can be saved to / loaded from disk so later searches
 // skip "profiling" entirely — mirroring the paper's reusable database.
+//
+// Concurrency: the database sits under every concurrent Evaluate() call —
+// the stage-count workers and, since DESIGN.md §11, the intra-search
+// evaluation batches. The memo maps are therefore striped into power-of-two
+// lock shards selected by key hash, and a miss runs the simulated
+// measurement *outside* any lock with a double-checked, first-writer-wins
+// insert: concurrent fillers may measure the same key twice, but exactly one
+// value is published, so memoized results stay deterministic. (The
+// measurement itself is deterministic per key, making the race doubly
+// harmless; first-writer-wins keeps the guarantee independent of that.)
 
 #ifndef SRC_PROFILE_PROFILE_DB_H_
 #define SRC_PROFILE_PROFILE_DB_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -92,6 +104,22 @@ class SimulatedProfiler {
   int runs_;
 };
 
+// Lookup/contention counters (monotonic; `operator-` attributes a delta to
+// one search run, like StageCacheStats).
+struct ProfileDbStats {
+  int64_t lookups = 0;        // OpTime + bucketed CollectiveTime calls
+  int64_t misses = 0;         // lookups that ran a simulated measurement
+  int64_t lock_contended = 0; // shard acquisitions that had to block
+
+  ProfileDbStats operator-(const ProfileDbStats& other) const {
+    ProfileDbStats d;
+    d.lookups = lookups - other.lookups;
+    d.misses = misses - other.misses;
+    d.lock_contended = lock_contended - other.lock_contended;
+    return d;
+  }
+};
+
 // Thread-safe memoizing database of op and collective measurements.
 class ProfileDatabase {
  public:
@@ -121,16 +149,41 @@ class ProfileDatabase {
 
   const ClusterSpec& cluster() const { return cluster_; }
 
+  ProfileDbStats stats() const;
+
  private:
+  // Shard count: enough that 8 concurrent evaluators on disjoint keys
+  // rarely collide (birthday bound ~1 - exp(-8*7/2/32) ≈ 58% of *any*
+  // collision per instant, but per-pair just 3%), small enough that the
+  // iteration paths (NumEntries/Save) stay trivial.
+  static constexpr size_t kNumShards = 32;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, OpMeasurement> op_entries;
+    std::unordered_map<uint64_t, double> comm_entries;
+    double simulated_profiling_seconds = 0.0;
+  };
+
+  // Keys are Hasher digests (already well mixed); take high bits so shard
+  // choice is independent of the unordered_map bucket index (low bits).
+  Shard& ShardFor(uint64_t hash) const {
+    return shards_[static_cast<size_t>(hash >> 56) % kNumShards];
+  }
+
+  // Locks `shard.mu`, counting the acquisition as contended when it had to
+  // block.
+  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+
   double CollectiveBucketTime(const CommProfileKey& key);
 
   ClusterSpec cluster_;
   SimulatedProfiler profiler_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, OpMeasurement> op_entries_;
-  std::unordered_map<uint64_t, double> comm_entries_;
-  double simulated_profiling_seconds_ = 0.0;
+  mutable std::array<Shard, kNumShards> shards_;
+  mutable std::atomic<int64_t> lookups_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> lock_contended_{0};
 };
 
 }  // namespace aceso

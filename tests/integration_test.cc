@@ -112,12 +112,17 @@ TEST(IntegrationTest, AcesoMatchesOrBeatsAlpaLike) {
 
 TEST(IntegrationTest, ProfileDatabaseReuseAcrossSearches) {
   // The second search reuses the first's measurements: no new profiling.
+  // A deterministic evaluation budget makes both searches visit the same
+  // configurations regardless of machine speed — under a wall-clock budget
+  // a slower/loaded run (TSan CI) let the second search out-explore the
+  // first and "discover" new entries.
   const OpGraph graph = models::Gpt3(0.35);
   const ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
   ProfileDatabase db(cluster);
   PerformanceModel model(&graph, cluster, &db);
   SearchOptions options;
-  options.time_budget_seconds = 0.5;
+  options.time_budget_seconds = 1e6;
+  options.max_evaluations = 1500;
   AcesoSearch(model, options);
   const size_t entries_after_first = db.NumEntries();
   const double profiling_after_first = db.SimulatedProfilingSeconds();

@@ -154,5 +154,58 @@ TEST_F(ProfileDbTest, ConcurrentAccessIsSafe) {
   EXPECT_GT(db_.NumEntries(), 0u);
 }
 
+TEST_F(ProfileDbTest, ConcurrentFillersPublishOneDeterministicValue) {
+  // Many threads racing to fill the *same* cold keys: the double-checked
+  // first-writer-wins insert may measure a key several times, but exactly
+  // one value is published, and (measurements being deterministic per key)
+  // it equals what a serial fill produces.
+  const Operator op = MakeMatmul();
+  ProfileDatabase serial{cluster_, /*seed=*/42};
+  std::vector<OpMeasurement> expected;
+  for (int d = 0; d < 4; ++d) {
+    expected.push_back(serial.OpTime(op, Precision::kFp16, 1 << d, 2));
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<OpMeasurement>> seen(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([this, &op, &seen, t] {
+      for (int rep = 0; rep < 50; ++rep) {
+        for (int d = 0; d < 4; ++d) {
+          seen[static_cast<size_t>(t)].push_back(
+              db_.OpTime(op, Precision::kFp16, 1 << d, 2));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (const auto& per_thread : seen) {
+    ASSERT_EQ(per_thread.size(), 200u);
+    for (size_t i = 0; i < per_thread.size(); ++i) {
+      EXPECT_EQ(per_thread[i].fwd_seconds, expected[i % 4].fwd_seconds);
+      EXPECT_EQ(per_thread[i].bwd_seconds, expected[i % 4].bwd_seconds);
+    }
+  }
+  // First-writer-wins: redundant measurements were discarded, so the
+  // entry count (and the profiling-overhead ledger, which only the winning
+  // inserter updates) matches the serial fill.
+  EXPECT_EQ(db_.NumEntries(), serial.NumEntries());
+  EXPECT_EQ(db_.SimulatedProfilingSeconds(),
+            serial.SimulatedProfilingSeconds());
+}
+
+TEST_F(ProfileDbTest, StatsCountLookupsAndMisses) {
+  const Operator op = MakeMatmul();
+  const ProfileDbStats before = db_.stats();
+  db_.OpTime(op, Precision::kFp16, 1, 2);  // cold: lookup + miss
+  db_.OpTime(op, Precision::kFp16, 1, 2);  // warm: lookup only
+  const ProfileDbStats delta = db_.stats() - before;
+  EXPECT_EQ(delta.lookups, 2);
+  EXPECT_EQ(delta.misses, 1);
+  EXPECT_GE(delta.lock_contended, 0);
+}
+
 }  // namespace
 }  // namespace aceso

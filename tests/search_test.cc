@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/finetune.h"
@@ -397,6 +398,99 @@ TEST_F(SearchTest, TelemetryStreamIsDeterministicUnderEvaluationBudget) {
   const std::vector<std::string> second = run();
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+TEST_F(SearchTest, ParallelEvaluationIsBitIdenticalToSerial) {
+  // The DESIGN.md §11 contract: eval_threads changes only *how fast*
+  // candidates are scored, never the trajectory. Under a fixed evaluation
+  // budget, every value of eval_threads must land on the golden best
+  // configuration, the golden stats, and a byte-identical telemetry event
+  // stream (wall-clock fields aside — they are the one legitimately
+  // parallelism-dependent output).
+  auto run = [&](int eval_threads, int threshold) {
+    TelemetrySink sink;
+    SearchOptions options = FastOptions();
+    options.time_budget_seconds = 1e6;
+    options.max_evaluations = 3000;
+    options.eval_threads = eval_threads;
+    options.parallel_eval_threshold = threshold;
+    options.telemetry = &sink;
+    const SearchResult result = AcesoSearchForStages(model_, options, 2);
+    std::vector<std::string> lines;
+    for (const TelemetryEvent& event : sink.Events()) {
+      lines.push_back(event.ToJsonLineExcluding({"t", "dur"}));
+    }
+    return std::make_pair(result, lines);
+  };
+  const auto [serial, serial_events] = run(1, 4);
+  ASSERT_TRUE(serial.found);
+  EXPECT_EQ(serial.best.semantic_hash, 1672875804967310438ULL);
+  EXPECT_DOUBLE_EQ(serial.best.perf.iteration_time, 22.649582163995891);
+  EXPECT_EQ(serial.stats.configs_explored, 3000);
+  EXPECT_EQ(serial.stats.iterations, 40);
+  ASSERT_FALSE(serial_events.empty());
+
+  // threshold 1 at 2 threads forces the parallel path onto every group,
+  // maximizing speculative evaluation + rollback coverage; 8 threads at the
+  // default threshold exercises the production shape.
+  for (const auto& [eval_threads, threshold] :
+       std::vector<std::pair<int, int>>{{2, 1}, {8, 4}}) {
+    const auto [result, events] = run(eval_threads, threshold);
+    ASSERT_TRUE(result.found) << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.best.semantic_hash, serial.best.semantic_hash)
+        << "eval_threads=" << eval_threads;
+    EXPECT_DOUBLE_EQ(result.best.perf.iteration_time,
+                     serial.best.perf.iteration_time)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.stats.configs_explored, serial.stats.configs_explored)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.stats.iterations, serial.stats.iterations)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.stats.improvements, serial.stats.improvements)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.stats.hops_used, serial.stats.hops_used)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(events, serial_events) << "eval_threads=" << eval_threads;
+    // Convergence compares on (best_iteration_time, feasible) only:
+    // elapsed_seconds is wall-clock.
+    ASSERT_EQ(result.convergence.size(), serial.convergence.size())
+        << "eval_threads=" << eval_threads;
+    for (size_t i = 0; i < result.convergence.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.convergence[i].best_iteration_time,
+                       serial.convergence[i].best_iteration_time);
+      EXPECT_EQ(result.convergence[i].feasible, serial.convergence[i].feasible);
+    }
+  }
+}
+
+TEST_F(SearchTest, ParallelEvaluationMatchesSerialAcrossStageCounts) {
+  // The full AcesoSearch shape: stage-count workers and evaluation batches
+  // share one pool. Deterministic per-search budgets make the merged result
+  // comparable bit-for-bit (modulo wall-clock) between serial and parallel
+  // evaluation.
+  auto run = [&](int eval_threads) {
+    SearchOptions options = FastOptions();
+    options.time_budget_seconds = 1e6;
+    options.max_evaluations = 400;
+    options.num_threads = 2;
+    options.eval_threads = eval_threads;
+    options.parallel_eval_threshold = 2;
+    return AcesoSearch(model_, options);
+  };
+  const SearchResult serial = run(1);
+  const SearchResult parallel = run(4);
+  ASSERT_TRUE(serial.found);
+  ASSERT_TRUE(parallel.found);
+  EXPECT_EQ(parallel.best.semantic_hash, serial.best.semantic_hash);
+  EXPECT_DOUBLE_EQ(parallel.best.perf.iteration_time,
+                   serial.best.perf.iteration_time);
+  EXPECT_EQ(parallel.stats.configs_explored, serial.stats.configs_explored);
+  EXPECT_EQ(parallel.stats.iterations, serial.stats.iterations);
+  ASSERT_EQ(parallel.top_configs.size(), serial.top_configs.size());
+  for (size_t i = 0; i < parallel.top_configs.size(); ++i) {
+    EXPECT_EQ(parallel.top_configs[i].semantic_hash,
+              serial.top_configs[i].semantic_hash);
+  }
 }
 
 TEST_F(SearchTest, MemoryPressureTriggersRecomputation) {

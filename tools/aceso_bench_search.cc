@@ -180,8 +180,98 @@ SearchReport BenchSearch(const std::string& model_name, int gpus, int stages,
   return report;
 }
 
+// ----- Intra-search evaluation-parallelism sweep (DESIGN.md §11) -----
+
+// One sweep point: the same deterministic search (fixed evaluation budget)
+// at one eval_threads setting. Every point must land on the serial point's
+// exact best configuration — the sweep doubles as a release check of the
+// bit-identical-trajectory contract.
+struct EvalSweepPoint {
+  int eval_threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;  // serial seconds / this point's seconds
+  int64_t configs_explored = 0;
+  uint64_t semantic_hash = 0;
+  bool matches_serial = true;
+  // Pool + batching counters for the run.
+  int64_t eval_batches = 0;
+  int64_t eval_batch_candidates = 0;
+  int64_t pool_tasks = 0;
+  int64_t pool_steals = 0;
+  int64_t pool_helped = 0;
+  int64_t profile_db_contended = 0;
+};
+
+struct EvalSweepReport {
+  std::string model = "gpt3-1.3b";
+  int gpus = 8;
+  int stages = 2;
+  int64_t max_evaluations = 0;
+  std::vector<EvalSweepPoint> points;
+};
+
+EvalSweepReport BenchEvalParallelism(bool quick) {
+  EvalSweepReport report;
+  report.max_evaluations = quick ? 1000 : 4000;
+  auto graph = models::BuildByName(report.model);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return report;
+  }
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(report.gpus);
+  for (const int eval_threads : {1, 2, 4, 8}) {
+    // Fresh database + model per point: each run pays the same cold-cache
+    // profiling cost, so the timing comparison is like-for-like.
+    ProfileDatabase db(cluster);
+    PerformanceModel model(&*graph, cluster, &db);
+    TelemetryOptions topts;
+    topts.ring_capacity = 0;
+    TelemetrySink telemetry(topts);
+    SearchOptions options;
+    options.time_budget_seconds = 1e9;  // the evaluation budget binds
+    options.max_evaluations = report.max_evaluations;
+    options.eval_threads = eval_threads;
+    options.telemetry = &telemetry;
+    ThreadPool pool(static_cast<size_t>(eval_threads));
+    if (eval_threads > 1) {
+      options.eval_pool = &pool;
+    }
+    const double start = NowSeconds();
+    const SearchResult result =
+        AcesoSearchForStages(model, options, report.stages);
+    EvalSweepPoint point;
+    point.eval_threads = eval_threads;
+    point.seconds = NowSeconds() - start;
+    point.configs_explored = result.stats.configs_explored;
+    point.semantic_hash = result.found ? result.best.semantic_hash : 0;
+    const auto& counters = telemetry.Counters();
+    auto counter = [&counters](const char* name) -> int64_t {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    };
+    point.eval_batches = counter("search.eval_batches");
+    point.eval_batch_candidates = counter("search.eval_batch_candidates");
+    const ThreadPoolStats pool_stats = pool.stats();
+    point.pool_tasks = pool_stats.executed;
+    point.pool_steals = pool_stats.stolen;
+    point.pool_helped = pool_stats.helped;
+    point.profile_db_contended = db.stats().lock_contended;
+    if (!report.points.empty()) {
+      const EvalSweepPoint& serial = report.points.front();
+      point.speedup =
+          point.seconds > 0 ? serial.seconds / point.seconds : 0.0;
+      point.matches_serial =
+          point.semantic_hash == serial.semantic_hash &&
+          point.configs_explored == serial.configs_explored;
+    }
+    report.points.push_back(point);
+  }
+  return report;
+}
+
 void WriteJson(const Args& args, const CandidateReport& cand,
-               const std::vector<SearchReport>& searches) {
+               const std::vector<SearchReport>& searches,
+               const EvalSweepReport& sweep) {
   std::FILE* f = std::fopen(args.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
@@ -225,7 +315,42 @@ void WriteJson(const Args& args, const CandidateReport& cand,
     std::fprintf(f, "\n      }\n");
     std::fprintf(f, "    }%s\n", i + 1 < searches.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"eval_parallelism\": {\n");
+  std::fprintf(f, "    \"model\": \"%s\",\n", sweep.model.c_str());
+  std::fprintf(f, "    \"gpus\": %d,\n", sweep.gpus);
+  std::fprintf(f, "    \"stages\": %d,\n", sweep.stages);
+  std::fprintf(f, "    \"max_evaluations\": %lld,\n",
+               static_cast<long long>(sweep.max_evaluations));
+  std::fprintf(f, "    \"points\": [\n");
+  for (size_t i = 0; i < sweep.points.size(); ++i) {
+    const EvalSweepPoint& p = sweep.points[i];
+    std::fprintf(f, "      {\n");
+    std::fprintf(f, "        \"eval_threads\": %d,\n", p.eval_threads);
+    std::fprintf(f, "        \"seconds\": %.3f,\n", p.seconds);
+    std::fprintf(f, "        \"speedup\": %.2f,\n", p.speedup);
+    std::fprintf(f, "        \"configs_explored\": %lld,\n",
+                 static_cast<long long>(p.configs_explored));
+    std::fprintf(f, "        \"semantic_hash\": \"%llu\",\n",
+                 static_cast<unsigned long long>(p.semantic_hash));
+    std::fprintf(f, "        \"matches_serial\": %s,\n",
+                 p.matches_serial ? "true" : "false");
+    std::fprintf(f, "        \"eval_batches\": %lld,\n",
+                 static_cast<long long>(p.eval_batches));
+    std::fprintf(f, "        \"eval_batch_candidates\": %lld,\n",
+                 static_cast<long long>(p.eval_batch_candidates));
+    std::fprintf(f, "        \"pool_tasks\": %lld,\n",
+                 static_cast<long long>(p.pool_tasks));
+    std::fprintf(f, "        \"pool_steals\": %lld,\n",
+                 static_cast<long long>(p.pool_steals));
+    std::fprintf(f, "        \"pool_helped\": %lld,\n",
+                 static_cast<long long>(p.pool_helped));
+    std::fprintf(f, "        \"profile_db_lock_contended\": %lld\n",
+                 static_cast<long long>(p.profile_db_contended));
+    std::fprintf(f, "      }%s\n", i + 1 < sweep.points.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -258,7 +383,18 @@ int Main(int argc, char** argv) {
         s.seconds, s.configs_per_sec, 100.0 * s.cache_hit_rate);
   }
 
-  WriteJson(args, cand, searches);
+  std::printf("eval-parallelism sweep (gpt3-1.3b @8gpu, 2 stages)...\n");
+  const EvalSweepReport sweep = BenchEvalParallelism(args.quick);
+  for (const EvalSweepPoint& p : sweep.points) {
+    std::printf(
+        "  eval_threads=%d: %.2fs (%.2fx), %lld batches, %lld steals%s\n",
+        p.eval_threads, p.seconds, p.speedup,
+        static_cast<long long>(p.eval_batches),
+        static_cast<long long>(p.pool_steals),
+        p.matches_serial ? "" : "  ** TRAJECTORY MISMATCH **");
+  }
+
+  WriteJson(args, cand, searches, sweep);
   std::printf("wrote %s\n", args.out.c_str());
   return 0;
 }

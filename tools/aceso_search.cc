@@ -26,6 +26,7 @@ struct Args {
   double budget = 2.0;
   int max_hops = 7;
   int stages = 0;  // 0 = search all stage counts
+  int eval_threads = 1;
   uint64_t seed = 20240422;
   std::string out;
   std::string telemetry_path;
@@ -36,7 +37,8 @@ void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--model NAME] [--gpus N] [--budget SECONDS] "
-      "[--max-hops N] [--stages N] [--seed N] [--out FILE]\n"
+      "[--max-hops N] [--stages N] [--eval-threads N] [--seed N] "
+      "[--out FILE]\n"
       "          [--telemetry FILE.jsonl] [--search-trace FILE.json]\n"
       "models: gpt3-{0.35,1.3,2.6,6.7,13}b  t5-{0.77,3,6,11,22}b\n"
       "        wresnet-{0.5,2,4,6.8,13}b  deepnet-<layers>\n",
@@ -65,6 +67,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!ParsePositiveInt("--max-hops", next(), &args.max_hops)) return false;
     } else if (flag == "--stages") {
       if (!ParseInt("--stages", next(), &args.stages)) return false;
+    } else if (flag == "--eval-threads") {
+      if (!ParsePositiveInt("--eval-threads", next(), &args.eval_threads)) {
+        return false;
+      }
     } else if (flag == "--seed") {
       if (!ParseUint64("--seed", next(), &args.seed)) return false;
     } else if (flag == "--out") {
@@ -121,6 +127,7 @@ int main(int argc, char** argv) {
   SearchOptions options;
   options.time_budget_seconds = args.budget;
   options.max_hops = args.max_hops;
+  options.eval_threads = args.eval_threads;
   options.seed = args.seed;
   options.telemetry = telemetry.get();
   const SearchResult result =
