@@ -19,6 +19,16 @@ StageCacheOptions CacheOptions(bool enabled) {
 }
 
 struct Fixture {
+  // Warm-up is explicit per (model, stages): the constructor evaluates the
+  // benchmarked config once, which fills the profile database for every
+  // (op, shards, batch) and collective bucket *this exact config* touches
+  // and lets the database publish its read snapshot. That is sufficient for
+  // benchmarks that re-evaluate `config` unchanged — but NOT for the delta
+  // benches, which mutate the config during timing: their variants' stage
+  // walks stay cold, so the first timed lap measures cache fill rather than
+  // steady state (and at --benchmark_min_time=0.05 the fill lap is a
+  // material fraction of all iterations). Those benches must pre-walk their
+  // whole mutation pool with WarmPatternPool() before the timed loop.
   Fixture(const std::string& name, int gpus, int stages,
           bool cache_enabled = true)
       : graph(*models::BuildByName(name)),
@@ -26,9 +36,13 @@ struct Fixture {
         db(cluster),
         model(&graph, cluster, &db, CacheOptions(cache_enabled)),
         config(*MakeEvenConfig(graph, cluster, stages, 2)) {
-    // Warm the memoized database so the benchmark measures steady state.
     model.Evaluate(config);
   }
+
+  // Evaluates every stage-0 recompute pattern in [0, pool_size) so the
+  // timed loop cycles a fully warmed pool (see constructor comment).
+  void WarmPatternPool(int flag_ops, uint64_t pool_size);
+
   OpGraph graph;
   ClusterSpec cluster;
   ProfileDatabase db;
@@ -65,6 +79,14 @@ void ApplyStagePattern(ParallelConfig& config, int flag_ops,
   }
 }
 
+void Fixture::WarmPatternPool(int flag_ops, uint64_t pool_size) {
+  for (uint64_t pattern = 0; pattern < pool_size; ++pattern) {
+    ApplyStagePattern(config, flag_ops, pattern);
+    model.Evaluate(config);
+  }
+  ApplyStagePattern(config, flag_ops, 0);
+}
+
 // The search's dominant pattern: re-evaluation after one primitive mutated a
 // single stage. The candidate sets GeneratePrimitiveCandidates() emits at
 // successive hops overlap heavily (and sibling stage-count searches share
@@ -77,6 +99,9 @@ void ReEvaluateStageDelta(benchmark::State& state, bool cache_enabled) {
   const StageConfig& stage0 = f.config.stage(0);
   const int flag_ops = std::min(stage0.num_ops, 20);
   constexpr uint64_t kPoolSize = 64;
+  // Pre-walk the whole pool so the timed loop starts in steady state; the
+  // constructor's Evaluate() warms only the unmutated config.
+  f.WarmPatternPool(flag_ops, kPoolSize);
   uint64_t next = 0;
   for (auto _ : state) {
     ApplyStagePattern(f.config, flag_ops, next % kPoolSize);
@@ -99,6 +124,9 @@ BENCHMARK(BM_ReEvaluateStageDeltaUncached)->Arg(4)->Arg(8);
 // Worst case for the cache: a never-before-seen stage delta every iteration.
 // The mutated stage is a genuine miss (hash + walk + insert) while the other
 // p-1 stage walks are hits, so this bounds the cache's first-visit overhead.
+// Cold stage walks are the point here, so no pool warm-up: the profile DB is
+// warmed by the constructor (recompute flags don't change DB keys), and each
+// timed iteration's fresh pattern is a deliberate stage-cache miss.
 void ReEvaluateFreshDelta(benchmark::State& state, bool cache_enabled) {
   Fixture f("gpt3-1.3b", 8, static_cast<int>(state.range(0)), cache_enabled);
   const StageConfig& stage0 = f.config.stage(0);
@@ -138,6 +166,31 @@ void BM_EvaluateDeepTransformer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EvaluateDeepTransformer)->Arg(64)->Arg(256)->Arg(1000);
+
+// Uncached stage walks on deep repeated-layer models, with the op memo and
+// run compression on (default) vs forced off (the pre-memoization walk).
+// The ratio between these two is the tentpole speedup on deep models.
+void EvaluateDeepUncached(benchmark::State& state, bool fast_walk) {
+  Fixture f("deepnet-" + std::to_string(state.range(0)), 8, 8,
+            /*cache_enabled=*/false);
+  f.model.set_op_memo_enabled(fast_walk);
+  f.model.set_run_compression_enabled(fast_walk);
+  f.model.Evaluate(f.config);  // re-warm under the selected walk mode
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.Evaluate(f.config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EvaluateDeepTransformerUncached(benchmark::State& state) {
+  EvaluateDeepUncached(state, /*fast_walk=*/true);
+}
+BENCHMARK(BM_EvaluateDeepTransformerUncached)->Arg(256)->Arg(1000);
+
+void BM_EvaluateDeepTransformerUncachedDirectWalk(benchmark::State& state) {
+  EvaluateDeepUncached(state, /*fast_walk=*/false);
+}
+BENCHMARK(BM_EvaluateDeepTransformerUncachedDirectWalk)->Arg(256)->Arg(1000);
 
 void BM_SemanticHash(benchmark::State& state) {
   Fixture f("gpt3-1.3b", 8, 4);

@@ -33,6 +33,19 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
   return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
 }
 
+// Full-avalanche finalizer (splitmix64): every input bit flips each output
+// bit with ~1/2 probability. Bijective, so Mix64(a) == Mix64(b) iff a == b —
+// equality-based dedup over mixed values is exact. HashCombine alone is one
+// weak mixing round; when two structured keys differing in a few low bits
+// are each combined with *different* seeds also differing in a few bits, the
+// differences can cancel. Finalize such values with Mix64 before combining.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 // Pass-through hasher for unordered containers keyed by values that are
 // already well-mixed 64-bit hashes (semantic hashes, cache keys): re-hashing
 // them through std::hash costs cycles without improving distribution.

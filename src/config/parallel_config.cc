@@ -98,13 +98,14 @@ void StageBlock::ComputeWords(const OpGraph& graph, const StageConfig& config,
   }
 }
 
-uint64_t StageBlock::FoldOpWords(const OpGraph& graph, uint64_t state) const {
+const std::vector<uint64_t>* StageBlock::OpWords(const OpGraph& graph) const {
   const WordCache* cache = words_.load(std::memory_order_acquire);
-  if (cache != nullptr && cache->graph == &graph) {
-    for (const uint64_t word : cache->words) {
-      state = HashCombine(state, word);
-    }
-    return state;
+  if (cache != nullptr) {
+    // A cache for a different graph cannot be swapped out safely under
+    // concurrent readers, so it stays published and this graph reads as
+    // uncached. (In practice a config is only ever hashed against one
+    // graph; this path exists for correctness, not speed.)
+    return cache->graph == &graph ? &cache->words : nullptr;
   }
   // Miss: recompute into the parked buffer if this thread wins it, a fresh
   // one otherwise (concurrent post-mutation readers may race here).
@@ -112,26 +113,63 @@ uint64_t StageBlock::FoldOpWords(const OpGraph& graph, uint64_t state) const {
   if (fresh == nullptr) {
     fresh = new WordCache;
   }
+  // A parked buffer may still carry the annotation from its pre-mutation
+  // life; the words it described are gone, so it goes too.
+  delete fresh->annotation.exchange(nullptr, std::memory_order_acq_rel);
   fresh->graph = &graph;
   ComputeWords(graph, config_, fresh->words);
-  for (const uint64_t word : fresh->words) {
-    state = HashCombine(state, word);
+  // Publish-once: the winner's cache lives until mutation or destruction,
+  // so concurrent readers never see it freed; losers park their copy and
+  // read the winner's (which, racing on the same graph, holds the same
+  // words; on a different graph the fallback applies).
+  const WordCache* expected = nullptr;
+  if (words_.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return &fresh->words;
   }
-  if (cache == nullptr) {
-    // Publish-once: the winner's cache lives until mutation or destruction,
-    // so concurrent readers never see it freed; losers park their copy.
-    const WordCache* expected = nullptr;
-    if (!words_.compare_exchange_strong(expected, fresh,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
-      delete spare_.exchange(fresh, std::memory_order_acq_rel);
+  delete spare_.exchange(fresh, std::memory_order_acq_rel);
+  return expected->graph == &graph ? &expected->words : nullptr;
+}
+
+const StageAnnotation* StageBlock::Annotation(const OpGraph& graph) const {
+  const WordCache* cache = words_.load(std::memory_order_acquire);
+  if (cache == nullptr || cache->graph != &graph) {
+    return nullptr;
+  }
+  return cache->annotation.load(std::memory_order_acquire);
+}
+
+const StageAnnotation* StageBlock::PublishAnnotation(
+    const OpGraph& graph, StageAnnotation* annotation) const {
+  const WordCache* cache = words_.load(std::memory_order_acquire);
+  if (cache == nullptr || cache->graph != &graph) {
+    delete annotation;
+    return nullptr;
+  }
+  const StageAnnotation* expected = nullptr;
+  if (cache->annotation.compare_exchange_strong(expected, annotation,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+    return annotation;
+  }
+  delete annotation;
+  return expected;
+}
+
+uint64_t StageBlock::FoldOpWords(const OpGraph& graph, uint64_t state) const {
+  if (const std::vector<uint64_t>* words = OpWords(graph)) {
+    for (const uint64_t word : *words) {
+      state = HashCombine(state, word);
     }
-  } else {
-    // A cache for a different graph is already published. It cannot be
-    // swapped out safely under concurrent readers, so keep it and treat
-    // this graph as uncached. (In practice a config is only ever hashed
-    // against one graph; this path exists for correctness, not speed.)
-    delete spare_.exchange(fresh, std::memory_order_acq_rel);
+    return state;
+  }
+  // Different-graph fallback: fold freshly packed words without touching
+  // the published cache.
+  std::vector<uint64_t> words;
+  ComputeWords(graph, config_, words);
+  for (const uint64_t word : words) {
+    state = HashCombine(state, word);
   }
   return state;
 }
@@ -442,6 +480,22 @@ uint64_t ParallelConfig::StageSemanticHash(const OpGraph& graph,
   h.Add(first_device % cluster.gpus_per_node);
   h.Add(stage_index > 0);
   return block.FoldOpWords(graph, h.Digest());
+}
+
+const StageAnnotation* ParallelConfig::StageWordAnnotation(
+    const OpGraph& graph, int stage_index) const {
+  return stages_.at(static_cast<size_t>(stage_index))->Annotation(graph);
+}
+
+const StageAnnotation* ParallelConfig::PublishStageWordAnnotation(
+    const OpGraph& graph, int stage_index, StageAnnotation* annotation) const {
+  return stages_.at(static_cast<size_t>(stage_index))
+      ->PublishAnnotation(graph, annotation);
+}
+
+const std::vector<uint64_t>* ParallelConfig::StageOpWords(
+    const OpGraph& graph, int stage_index) const {
+  return stages_.at(static_cast<size_t>(stage_index))->OpWords(graph);
 }
 
 uint64_t ParallelConfig::SemanticHashUncached(const OpGraph& graph) const {

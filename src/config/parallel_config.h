@@ -83,6 +83,17 @@ struct StageConfig {
 // so no two consumers can ever disagree about what a setting means.
 uint64_t PackOpSemanticWord(const Operator& op, const OpParallel& setting);
 
+// Opaque payload a higher layer attaches to a stage's word cache — in
+// practice the cost model's walk plan (DESIGN.md §12): per-op data derived
+// purely from (graph, stage settings), exactly what the word cache already
+// pins. The annotation shares the word cache's lifetime: it is dropped when
+// the stage is mutated and rebuilt lazily afterwards, so a published
+// annotation is always consistent with the published words.
+class StageAnnotation {
+ public:
+  virtual ~StageAnnotation() = default;
+};
+
 // A shareable pipeline-stage block: the stage data plus a lazily computed
 // cache of its packed per-op hash words. Blocks are logically immutable
 // while shared; ParallelConfig::MutableStage() clones a shared block before
@@ -110,10 +121,34 @@ class StageBlock {
   // Operator data at all.
   uint64_t FoldOpWords(const OpGraph& graph, uint64_t state) const;
 
+  // The cached per-op semantic words for `graph` (one PackOpSemanticWord()
+  // per op, in stage order), computing and publishing them on first use via
+  // the same publish-once protocol FoldOpWords uses. The returned pointer is
+  // stable until the block is mutated or destroyed. Returns nullptr when a
+  // cache for a *different* graph is already published (callers fall back to
+  // computing words locally) — in practice a block only ever meets one
+  // graph, so this is the correctness path, not the fast path.
+  const std::vector<uint64_t>* OpWords(const OpGraph& graph) const;
+
+  // The annotation attached to this block's word cache for `graph`, or
+  // nullptr when no words (or words for a different graph) are published.
+  const StageAnnotation* Annotation(const OpGraph& graph) const;
+
+  // Publish-once attach, taking ownership of `annotation` in every case:
+  // returns the surviving annotation — the argument if this call won the
+  // race, the incumbent if a concurrent reader published first (the
+  // argument is freed) — or nullptr (argument freed) when no word cache for
+  // `graph` is published to hang it on.
+  const StageAnnotation* PublishAnnotation(const OpGraph& graph,
+                                           StageAnnotation* annotation) const;
+
  private:
   struct WordCache {
-    const OpGraph* graph;
+    ~WordCache() { delete annotation.load(std::memory_order_acquire); }
+    const OpGraph* graph = nullptr;
     std::vector<uint64_t> words;  // one PackOpSemanticWord() per op
+    // See StageAnnotation: publish-once, freed with the cache.
+    mutable std::atomic<const StageAnnotation*> annotation{nullptr};
   };
 
   static void ComputeWords(const OpGraph& graph, const StageConfig& config,
@@ -245,6 +280,23 @@ class ParallelConfig {
   // no per-op work beyond one HashCombine per op.
   uint64_t StageSemanticHash(const OpGraph& graph, const ClusterSpec& cluster,
                              int stage_index) const;
+
+  // The per-op semantic words of stage `stage_index` for `graph`, served
+  // from the stage block's word cache (computed and published on first use).
+  // This is how the performance model's op-breakdown memo keys reuse the
+  // words already paid for by hashing instead of re-packing per walk.
+  // Returns nullptr in the different-graph fallback case (see
+  // StageBlock::OpWords); callers then pack words themselves.
+  const std::vector<uint64_t>* StageOpWords(const OpGraph& graph,
+                                            int stage_index) const;
+
+  // Pass-throughs to StageBlock::Annotation / PublishAnnotation for stage
+  // `stage_index` (see StageAnnotation): derived-data cache slot whose
+  // lifetime is tied to the stage's word cache.
+  const StageAnnotation* StageWordAnnotation(const OpGraph& graph,
+                                             int stage_index) const;
+  const StageAnnotation* PublishStageWordAnnotation(
+      const OpGraph& graph, int stage_index, StageAnnotation* annotation) const;
 
   // Reference implementations that ignore every cache and recompute from
   // the raw per-op settings. The cached variants above must agree with

@@ -658,6 +658,50 @@ void RecordCacheDelta(const PerformanceModel& model,
   stats->cache_evictions += delta.evictions;
 }
 
+// Before/after snapshot of every cache layer under the search, taken so the
+// deltas can be attributed to one run.
+struct ModelCounterSnapshot {
+  StageCacheStats stage_cache;
+  OpMemoStats op_memo;
+  ProfileDbStats profile_db;
+
+  static ModelCounterSnapshot Take(const PerformanceModel& model) {
+    ModelCounterSnapshot s;
+    s.stage_cache = model.stage_cache().stats();
+    s.op_memo = model.op_memo().stats();
+    s.profile_db = model.db().stats();
+    return s;
+  }
+};
+
+// Publishes the cache-layer deltas of one search into the sink's counter
+// registry. Counters only — never events: the values are thread-timing
+// dependent (which worker hits which cache first), and the event stream must
+// stay bit-identical across eval_threads (DESIGN.md §11). Tools that want
+// the hit rates in the JSONL emit a counter-snapshot event after the search.
+void RecordModelCounters(const PerformanceModel& model,
+                         const ModelCounterSnapshot& before,
+                         TelemetrySink* telemetry) {
+  if (telemetry == nullptr) {
+    return;
+  }
+  const StageCacheStats cache = model.stage_cache().stats() - before.stage_cache;
+  const OpMemoStats memo = model.op_memo().stats() - before.op_memo;
+  const ProfileDbStats db = model.db().stats() - before.profile_db;
+  telemetry->IncrCounter("cost.stage_cache_hits", cache.hits);
+  telemetry->IncrCounter("cost.stage_cache_misses", cache.misses);
+  telemetry->IncrCounter("cost.stage_cache_evictions", cache.evictions);
+  telemetry->IncrCounter("cost.op_memo_hits", memo.hits);
+  telemetry->IncrCounter("cost.op_memo_misses", memo.misses);
+  telemetry->IncrCounter("cost.op_memo_inserts_dropped", memo.inserts_dropped);
+  telemetry->IncrCounter("profile_db.lookups", db.lookups);
+  telemetry->IncrCounter("profile_db.misses", db.misses);
+  telemetry->IncrCounter("profile_db.l1_hits", db.l1_hits);
+  telemetry->IncrCounter("profile_db.snapshot_hits", db.snapshot_hits);
+  telemetry->IncrCounter("profile_db.lock_contended", db.lock_contended);
+  telemetry->IncrCounter("profile_db.republishes", db.republishes);
+}
+
 }  // namespace
 
 SearchResult AcesoSearchForStages(const PerformanceModel& model,
@@ -665,6 +709,7 @@ SearchResult AcesoSearchForStages(const PerformanceModel& model,
                                   int num_stages) {
   Stopwatch watch;
   const StageCacheStats cache_before = model.stage_cache().stats();
+  const ModelCounterSnapshot counters_before = ModelCounterSnapshot::Take(model);
   // Intra-search evaluation parallelism with no caller-provided pool: spin
   // up a local one for the duration of this search.
   std::optional<ThreadPool> local_pool;
@@ -677,6 +722,7 @@ SearchResult AcesoSearchForStages(const PerformanceModel& model,
                       watch);
   SearchResult result = search.Run();
   RecordCacheDelta(model, cache_before, &result.stats);
+  RecordModelCounters(model, counters_before, options.telemetry);
   result.search_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -701,6 +747,7 @@ SearchResult AcesoSearch(const PerformanceModel& model,
 
   Stopwatch watch;
   const StageCacheStats cache_before = model.stage_cache().stats();
+  const ModelCounterSnapshot counters_before = ModelCounterSnapshot::Take(model);
   std::vector<SearchResult> results(stage_counts.size());
 
   size_t threads = options.num_threads > 0
@@ -761,6 +808,7 @@ SearchResult AcesoSearch(const PerformanceModel& model,
 
   SearchResult merged = MergeResults(std::move(results), options.top_k);
   RecordCacheDelta(model, cache_before, &merged.stats);
+  RecordModelCounters(model, counters_before, options.telemetry);
   merged.search_seconds = watch.ElapsedSeconds();
   if (options.telemetry != nullptr) {
     options.telemetry->RecordTimer("search.total_seconds",

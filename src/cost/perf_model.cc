@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace aceso {
@@ -20,6 +21,144 @@ struct Layout {
   bool sharded = false;
   int tp = 1;  // shard degree when sharded
 };
+
+// The layout after one op: partitioned column-sharded ops emit a sharded
+// activation, every other partitioned/replicated op emits a replicated one,
+// and shard followers preserve whatever flows in.
+Layout AdvanceLayout(const Operator& op, const OpParallel& setting,
+                     Layout layout) {
+  if (op.tp_class == TpClass::kPartitioned) {
+    if (setting.tp > 1 && setting.tp_dim == TpDim::kColumn) {
+      return Layout{true, setting.tp};
+    }
+    return Layout{false, 1};  // row output replicated post all-reduce
+  }
+  if (op.tp_class == TpClass::kReplicated) {
+    return Layout{false, 1};
+  }
+  return layout;
+}
+
+// One op's cost decomposition given its walk-carried context: the incoming
+// activation layout and whether the previous op ran at a different dp
+// degree. This is the single derivation both the direct walk (WalkStage)
+// and the memoized path (ComputeStageCost) funnel through, so a memo hit is
+// bit-identical to a re-derivation by construction. Every input that can
+// change the result is part of the op-memo key.
+OpBreakdown ComputeOpBreakdown(ProfileDatabase& db, const ClusterSpec& cluster,
+                               const Operator& op, const OpParallel& setting,
+                               Precision precision, int mbs, int first_device,
+                               const CommDomain& stage_domain, Layout layout,
+                               bool dp_mismatch) {
+  OpBreakdown out;
+  const int local_batch = mbs / setting.dp;
+  const int shards = EffectiveShards(op, setting.tp);
+
+  // --- kernel time ---
+  const OpMeasurement meas = db.OpTime(op, precision, shards, local_batch);
+  out.fwd_kernel = meas.fwd_seconds;
+  out.bwd_kernel = meas.bwd_seconds;
+  out.recompute = setting.recompute;
+
+  // --- tensor-parallel collectives (Megatron f/g operators) ---
+  const bool sharded_weights =
+      op.tp_class == TpClass::kPartitioned && setting.tp > 1;
+  if (sharded_weights) {
+    const CommDomain tp_domain{
+        setting.tp, cluster.GroupCrossesNodes(first_device, setting.tp, 1)};
+    if (setting.tp_dim == TpDim::kColumn) {
+      // g^T: all-reduce the input gradient in backward.
+      out.bwd_comm += db.CollectiveTime(
+          CollectiveKind::kAllReduce,
+          op.in_bytes * static_cast<int64_t>(local_batch), tp_domain);
+    } else {
+      // g: all-reduce the partial-sum output in forward.
+      out.fwd_comm += db.CollectiveTime(
+          CollectiveKind::kAllReduce,
+          op.out_bytes * static_cast<int64_t>(local_batch), tp_domain);
+    }
+  }
+
+  // --- resharding at op boundaries (§4.2) ---
+  double reshard = 0.0;
+  const int64_t boundary_bytes =
+      op.in_bytes * static_cast<int64_t>(local_batch);
+  if (dp_mismatch) {
+    // Batch-dimension redistribution across the stage's devices.
+    reshard += db.CollectiveTime(CollectiveKind::kAllGather, boundary_bytes,
+                                 stage_domain);
+  }
+  const bool needs_replicated_input =
+      (op.tp_class == TpClass::kPartitioned &&
+       setting.tp_dim == TpDim::kColumn) ||
+      op.tp_class == TpClass::kReplicated;
+  if (layout.sharded) {
+    const CommDomain shard_domain{
+        layout.tp, cluster.GroupCrossesNodes(first_device, layout.tp, 1)};
+    if (needs_replicated_input) {
+      reshard += db.CollectiveTime(CollectiveKind::kAllGather, boundary_bytes,
+                                   shard_domain);
+    } else if (op.tp_class == TpClass::kPartitioned &&
+               setting.tp_dim == TpDim::kRow && layout.tp != setting.tp) {
+      // Row op expects its own sharding; re-gather then slice.
+      reshard += db.CollectiveTime(CollectiveKind::kAllGather, boundary_bytes,
+                                   shard_domain);
+    }
+  }
+  // Backward mirrors forward resharding (reduce-scatter of gradients).
+  out.fwd_comm += reshard;
+  out.bwd_comm += reshard;
+
+  // --- memory (keyed by the layout *after* this op) ---
+  layout = AdvanceLayout(op, setting, layout);
+  const int store_shards = layout.sharded ? layout.tp : 1;
+  out.stored_bytes =
+      setting.recompute
+          ? 0
+          : op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
+  out.param_bytes = op.tp_class == TpClass::kPartitioned && setting.tp > 1
+                        ? op.param_bytes / setting.tp
+                        : op.param_bytes;
+  out.transient_bytes =
+      op.work_bytes * static_cast<int64_t>(local_batch) / shards;
+  out.workspace_bytes =
+      out.transient_bytes +
+      op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
+
+  // --- optimizer state (grads + Adam moments + master weights) ---
+  const double opt_mult = OptimizerMultiplier(precision);
+  out.optimizer_bytes =
+      static_cast<int64_t>(static_cast<double>(out.param_bytes) * opt_mult);
+  const bool zero = setting.zero_opt && setting.dp > 1;
+  if (zero) {
+    // ZeRO-style sharding: gradients stay full (they feed the all-reduce)
+    // but optimizer state divides across the dp group.
+    const int64_t grads = out.param_bytes;
+    out.optimizer_bytes = grads + (out.optimizer_bytes - grads) / setting.dp;
+  }
+
+  // --- data-parallel gradient synchronization (per iteration) ---
+  if (setting.dp > 1 && out.param_bytes > 0) {
+    const CommDomain dp_domain{
+        setting.dp,
+        cluster.GroupCrossesNodes(first_device, setting.dp, setting.tp)};
+    out.dp_sync = db.CollectiveTime(CollectiveKind::kAllReduce,
+                                    out.param_bytes, dp_domain);
+    if (zero) {
+      // Each rank updates its optimizer shard, then all-gathers the
+      // refreshed parameters.
+      out.dp_sync += db.CollectiveTime(CollectiveKind::kAllGather,
+                                       out.param_bytes, dp_domain);
+    }
+  }
+  return out;
+}
+
+// Longest (semantic word, layout-state) cycle the run detector looks for.
+// Transformer blocks are a dozen-odd ops, so 128 covers every realistic
+// repeating unit while bounding the detection scan at O(ops * 128) key
+// compares for pathological non-repeating stages.
+constexpr int kMaxRunPeriod = 128;
 
 }  // namespace
 
@@ -48,14 +187,20 @@ double OptimizerMultiplier(Precision precision) {
 PerformanceModel::PerformanceModel(const OpGraph* graph,
                                    const ClusterSpec& cluster,
                                    ProfileDatabase* db,
-                                   StageCacheOptions cache_options)
+                                   StageCacheOptions cache_options,
+                                   OpMemoOptions memo_options)
     : graph_(graph),
       cluster_(cluster),
       interconnect_(cluster),
       db_(db),
-      stage_cache_(cache_options) {
+      stage_cache_(cache_options),
+      op_memo_(memo_options) {
   ACESO_CHECK(graph != nullptr);
   ACESO_CHECK(db != nullptr);
+  op_signatures_.reserve(static_cast<size_t>(graph->num_ops()));
+  for (int i = 0; i < graph->num_ops(); ++i) {
+    op_signatures_.push_back(graph->op(i).Signature());
+  }
 }
 
 StageWalk PerformanceModel::WalkStage(const ParallelConfig& config,
@@ -78,119 +223,11 @@ StageWalk PerformanceModel::WalkStage(const ParallelConfig& config,
   for (int i = 0; i < stage.num_ops; ++i) {
     const Operator& op = graph_->op(stage.first_op + i);
     const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
-    OpBreakdown& out = walk.ops[static_cast<size_t>(i)];
-    const int local_batch = mbs / setting.dp;
-    const int shards = EffectiveShards(op, setting.tp);
-
-    // --- kernel time ---
-    const OpMeasurement meas = db_->OpTime(op, precision, shards, local_batch);
-    out.fwd_kernel = meas.fwd_seconds;
-    out.bwd_kernel = meas.bwd_seconds;
-    out.recompute = setting.recompute;
-
-    // --- tensor-parallel collectives (Megatron f/g operators) ---
-    const bool sharded_weights =
-        op.tp_class == TpClass::kPartitioned && setting.tp > 1;
-    if (sharded_weights) {
-      const CommDomain tp_domain{
-          setting.tp, cluster_.GroupCrossesNodes(first_device, setting.tp, 1)};
-      if (setting.tp_dim == TpDim::kColumn) {
-        // g^T: all-reduce the input gradient in backward.
-        out.bwd_comm += db_->CollectiveTime(
-            CollectiveKind::kAllReduce,
-            op.in_bytes * static_cast<int64_t>(local_batch), tp_domain);
-      } else {
-        // g: all-reduce the partial-sum output in forward.
-        out.fwd_comm += db_->CollectiveTime(
-            CollectiveKind::kAllReduce,
-            op.out_bytes * static_cast<int64_t>(local_batch), tp_domain);
-      }
-    }
-
-    // --- resharding at op boundaries (§4.2) ---
-    double reshard = 0.0;
-    const int64_t boundary_bytes =
-        op.in_bytes * static_cast<int64_t>(local_batch);
-    if (prev_dp != 0 && prev_dp != setting.dp) {
-      // Batch-dimension redistribution across the stage's devices.
-      reshard += db_->CollectiveTime(CollectiveKind::kAllGather,
-                                     boundary_bytes, stage_domain);
-    }
-    const bool needs_replicated_input =
-        (op.tp_class == TpClass::kPartitioned &&
-         setting.tp_dim == TpDim::kColumn) ||
-        op.tp_class == TpClass::kReplicated;
-    if (layout.sharded) {
-      const CommDomain shard_domain{
-          layout.tp, cluster_.GroupCrossesNodes(first_device, layout.tp, 1)};
-      if (needs_replicated_input) {
-        reshard += db_->CollectiveTime(CollectiveKind::kAllGather,
-                                       boundary_bytes, shard_domain);
-      } else if (op.tp_class == TpClass::kPartitioned &&
-                 setting.tp_dim == TpDim::kRow && layout.tp != setting.tp) {
-        // Row op expects its own sharding; re-gather then slice.
-        reshard += db_->CollectiveTime(CollectiveKind::kAllGather,
-                                       boundary_bytes, shard_domain);
-      }
-    }
-    // Backward mirrors forward resharding (reduce-scatter of gradients).
-    out.fwd_comm += reshard;
-    out.bwd_comm += reshard;
-
-    // --- layout after this op ---
-    if (op.tp_class == TpClass::kPartitioned) {
-      if (setting.tp > 1 && setting.tp_dim == TpDim::kColumn) {
-        layout = Layout{true, setting.tp};
-      } else {
-        layout = Layout{false, 1};  // row output replicated post all-reduce
-      }
-    } else if (op.tp_class == TpClass::kReplicated) {
-      layout = Layout{false, 1};
-    }
-    // Shard followers preserve the incoming layout.
-
-    // --- memory ---
-    const int store_shards = layout.sharded ? layout.tp : 1;
-    out.stored_bytes =
-        setting.recompute
-            ? 0
-            : op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
-    out.param_bytes = op.tp_class == TpClass::kPartitioned && setting.tp > 1
-                          ? op.param_bytes / setting.tp
-                          : op.param_bytes;
-    out.transient_bytes =
-        op.work_bytes * static_cast<int64_t>(local_batch) / shards;
-    out.workspace_bytes =
-        out.transient_bytes +
-        op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
-
-    // --- optimizer state (grads + Adam moments + master weights) ---
-    const double opt_mult = OptimizerMultiplier(precision);
-    out.optimizer_bytes = static_cast<int64_t>(
-        static_cast<double>(out.param_bytes) * opt_mult);
-    const bool zero = setting.zero_opt && setting.dp > 1;
-    if (zero) {
-      // ZeRO-style sharding: gradients stay full (they feed the all-reduce)
-      // but optimizer state divides across the dp group.
-      const int64_t grads = out.param_bytes;
-      out.optimizer_bytes = grads + (out.optimizer_bytes - grads) / setting.dp;
-    }
-
-    // --- data-parallel gradient synchronization (per iteration) ---
-    if (setting.dp > 1 && out.param_bytes > 0) {
-      const CommDomain dp_domain{
-          setting.dp,
-          cluster_.GroupCrossesNodes(first_device, setting.dp, setting.tp)};
-      out.dp_sync = db_->CollectiveTime(CollectiveKind::kAllReduce,
-                                        out.param_bytes, dp_domain);
-      if (zero) {
-        // Each rank updates its optimizer shard, then all-gathers the
-        // refreshed parameters.
-        out.dp_sync += db_->CollectiveTime(CollectiveKind::kAllGather,
-                                           out.param_bytes, dp_domain);
-      }
-    }
-
+    const bool dp_mismatch = prev_dp != 0 && prev_dp != setting.dp;
+    walk.ops[static_cast<size_t>(i)] =
+        ComputeOpBreakdown(*db_, cluster_, op, setting, precision, mbs,
+                           first_device, stage_domain, layout, dp_mismatch);
+    layout = AdvanceLayout(op, setting, layout);
     prev_dp = setting.dp;
   }
 
@@ -244,6 +281,304 @@ StageCost AggregateStageCost(const StageWalk& walk) {
   return cost;
 }
 
+namespace {
+
+// ----- Walk plan (DESIGN.md §12) -----
+//
+// Everything about one stage's walk that is independent of placement
+// context (microbatch size, device count, rank within the node): per-op
+// memo-key cores, the layout state entering each op, the dp-reshard bit,
+// and the repeated-layer run segmentation. All of it is a pure function of
+// (graph, stage settings) — exactly what the stage's word cache pins — so
+// the plan is attached to that cache as a StageAnnotation and reused until
+// the stage mutates. Placement context re-enters per walk: op i's memo key
+// is HashCombine(base, core[i]) with `base` folding the context.
+struct WalkPlan : StageAnnotation {
+  struct Run {
+    int start = 0;
+    int period = 0;  // 0: a single op at `start` (reps unused)
+    int reps = 0;
+  };
+  std::vector<uint64_t> core;           // per-op key core
+  std::vector<Layout> layouts;          // layout entering op i
+  std::vector<unsigned char> mismatch;  // dp-reshard bit entering op i
+  std::vector<Run> runs;                // covers [0, num_ops) in walk order
+};
+
+// Fills `plan` for one stage. `words[i]` / `sigs[i]` are the packed
+// semantic word and operator signature of the stage's i-th op; `compress`
+// folds repeating runs (false yields one single-op run per op — the walk
+// order with run compression disabled).
+void BuildWalkPlan(const OpGraph& graph, const StageConfig& stage,
+                   const uint64_t* words, const uint64_t* sigs, bool compress,
+                   WalkPlan& plan) {
+  const int num_ops = stage.num_ops;
+  plan.core.resize(static_cast<size_t>(num_ops));
+  plan.layouts.resize(static_cast<size_t>(num_ops));
+  plan.mismatch.resize(static_cast<size_t>(num_ops));
+  {
+    Layout layout;
+    int prev_dp = 0;
+    for (int i = 0; i < num_ops; ++i) {
+      const Operator& op = graph.op(stage.first_op + i);
+      const OpParallel& setting = stage.ops[static_cast<size_t>(i)];
+      const bool dp_mismatch = prev_dp != 0 && prev_dp != setting.dp;
+      plan.layouts[static_cast<size_t>(i)] = layout;
+      plan.mismatch[static_cast<size_t>(i)] = dp_mismatch ? 1 : 0;
+      // Memo-key core: the operator signature, packed semantic word,
+      // incoming layout state, and the dp-reshard bit — together with the
+      // placement base they pin every input ComputeOpBreakdown reads, so
+      // equal keys mean bit-equal breakdowns. The Mix64 finalizer gives the
+      // core full avalanche: sibling stages' bases differ in only a few
+      // bits, and composing a *structured* core with them through one
+      // HashCombine round has produced real cross-stage key collisions.
+      // Mixing is bijective, so the run detector's equality scan below is
+      // unaffected.
+      uint64_t core = HashCombine(sigs[i], words[i]);
+      core = HashCombine(core,
+                         layout.sharded ? static_cast<uint64_t>(layout.tp) : 0);
+      core = HashCombine(core, dp_mismatch ? 1 : 0);
+      plan.core[static_cast<size_t>(i)] = Mix64(core);
+      layout = AdvanceLayout(op, setting, layout);
+      prev_dp = setting.dp;
+    }
+  }
+  plan.runs.clear();
+  const std::vector<uint64_t>& core = plan.core;
+  int i = 0;
+  while (i < num_ops) {
+    // Smallest period P such that ops [i, i+P) and [i+P, i+2P) carry
+    // identical cores — layout-state is folded into the core, so core
+    // equality certifies that the walk state itself cycles (the run is
+    // well-defined, not just similar-looking settings).
+    int period = 0;
+    if (compress) {
+      const int max_period = std::min((num_ops - i) / 2, kMaxRunPeriod);
+      for (int p = 1; p <= max_period; ++p) {
+        if (core[static_cast<size_t>(i + p)] == core[static_cast<size_t>(i)] &&
+            std::equal(core.begin() + i, core.begin() + i + p,
+                       core.begin() + i + p)) {
+          period = p;
+          break;
+        }
+      }
+    }
+    if (period == 0) {
+      plan.runs.push_back(WalkPlan::Run{i, 0, 0});
+      ++i;
+      continue;
+    }
+    // Count verified repetitions (every block is compared elementwise to
+    // the first — no induction, each replayed block's cores are checked).
+    int reps = 2;
+    while (i + (reps + 1) * period <= num_ops &&
+           std::equal(core.begin() + i, core.begin() + i + period,
+                      core.begin() + i + reps * period)) {
+      ++reps;
+    }
+    plan.runs.push_back(WalkPlan::Run{i, period, reps});
+    i += reps * period;
+  }
+}
+
+}  // namespace
+
+StageCost PerformanceModel::ComputeStageCost(const ParallelConfig& config,
+                                             int stage_index) const {
+  const bool memo_on = op_memo_.enabled();
+  if (!memo_on && !run_compression_) {
+    return AggregateStageCost(WalkStage(config, stage_index));
+  }
+
+  const StageConfig& stage = config.stage(stage_index);
+  const int num_ops = stage.num_ops;
+  const int first_device = config.StageFirstDevice(stage_index);
+  const int mbs = config.microbatch_size();
+  const Precision precision = graph_->precision();
+  const CommDomain stage_domain{
+      stage.num_devices,
+      cluster_.GroupCrossesNodes(first_device, stage.num_devices, 1)};
+
+  // Per-op semantic words: reuse the stage block's cache (already paid for
+  // by hashing); pack locally only in the different-graph fallback.
+  const std::vector<uint64_t>* cached_words =
+      config.StageOpWords(*graph_, stage_index);
+  std::vector<uint64_t> local_words;
+  if (cached_words == nullptr) {
+    local_words.resize(static_cast<size_t>(num_ops));
+    for (int i = 0; i < num_ops; ++i) {
+      local_words[static_cast<size_t>(i)] = PackOpSemanticWord(
+          graph_->op(stage.first_op + i), stage.ops[static_cast<size_t>(i)]);
+    }
+  }
+  const uint64_t* words =
+      cached_words != nullptr ? cached_words->data() : local_words.data();
+  const uint64_t* sigs =
+      op_signatures_.data() + static_cast<size_t>(stage.first_op);
+
+  // Fetch the stage's walk plan, building and attaching it on first use.
+  // The published plan is always built with compression on, and only read
+  // when this model walks compressed; the memo-only walk derives a local
+  // plan so both modes funnel through one consumption loop. The annotation
+  // slot holds WalkPlans exclusively (this file is its only publisher), so
+  // the static_cast back is safe.
+  const WalkPlan* plan = nullptr;
+  WalkPlan local_plan;
+  if (run_compression_ && cached_words != nullptr) {
+    plan = static_cast<const WalkPlan*>(
+        config.StageWordAnnotation(*graph_, stage_index));
+    if (plan == nullptr) {
+      auto* fresh = new WalkPlan;
+      BuildWalkPlan(*graph_, stage, words, sigs, /*compress=*/true, *fresh);
+      plan = static_cast<const WalkPlan*>(
+          config.PublishStageWordAnnotation(*graph_, stage_index, fresh));
+    }
+  }
+  if (plan == nullptr) {
+    BuildWalkPlan(*graph_, stage, words, sigs, run_compression_, local_plan);
+    plan = &local_plan;
+  }
+
+  // Placement context, folded once per walk; op i's memo key is
+  // HashCombine(base, core[i]) (DESIGN.md §12).
+  const uint64_t base = Hasher()
+                            .Add(mbs)
+                            .Add(stage.num_devices)
+                            .Add(first_device % cluster_.gpus_per_node)
+                            .Digest();
+
+  // One op's breakdown: memo hit, or derive (into `tmp`) and publish.
+  OpBreakdown scratch;
+  auto breakdown_at = [&](int i, OpBreakdown& tmp) -> const OpBreakdown* {
+    const uint64_t key =
+        HashCombine(base, plan->core[static_cast<size_t>(i)]);
+    if (memo_on) {
+      if (const OpBreakdown* hit = op_memo_.Lookup(key)) {
+        return hit;
+      }
+    }
+    tmp = ComputeOpBreakdown(*db_, cluster_, graph_->op(stage.first_op + i),
+                             stage.ops[static_cast<size_t>(i)], precision, mbs,
+                             first_device, stage_domain,
+                             plan->layouts[static_cast<size_t>(i)],
+                             plan->mismatch[static_cast<size_t>(i)] != 0);
+    if (memo_on) {
+      if (const OpBreakdown* published = op_memo_.Insert(key, tmp)) {
+        return published;
+      }
+    }
+    return &tmp;
+  };
+
+  // Bit-exactness contract: this function must reproduce
+  // AggregateStageCost(WalkStage(...)) exactly. Integer fields are
+  // aggregated analytically (integer arithmetic is associative), but the
+  // double accumulators replay the direct walk's addition sequence with
+  // bit-equal per-op values — IEEE addition is not associative, so a run
+  // may not be "multiplied out" without perturbing golden-pinned results.
+  StageCost cost;
+  {
+    const Operator& first_op = graph_->op(stage.first_op);
+    const int64_t boundary_bytes =
+        first_op.in_bytes * static_cast<int64_t>(mbs / stage.ops[0].dp);
+    cost.activation_bytes_per_mb = RoundUpAllocSize(boundary_bytes);
+  }
+  auto accumulate = [&cost](const OpBreakdown& op) {
+    cost.fwd_time += op.fwd_kernel + op.fwd_comm;
+    cost.bwd_time += op.bwd_kernel + op.bwd_comm;
+    cost.comp_time += op.fwd_kernel + op.bwd_kernel;
+    cost.comm_time += op.fwd_comm + op.bwd_comm;
+    if (op.recompute) {
+      cost.bwd_time += op.fwd_kernel;
+      cost.recompute_time += op.fwd_kernel;
+    }
+    cost.dp_sync_time += op.dp_sync;
+    if (op.stored_bytes > 0) {
+      cost.activation_bytes_per_mb += RoundUpAllocSize(op.stored_bytes);
+    }
+    cost.param_bytes += op.param_bytes;
+    cost.optimizer_bytes += op.optimizer_bytes;
+    cost.reserved_bytes = std::max(cost.reserved_bytes, op.workspace_bytes);
+  };
+
+  // One materialized op of a repeating period: the per-op inner sums
+  // (fwd_kernel + fwd_comm etc.) are precomputed once — they are
+  // sub-expressions of the direct walk, so reusing their bits across
+  // repetitions is exact — and the replay loop performs the same
+  // accumulator additions, in the same order, as the direct walk would.
+  struct RunOp {
+    double fwd = 0.0;
+    double bwd = 0.0;
+    double comp = 0.0;
+    double comm = 0.0;
+    double fwd_kernel = 0.0;
+    double dp_sync = 0.0;
+    bool recompute = false;
+  };
+  std::vector<RunOp> block;
+
+  for (const WalkPlan::Run& run : plan->runs) {
+    if (run.period == 0) {
+      accumulate(*breakdown_at(run.start, scratch));
+      continue;
+    }
+    block.clear();
+    block.reserve(static_cast<size_t>(run.period));
+    int64_t act_sum = 0;
+    int64_t param_sum = 0;
+    int64_t opt_sum = 0;
+    int64_t max_workspace = 0;
+    for (int j = 0; j < run.period; ++j) {
+      const OpBreakdown& op = *breakdown_at(run.start + j, scratch);
+      RunOp run_op;
+      run_op.fwd = op.fwd_kernel + op.fwd_comm;
+      run_op.bwd = op.bwd_kernel + op.bwd_comm;
+      run_op.comp = op.fwd_kernel + op.bwd_kernel;
+      run_op.comm = op.fwd_comm + op.bwd_comm;
+      run_op.fwd_kernel = op.fwd_kernel;
+      run_op.dp_sync = op.dp_sync;
+      run_op.recompute = op.recompute;
+      block.push_back(run_op);
+      if (op.stored_bytes > 0) {
+        act_sum += RoundUpAllocSize(op.stored_bytes);
+      }
+      param_sum += op.param_bytes;
+      opt_sum += op.optimizer_bytes;
+      max_workspace = std::max(max_workspace, op.workspace_bytes);
+    }
+    for (int r = 0; r < run.reps; ++r) {
+      for (const RunOp& op : block) {
+        cost.fwd_time += op.fwd;
+        cost.bwd_time += op.bwd;
+        cost.comp_time += op.comp;
+        cost.comm_time += op.comm;
+        if (op.recompute) {
+          cost.bwd_time += op.fwd_kernel;
+          cost.recompute_time += op.fwd_kernel;
+        }
+        cost.dp_sync_time += op.dp_sync;
+      }
+    }
+    cost.activation_bytes_per_mb += act_sum * run.reps;
+    cost.param_bytes += param_sum * run.reps;
+    cost.optimizer_bytes += opt_sum * run.reps;
+    cost.reserved_bytes = std::max(cost.reserved_bytes, max_workspace);
+  }
+
+  // Inter-stage p2p, mirroring the WalkStage tail + AggregateStageCost.
+  if (stage_index > 0) {
+    const Operator& first_op = graph_->op(stage.first_op);
+    const bool cross =
+        cluster_.NodeOf(first_device - 1) != cluster_.NodeOf(first_device);
+    const double t = interconnect_.P2PTime(
+        first_op.in_bytes * static_cast<int64_t>(mbs), cross);
+    cost.fwd_time += t;
+    cost.bwd_time += t;
+    cost.comm_time += t + t;
+  }
+  return cost;
+}
+
 PerfResult PerformanceModel::Evaluate(const ParallelConfig& config) const {
   eval_count_.fetch_add(1, std::memory_order_relaxed);
 
@@ -264,12 +599,11 @@ PerfResult PerformanceModel::Evaluate(const ParallelConfig& config) const {
       const uint64_t key = config.StageSemanticHash(*graph_, cluster_, s);
       cached = stage_cache_.Lookup(key);
       if (cached == nullptr) {
-        cached = std::make_shared<const StageCost>(
-            AggregateStageCost(WalkStage(config, s)));
+        cached = std::make_shared<const StageCost>(ComputeStageCost(config, s));
         stage_cache_.Insert(key, cached);
       }
     } else {
-      local = AggregateStageCost(WalkStage(config, s));
+      local = ComputeStageCost(config, s);
     }
     const StageCost& cost = cached != nullptr ? *cached : local;
     StageUsage& usage = result.stages[static_cast<size_t>(s)];

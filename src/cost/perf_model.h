@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "src/config/parallel_config.h"
+#include "src/cost/op_memo.h"
 #include "src/cost/resource_usage.h"
 #include "src/cost/stage_cache.h"
 #include "src/hw/interconnect.h"
@@ -108,7 +109,8 @@ class PerformanceModel {
   // called concurrently (the database memoization and the stage-cost cache
   // are internally locked).
   PerformanceModel(const OpGraph* graph, const ClusterSpec& cluster,
-                   ProfileDatabase* db, StageCacheOptions cache_options = {});
+                   ProfileDatabase* db, StageCacheOptions cache_options = {},
+                   OpMemoOptions memo_options = {});
 
   // Predicts the performance of `config`, which must already be
   // structurally valid for the graph/cluster. With the stage-cost cache
@@ -119,7 +121,25 @@ class PerformanceModel {
   PerfResult Evaluate(const ParallelConfig& config) const;
 
   // The per-op cost walk of one stage (shared with the runtime simulator).
+  // Always the direct path: every op is derived from scratch against the
+  // profile database. The runtime simulator needs the per-op breakdowns;
+  // Evaluate() goes through ComputeStageCost() instead.
   StageWalk WalkStage(const ParallelConfig& config, int stage_index) const;
+
+  // The stage-local cost of one stage — what Evaluate() computes on a
+  // stage-cache miss (or with the cache disabled). With the op memo and/or
+  // run compression enabled (both default on) this is the fast path of
+  // DESIGN.md §12: per-op contexts are keyed by (op signature, packed
+  // semantic word, walk-carried layout state, placement context) and served
+  // from the lock-free memo, and maximal runs of repeating (key-)cycles —
+  // the N identical transformer blocks of a deep stage — replay one
+  // materialized period instead of re-deriving every repetition. The result
+  // is bit-identical to AggregateStageCost(WalkStage(config, stage_index))
+  // in every field: integer fields aggregate associatively, double fields
+  // replay the exact accumulation sequence with bit-equal per-op values
+  // (property-tested in fuzz_property_test).
+  StageCost ComputeStageCost(const ParallelConfig& config,
+                             int stage_index) const;
 
   // Number of Evaluate() calls so far — the "explored configurations"
   // metric of Exp#4.
@@ -145,13 +165,31 @@ class PerformanceModel {
     }
   }
 
+  // The op-breakdown memo (hit/miss counters live here).
+  const OpBreakdownMemo& op_memo() const { return op_memo_; }
+  // Setup-time toggle; not synchronized against concurrent Evaluate().
+  void set_op_memo_enabled(bool enabled) { op_memo_.set_enabled(enabled); }
+
+  // Run compression (repeated-layer replay inside ComputeStageCost).
+  // Setup-time toggle; not synchronized against concurrent Evaluate().
+  bool run_compression_enabled() const { return run_compression_; }
+  void set_run_compression_enabled(bool enabled) {
+    run_compression_ = enabled;
+  }
+
  private:
   const OpGraph* graph_;
   ClusterSpec cluster_;
   InterconnectModel interconnect_;
   ProfileDatabase* db_;
+  // op(i).Signature() for every graph op, computed once at construction:
+  // memo-key derivation runs per op per uncached stage walk and must not
+  // re-hash operator fields each time.
+  std::vector<uint64_t> op_signatures_;
+  bool run_compression_ = true;
   mutable std::atomic<int64_t> eval_count_{0};
   mutable StageCostCache stage_cache_;
+  mutable OpBreakdownMemo op_memo_;
 };
 
 }  // namespace aceso

@@ -205,6 +205,14 @@ std::map<std::string, int64_t> TelemetrySink::Counters() const {
   return std::map<std::string, int64_t>(counters_.begin(), counters_.end());
 }
 
+void TelemetrySink::EmitCounterSnapshot() {
+  TelemetryEvent event("counter_snapshot");
+  for (const auto& [name, value] : Counters()) {
+    event.Int(name, value);
+  }
+  Emit(std::move(event));
+}
+
 void TelemetrySink::RecordTimer(std::string_view name, double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = timers_.find(name);

@@ -120,6 +120,13 @@ class TelemetrySink {
   int64_t counter(std::string_view name) const;  // 0 when never incremented
   std::map<std::string, int64_t> Counters() const;
 
+  // Emits one "counter_snapshot" event carrying every counter's current
+  // value as an Int field keyed by its name (alphabetical). For *tools* at
+  // end of run — cache hit rates etc. are thread-timing dependent, so
+  // library code must never emit counter values into the event stream
+  // (the stream is pinned bit-identical across eval_threads, DESIGN.md §11).
+  void EmitCounterSnapshot();
+
   // Named duration accumulators (e.g. "search.worker_seconds").
   struct TimerStat {
     int64_t count = 0;

@@ -22,6 +22,19 @@
 // value is published, so memoized results stay deterministic. (The
 // measurement itself is deterministic per key, making the race doubly
 // harmless; first-writer-wins keeps the guarantee independent of that.)
+//
+// Read path (DESIGN.md §12): after warm-up the writers periodically publish
+// an immutable open-addressing *snapshot* of the memo maps behind a single
+// atomic pointer, and each thread keeps a small direct-mapped L1 of its
+// recently used op and collective-bucket entries. A warm lookup touches the
+// L1 (or the snapshot) and acquires no locks at all; only genuinely new keys
+// fall through to the sharded maps. Published entries are immutable
+// (first-writer-wins), so a snapshot or L1 hit always returns the exact bits
+// the locked path would — the optimization is invisible to results.
+// Snapshots are republished on geometric growth of the entry count (so
+// republish work amortizes to O(n log n) over a whole search) and retired
+// snapshots are kept until destruction, which lets readers hold a snapshot
+// pointer without any reclamation protocol.
 
 #ifndef SRC_PROFILE_PROFILE_DB_H_
 #define SRC_PROFILE_PROFILE_DB_H_
@@ -32,6 +45,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/hw/cluster.h"
@@ -110,12 +124,18 @@ struct ProfileDbStats {
   int64_t lookups = 0;        // OpTime + bucketed CollectiveTime calls
   int64_t misses = 0;         // lookups that ran a simulated measurement
   int64_t lock_contended = 0; // shard acquisitions that had to block
+  int64_t l1_hits = 0;        // served from the thread-local direct-mapped L1
+  int64_t snapshot_hits = 0;  // served from the immutable snapshot
+  int64_t republishes = 0;    // snapshot publications (incl. after Load)
 
   ProfileDbStats operator-(const ProfileDbStats& other) const {
     ProfileDbStats d;
     d.lookups = lookups - other.lookups;
     d.misses = misses - other.misses;
     d.lock_contended = lock_contended - other.lock_contended;
+    d.l1_hits = l1_hits - other.l1_hits;
+    d.snapshot_hits = snapshot_hits - other.snapshot_hits;
+    d.republishes = republishes - other.republishes;
     return d;
   }
 };
@@ -124,6 +144,10 @@ struct ProfileDbStats {
 class ProfileDatabase {
  public:
   ProfileDatabase(const ClusterSpec& cluster, uint64_t seed = 20240422);
+  ~ProfileDatabase();
+
+  ProfileDatabase(const ProfileDatabase&) = delete;
+  ProfileDatabase& operator=(const ProfileDatabase&) = delete;
 
   // Time of `op` with its compute divided `shard_degree` ways processing a
   // `local_batch`-sample microbatch. Memoized.
@@ -151,6 +175,16 @@ class ProfileDatabase {
 
   ProfileDbStats stats() const;
 
+  // Master switch for the snapshot + L1 read path (setup-time toggle, used
+  // by benches and the on/off bit-identity tests). Disabled, every lookup
+  // takes the original sharded-lock path; values are identical either way.
+  bool read_optimizations_enabled() const {
+    return read_opt_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_read_optimizations_enabled(bool enabled) {
+    read_opt_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
  private:
   // Shard count: enough that 8 concurrent evaluators on disjoint keys
   // rarely collide (birthday bound ~1 - exp(-8*7/2/32) ≈ 58% of *any*
@@ -177,6 +211,19 @@ class ProfileDatabase {
 
   double CollectiveBucketTime(const CommProfileKey& key);
 
+  // The immutable read-optimized view; defined in the .cc. Published behind
+  // `snapshot_` with release/acquire; never mutated after publication.
+  struct Snapshot;
+
+  // Republish once entries have grown geometrically past the last snapshot
+  // (or past the warm-up floor for the first publication). Cheap no-op
+  // check on the miss path; the rebuild itself runs under `republish_mu_`
+  // with try_lock so concurrent fillers never convoy behind it.
+  void MaybeRepublish();
+  // `block` = wait for the republish mutex (setup-time callers: Load);
+  // otherwise bail out if another thread is already rebuilding.
+  void RepublishSnapshot(bool block);
+
   ClusterSpec cluster_;
   SimulatedProfiler profiler_;
 
@@ -184,6 +231,26 @@ class ProfileDatabase {
   mutable std::atomic<int64_t> lookups_{0};
   mutable std::atomic<int64_t> misses_{0};
   mutable std::atomic<int64_t> lock_contended_{0};
+  mutable std::atomic<int64_t> l1_hits_{0};
+  mutable std::atomic<int64_t> snapshot_hits_{0};
+  std::atomic<int64_t> republishes_{0};
+
+  std::atomic<bool> read_opt_enabled_{true};
+  // Instance tag for thread-local L1 entries: drawn from a process-global
+  // counter at construction and re-drawn by Load() (which may overwrite
+  // published values), so stale L1 entries from another instance — or from
+  // this instance pre-Load — can never match.
+  std::atomic<uint64_t> generation_;
+  std::atomic<const Snapshot*> snapshot_{nullptr};
+  std::atomic<size_t> total_entries_{0};     // across all shards
+  std::atomic<size_t> snapshot_entries_{0};  // entry count at last publish
+  // Guards snapshot rebuilds and `retired_`. Never taken on the read path.
+  mutable std::mutex republish_mu_;
+  // Replaced snapshots, freed at destruction: readers may hold a snapshot
+  // pointer briefly without any reclamation protocol, and geometric
+  // republishing bounds total retired memory at a constant factor of the
+  // final snapshot.
+  std::vector<const Snapshot*> retired_;
 };
 
 }  // namespace aceso

@@ -259,6 +259,86 @@ TEST_P(FuzzTest, IncrementalHashesMatchUncachedUnderMutationSequences) {
   }
 }
 
+// Bit-exact StageCost comparison: the memoized/run-compressed path must
+// reproduce the direct walk in every field, doubles included (IEEE-exact,
+// not approximately — golden search hashes depend on it).
+void ExpectStageCostBitEqual(const StageCost& fast, const StageCost& direct,
+                             int stage, int round) {
+  ASSERT_EQ(fast.fwd_time, direct.fwd_time) << "stage " << stage << " round "
+                                            << round;
+  ASSERT_EQ(fast.bwd_time, direct.bwd_time) << "stage " << stage;
+  ASSERT_EQ(fast.comp_time, direct.comp_time) << "stage " << stage;
+  ASSERT_EQ(fast.comm_time, direct.comm_time) << "stage " << stage;
+  ASSERT_EQ(fast.recompute_time, direct.recompute_time) << "stage " << stage;
+  ASSERT_EQ(fast.dp_sync_time, direct.dp_sync_time) << "stage " << stage;
+  ASSERT_EQ(fast.param_bytes, direct.param_bytes) << "stage " << stage;
+  ASSERT_EQ(fast.optimizer_bytes, direct.optimizer_bytes) << "stage " << stage;
+  ASSERT_EQ(fast.activation_bytes_per_mb, direct.activation_bytes_per_mb)
+      << "stage " << stage;
+  ASSERT_EQ(fast.reserved_bytes, direct.reserved_bytes) << "stage " << stage;
+}
+
+TEST_P(FuzzTest, MemoizedStageCostBitIdenticalToDirectWalk) {
+  // ComputeStageCost (op memo + run compression) against the direct per-op
+  // walk, across random mutation sequences that mix recompute flags, tp_dim
+  // flips, mid-stage tp/dp retargets (dp-reshard boundaries), ZeRO flags,
+  // and microbatch changes — on stages the mutations make non-uniform.
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster, /*seed=*/GetParam());
+  PerformanceModel model(&graph, cluster, &db);
+  auto made = MakeEvenConfig(graph, cluster, std::min(4, graph.num_ops()), 4);
+  if (!made.ok()) {
+    GTEST_SKIP() << made.status().ToString();
+  }
+  ParallelConfig config = *std::move(made);
+  for (int round = 0; round < 25; ++round) {
+    for (int s = 0; s < config.num_stages(); ++s) {
+      const StageCost direct = AggregateStageCost(model.WalkStage(config, s));
+      const StageCost fast = model.ComputeStageCost(config, s);
+      ExpectStageCostBitEqual(fast, direct, s, round);
+    }
+    MutateRandomly(graph, config, rng_);
+  }
+  // The memo actually engaged (repeat rounds re-walk identical contexts).
+  EXPECT_GT(model.op_memo().stats().hits, 0);
+}
+
+TEST_P(FuzzTest, EvaluateBitIdenticalWithMemoAndCompressionOff) {
+  // End-to-end Evaluate() with every op-level optimization on vs off, over
+  // one shared profile database (published measurements are immutable, so
+  // sharing cannot leak one model's path into the other's values).
+  const OpGraph graph = models::SyntheticModel(rng_);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster, /*seed=*/GetParam());
+  PerformanceModel fast(&graph, cluster, &db);
+  PerformanceModel plain(&graph, cluster, &db);
+  plain.set_op_memo_enabled(false);
+  plain.set_run_compression_enabled(false);
+  auto made = MakeEvenConfig(graph, cluster, std::min(4, graph.num_ops()), 4);
+  if (!made.ok()) {
+    GTEST_SKIP() << made.status().ToString();
+  }
+  ParallelConfig config = *std::move(made);
+  for (int round = 0; round < 20; ++round) {
+    const PerfResult a = fast.Evaluate(config);
+    const PerfResult b = plain.Evaluate(config);
+    ASSERT_EQ(a.iteration_time, b.iteration_time) << "round " << round;
+    ASSERT_EQ(a.oom, b.oom);
+    ASSERT_EQ(a.slowest_stage, b.slowest_stage);
+    ASSERT_EQ(a.max_memory_stage, b.max_memory_stage);
+    ASSERT_EQ(a.stages.size(), b.stages.size());
+    for (size_t s = 0; s < a.stages.size(); ++s) {
+      ASSERT_EQ(a.stages[s].stage_time, b.stages[s].stage_time) << s;
+      ASSERT_EQ(a.stages[s].memory_bytes, b.stages[s].memory_bytes) << s;
+      ASSERT_EQ(a.stages[s].fwd_time, b.stages[s].fwd_time) << s;
+      ASSERT_EQ(a.stages[s].bwd_time, b.stages[s].bwd_time) << s;
+      ASSERT_EQ(a.stages[s].dp_sync_time, b.stages[s].dp_sync_time) << s;
+    }
+    MutateRandomly(graph, config, rng_);
+  }
+}
+
 TEST_P(FuzzTest, ConfigIoRoundTripsOnRandomModels) {
   const OpGraph graph = models::SyntheticModel(rng_);
   const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);

@@ -1,0 +1,139 @@
+#include "src/cost/op_memo.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/cost/perf_model.h"
+
+namespace aceso {
+namespace {
+
+OpBreakdown MakeBreakdown(double seed) {
+  OpBreakdown b;
+  b.fwd_kernel = seed;
+  b.bwd_kernel = 2.0 * seed;
+  b.fwd_comm = 0.25 * seed;
+  b.bwd_comm = 0.5 * seed;
+  b.dp_sync = 0.125 * seed;
+  b.stored_bytes = static_cast<int64_t>(seed * 1024);
+  b.param_bytes = static_cast<int64_t>(seed * 2048);
+  b.optimizer_bytes = static_cast<int64_t>(seed * 4096);
+  b.workspace_bytes = static_cast<int64_t>(seed * 512);
+  b.transient_bytes = static_cast<int64_t>(seed * 256);
+  b.recompute = static_cast<int64_t>(seed) % 2 == 1;
+  return b;
+}
+
+TEST(OpMemoTest, LookupMissesOnEmptyTable) {
+  OpBreakdownMemo memo;
+  EXPECT_EQ(memo.Lookup(123), nullptr);
+  EXPECT_EQ(memo.stats().misses, 1);
+  EXPECT_EQ(memo.stats().hits, 0);
+}
+
+TEST(OpMemoTest, InsertThenLookupReturnsSameBits) {
+  OpBreakdownMemo memo;
+  const OpBreakdown value = MakeBreakdown(3.0);
+  const OpBreakdown* published = memo.Insert(77, value);
+  ASSERT_NE(published, nullptr);
+  const OpBreakdown* hit = memo.Lookup(77);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit, published);  // stable pointer
+  EXPECT_EQ(hit->fwd_kernel, value.fwd_kernel);
+  EXPECT_EQ(hit->bwd_kernel, value.bwd_kernel);
+  EXPECT_EQ(hit->stored_bytes, value.stored_bytes);
+  EXPECT_EQ(hit->recompute, value.recompute);
+  EXPECT_EQ(memo.stats().hits, 1);
+  EXPECT_EQ(memo.stats().entries, 1);
+}
+
+TEST(OpMemoTest, FirstWriterWins) {
+  OpBreakdownMemo memo;
+  const OpBreakdown* first = memo.Insert(9, MakeBreakdown(1.0));
+  const OpBreakdown* second = memo.Insert(9, MakeBreakdown(2.0));
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->fwd_kernel, 1.0);
+  EXPECT_EQ(memo.stats().entries, 1);
+}
+
+TEST(OpMemoTest, DisabledMemoNeverStoresOrCounts) {
+  OpMemoOptions options;
+  options.enabled = false;
+  OpBreakdownMemo memo(options);
+  EXPECT_EQ(memo.Insert(1, MakeBreakdown(1.0)), nullptr);
+  EXPECT_EQ(memo.Lookup(1), nullptr);
+  const OpMemoStats stats = memo.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.entries, 0);
+}
+
+TEST(OpMemoTest, DisablingClearsEntries) {
+  OpBreakdownMemo memo;
+  memo.Insert(5, MakeBreakdown(1.0));
+  EXPECT_EQ(memo.stats().entries, 1);
+  memo.set_enabled(false);
+  EXPECT_EQ(memo.stats().entries, 0);
+  memo.set_enabled(true);
+  EXPECT_EQ(memo.Lookup(5), nullptr);
+}
+
+TEST(OpMemoTest, DropsInsertsAtOccupancyCap) {
+  OpMemoOptions options;
+  options.capacity = 64;  // minimum table; cap at 56 entries (7/8)
+  OpBreakdownMemo memo(options);
+  int64_t published = 0;
+  for (uint64_t key = 1; key <= 64; ++key) {
+    if (memo.Insert(key * 0x9E3779B97F4A7C15ULL, MakeBreakdown(1.0)) !=
+        nullptr) {
+      ++published;
+    }
+  }
+  const OpMemoStats stats = memo.stats();
+  EXPECT_EQ(stats.entries, published);
+  EXPECT_LE(stats.entries, 56);
+  EXPECT_GT(stats.inserts_dropped, 0);
+  // Published entries stay retrievable even with the table saturated.
+  const OpBreakdown* hit = memo.Lookup(0x9E3779B97F4A7C15ULL);
+  ASSERT_NE(hit, nullptr);
+}
+
+TEST(OpMemoTest, ConcurrentInsertersPublishOneValuePerKey) {
+  OpBreakdownMemo memo;
+  constexpr int kKeys = 64;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&memo, &mismatches, t] {
+      for (int rep = 0; rep < 50; ++rep) {
+        for (int k = 1; k <= kKeys; ++k) {
+          const uint64_t key = static_cast<uint64_t>(k) * 0x517CC1B7ULL;
+          // Every writer derives the same value for a key, mirroring the
+          // pure-function contract of the perf-model's memo usage.
+          const OpBreakdown* got = memo.Lookup(key);
+          if (got == nullptr) {
+            got = memo.Insert(key, MakeBreakdown(static_cast<double>(k)));
+          }
+          if (got != nullptr &&
+              got->fwd_kernel != static_cast<double>(k)) {
+            ++mismatches[static_cast<size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+  EXPECT_EQ(memo.stats().entries, kKeys);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -209,6 +209,68 @@ TEST_F(PerfModelTest, StageWalkMatchesEvaluateAggregates) {
   }
 }
 
+TEST_F(PerfModelTest, ComputeStageCostMatchesDirectWalkBitExactly) {
+  const ParallelConfig config = Even(3, 2);
+  for (int s = 0; s < 3; ++s) {
+    const StageCost direct = AggregateStageCost(model_.WalkStage(config, s));
+    const StageCost fast = model_.ComputeStageCost(config, s);
+    EXPECT_EQ(fast.fwd_time, direct.fwd_time) << s;
+    EXPECT_EQ(fast.bwd_time, direct.bwd_time) << s;
+    EXPECT_EQ(fast.comp_time, direct.comp_time) << s;
+    EXPECT_EQ(fast.comm_time, direct.comm_time) << s;
+    EXPECT_EQ(fast.recompute_time, direct.recompute_time) << s;
+    EXPECT_EQ(fast.dp_sync_time, direct.dp_sync_time) << s;
+    EXPECT_EQ(fast.param_bytes, direct.param_bytes) << s;
+    EXPECT_EQ(fast.optimizer_bytes, direct.optimizer_bytes) << s;
+    EXPECT_EQ(fast.activation_bytes_per_mb, direct.activation_bytes_per_mb)
+        << s;
+    EXPECT_EQ(fast.reserved_bytes, direct.reserved_bytes) << s;
+  }
+}
+
+TEST_F(PerfModelTest, RunCompressionCompressesDeepRepeatedLayers) {
+  // deepnet-256 is 256 identical transformer layers: inside one stage the
+  // (semantic word, layout-state) cycle repeats, so a cold ComputeStageCost
+  // should derive roughly one period's worth of op contexts — not the whole
+  // stage — and still match the direct walk bit for bit.
+  const OpGraph graph = models::DeepTransformer(256);
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);
+  ProfileDatabase db(cluster);
+  PerformanceModel model(&graph, cluster, &db);
+  auto config = MakeEvenConfig(graph, cluster, 4, 1);
+  ASSERT_TRUE(config.ok());
+  for (int s = 0; s < 4; ++s) {
+    const StageCost direct = AggregateStageCost(model.WalkStage(*config, s));
+    const OpMemoStats before = model.op_memo().stats();
+    const StageCost fast = model.ComputeStageCost(*config, s);
+    const OpMemoStats delta = model.op_memo().stats() - before;
+    EXPECT_EQ(fast.fwd_time, direct.fwd_time) << s;
+    EXPECT_EQ(fast.bwd_time, direct.bwd_time) << s;
+    EXPECT_EQ(fast.activation_bytes_per_mb, direct.activation_bytes_per_mb)
+        << s;
+    EXPECT_EQ(fast.optimizer_bytes, direct.optimizer_bytes) << s;
+    EXPECT_EQ(fast.reserved_bytes, direct.reserved_bytes) << s;
+    // Run compression kept the per-op derivations to a small multiple of
+    // one repeating period (a deepnet stage here walks hundreds of ops).
+    const int64_t derived = delta.misses;
+    EXPECT_LT(derived, 64) << "stage " << s;
+  }
+}
+
+TEST_F(PerfModelTest, OpMemoServesRepeatedStageWalks) {
+  PerformanceModel cacheless(&graph_, cluster_, &db_,
+                             StageCacheOptions{/*enabled=*/false});
+  const ParallelConfig config = Even(2, 2);
+  const StageCost first = cacheless.ComputeStageCost(config, 0);
+  const OpMemoStats before = cacheless.op_memo().stats();
+  const StageCost second = cacheless.ComputeStageCost(config, 0);
+  const OpMemoStats delta = cacheless.op_memo().stats() - before;
+  EXPECT_EQ(first.fwd_time, second.fwd_time);
+  EXPECT_EQ(first.optimizer_bytes, second.optimizer_bytes);
+  EXPECT_GT(delta.hits, 0);
+  EXPECT_EQ(delta.misses, 0);  // every context was memoized by the first walk
+}
+
 TEST_F(PerfModelTest, TimeShareSumsToOne) {
   const PerfResult perf = model_.Evaluate(Even(2));
   for (const StageUsage& s : perf.stages) {

@@ -135,6 +135,10 @@ int main(int argc, char** argv) {
                       : AcesoSearch(model, options);
 
   if (telemetry != nullptr) {
+    // End-of-run counter values (cache hit rates, pool activity) go into the
+    // JSONL as one tool-emitted event; the library never emits them because
+    // they are thread-timing dependent (DESIGN.md §11).
+    telemetry->EmitCounterSnapshot();
     const Status sink_status = telemetry->Flush();
     if (!sink_status.ok()) {
       std::fprintf(stderr, "telemetry: %s\n", sink_status.ToString().c_str());

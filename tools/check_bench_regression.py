@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON report against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--threshold 2.0]
+                              [--filter SUBSTRING]
+
+Fails (exit 1) when any benchmark present in both reports is more than
+--threshold times slower (by real_time per iteration) than the baseline.
+Benchmarks only present on one side are reported but never fatal, so adding
+or retiring benchmarks does not require touching the baseline in the same
+change.
+
+The baseline is runner-class dependent: it records absolute times from the
+CI runner family, so the threshold is deliberately loose (default 2x) to
+absorb machine-to-machine variance while still catching order-of-magnitude
+regressions such as an accidentally disabled cache. Refresh the baseline
+(bench/baselines/) whenever the benchmark suite or the runner class changes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    with open(path) as f:
+        report = json.load(f)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument(
+        "--filter",
+        default="",
+        help="only compare benchmarks whose name contains this substring",
+    )
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+
+    failures = []
+    compared = 0
+    for name, base_time in sorted(baseline.items()):
+        if args.filter and args.filter not in name:
+            continue
+        if name not in current:
+            print(f"note: {name} missing from current report (skipped)")
+            continue
+        compared += 1
+        ratio = current[name] / base_time if base_time > 0 else float("inf")
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(
+            f"{status:4s} {name}: {current[name]:.0f}ns vs "
+            f"baseline {base_time:.0f}ns ({ratio:.2f}x)"
+        )
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    for name in sorted(current):
+        if name not in baseline and (not args.filter or args.filter in name):
+            print(f"note: {name} not in baseline (skipped)")
+
+    if compared == 0:
+        print("error: no benchmarks compared — wrong filter or empty reports")
+        return 1
+    if failures:
+        print(
+            f"{len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold}x vs baseline"
+        )
+        return 1
+    print(f"{compared} benchmark(s) within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
