@@ -279,6 +279,78 @@ void BM_RehashAfterMutationUncached(benchmark::State& state) {
 }
 BENCHMARK(BM_RehashAfterMutationUncached);
 
+// ----- Batched sibling-group evaluation (DESIGN.md §13) -----
+//
+// The ISSUE-6 hot path: the search scores a wave of sibling candidates that
+// all differ from their base in one stage. CandidateBatch resolves each
+// shared stage once and broadcasts the StageCost across lanes; the scalar
+// loop resolves every stage per candidate. With the stage cache disabled
+// the comparison isolates the structural saving (stages priced: L + (S-1)
+// batched vs L*S scalar for L lanes over S stages); with the cache enabled
+// it shows the residual lookup/hash traffic the broadcast still avoids.
+
+// Arg: sibling-group size. Each sibling mutates stage 0 differently
+// (distinct recompute prefixes), so stages 1..S-1 are block-identical
+// across the group — the shape EvaluateBatch sees after dedup. Runs on the
+// 8-stage BigFixture: deeper pipelines share more stages per sibling, which
+// is exactly where the broadcast pays.
+template <bool kCacheEnabled, bool kBatched>
+void GroupEvalBench(benchmark::State& state) {
+  BigFixture f;
+  f.model.set_stage_cache_enabled(kCacheEnabled);
+  const int group = static_cast<int>(state.range(0));
+  std::vector<ParallelConfig> siblings;
+  for (int i = 0; i < group; ++i) {
+    ParallelConfig sibling = f.config;
+    StageConfig& mutated = sibling.MutableStage(0);
+    for (int j = 0; j <= i % mutated.num_ops; ++j) {
+      OpParallel& setting = mutated.ops[static_cast<size_t>(j)];
+      setting.recompute = !setting.recompute;
+    }
+    siblings.push_back(std::move(sibling));
+  }
+  if (kBatched) {
+    CandidateBatch batch(f.model);
+    for (auto _ : state) {
+      batch.Clear();
+      for (const ParallelConfig& sibling : siblings) {
+        batch.AddLane(&sibling);
+      }
+      batch.EvaluateAll();
+      benchmark::DoNotOptimize(batch.perf(0).iteration_time);
+    }
+  } else {
+    for (auto _ : state) {
+      for (const ParallelConfig& sibling : siblings) {
+        benchmark::DoNotOptimize(f.model.Evaluate(sibling));
+      }
+    }
+  }
+  state.counters["candidates_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * group,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_BatchedGroupEval(benchmark::State& state) {
+  GroupEvalBench<true, true>(state);
+}
+BENCHMARK(BM_BatchedGroupEval)->Arg(4)->Arg(8);
+
+void BM_ScalarGroupEval(benchmark::State& state) {
+  GroupEvalBench<true, false>(state);
+}
+BENCHMARK(BM_ScalarGroupEval)->Arg(4)->Arg(8);
+
+void BM_BatchedGroupEvalNoCache(benchmark::State& state) {
+  GroupEvalBench<false, true>(state);
+}
+BENCHMARK(BM_BatchedGroupEvalNoCache)->Arg(4)->Arg(8);
+
+void BM_ScalarGroupEvalNoCache(benchmark::State& state) {
+  GroupEvalBench<false, false>(state);
+}
+BENCHMARK(BM_ScalarGroupEvalNoCache)->Arg(4)->Arg(8);
+
 }  // namespace
 }  // namespace aceso
 

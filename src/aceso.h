@@ -30,9 +30,11 @@
 #include "src/config/parallel_config.h"
 #include "src/core/apply.h"
 #include "src/core/bottleneck.h"
+#include "src/core/dp_seeder.h"
 #include "src/core/finetune.h"
 #include "src/core/primitives.h"
 #include "src/core/search.h"
+#include "src/cost/batch_eval.h"
 #include "src/cost/perf_model.h"
 #include "src/cost/resource_usage.h"
 #include "src/cost/stage_cache.h"

@@ -4,75 +4,11 @@
 #include <vector>
 
 #include "src/common/stopwatch.h"
+// The per-op prefix pricing (StagePrefixMetrics / BuildStagePrefix) is
+// shared with the search's PaSE-style DP seeder.
+#include "src/core/dp_seeder.h"
 
 namespace aceso {
-namespace {
-
-// Per-op prefix metrics under a fixed (mesh, tp, recompute) stage setting.
-struct PrefixMetrics {
-  std::vector<double> time;    // per-microbatch fwd+bwd (+rc) incl tp comm
-  std::vector<int64_t> act;    // stored activation per microbatch
-  std::vector<int64_t> params; // parameter bytes per device
-  bool valid = false;
-};
-
-PrefixMetrics BuildPrefix(const PerformanceModel& model, int mesh, int tp,
-                          bool recompute, int mbs) {
-  PrefixMetrics out;
-  const int dp = mesh / tp;
-  if (dp < 1 || mbs % dp != 0) {
-    return out;
-  }
-  const OpGraph& graph = model.graph();
-  const ClusterSpec& cluster = model.cluster();
-  const int n = graph.num_ops();
-  const int local_batch = mbs / dp;
-  const CommDomain tp_domain{tp, tp > cluster.gpus_per_node};
-  out.time.resize(static_cast<size_t>(n) + 1, 0.0);
-  out.act.resize(static_cast<size_t>(n) + 1, 0);
-  out.params.resize(static_cast<size_t>(n) + 1, 0);
-  for (int i = 0; i < n; ++i) {
-    const Operator& op = graph.op(i);
-    const int eff_tp = ClampOpTp(op, tp);
-    const OpMeasurement m = model.db().OpTime(
-        op, graph.precision(), EffectiveShards(op, eff_tp), local_batch);
-    double time = m.fwd_seconds + m.bwd_seconds;
-    if (recompute) {
-      time += m.fwd_seconds;
-    }
-    const bool sharded = op.tp_class == TpClass::kPartitioned && eff_tp > 1;
-    if (sharded) {
-      const TpDim dim = op.default_tp_dim == TpDim::kNone ? TpDim::kColumn
-                                                          : op.default_tp_dim;
-      const int64_t bytes =
-          (dim == TpDim::kColumn ? op.in_bytes : op.out_bytes) *
-          static_cast<int64_t>(local_batch);
-      time += model.db().CollectiveTime(CollectiveKind::kAllReduce, bytes,
-                                        tp_domain);
-    }
-    int64_t act = 0;
-    if (!recompute) {
-      const int store_shards =
-          sharded && op.default_tp_dim == TpDim::kColumn
-              ? eff_tp
-              : (op.tp_class == TpClass::kShardFollower
-                     ? EffectiveShards(op, eff_tp)
-                     : 1);
-      act = op.out_bytes * static_cast<int64_t>(local_batch) / store_shards;
-    }
-    const int64_t params = sharded ? op.param_bytes / eff_tp : op.param_bytes;
-    out.time[static_cast<size_t>(i) + 1] =
-        out.time[static_cast<size_t>(i)] + time;
-    out.act[static_cast<size_t>(i) + 1] =
-        out.act[static_cast<size_t>(i)] + act;
-    out.params[static_cast<size_t>(i) + 1] =
-        out.params[static_cast<size_t>(i)] + params;
-  }
-  out.valid = true;
-  return out;
-}
-
-}  // namespace
 
 BaselineResult DpSolverSearch(const PerformanceModel& model,
                               const DpSolverOptions& options) {
@@ -101,12 +37,12 @@ BaselineResult DpSolverSearch(const PerformanceModel& model,
       struct Option {
         int tp;
         bool recompute;
-        PrefixMetrics prefix;
+        StagePrefixMetrics prefix;
       };
       std::vector<Option> opts;
       for (int tp = 1; tp <= mesh; tp *= 2) {
         for (const bool rc : {false, true}) {
-          Option o{tp, rc, BuildPrefix(model, mesh, tp, rc, mbs)};
+          Option o{tp, rc, BuildStagePrefix(model, mesh, tp, rc, mbs)};
           if (o.prefix.valid) {
             opts.push_back(std::move(o));
           }
@@ -144,7 +80,7 @@ BaselineResult DpSolverSearch(const PerformanceModel& model,
               continue;
             }
             for (size_t oi = 0; oi < opts.size(); ++oi) {
-              const PrefixMetrics& pm = opts[oi].prefix;
+              const StagePrefixMetrics& pm = opts[oi].prefix;
               ++result.configs_explored;
               const double time = pm.time[static_cast<size_t>(i)] -
                                   pm.time[static_cast<size_t>(j)];

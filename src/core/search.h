@@ -28,6 +28,17 @@ enum class InitialConfigKind {
   kGpuImbalanced,  // Exp#7 "imbalance-GPU"
 };
 
+// How the initial configuration is produced (DESIGN.md §13). kHeuristic is
+// the paper's even split shaped by InitialConfigKind; kDp runs the
+// PaSE-style dynamic program (src/core/dp_seeder.h) over the compressed
+// repeated-layer structure and starts the iterative search from its
+// solution. DP seeding intentionally changes the search trajectory; its
+// model evaluations are charged to SearchStats::configs_explored.
+enum class SeedMode {
+  kHeuristic,
+  kDp,
+};
+
 struct SearchOptions {
   // Wall-clock budget shared by all stage-count searches (paper: 200 s).
   double time_budget_seconds = 2.0;
@@ -90,6 +101,13 @@ struct SearchOptions {
   // overhead outweighs the win on tiny groups.
   int parallel_eval_threshold = 4;
 
+  // Batched SoA evaluation of candidate groups (src/cost/batch_eval.h):
+  // groups of >= 2 surviving candidates are scored lane-parallel so stages
+  // the siblings share are resolved once and broadcast. Bit-identical to
+  // per-candidate Evaluate() at every eval_threads setting; disable only to
+  // A/B the scalar path (bench/tests).
+  bool batch_eval = true;
+
   // The pool evaluation batches run on (not owned; must be safe for nested
   // submission, i.e. aceso::ThreadPool). Null with eval_threads > 1 makes
   // AcesoSearch / AcesoSearchForStages create one: AcesoSearch sizes a
@@ -104,6 +122,11 @@ struct SearchOptions {
   int max_bottlenecks_per_iteration = 4;
 
   InitialConfigKind initial_config = InitialConfigKind::kBalanced;
+
+  // Seed of the iterative search (see SeedMode). With kDp, the DP seeder's
+  // failure (e.g. no memory-feasible DP solution) falls back to the
+  // heuristic seed so the search never aborts.
+  SeedMode seed_mode = SeedMode::kHeuristic;
 
   // Optional structured-telemetry sink (not owned; may outlive many
   // searches and be shared between concurrent ones). Null disables all
@@ -126,6 +149,10 @@ struct ScoredConfig {
 struct ConvergencePoint {
   double elapsed_seconds = 0.0;
   double best_iteration_time = 0.0;
+  // Model evaluations charged to this search when the point was recorded
+  // (SearchStats::configs_explored at the time) — the deterministic x-axis
+  // of the Exp#7 seeding comparison, immune to wall-clock noise.
+  int64_t evaluations = 0;
   // False while the best-so-far is still infeasible (OOM):
   // best_iteration_time is then the model's estimate for an over-memory
   // configuration, not an achievable time, and must stay out of feasible

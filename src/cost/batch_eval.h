@@ -1,0 +1,149 @@
+// Batched SoA evaluation of sibling candidate groups (DESIGN.md §13).
+//
+// One MultiHop candidate group consists of configurations that all derive
+// from the same base config and (by primitive construction) differ from it
+// in one or two stages. Scoring them one Evaluate() at a time re-resolves
+// the *shared* stages once per candidate: a semantic hash, a cache lookup,
+// and a per-stage reduction each, for stages whose cost the whole group has
+// in common. CandidateBatch scores the group as N lanes over one flat
+// struct-of-arrays cost table indexed [stage][lane]:
+//
+//   1. Resolution: for every stage, lanes are grouped by the O(1) key
+//      (StageBlockIdentity, first device, microbatch size). Each distinct
+//      group is resolved exactly once — the same StageSemanticHash → cache
+//      lookup → ComputeStageCost walk Evaluate() performs — and the
+//      resulting StageCost is broadcast to every lane of the group. A
+//      mutated stage forms its own group and is walked per-lane through the
+//      run-compressed fast path (DESIGN.md §12).
+//   2. Reduction: the Eq.1 memory totals and Eq.2 warmup/steady/cooldown
+//      prefixes are computed with stage-major loops whose inner dimension is
+//      the lane — independent double accumulators side by side, the
+//      SIMD-friendly layout — replaying, for each lane, exactly the
+//      arithmetic sequence Evaluate() performs for that config alone.
+//
+// Bit-exactness: a lane's PerfResult is bit-identical to
+// model.Evaluate(*config) in every field. Resolution produces bit-equal
+// StageCosts (the cache key covers every walk input, and cached vs computed
+// costs are already bit-identical by the §8 contract); the reduction then
+// touches each lane's accumulators in Evaluate()'s exact order, and IEEE
+// arithmetic on independent lanes cannot interact. Property-tested in
+// fuzz_property_test and pinned by the golden-trajectory search tests.
+//
+// Thread-safety: a CandidateBatch is single-threaded; concurrent batches
+// over one model are safe (the stage cache and profile database are
+// internally synchronized), which is how the search splits large groups
+// across its evaluation pool.
+
+#ifndef SRC_COST_BATCH_EVAL_H_
+#define SRC_COST_BATCH_EVAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/config/parallel_config.h"
+#include "src/cost/perf_model.h"
+#include "src/cost/resource_usage.h"
+
+namespace aceso {
+
+// Diagnostics of one batch's sharing structure (flushed into the search's
+// `search.batch_*` telemetry counters).
+struct BatchEvalStats {
+  int64_t batches = 0;      // EvaluateAll() calls that scored >= 1 lane
+  int64_t lanes = 0;        // active lanes scored
+  int64_t stage_groups = 0; // distinct per-stage resolutions performed
+  // Per-stage resolutions avoided because a sibling lane shared the stage:
+  // sum over stages of (lanes in group - 1).
+  int64_t shared_lookups_saved = 0;
+
+  BatchEvalStats& operator+=(const BatchEvalStats& other) {
+    batches += other.batches;
+    lanes += other.lanes;
+    stage_groups += other.stage_groups;
+    shared_lookups_saved += other.shared_lookups_saved;
+    return *this;
+  }
+};
+
+class CandidateBatch {
+ public:
+  explicit CandidateBatch(const PerformanceModel& model) : model_(model) {}
+
+  // Drops all lanes and resets stats; reduction scratch stays allocated so
+  // a reused batch amortizes its SoA allocations across candidate groups.
+  void Clear();
+
+  // Adds one candidate lane; returns its lane index. The config is not
+  // copied and must stay alive and unmutated through EvaluateAll(). Every
+  // lane of a batch must have the same stage count (the search's candidate
+  // groups do by construction: primitives never change the stage count).
+  int AddLane(const ParallelConfig* config);
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  int num_stages() const { return num_stages_; }
+
+  // Lane masking for budget cuts: an inactive lane is not resolved, not
+  // reduced, not charged to the model's evaluation count, and its perf()
+  // must not be read. Lanes start active.
+  void SetActive(int lane, bool active) {
+    lanes_.at(static_cast<size_t>(lane)).active = active;
+  }
+  bool active(int lane) const {
+    return lanes_.at(static_cast<size_t>(lane)).active;
+  }
+
+  // Resolves every active lane's stage costs (shared stages once, broadcast)
+  // and runs the per-lane reduction. After this, perf(lane) for every active
+  // lane is bit-identical to model.Evaluate(*config(lane)).
+  void EvaluateAll();
+
+  const PerfResult& perf(int lane) const {
+    return lanes_.at(static_cast<size_t>(lane)).perf;
+  }
+  PerfResult TakePerf(int lane) {
+    return std::move(lanes_.at(static_cast<size_t>(lane)).perf);
+  }
+
+  const BatchEvalStats& stats() const { return stats_; }
+
+  // Test hook: the resolved cost entry of (stage, lane) after EvaluateAll().
+  // Pointer equality across lanes certifies the broadcast actually shared
+  // the resolution (not just produced equal values).
+  const StageCost* stage_cost_for_testing(int stage, int lane) const {
+    return costs_.at(static_cast<size_t>(stage) * lanes_.size() +
+                     static_cast<size_t>(lane));
+  }
+
+ private:
+  struct Lane {
+    const ParallelConfig* config = nullptr;
+    bool active = true;
+    PerfResult perf;
+  };
+
+  const PerformanceModel& model_;
+  std::vector<Lane> lanes_;
+  int num_stages_ = -1;
+
+  // SoA cost table, indexed [stage * num_lanes + lane]; entries of lanes
+  // sharing a stage point at one StageCost. keepalive_ owns the costs this
+  // batch resolved itself (cache hits are owned by the cache's shared_ptr,
+  // also parked here so eviction cannot free them mid-reduction).
+  std::vector<const StageCost*> costs_;
+  std::vector<std::shared_ptr<const StageCost>> keepalive_;
+
+  // Reduction scratch (per-lane accumulators), kept across batches to
+  // amortize allocation.
+  std::vector<double> warmup_prefix_;
+  std::vector<double> cooldown_prefix_;
+  std::vector<int64_t> num_microbatches_;
+  std::vector<double> max_time_;
+  std::vector<int64_t> max_mem_;
+
+  BatchEvalStats stats_;
+};
+
+}  // namespace aceso
+
+#endif  // SRC_COST_BATCH_EVAL_H_

@@ -178,6 +178,12 @@ class PerformanceModel {
   }
 
  private:
+  // The batched group evaluator (batch_eval.h) replays Evaluate()'s per-stage
+  // resolution against stage_cache_ directly and charges eval_count_ one
+  // evaluation per lane, so scalar and batched runs report identical
+  // exploration counts.
+  friend class CandidateBatch;
+
   const OpGraph* graph_;
   ClusterSpec cluster_;
   InterconnectModel interconnect_;

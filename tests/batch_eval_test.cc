@@ -1,0 +1,205 @@
+// CandidateBatch: SoA layout and broadcast sharing, bit-identity to
+// Evaluate(), singleton/masked-lane behavior, and evaluation-count parity.
+
+#include "src/cost/batch_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/aceso.h"
+
+namespace aceso {
+namespace {
+
+class BatchEvalTest : public ::testing::Test {
+ protected:
+  BatchEvalTest()
+      : graph_(*models::BuildByName("gpt3-0.35b")),
+        cluster_(ClusterSpec::WithGpuCount(4)),
+        db_(cluster_),
+        model_(&graph_, cluster_, &db_) {}
+
+  // A candidate group the search would form: CoW copies of one base, each
+  // with one stage's recompute flags toggled.
+  std::vector<ParallelConfig> MakeSiblings(const ParallelConfig& base,
+                                           int count) {
+    std::vector<ParallelConfig> siblings;
+    for (int i = 0; i < count; ++i) {
+      ParallelConfig sibling = base;
+      const int stage = i % base.num_stages();
+      StageConfig& mutated = sibling.MutableStage(stage);
+      for (int j = 0; j <= i % mutated.num_ops; ++j) {
+        OpParallel& setting = mutated.ops[static_cast<size_t>(j)];
+        setting.recompute = !setting.recompute;
+      }
+      siblings.push_back(std::move(sibling));
+    }
+    return siblings;
+  }
+
+  OpGraph graph_;
+  ClusterSpec cluster_;
+  ProfileDatabase db_;
+  PerformanceModel model_;
+};
+
+TEST_F(BatchEvalTest, SharedStagesBroadcastOneResolution) {
+  auto base = MakeEvenConfig(graph_, cluster_, 2, 4);
+  ASSERT_TRUE(base.ok());
+  // Four siblings, all mutating stage 0; stage 1 stays block-identical.
+  std::vector<ParallelConfig> siblings;
+  for (int i = 0; i < 4; ++i) {
+    ParallelConfig s = *base;
+    StageConfig& mutated = s.MutableStage(0);
+    for (int j = 0; j <= i; ++j) {
+      mutated.ops[static_cast<size_t>(j)].recompute =
+          !mutated.ops[static_cast<size_t>(j)].recompute;
+    }
+    siblings.push_back(std::move(s));
+  }
+
+  CandidateBatch batch(model_);
+  for (const ParallelConfig& s : siblings) {
+    batch.AddLane(&s);
+  }
+  batch.EvaluateAll();
+
+  // Stage 1 resolved once: all four lanes point at the same StageCost.
+  const StageCost* shared = batch.stage_cost_for_testing(1, 0);
+  for (int lane = 1; lane < 4; ++lane) {
+    EXPECT_EQ(batch.stage_cost_for_testing(1, lane), shared) << lane;
+  }
+  // Stage 0 differs per lane: four distinct resolutions.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_NE(batch.stage_cost_for_testing(0, a),
+                batch.stage_cost_for_testing(0, b));
+    }
+  }
+  const BatchEvalStats& stats = batch.stats();
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.lanes, 4);
+  // 5 resolutions (4 mutated + 1 shared) instead of 8.
+  EXPECT_EQ(stats.stage_groups, 5);
+  EXPECT_EQ(stats.shared_lookups_saved, 3);
+}
+
+TEST_F(BatchEvalTest, LanePerfsBitIdenticalToEvaluate) {
+  auto base = MakeEvenConfig(graph_, cluster_, 2, 4);
+  ASSERT_TRUE(base.ok());
+  const std::vector<ParallelConfig> siblings = MakeSiblings(*base, 5);
+
+  CandidateBatch batch(model_);
+  for (const ParallelConfig& s : siblings) {
+    batch.AddLane(&s);
+  }
+  batch.EvaluateAll();
+
+  for (int lane = 0; lane < 5; ++lane) {
+    const PerfResult scalar =
+        model_.Evaluate(siblings[static_cast<size_t>(lane)]);
+    const PerfResult& batched = batch.perf(lane);
+    ASSERT_EQ(batched.iteration_time, scalar.iteration_time) << lane;
+    ASSERT_EQ(batched.oom, scalar.oom) << lane;
+    ASSERT_EQ(batched.slowest_stage, scalar.slowest_stage) << lane;
+    ASSERT_EQ(batched.max_memory_stage, scalar.max_memory_stage) << lane;
+    ASSERT_EQ(batched.stages.size(), scalar.stages.size());
+    for (size_t s = 0; s < scalar.stages.size(); ++s) {
+      ASSERT_EQ(batched.stages[s].stage_time, scalar.stages[s].stage_time);
+      ASSERT_EQ(batched.stages[s].memory_bytes, scalar.stages[s].memory_bytes);
+      ASSERT_EQ(batched.stages[s].warmup_time, scalar.stages[s].warmup_time);
+      ASSERT_EQ(batched.stages[s].steady_time, scalar.stages[s].steady_time);
+      ASSERT_EQ(batched.stages[s].cooldown_time,
+                scalar.stages[s].cooldown_time);
+    }
+  }
+}
+
+TEST_F(BatchEvalTest, BitIdenticalWithStageCacheDisabled) {
+  model_.set_stage_cache_enabled(false);
+  auto base = MakeEvenConfig(graph_, cluster_, 2, 4);
+  ASSERT_TRUE(base.ok());
+  const std::vector<ParallelConfig> siblings = MakeSiblings(*base, 4);
+  CandidateBatch batch(model_);
+  for (const ParallelConfig& s : siblings) {
+    batch.AddLane(&s);
+  }
+  batch.EvaluateAll();
+  for (int lane = 0; lane < 4; ++lane) {
+    const PerfResult scalar =
+        model_.Evaluate(siblings[static_cast<size_t>(lane)]);
+    EXPECT_EQ(batch.perf(lane).iteration_time, scalar.iteration_time) << lane;
+    EXPECT_EQ(batch.perf(lane).oom, scalar.oom) << lane;
+  }
+}
+
+TEST_F(BatchEvalTest, SingletonLaneMatchesEvaluate) {
+  auto base = MakeEvenConfig(graph_, cluster_, 2, 4);
+  ASSERT_TRUE(base.ok());
+  CandidateBatch batch(model_);
+  batch.AddLane(&*base);
+  batch.EvaluateAll();
+  const PerfResult scalar = model_.Evaluate(*base);
+  EXPECT_EQ(batch.perf(0).iteration_time, scalar.iteration_time);
+  EXPECT_EQ(batch.stats().lanes, 1);
+  EXPECT_EQ(batch.stats().shared_lookups_saved, 0);
+}
+
+TEST_F(BatchEvalTest, MaskedLanesAreNotEvaluatedOrCharged) {
+  auto base = MakeEvenConfig(graph_, cluster_, 2, 4);
+  ASSERT_TRUE(base.ok());
+  const std::vector<ParallelConfig> siblings = MakeSiblings(*base, 4);
+  CandidateBatch batch(model_);
+  for (const ParallelConfig& s : siblings) {
+    batch.AddLane(&s);
+  }
+  batch.SetActive(1, false);
+  batch.SetActive(3, false);
+
+  const int64_t before = model_.NumEvaluations();
+  batch.EvaluateAll();
+  // Exactly one evaluation charged per *active* lane.
+  EXPECT_EQ(model_.NumEvaluations() - before, 2);
+  EXPECT_EQ(batch.stats().lanes, 2);
+
+  for (const int lane : {0, 2}) {
+    const PerfResult scalar =
+        model_.Evaluate(siblings[static_cast<size_t>(lane)]);
+    EXPECT_EQ(batch.perf(lane).iteration_time, scalar.iteration_time) << lane;
+  }
+}
+
+TEST_F(BatchEvalTest, EvaluationCountMatchesScalarPath) {
+  auto base = MakeEvenConfig(graph_, cluster_, 2, 4);
+  ASSERT_TRUE(base.ok());
+  const std::vector<ParallelConfig> siblings = MakeSiblings(*base, 6);
+
+  const int64_t before = model_.NumEvaluations();
+  CandidateBatch batch(model_);
+  for (const ParallelConfig& s : siblings) {
+    batch.AddLane(&s);
+  }
+  batch.EvaluateAll();
+  EXPECT_EQ(model_.NumEvaluations() - before, 6);
+}
+
+TEST_F(BatchEvalTest, ClearResetsLanesAndStats) {
+  auto base = MakeEvenConfig(graph_, cluster_, 2, 4);
+  ASSERT_TRUE(base.ok());
+  CandidateBatch batch(model_);
+  batch.AddLane(&*base);
+  batch.EvaluateAll();
+  EXPECT_EQ(batch.num_lanes(), 1);
+  batch.Clear();
+  EXPECT_EQ(batch.num_lanes(), 0);
+  EXPECT_EQ(batch.stats().batches, 0);
+  EXPECT_EQ(batch.stats().lanes, 0);
+  // Reusable after Clear, including with a different stage count.
+  auto other = MakeEvenConfig(graph_, cluster_, 4, 4);
+  ASSERT_TRUE(other.ok());
+  batch.AddLane(&*other);
+  batch.EvaluateAll();
+  EXPECT_EQ(batch.perf(0).stages.size(), 4u);
+}
+
+}  // namespace
+}  // namespace aceso

@@ -27,6 +27,7 @@ struct Args {
   int max_hops = 7;
   int stages = 0;  // 0 = search all stage counts
   int eval_threads = 1;
+  aceso::SeedMode seed_mode = aceso::SeedMode::kHeuristic;
   uint64_t seed = 20240422;
   std::string out;
   std::string telemetry_path;
@@ -39,7 +40,8 @@ void PrintUsage(const char* argv0) {
       "usage: %s [--model NAME] [--gpus N] [--budget SECONDS] "
       "[--max-hops N] [--stages N] [--eval-threads N] [--seed N] "
       "[--out FILE]\n"
-      "          [--telemetry FILE.jsonl] [--search-trace FILE.json]\n"
+      "          [--seed-mode heuristic|dp] [--telemetry FILE.jsonl] "
+      "[--search-trace FILE.json]\n"
       "models: gpt3-{0.35,1.3,2.6,6.7,13}b  t5-{0.77,3,6,11,22}b\n"
       "        wresnet-{0.5,2,4,6.8,13}b  deepnet-<layers>\n",
       argv0);
@@ -73,6 +75,14 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--seed") {
       if (!ParseUint64("--seed", next(), &args.seed)) return false;
+    } else if (flag == "--seed-mode") {
+      int choice = 0;
+      if (!aceso::cli::ParseChoice("--seed-mode", next(), {"heuristic", "dp"},
+                                   &choice)) {
+        return false;
+      }
+      args.seed_mode =
+          choice == 0 ? aceso::SeedMode::kHeuristic : aceso::SeedMode::kDp;
     } else if (flag == "--out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -128,6 +138,7 @@ int main(int argc, char** argv) {
   options.time_budget_seconds = args.budget;
   options.max_hops = args.max_hops;
   options.eval_threads = args.eval_threads;
+  options.seed_mode = args.seed_mode;
   options.seed = args.seed;
   options.telemetry = telemetry.get();
   const SearchResult result =

@@ -6,10 +6,13 @@ Usage:
                               [--filter SUBSTRING]
 
 Fails (exit 1) when any benchmark present in both reports is more than
---threshold times slower (by real_time per iteration) than the baseline.
-Benchmarks only present on one side are reported but never fatal, so adding
-or retiring benchmarks does not require touching the baseline in the same
-change.
+--threshold times slower (by real_time per iteration) than the baseline,
+or when a baseline benchmark is missing from the current report entirely —
+a silently skipped metric is how a regression check rots, so every missing
+name is printed and fatal (pass --allow-missing while retiring a benchmark,
+then refresh the baseline). Benchmarks only present in the current report
+are reported but never fatal, so adding benchmarks does not require
+touching the baseline in the same change.
 
 The baseline is runner-class dependent: it records absolute times from the
 CI runner family, so the threshold is deliberately loose (default 2x) to
@@ -44,18 +47,25 @@ def main():
         default="",
         help="only compare benchmarks whose name contains this substring",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate baseline benchmarks absent from the current report "
+        "(transition aid while retiring a benchmark)",
+    )
     args = parser.parse_args()
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)
 
     failures = []
+    missing = []
     compared = 0
     for name, base_time in sorted(baseline.items()):
         if args.filter and args.filter not in name:
             continue
         if name not in current:
-            print(f"note: {name} missing from current report (skipped)")
+            missing.append(name)
             continue
         compared += 1
         ratio = current[name] / base_time if base_time > 0 else float("inf")
@@ -71,17 +81,29 @@ def main():
         if name not in baseline and (not args.filter or args.filter in name):
             print(f"note: {name} not in baseline (skipped)")
 
+    for name in missing:
+        label = "note" if args.allow_missing else "FAIL"
+        print(f"{label}: {name} in baseline but missing from current report")
+
     if compared == 0:
         print("error: no benchmarks compared — wrong filter or empty reports")
         return 1
+    exit_code = 0
     if failures:
         print(
             f"{len(failures)} benchmark(s) regressed more than "
             f"{args.threshold}x vs baseline"
         )
-        return 1
-    print(f"{compared} benchmark(s) within {args.threshold}x of baseline")
-    return 0
+        exit_code = 1
+    if missing and not args.allow_missing:
+        print(
+            f"{len(missing)} baseline benchmark(s) missing from the current "
+            f"report: {', '.join(missing)}"
+        )
+        exit_code = 1
+    if exit_code == 0:
+        print(f"{compared} benchmark(s) within {args.threshold}x of baseline")
+    return exit_code
 
 
 if __name__ == "__main__":

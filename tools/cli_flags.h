@@ -13,7 +13,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <initializer_list>
 #include <limits>
+#include <string>
 
 namespace aceso {
 namespace cli {
@@ -85,6 +88,31 @@ inline bool ParsePositiveDouble(const char* flag, const char* value,
   if (!(parsed > 0.0)) return FlagError(flag, value, "a positive number");
   *out = parsed;
   return true;
+}
+
+// Matches the value against a closed set of tokens (case-sensitive, whole
+// token) and stores the index of the match. Anything else — including an
+// abbreviation or a case mismatch — fails with the accepted spellings
+// spelled out, e.g.  --seed-mode: expected heuristic|dp, got "DP".
+inline bool ParseChoice(const char* flag, const char* value,
+                        std::initializer_list<const char*> choices,
+                        int* out_index) {
+  if (value != nullptr && *value != '\0') {
+    int index = 0;
+    for (const char* choice : choices) {
+      if (std::strcmp(value, choice) == 0) {
+        *out_index = index;
+        return true;
+      }
+      ++index;
+    }
+  }
+  std::string want;
+  for (const char* choice : choices) {
+    if (!want.empty()) want += '|';
+    want += choice;
+  }
+  return FlagError(flag, value, want.c_str());
 }
 
 }  // namespace cli
