@@ -54,5 +54,10 @@
 #include "src/runtime/event_sim.h"
 #include "src/runtime/pipeline_executor.h"
 #include "src/runtime/trace.h"
+#include "src/serve/daemon.h"
+#include "src/serve/http.h"
+#include "src/serve/plan_cache.h"
+#include "src/serve/plan_protocol.h"
+#include "src/serve/service.h"
 
 #endif  // SRC_ACESO_H_

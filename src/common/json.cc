@@ -1,8 +1,11 @@
 #include "src/common/json.h"
 
+#include <cassert>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace aceso {
 
@@ -60,16 +63,128 @@ void AppendJsonNumber(std::string& out, double value) {
   out += buf;
 }
 
+bool JsonValue::bool_value() const {
+  assert(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  assert(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  assert(kind_ == Kind::kString);
+  return string_;
+}
+
+int64_t JsonValue::int_value() const {
+  assert(kind_ == Kind::kNumber && int_exact_);
+  return int_;
+}
+
+const JsonValue& JsonValue::item(size_t i) const {
+  assert(kind_ == Kind::kArray);
+  return items_.at(i);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  assert(kind_ == Kind::kObject);
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      found = &value;  // last occurrence wins
+    }
+  }
+  return found;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  assert(kind_ == Kind::kObject);
+  return members_;
+}
+
+std::string JsonValue::ToJson() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (int_exact_) {
+        out = std::to_string(int_);
+      } else {
+        AppendJsonNumber(out, number_);
+      }
+      break;
+    case Kind::kString:
+      out += '"';
+      AppendJsonEscaped(out, string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += items_[i].ToJson();
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        AppendJsonEscaped(out, members_[i].first);
+        out += "\":";
+        out += members_[i].second.ToJson();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
 namespace {
 
-// Single-pass recursive-descent validator over the RFC 8259 grammar.
-class Validator {
- public:
-  explicit Validator(std::string_view text) : text_(text) {}
+// Appends one Unicode code point as UTF-8.
+void AppendUtf8(std::string& out, uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
 
-  Status Run() {
+}  // namespace
+
+// Single-pass recursive-descent parser over the RFC 8259 grammar. With
+// `build` off it is the validator (no allocation besides the error); with
+// `build` on it additionally constructs the JsonValue tree. One grammar, two
+// uses — JsonValidate and JsonParse cannot disagree about what parses.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, bool build) : text_(text), build_(build) {}
+
+  Status Run(JsonValue* out) {
     SkipWs();
-    Status s = Value(/*depth=*/0);
+    Status s = Value(out, /*depth=*/0);
     if (!s.ok()) {
       return s;
     }
@@ -106,7 +221,7 @@ class Validator {
     return false;
   }
 
-  Status Value(int depth) {
+  Status Value(JsonValue* out, int depth) {
     if (depth > kMaxDepth) {
       return Error("nesting too deep");
     }
@@ -115,19 +230,43 @@ class Validator {
     }
     switch (Peek()) {
       case '{':
-        return Object(depth);
+        return Object(out, depth);
       case '[':
-        return Array(depth);
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
+        return Array(out, depth);
+      case '"': {
+        std::string value;
+        Status s = String(build_ ? &value : nullptr);
+        if (s.ok() && build_) {
+          out->kind_ = JsonValue::Kind::kString;
+          out->string_ = std::move(value);
+        }
+        return s;
+      }
+      case 't': {
+        Status s = Literal("true");
+        if (s.ok() && build_) {
+          out->kind_ = JsonValue::Kind::kBool;
+          out->bool_ = true;
+        }
+        return s;
+      }
+      case 'f': {
+        Status s = Literal("false");
+        if (s.ok() && build_) {
+          out->kind_ = JsonValue::Kind::kBool;
+          out->bool_ = false;
+        }
+        return s;
+      }
+      case 'n': {
+        Status s = Literal("null");
+        if (s.ok() && build_) {
+          out->kind_ = JsonValue::Kind::kNull;
+        }
+        return s;
+      }
       default:
-        return Number();
+        return Number(out);
     }
   }
 
@@ -139,8 +278,11 @@ class Validator {
     return OkStatus();
   }
 
-  Status Object(int depth) {
+  Status Object(JsonValue* out, int depth) {
     ++pos_;  // '{'
+    if (build_) {
+      out->kind_ = JsonValue::Kind::kObject;
+    }
     SkipWs();
     if (Consume('}')) {
       return OkStatus();
@@ -150,7 +292,8 @@ class Validator {
       if (Eof() || Peek() != '"') {
         return Error("expected object key string");
       }
-      Status s = String();
+      std::string key;
+      Status s = String(build_ ? &key : nullptr);
       if (!s.ok()) {
         return s;
       }
@@ -159,9 +302,13 @@ class Validator {
         return Error("expected ':' after object key");
       }
       SkipWs();
-      s = Value(depth + 1);
+      JsonValue member;
+      s = Value(build_ ? &member : nullptr, depth + 1);
       if (!s.ok()) {
         return s;
+      }
+      if (build_) {
+        out->members_.emplace_back(std::move(key), std::move(member));
       }
       SkipWs();
       if (Consume('}')) {
@@ -173,17 +320,24 @@ class Validator {
     }
   }
 
-  Status Array(int depth) {
+  Status Array(JsonValue* out, int depth) {
     ++pos_;  // '['
+    if (build_) {
+      out->kind_ = JsonValue::Kind::kArray;
+    }
     SkipWs();
     if (Consume(']')) {
       return OkStatus();
     }
     while (true) {
       SkipWs();
-      Status s = Value(depth + 1);
+      JsonValue item;
+      Status s = Value(build_ ? &item : nullptr, depth + 1);
       if (!s.ok()) {
         return s;
+      }
+      if (build_) {
+        out->items_.push_back(std::move(item));
       }
       SkipWs();
       if (Consume(']')) {
@@ -195,7 +349,9 @@ class Validator {
     }
   }
 
-  Status String() {
+  // Parses one string token; when `out` is non-null, decodes escapes
+  // (including \uXXXX surrogate pairs) into it as UTF-8.
+  Status String(std::string* out) {
     ++pos_;  // opening '"'
     while (true) {
       if (Eof()) {
@@ -215,27 +371,81 @@ class Validator {
           return Error("unterminated escape");
         }
         const char e = text_[pos_];
-        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
-            e == 'n' || e == 'r' || e == 't') {
+        if (e == '"' || e == '\\' || e == '/') {
+          if (out != nullptr) *out += e;
+          ++pos_;
+        } else if (e == 'b' || e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          if (out != nullptr) {
+            switch (e) {
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+            }
+          }
           ++pos_;
         } else if (e == 'u') {
           ++pos_;
-          for (int i = 0; i < 4; ++i) {
-            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
-              return Error("\\u escape needs 4 hex digits");
+          uint32_t cp = 0;
+          Status s = HexQuad(&cp);
+          if (!s.ok()) {
+            return s;
+          }
+          // Decode surrogate pairs when a low surrogate follows; unpaired
+          // surrogates pass through as-is (the validator accepted them
+          // before the parser existed, so parsing stays exactly as lenient).
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            const size_t saved = pos_;
+            pos_ += 2;
+            uint32_t low = 0;
+            s = HexQuad(&low);
+            if (!s.ok()) {
+              return s;
             }
-            ++pos_;
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              pos_ = saved;  // not a pair; re-scan `low` as its own escape
+            }
+          }
+          if (out != nullptr) {
+            AppendUtf8(*out, cp);
           }
         } else {
           return Error("invalid escape character");
         }
       } else {
+        if (out != nullptr) *out += static_cast<char>(c);
         ++pos_;
       }
     }
   }
 
-  Status Number() {
+  Status HexQuad(uint32_t* out) {
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("\\u escape needs 4 hex digits");
+      }
+      const char h = Peek();
+      uint32_t digit = 0;
+      if (h >= '0' && h <= '9') {
+        digit = static_cast<uint32_t>(h - '0');
+      } else {
+        digit = static_cast<uint32_t>((h | 0x20) - 'a' + 10);
+      }
+      value = (value << 4) | digit;
+      ++pos_;
+    }
+    *out = value;
+    return OkStatus();
+  }
+
+  Status Number(JsonValue* out) {
+    const size_t start = pos_;
+    bool integral = true;
     Consume('-');
     if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
       return Error("expected digit");
@@ -251,6 +461,7 @@ class Validator {
       }
     }
     if (Consume('.')) {
+      integral = false;
       if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
         return Error("expected digit after decimal point");
       }
@@ -259,6 +470,7 @@ class Validator {
       }
     }
     if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
       ++pos_;
       if (!Eof() && (Peek() == '+' || Peek() == '-')) {
         ++pos_;
@@ -270,15 +482,39 @@ class Validator {
         ++pos_;
       }
     }
+    if (out != nullptr && build_) {
+      const std::string token(text_.substr(start, pos_ - start));
+      out->kind_ = JsonValue::Kind::kNumber;
+      out->number_ = std::strtod(token.c_str(), nullptr);
+      if (integral) {
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end != nullptr && *end == '\0') {
+          out->int_exact_ = true;
+          out->int_ = static_cast<int64_t>(v);
+        }
+      }
+    }
     return OkStatus();
   }
 
   std::string_view text_;
+  bool build_ = false;
   size_t pos_ = 0;
 };
 
-}  // namespace
+Status JsonValidate(std::string_view text) {
+  return JsonParser(text, /*build=*/false).Run(nullptr);
+}
 
-Status JsonValidate(std::string_view text) { return Validator(text).Run(); }
+StatusOr<JsonValue> JsonParse(std::string_view text) {
+  JsonValue value;
+  Status s = JsonParser(text, /*build=*/true).Run(&value);
+  if (!s.ok()) {
+    return s;
+  }
+  return value;
+}
 
 }  // namespace aceso

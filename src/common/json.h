@@ -1,18 +1,24 @@
 // Minimal JSON utilities shared by every hand-emitted JSON writer in the
 // repository (Chrome traces, telemetry JSONL, BENCH_search.json): string
-// escaping, number formatting, and a strict validating parser used by tests
-// and tools to keep those writers honest.
+// escaping, number formatting, a strict validating parser used by tests and
+// tools to keep those writers honest, and — since the planning daemon
+// (src/serve) started accepting requests over the wire — a small document
+// model (JsonValue) with a parser over the same RFC 8259 grammar.
 //
 // This is deliberately not a JSON library — the repo carries no JSON
 // dependency and its writers emit documents directly. What must be shared is
 // the part that is easy to get wrong everywhere: escaping arbitrary strings
-// (task names, model names, file paths) so the output stays parseable.
+// (task names, model names, file paths) so the output stays parseable, and
+// now parsing untrusted request bodies without ad-hoc string slicing.
 
 #ifndef SRC_COMMON_JSON_H_
 #define SRC_COMMON_JSON_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.h"
 
@@ -37,6 +43,68 @@ void AppendJsonNumber(std::string& out, double value);
 // cheap enough (single pass, no allocation besides the error) for tools to
 // self-check their output.
 Status JsonValidate(std::string_view text);
+
+// A parsed JSON document: one immutable value tree. Numbers are held as
+// doubles (plus an exact-int64 flag for integral literals within range);
+// object keys keep insertion order and may repeat (last one wins in Find).
+// The tree is built by JsonParse below and consumed read-only, so the
+// interface is all const accessors — there are no mutators.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed reads; must match kind() (asserted in debug builds like StatusOr).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+
+  // True when the number was an integral literal representable as int64 —
+  // the distinction request parsing needs between 3 and 3.5.
+  bool number_is_int() const { return int_exact_; }
+  int64_t int_value() const;
+
+  // Array access.
+  size_t size() const { return items_.size(); }
+  const JsonValue& item(size_t i) const;
+
+  // Object access: the member value for `key`, or nullptr when absent. With
+  // duplicate keys the last occurrence wins (matching common parsers).
+  const JsonValue* Find(std::string_view key) const;
+  // Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // Re-serializes the tree (object keys in stored order, strings escaped,
+  // numbers through AppendJsonNumber / exact int64 formatting). Parses back
+  // equal; used by tests and by the daemon to echo requests.
+  std::string ToJson() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool int_exact_ = false;
+  int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_; // kObject
+};
+
+// Strict parse of one complete JSON document into a JsonValue. Exactly the
+// documents JsonValidate accepts parse successfully; errors carry the byte
+// offset. \uXXXX escapes are decoded to UTF-8 (surrogate pairs included).
+StatusOr<JsonValue> JsonParse(std::string_view text);
 
 }  // namespace aceso
 

@@ -814,6 +814,26 @@ void RecordModelCounters(const PerformanceModel& model,
 
 }  // namespace
 
+uint64_t SearchOptionsSemanticHash(const SearchOptions& options) {
+  Hasher h;
+  h.Add(options.time_budget_seconds);
+  h.Add(options.max_evaluations);
+  h.Add(options.max_hops);
+  h.Add(options.use_heuristic2);
+  h.Add(options.enable_finetune);
+  h.Add(options.enable_dedup);
+  h.Add(options.enable_recompute_attachment);
+  h.Add(options.enable_zero_primitives);
+  h.Add(options.top_k);
+  h.Add(options.seed);
+  h.Add(options.min_stages);
+  h.Add(options.max_stages);
+  h.Add(options.max_bottlenecks_per_iteration);
+  h.Add(static_cast<int>(options.initial_config));
+  h.Add(static_cast<int>(options.seed_mode));
+  return h.Digest();
+}
+
 SearchResult AcesoSearchForStages(const PerformanceModel& model,
                                   const SearchOptions& options,
                                   int num_stages) {

@@ -196,6 +196,19 @@ struct SearchResult {
   double search_seconds = 0.0;
 };
 
+// Semantic hash of the *answer-determining* SearchOptions fields: budgets
+// (wall-clock and evaluation), hop limit, heuristic/fine-tune/dedup/ZeRO
+// toggles, top_k, seed, stage range, bottleneck limit, initial-config kind,
+// and seed mode. Execution-shape fields are deliberately excluded —
+// eval_threads / parallel_eval_threshold / batch_eval / eval_pool are
+// bit-identity-guaranteed no-ops on the trajectory (DESIGN.md §11/§13),
+// num_threads only changes which thread runs which stage count, and
+// telemetry is pure observation. This is the SearchOptions component of the
+// serving plan-cache key (DESIGN.md §14): two requests that can only
+// produce the same plan must hash equal, and any field that can change the
+// plan must be included here when added.
+uint64_t SearchOptionsSemanticHash(const SearchOptions& options);
+
 // Runs the full search: initial configurations for every stage count in
 // range, searched in parallel under one shared budget.
 SearchResult AcesoSearch(const PerformanceModel& model,

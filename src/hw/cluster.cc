@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace aceso {
@@ -37,6 +38,18 @@ ClusterSpec ClusterSpec::WithGpuCount(int gpus) {
     cluster.gpus_per_node = 8;
   }
   return cluster;
+}
+
+uint64_t ClusterSpec::Fingerprint() const {
+  Hasher h;
+  h.Add(gpu.Fingerprint());
+  h.Add(num_nodes);
+  h.Add(gpus_per_node);
+  h.Add(nvlink_bandwidth);
+  h.Add(nvlink_latency);
+  h.Add(ib_bandwidth);
+  h.Add(ib_latency);
+  return h.Digest();
 }
 
 std::string ClusterSpec::ToString() const {

@@ -46,6 +46,13 @@ struct ClusterSpec {
   // A cluster with `gpus` total devices (filled node by node, 8 per node).
   static ClusterSpec WithGpuCount(int gpus);
 
+  // Semantic fingerprint over topology, link parameters, and the GPU spec.
+  // Two clusters with equal fingerprints produce identical simulated
+  // measurements and identical plan search spaces, so this is the key under
+  // which profile-database snapshots are saved/validated (src/profile) and
+  // one component of the serving plan-cache key (src/serve).
+  uint64_t Fingerprint() const;
+
   std::string ToString() const;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/hash.h"
+
 namespace aceso {
 
 int64_t BytesPerElement(Precision precision) {
@@ -32,6 +34,18 @@ double GpuSpec::PeakFlops(Precision precision) const {
       return peak_fp32_flops;
   }
   return peak_fp32_flops;
+}
+
+uint64_t GpuSpec::Fingerprint() const {
+  Hasher h;
+  h.Add(peak_fp16_flops);
+  h.Add(peak_fp32_flops);
+  h.Add(memory_bytes);
+  h.Add(hbm_bandwidth);
+  h.Add(kernel_launch_seconds);
+  h.Add(max_efficiency);
+  h.Add(half_saturation_flops);
+  return h.Digest();
 }
 
 double GpuSpec::Efficiency(double flops) const {

@@ -59,6 +59,12 @@ struct GpuSpec {
   // Returns the peak FLOP/s for the given precision.
   double PeakFlops(Precision precision) const;
 
+  // Semantic fingerprint over every modelled property (name excluded: two
+  // specs that time identically are the same device to the cost model).
+  // Feeds ClusterSpec::Fingerprint, which keys profile-snapshot files and
+  // the serving plan cache — any field change must change the fingerprint.
+  uint64_t Fingerprint() const;
+
   // Time (seconds) to execute `flops` of math-bound work at `precision`
   // moving `bytes_touched` through HBM: max of the math-bound and
   // memory-bound roofline estimates plus launch overhead.

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/common/hash.h"
 #include "src/common/units.h"
 
 namespace aceso {
@@ -32,6 +33,20 @@ int64_t OpGraph::TotalActivationBytes() const {
     total += op.out_bytes;
   }
   return total;
+}
+
+uint64_t OpGraph::SemanticFingerprint() const {
+  Hasher h;
+  h.Add(static_cast<int>(precision_));
+  h.Add(global_batch_size_);
+  h.Add(num_ops());
+  for (const Operator& op : ops_) {
+    Hasher per_op;
+    per_op.Add(op.Signature());
+    per_op.Add(static_cast<int>(op.default_tp_dim));
+    h.Add(Mix64(per_op.Digest()));
+  }
+  return h.Digest();
 }
 
 std::string OpGraph::Summary() const {

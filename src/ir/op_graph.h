@@ -53,6 +53,15 @@ class OpGraph {
   // One-line description for logs and bench tables.
   std::string Summary() const;
 
+  // Semantic fingerprint of the model: precision, global batch size, and the
+  // per-op cost quantities + tp options (Operator::Signature plus the
+  // default partition dimension), in chain order. The *name* is excluded —
+  // two differently named but structurally identical models search
+  // identically, which is exactly what the serving plan cache (src/serve)
+  // wants to key on. Each per-op term is Mix64-finalized before combining
+  // (see src/common/hash.h on HashCombine's weak mixing).
+  uint64_t SemanticFingerprint() const;
+
  private:
   std::string name_;
   Precision precision_ = Precision::kFp16;

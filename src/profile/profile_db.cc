@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
-#include "src/common/text_record.h"
 
 namespace aceso {
 namespace {
@@ -517,80 +521,353 @@ ProfileDbStats ProfileDatabase::stats() const {
   return s;
 }
 
+// ---- Versioned binary snapshot files (DESIGN.md §14) ----
+//
+// Layout (all integers host-endian, doubles as raw IEEE-754 bit patterns so
+// values round-trip bit-exactly):
+//
+//   magic   "ACESOPDB"                                  8 bytes
+//   u32     format version (kSnapshotFormatVersion)
+//   u32     reserved (0)
+//   ClusterSpec: gpu name (u32 length + bytes), gpu doubles (peak_fp16,
+//     peak_fp32, hbm_bandwidth, kernel_launch, max_efficiency,
+//     half_saturation), i64 memory_bytes, i32 num_nodes, i32 gpus_per_node,
+//     doubles nvlink_bw, nvlink_lat, ib_bw, ib_lat
+//   u64     ClusterSpec fingerprint (redundant with the spec; lets readers
+//           validate without re-deriving)
+//   u64     op entry count, u64 comm entry count
+//   op entries   (u64 key, f64 fwd, f64 bwd) sorted by key
+//   comm entries (u64 key, f64 time) sorted by key
+//   u64     FNV-1a checksum of every preceding byte
+//
+// Entries are sorted, so two databases with equal contents produce
+// byte-identical files regardless of insertion order or shard layout.
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'A', 'C', 'E', 'S', 'O', 'P', 'D', 'B'};
+constexpr uint32_t kSnapshotFormatVersion = 2;
+
+class ByteWriter {
+ public:
+  void Raw(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked cursor over a loaded file; every read reports whether the
+// bytes were there, so truncated or lying-count files fail cleanly.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool Raw(void* out, size_t size) {
+    if (data_.size() - pos_ < size) {
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I32(int32_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) {
+      return false;
+    }
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t size = 0;
+    if (!U32(&size) || data_.size() - pos_ < size) {
+      return false;
+    }
+    s->assign(data_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void WriteClusterSpec(ByteWriter& w, const ClusterSpec& c) {
+  w.Str(c.gpu.name);
+  w.F64(c.gpu.peak_fp16_flops);
+  w.F64(c.gpu.peak_fp32_flops);
+  w.F64(c.gpu.hbm_bandwidth);
+  w.F64(c.gpu.kernel_launch_seconds);
+  w.F64(c.gpu.max_efficiency);
+  w.F64(c.gpu.half_saturation_flops);
+  w.I64(c.gpu.memory_bytes);
+  w.I32(c.num_nodes);
+  w.I32(c.gpus_per_node);
+  w.F64(c.nvlink_bandwidth);
+  w.F64(c.nvlink_latency);
+  w.F64(c.ib_bandwidth);
+  w.F64(c.ib_latency);
+}
+
+bool ReadClusterSpec(ByteReader& r, ClusterSpec* c) {
+  return r.Str(&c->gpu.name) && r.F64(&c->gpu.peak_fp16_flops) &&
+         r.F64(&c->gpu.peak_fp32_flops) && r.F64(&c->gpu.hbm_bandwidth) &&
+         r.F64(&c->gpu.kernel_launch_seconds) &&
+         r.F64(&c->gpu.max_efficiency) &&
+         r.F64(&c->gpu.half_saturation_flops) && r.I64(&c->gpu.memory_bytes) &&
+         r.I32(&c->num_nodes) && r.I32(&c->gpus_per_node) &&
+         r.F64(&c->nvlink_bandwidth) && r.F64(&c->nvlink_latency) &&
+         r.F64(&c->ib_bandwidth) && r.F64(&c->ib_latency);
+}
+
+// A fully parsed and validated snapshot file.
+struct ParsedSnapshot {
+  ProfileSnapshotInfo info;
+  std::vector<std::pair<uint64_t, OpMeasurement>> ops;
+  std::vector<std::pair<uint64_t, double>> comms;
+};
+
+Status CorruptSnapshot(const std::string& path, const std::string& what) {
+  return InvalidArgument("corrupt profile snapshot " + path + ": " + what);
+}
+
+// Reads and validates a snapshot file end to end. Validation order: magic,
+// then version (before the checksum, so an old/new-format file reports a
+// version mismatch rather than "corrupt"), then the whole-file checksum,
+// then structure. Only a file that passes all four yields entries.
+StatusOr<ParsedSnapshot> ParseSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("cannot open profile snapshot: " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Internal("read error on profile snapshot: " + path);
+  }
+
+  constexpr size_t kMinSize = sizeof(kSnapshotMagic) + 2 * sizeof(uint32_t) +
+                              sizeof(uint64_t);  // header + checksum
+  if (data.size() < sizeof(kSnapshotMagic) ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return InvalidArgument("not an Aceso profile snapshot (bad magic): " +
+                           path);
+  }
+  if (data.size() < kMinSize) {
+    return CorruptSnapshot(path, "truncated header");
+  }
+
+  ByteReader reader(std::string_view(data).substr(0, data.size() - 8));
+  char magic[8];
+  uint32_t version = 0;
+  uint32_t reserved = 0;
+  reader.Raw(magic, sizeof(magic));
+  if (!reader.U32(&version) || !reader.U32(&reserved)) {
+    return CorruptSnapshot(path, "truncated header");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return FailedPrecondition(
+        "profile snapshot " + path + " has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kSnapshotFormatVersion));
+  }
+
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, data.data() + data.size() - 8, 8);
+  const uint64_t computed =
+      FnvHashBytes(data.data(), data.size() - 8);
+  if (stored_checksum != computed) {
+    return CorruptSnapshot(path, "checksum mismatch (truncated or damaged)");
+  }
+
+  ParsedSnapshot parsed;
+  if (!ReadClusterSpec(reader, &parsed.info.cluster) ||
+      !reader.U64(&parsed.info.cluster_fingerprint) ||
+      !reader.U64(&parsed.info.op_entries) ||
+      !reader.U64(&parsed.info.comm_entries)) {
+    return CorruptSnapshot(path, "truncated cluster header");
+  }
+  // Guard the counts against overflow before trusting them: each op entry is
+  // 24 bytes, each comm entry 16.
+  const uint64_t need = parsed.info.op_entries * 24 +
+                        parsed.info.comm_entries * 16;
+  if (parsed.info.op_entries > (uint64_t{1} << 32) ||
+      parsed.info.comm_entries > (uint64_t{1} << 32) ||
+      reader.remaining() != need) {
+    return CorruptSnapshot(path, "entry counts disagree with file size");
+  }
+  parsed.ops.reserve(static_cast<size_t>(parsed.info.op_entries));
+  for (uint64_t i = 0; i < parsed.info.op_entries; ++i) {
+    uint64_t key = 0;
+    OpMeasurement m;
+    if (!reader.U64(&key) || !reader.F64(&m.fwd_seconds) ||
+        !reader.F64(&m.bwd_seconds)) {
+      return CorruptSnapshot(path, "truncated op entries");
+    }
+    parsed.ops.emplace_back(key, m);
+  }
+  parsed.comms.reserve(static_cast<size_t>(parsed.info.comm_entries));
+  for (uint64_t i = 0; i < parsed.info.comm_entries; ++i) {
+    uint64_t key = 0;
+    double t = 0.0;
+    if (!reader.U64(&key) || !reader.F64(&t)) {
+      return CorruptSnapshot(path, "truncated comm entries");
+    }
+    parsed.comms.emplace_back(key, t);
+  }
+  return parsed;
+}
+
+}  // namespace
+
 Status ProfileDatabase::Save(const std::string& path) const {
-  std::vector<TextRecord> records;
+  std::vector<std::pair<uint64_t, OpMeasurement>> ops;
+  std::vector<std::pair<uint64_t, double>> comms;
   for (const Shard& shard : shards_) {
     auto lock = LockShard(shard);
-    records.reserve(records.size() + shard.op_entries.size() +
-                    shard.comm_entries.size());
-    for (const auto& [hash, m] : shard.op_entries) {
-      TextRecord rec;
-      rec.Set("type", "op");
-      rec.SetInt("key", static_cast<int64_t>(hash));
-      rec.SetDouble("fwd", m.fwd_seconds);
-      rec.SetDouble("bwd", m.bwd_seconds);
-      records.push_back(std::move(rec));
-    }
-    for (const auto& [hash, t] : shard.comm_entries) {
-      TextRecord rec;
-      rec.Set("type", "comm");
-      rec.SetInt("key", static_cast<int64_t>(hash));
-      rec.SetDouble("time", t);
-      records.push_back(std::move(rec));
-    }
+    ops.insert(ops.end(), shard.op_entries.begin(), shard.op_entries.end());
+    comms.insert(comms.end(), shard.comm_entries.begin(),
+                 shard.comm_entries.end());
   }
-  return WriteRecordsToFile(path, records);
+  // Sorted order makes the file a pure function of the contents (keys are
+  // unique across shards, so the sort is a total order).
+  std::sort(ops.begin(), ops.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(comms.begin(), comms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  ByteWriter w;
+  w.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.U32(kSnapshotFormatVersion);
+  w.U32(0);  // reserved
+  WriteClusterSpec(w, cluster_);
+  w.U64(cluster_.Fingerprint());
+  w.U64(ops.size());
+  w.U64(comms.size());
+  for (const auto& [key, m] : ops) {
+    w.U64(key);
+    w.F64(m.fwd_seconds);
+    w.F64(m.bwd_seconds);
+  }
+  for (const auto& [key, t] : comms) {
+    w.U64(key);
+    w.F64(t);
+  }
+  const uint64_t checksum = FnvHashBytes(w.bytes().data(), w.bytes().size());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Internal("cannot open for writing: " + path);
+  }
+  out.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    return Internal("write error on profile snapshot: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<ProfileSnapshotInfo> ProfileDatabase::ReadSnapshotHeader(
+    const std::string& path) {
+  auto parsed = ParseSnapshotFile(path);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return parsed->info;
 }
 
 Status ProfileDatabase::Load(const std::string& path) {
-  auto records = ReadRecordsFromFile(path);
-  if (!records.ok()) {
-    return records.status();
+  auto parsed = ParseSnapshotFile(path);
+  if (!parsed.ok()) {
+    return parsed.status();
   }
-  for (const TextRecord& rec : *records) {
-    auto type = rec.Get("type");
-    auto key = rec.GetInt("key");
-    if (!type.ok() || !key.ok()) {
-      return InvalidArgument("malformed profile record");
-    }
-    const auto hash = static_cast<uint64_t>(*key);
-    if (*type == "op") {
-      auto fwd = rec.GetDouble("fwd");
-      auto bwd = rec.GetDouble("bwd");
-      if (!fwd.ok() || !bwd.ok()) {
-        return InvalidArgument("malformed op profile record");
-      }
-      Shard& shard = ShardFor(hash);
-      auto lock = LockShard(shard);
-      shard.op_entries[hash] = OpMeasurement{*fwd, *bwd};
-    } else if (*type == "comm") {
-      auto t = rec.GetDouble("time");
-      if (!t.ok()) {
-        return InvalidArgument("malformed comm profile record");
-      }
-      Shard& shard = ShardFor(hash);
-      auto lock = LockShard(shard);
-      shard.comm_entries[hash] = *t;
-    } else {
-      return InvalidArgument("unknown profile record type: " + *type);
-    }
+  const uint64_t expected = cluster_.Fingerprint();
+  if (parsed->info.cluster_fingerprint != expected) {
+    return FailedPrecondition(
+        "profile snapshot " + path + " was profiled on cluster " +
+        parsed->info.cluster.ToString() + "; this database models " +
+        cluster_.ToString() + " (fingerprint mismatch)");
   }
-  // Load may have *overwritten* published entries, which breaks the
-  // usual immutability guarantee the lock-free read path relies on:
-  // re-tag the instance so every thread-local L1 entry for it goes stale,
-  // recount the entries, and republish a snapshot of the loaded state.
-  // (Load is a setup-time call; it is not synchronized against concurrent
-  // lookups, same as before this read path existed.)
+
+  // Replace the shard contents with the file's. Loaded entries charge no
+  // simulated profiling time: reusing a saved database is exactly how the
+  // paper's workflow skips re-profiling.
+  for (Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    shard.op_entries.clear();
+    shard.comm_entries.clear();
+    shard.simulated_profiling_seconds = 0.0;
+  }
+  for (const auto& [key, m] : parsed->ops) {
+    Shard& shard = ShardFor(key);
+    auto lock = LockShard(shard);
+    shard.op_entries[key] = m;
+  }
+  for (const auto& [key, t] : parsed->comms) {
+    Shard& shard = ShardFor(key);
+    auto lock = LockShard(shard);
+    shard.comm_entries[key] = t;
+  }
+
+  // Load replaces published entries, which breaks the usual immutability
+  // guarantee the lock-free read path relies on: re-tag the instance so
+  // every thread-local L1 entry for it goes stale, then publish the loaded
+  // entries *directly* as the read snapshot — the very first post-Load
+  // lookup is served lock-free. (Load is a setup-time call; it is not
+  // synchronized against concurrent lookups, same as before this read path
+  // existed.)
   generation_.store(g_db_generation.fetch_add(1, std::memory_order_relaxed),
                     std::memory_order_relaxed);
-  size_t total = 0;
-  for (const Shard& shard : shards_) {
-    auto lock = LockShard(shard);
-    total += shard.op_entries.size() + shard.comm_entries.size();
-  }
-  total_entries_.store(total, std::memory_order_relaxed);
+  total_entries_.store(parsed->ops.size() + parsed->comms.size(),
+                       std::memory_order_relaxed);
   if (read_opt_enabled_.load(std::memory_order_relaxed)) {
-    RepublishSnapshot(/*block=*/true);
+    std::lock_guard<std::mutex> republish_lock(republish_mu_);
+    auto* snap = new Snapshot;
+    snap->ops.resize(Snapshot::TableSize(parsed->ops.size()));
+    snap->op_mask = snap->ops.size() - 1;
+    snap->comms.resize(Snapshot::TableSize(parsed->comms.size()));
+    snap->comm_mask = snap->comms.size() - 1;
+    for (const auto& [key, m] : parsed->ops) {
+      if (key != 0) {  // 0 is the empty-slot sentinel
+        snap->InsertOp(key, m);
+      }
+    }
+    for (const auto& [key, t] : parsed->comms) {
+      if (key != 0) {
+        snap->InsertComm(key, t);
+      }
+    }
+    const Snapshot* old = snapshot_.exchange(snap, std::memory_order_acq_rel);
+    if (old != nullptr) {
+      retired_.push_back(old);
+    }
+    snapshot_entries_.store(parsed->ops.size() + parsed->comms.size(),
+                            std::memory_order_relaxed);
+    republishes_.fetch_add(1, std::memory_order_relaxed);
   }
   return OkStatus();
 }

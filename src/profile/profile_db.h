@@ -35,6 +35,18 @@
 // republish work amortizes to O(n log n) over a whole search) and retired
 // snapshots are kept until destruction, which lets readers hold a snapshot
 // pointer without any reclamation protocol.
+//
+// Persistence (DESIGN.md §14): Save() serializes the database to a
+// versioned, checksummed binary snapshot file whose header embeds the full
+// ClusterSpec and its fingerprint; Load() *replaces* this database's
+// contents with the file's and publishes the loaded entries directly as the
+// immutable read snapshot — so a freshly loaded database serves its very
+// first lookup lock-free from the snapshot, and a process started from a
+// saved file runs zero simulated measurements for any key the file covers.
+// Load refuses version mismatches, corrupt/truncated files (checksum), and
+// snapshots profiled on a different cluster (fingerprint). Measurement
+// values round-trip as raw IEEE-754 bits: a loaded database is bit-identical
+// to the one that saved it.
 
 #ifndef SRC_PROFILE_PROFILE_DB_H_
 #define SRC_PROFILE_PROFILE_DB_H_
@@ -118,6 +130,16 @@ class SimulatedProfiler {
   int runs_;
 };
 
+// Header of a saved profile-snapshot file, readable without constructing a
+// ProfileDatabase: the serving daemon uses it to build a database for the
+// *file's* cluster before loading (DESIGN.md §14).
+struct ProfileSnapshotInfo {
+  ClusterSpec cluster;
+  uint64_t cluster_fingerprint = 0;
+  uint64_t op_entries = 0;
+  uint64_t comm_entries = 0;
+};
+
 // Lookup/contention counters (monotonic; `operator-` attributes a delta to
 // one search run, like StageCacheStats).
 struct ProfileDbStats {
@@ -167,9 +189,22 @@ class ProfileDatabase {
   double SimulatedProfilingSeconds() const;
 
   // Persistence: the on-disk database can be reloaded so future searches
-  // reuse measurements (the paper profiles each model family once).
+  // reuse measurements (the paper profiles each model family once). The
+  // format is the versioned binary snapshot described in the module comment;
+  // Save writes entries in sorted key order, so equal databases produce
+  // byte-identical files. Load replaces this database's contents, publishes
+  // the loaded entries directly as the read snapshot, and fails (leaving the
+  // database untouched) on bad magic, version mismatch, corruption, or a
+  // cluster-fingerprint mismatch against `cluster()`.
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
+
+  // Parses just the header of a saved snapshot file: the embedded
+  // ClusterSpec, its fingerprint, and the entry counts. Validates the magic,
+  // version, and whole-file checksum (so a truncated file is rejected here,
+  // not at Load time).
+  static StatusOr<ProfileSnapshotInfo> ReadSnapshotHeader(
+      const std::string& path);
 
   const ClusterSpec& cluster() const { return cluster_; }
 

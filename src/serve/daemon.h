@@ -1,0 +1,61 @@
+// The planning daemon (DESIGN.md §14): PlanService behind the loopback
+// HTTP transport. Routes:
+//
+//   POST /plan          — one plan request (plan_protocol.h). With
+//                         "stream": true the response is a close-delimited
+//                         NDJSON stream: telemetry/convergence event lines
+//                         while the search runs, then the response envelope
+//                         as the final line. Otherwise one JSON envelope,
+//                         Content-Length framed.
+//   POST /profile/save  — persist every materialized profile database to the
+//                         snapshot directory (requires --snapshot-dir).
+//   GET  /stats         — ServeStats + plan-cache counters as JSON.
+//   GET  /healthz       — {"status":"ok"} liveness probe.
+//
+// Error statuses map onto HTTP: InvalidArgument→400, NotFound→404,
+// FailedPrecondition→412, ResourceExhausted→429 (admission rejection),
+// everything else→500. The body is always a JSON error envelope.
+
+#ifndef SRC_SERVE_DAEMON_H_
+#define SRC_SERVE_DAEMON_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/serve/http.h"
+#include "src/serve/service.h"
+
+namespace aceso {
+namespace serve {
+
+// The HTTP status code an error Status maps to (200 for ok).
+int HttpStatusForStatus(const Status& status);
+
+class PlanDaemon {
+ public:
+  explicit PlanDaemon(ServeOptions options = {});
+
+  PlanDaemon(const PlanDaemon&) = delete;
+  PlanDaemon& operator=(const PlanDaemon&) = delete;
+
+  // Binds `host:port` (port 0 = ephemeral, read back with port()) and
+  // starts serving. Returns without blocking; Stop() (or destruction)
+  // drains in-flight connections.
+  Status Start(const std::string& host, int port);
+  void Stop();
+
+  int port() const { return server_.port(); }
+  PlanService& service() { return service_; }
+
+ private:
+  void Handle(const HttpRequest& request, HttpResponseWriter& writer);
+  void HandlePlan(const HttpRequest& request, HttpResponseWriter& writer);
+
+  PlanService service_;
+  HttpServer server_;
+};
+
+}  // namespace serve
+}  // namespace aceso
+
+#endif  // SRC_SERVE_DAEMON_H_

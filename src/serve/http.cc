@@ -1,0 +1,501 @@
+#include "src/serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace aceso {
+namespace serve {
+namespace {
+
+// Request-side limits: a plan request is a small JSON object; anything
+// approaching these is a confused or hostile client.
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 8 * 1024 * 1024;
+constexpr double kConnectionIoTimeoutSeconds = 30.0;
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SetIoTimeout(int fd, double seconds) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// send() with MSG_NOSIGNAL so a vanished client surfaces as an error return
+// instead of SIGPIPE.
+bool SendAllFd(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Parses "<METHOD> <path> HTTP/1.x" plus headers out of `head`.
+bool ParseRequestHead(std::string_view head, HttpRequest* out) {
+  const size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    return false;
+  }
+  const std::string_view request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    return false;
+  }
+  out->method = std::string(request_line.substr(0, sp1));
+  out->path = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (request_line.substr(sp2 + 1).rfind("HTTP/1.", 0) != 0) {
+    return false;
+  }
+
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    const size_t eol = head.find("\r\n", pos);
+    const std::string_view line =
+        head.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    if (line.empty()) {
+      break;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return false;
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    out->headers.emplace_back(std::string(line.substr(0, colon)),
+                              std::string(value));
+    if (eol == std::string_view::npos) {
+      break;
+    }
+    pos = eol + 2;
+  }
+  return true;
+}
+
+int ConnectTo(const std::string& host, int port, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  SetIoTimeout(fd, timeout_seconds);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string BuildRequestHead(const std::string& method,
+                             const std::string& path, const std::string& host,
+                             size_t body_size) {
+  std::string req = method + " " + path + " HTTP/1.1\r\n";
+  req += "Host: " + host + "\r\n";
+  req += "Content-Type: application/json\r\n";
+  req += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  req += "Connection: close\r\n\r\n";
+  return req;
+}
+
+// Reads an HTTP response to EOF, invoking `on_body` with each chunk of body
+// bytes as they arrive. Fills status/content-type from the head.
+Status ReadResponse(int fd, HttpResponse* out,
+                    const std::function<void(std::string_view)>& on_body) {
+  std::string buf;
+  char chunk[8192];
+  size_t head_end = std::string::npos;
+  size_t body_emitted = 0;
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return DeadlineExceeded("timed out reading HTTP response");
+    }
+    if (n == 0) {
+      break;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    if (head_end == std::string::npos) {
+      head_end = buf.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Parse the status line + headers once.
+        const std::string_view head = std::string_view(buf).substr(0, head_end);
+        const size_t sp = head.find(' ');
+        if (sp == std::string_view::npos ||
+            head.rfind("HTTP/1.", 0) != 0) {
+          return Internal("malformed HTTP status line");
+        }
+        out->status_code = std::atoi(std::string(head.substr(sp + 1, 3)).c_str());
+        size_t pos = head.find("\r\n");
+        while (pos != std::string_view::npos && pos + 2 < head.size()) {
+          const size_t eol = head.find("\r\n", pos + 2);
+          const std::string_view line = head.substr(
+              pos + 2,
+              eol == std::string_view::npos ? std::string_view::npos
+                                            : eol - pos - 2);
+          const size_t colon = line.find(':');
+          if (colon != std::string_view::npos &&
+              EqualsIgnoreCase(line.substr(0, colon), "content-type")) {
+            std::string_view v = line.substr(colon + 1);
+            while (!v.empty() && v.front() == ' ') {
+              v.remove_prefix(1);
+            }
+            out->content_type = std::string(v);
+          }
+          pos = eol;
+        }
+        body_emitted = head_end + 4;
+      }
+    }
+    if (head_end != std::string::npos && buf.size() > body_emitted) {
+      on_body(std::string_view(buf).substr(body_emitted));
+      body_emitted = buf.size();
+    }
+  }
+  if (head_end == std::string::npos) {
+    return Internal("connection closed before HTTP response head");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const char* HttpStatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool HttpResponseWriter::SendAll(std::string_view data) {
+  if (broken_) {
+    return false;
+  }
+  if (!SendAllFd(fd_, data)) {
+    broken_ = true;
+    return false;
+  }
+  return true;
+}
+
+void HttpResponseWriter::Respond(int status, std::string_view content_type,
+                                 std::string_view body) {
+  if (responded_) {
+    return;
+  }
+  responded_ = true;
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     HttpStatusText(status) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  SendAll(head) && SendAll(body);
+}
+
+bool HttpResponseWriter::BeginStream(int status,
+                                     std::string_view content_type) {
+  if (responded_) {
+    return false;
+  }
+  responded_ = true;
+  streaming_ = true;
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     HttpStatusText(status) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  return SendAll(head);
+}
+
+bool HttpResponseWriter::WriteChunk(std::string_view data) {
+  if (!streaming_) {
+    return false;
+  }
+  return SendAll(data);
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(const std::string& host, int port,
+                         HttpHandler handler) {
+  if (listen_fd_ >= 0) {
+    return FailedPrecondition("HTTP server already started");
+  }
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Internal("socket() failed: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgument("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Internal("bind(" + host + ":" + std::to_string(port) +
+                               ") failed: " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status st =
+        Internal("listen() failed: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Internal("getsockname() failed");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  // Closing the listener unblocks accept(); the loop then exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Wait for in-flight connection threads: handlers reference this server's
+  // state, so Stop must not return while any are running.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return active_connections_ == 0; });
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listener closed (Stop) or fatal
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      HandleConnection(fd);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_connections_ == 0) {
+        idle_.notify_all();
+      }
+    }).detach();
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  SetIoTimeout(fd, kConnectionIoTimeoutSeconds);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buf;
+  char chunk[8192];
+  size_t head_end = std::string::npos;
+  bool ok = true;
+  while (head_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    head_end = buf.find("\r\n\r\n");
+    if (head_end == std::string::npos && buf.size() > kMaxHeaderBytes) {
+      ok = false;
+      break;
+    }
+  }
+
+  HttpRequest request;
+  HttpResponseWriter writer(fd);
+  if (ok && !ParseRequestHead(std::string_view(buf).substr(0, head_end),
+                              &request)) {
+    ok = false;
+  }
+  if (ok) {
+    size_t body_size = 0;
+    if (const std::string* cl = request.FindHeader("content-length")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(cl->c_str(), &end, 10);
+      if (end == cl->c_str() || *end != '\0' || parsed > kMaxBodyBytes) {
+        ok = false;
+      } else {
+        body_size = static_cast<size_t>(parsed);
+      }
+    }
+    if (ok) {
+      const size_t body_start = head_end + 4;
+      while (buf.size() - body_start < body_size) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+          ok = false;
+          break;
+        }
+        buf.append(chunk, static_cast<size_t>(n));
+      }
+      if (ok) {
+        request.body = buf.substr(body_start, body_size);
+      }
+    }
+  }
+
+  if (!ok) {
+    writer.Respond(400, "application/json",
+                   "{\"status\":\"error\",\"code\":\"INVALID_ARGUMENT\","
+                   "\"message\":\"malformed HTTP request\"}");
+  } else {
+    handler_(request, writer);
+    if (!writer.responded()) {
+      writer.Respond(500, "application/json",
+                     "{\"status\":\"error\",\"code\":\"INTERNAL\","
+                     "\"message\":\"handler produced no response\"}");
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+StatusOr<HttpResponse> HttpCall(const std::string& host, int port,
+                                const std::string& method,
+                                const std::string& path,
+                                const std::string& body,
+                                double timeout_seconds) {
+  const int fd = ConnectTo(host, port, timeout_seconds);
+  if (fd < 0) {
+    return Internal("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  HttpResponse response;
+  Status st;
+  if (!SendAllFd(fd, BuildRequestHead(method, path, host, body.size())) ||
+      !SendAllFd(fd, body)) {
+    st = Internal("failed to send HTTP request");
+  } else {
+    st = ReadResponse(fd, &response, [&response](std::string_view bytes) {
+      response.body.append(bytes.data(), bytes.size());
+    });
+  }
+  ::close(fd);
+  if (!st.ok()) {
+    return st;
+  }
+  return response;
+}
+
+StatusOr<HttpResponse> HttpCallStreaming(
+    const std::string& host, int port, const std::string& method,
+    const std::string& path, const std::string& body,
+    const std::function<void(std::string_view line)>& on_line,
+    double timeout_seconds) {
+  const int fd = ConnectTo(host, port, timeout_seconds);
+  if (fd < 0) {
+    return Internal("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  HttpResponse response;
+  std::string pending;
+  Status st;
+  if (!SendAllFd(fd, BuildRequestHead(method, path, host, body.size())) ||
+      !SendAllFd(fd, body)) {
+    st = Internal("failed to send HTTP request");
+  } else {
+    st = ReadResponse(fd, &response, [&](std::string_view bytes) {
+      pending.append(bytes.data(), bytes.size());
+      size_t start = 0;
+      while (true) {
+        const size_t nl = pending.find('\n', start);
+        if (nl == std::string::npos) {
+          break;
+        }
+        on_line(std::string_view(pending).substr(start, nl - start));
+        start = nl + 1;
+      }
+      pending.erase(0, start);
+    });
+  }
+  ::close(fd);
+  if (!st.ok()) {
+    return st;
+  }
+  if (!pending.empty()) {
+    on_line(pending);  // unterminated final line
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace aceso

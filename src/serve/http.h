@@ -1,0 +1,144 @@
+// Minimal HTTP/1.1 transport for the planning daemon (DESIGN.md §14).
+//
+// Deliberately small: the repo carries no networking dependency, and the
+// daemon needs exactly (a) POST/GET with JSON bodies on a loopback socket
+// and (b) an EOF-delimited NDJSON event stream for long-running plan
+// requests. So this is a thread-per-connection HTTP/1.1 server over POSIX
+// sockets with two response modes:
+//
+//   * Respond()       — complete body, Content-Length framed;
+//   * BeginStream() + WriteChunk() — headers with `Connection: close` and
+//     no Content-Length; the body is whatever the handler writes until it
+//     returns, and the connection close delimits it. (No chunked encoding:
+//     every client the repo ships — HttpCall below, curl, the bench — handles
+//     close-delimited bodies, and the framing stays greppable on the wire.)
+//
+// Every response carries `Connection: close`; one request per connection.
+// That forgoes keep-alive throughput, which the serve bench quantifies —
+// plan requests are search-bound, not connection-bound.
+
+#ifndef SRC_SERVE_HTTP_H_
+#define SRC_SERVE_HTTP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace aceso {
+namespace serve {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // path + query, verbatim
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+// The reason phrase for a status code this server emits (400, 404, ...).
+const char* HttpStatusText(int code);
+
+// Per-connection response channel handed to the handler. Exactly one of
+// Respond / BeginStream may be called, once.
+class HttpResponseWriter {
+ public:
+  // Complete response, Content-Length framed.
+  void Respond(int status, std::string_view content_type,
+               std::string_view body);
+
+  // Starts a close-delimited stream. Returns false when the client is gone.
+  bool BeginStream(int status, std::string_view content_type);
+  // Appends raw bytes to a started stream. Returns false once the client
+  // disconnects (callers should stop producing).
+  bool WriteChunk(std::string_view data);
+
+  bool responded() const { return responded_; }
+
+ private:
+  friend class HttpServer;
+  explicit HttpResponseWriter(int fd) : fd_(fd) {}
+  bool SendAll(std::string_view data);
+
+  int fd_;
+  bool responded_ = false;
+  bool streaming_ = false;
+  bool broken_ = false;
+};
+
+using HttpHandler =
+    std::function<void(const HttpRequest&, HttpResponseWriter&)>;
+
+// Thread-per-connection loopback server. Start binds and spawns the accept
+// loop; Stop (also run by the destructor) closes the listener and waits for
+// in-flight connections to drain.
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // `port` 0 binds an ephemeral port (read it back with port()). `host`
+  // should stay "127.0.0.1": the daemon speaks plaintext with no auth.
+  Status Start(const std::string& host, int port, HttpHandler handler);
+  void Stop();
+
+  // The bound port (after a successful Start).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  HttpHandler handler_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;
+  std::condition_variable idle_;
+  int active_connections_ = 0;
+};
+
+// Blocking HTTP client call used by aceso_plan --remote, the serve bench,
+// and the tests. Sends one request with `Connection: close` and reads the
+// response to EOF, so it handles both framed and streamed bodies; for a
+// streamed response the returned body is the concatenation of every chunk.
+struct HttpResponse {
+  int status_code = 0;
+  std::string content_type;
+  std::string body;
+};
+
+StatusOr<HttpResponse> HttpCall(const std::string& host, int port,
+                                const std::string& method,
+                                const std::string& path,
+                                const std::string& body,
+                                double timeout_seconds = 120.0);
+
+// Streaming client variant: `on_line` is invoked for every complete
+// '\n'-terminated line of the response body as it arrives (NDJSON framing);
+// the returned HttpResponse carries the final line count in body (empty) and
+// the status line. Used to consume streamed plan requests.
+StatusOr<HttpResponse> HttpCallStreaming(
+    const std::string& host, int port, const std::string& method,
+    const std::string& path, const std::string& body,
+    const std::function<void(std::string_view line)>& on_line,
+    double timeout_seconds = 120.0);
+
+}  // namespace serve
+}  // namespace aceso
+
+#endif  // SRC_SERVE_HTTP_H_

@@ -1,0 +1,57 @@
+#include "src/serve/plan_cache.h"
+
+#include <utility>
+
+namespace aceso {
+namespace serve {
+
+std::optional<CachedPlan> PlanCache::Get(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->plan;
+}
+
+void PlanCache::Put(uint64_t key, CachedPlan plan) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_[key] = lru_.begin();
+  ++inserts_;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.inserts = inserts_;
+  s.evictions = evictions_;
+  return s;
+}
+
+}  // namespace serve
+}  // namespace aceso

@@ -1,0 +1,94 @@
+// The cross-request plan cache of the planning daemon (DESIGN.md §14).
+//
+// Keyed by PlanCacheKey — the composed semantic fingerprint of (model IR,
+// cluster spec, answer-determining SearchOptions). Because fixed-seed
+// searches under a deterministic budget are bit-reproducible, two requests
+// with equal keys can only produce the same plan, so a hit replays the
+// stored response payload without re-entering AcesoSearch at all. Values
+// are the serialized payload JSON (BuildPlanPayload): immutable, cheap to
+// copy out, and exactly what goes on the wire.
+//
+// LRU with a fixed entry capacity; thread-safe (one mutex — the cache sits
+// on the request admission path, not inside any search loop). Counters
+// follow the repo's stats idiom (monotonic, operator- for deltas).
+
+#ifndef SRC_SERVE_PLAN_CACHE_H_
+#define SRC_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+
+namespace aceso {
+namespace serve {
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t evictions = 0;
+
+  PlanCacheStats operator-(const PlanCacheStats& other) const {
+    PlanCacheStats d;
+    d.hits = hits - other.hits;
+    d.misses = misses - other.misses;
+    d.inserts = inserts - other.inserts;
+    d.evictions = evictions - other.evictions;
+    return d;
+  }
+};
+
+// One cached outcome: the response payload plus the headline numbers the
+// daemon logs without re-parsing its own JSON.
+struct CachedPlan {
+  std::string payload_json;
+  bool found = false;
+  double iteration_time = 0.0;
+};
+
+class PlanCache {
+ public:
+  // `capacity` = max entries; 0 disables caching (every Get is a miss and
+  // Put is a no-op), which keeps the daemon's cache=off mode trivial.
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Looks up `key`, refreshing its LRU position on a hit.
+  std::optional<CachedPlan> Get(uint64_t key);
+
+  // Inserts (or refreshes) `key`. Evicts the least-recently-used entry when
+  // over capacity.
+  void Put(uint64_t key, CachedPlan plan);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  PlanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    CachedPlan plan;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator, IdentityHash>
+      index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t inserts_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace aceso
+
+#endif  // SRC_SERVE_PLAN_CACHE_H_

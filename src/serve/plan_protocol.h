@@ -1,0 +1,103 @@
+// Wire protocol of the planning daemon (DESIGN.md §14).
+//
+// A plan request is one JSON object carrying the model name, the cluster
+// size, and the SearchOptions budget knobs. Parsing is *strict*: unknown
+// fields are rejected (a typo'd "max_evals" must not silently run with the
+// default budget), types are checked, and every error carries the offending
+// field. The request splits into two kinds of fields:
+//
+//   * semantic fields — model, gpus, budgets, toggles, seed, stage range —
+//     which determine the answer and therefore feed the plan-cache key
+//     (PlanCacheKey below composes the model / cluster / options
+//     fingerprints from src/ir, src/hw, and src/core);
+//   * non-semantic fields — request_id, client, stream, eval_threads —
+//     which shape execution or bookkeeping but are bit-identity no-ops on
+//     the plan, and are excluded from the key.
+//
+// The response payload (BuildPlanPayload) is a self-contained JSON object —
+// plan, predicted performance, search stats, capped convergence trend — and
+// is exactly what the PlanCache stores: a cache hit replays the stored
+// payload byte for byte.
+
+#ifndef SRC_SERVE_PLAN_PROTOCOL_H_
+#define SRC_SERVE_PLAN_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/core/search.h"
+#include "src/hw/cluster.h"
+#include "src/ir/op_graph.h"
+
+namespace aceso {
+namespace serve {
+
+// One parsed plan request. Field defaults match the CLI tools'.
+struct PlanRequest {
+  // ---- semantic fields (feed the plan-cache key) ----
+  std::string model;            // required: zoo name, e.g. "gpt3-1.3b"
+  int gpus = 8;                 // cluster size (nodes of 8, like the tools)
+  double budget_seconds = 2.0;  // wall-clock search budget
+  int64_t max_evaluations = 0;  // deterministic budget (0 = wall-clock only)
+  int max_hops = 7;
+  int stages = 0;      // fixed stage count (0 = search the full range)
+  int min_stages = 1;  // ignored when `stages` is set
+  int max_stages = 0;
+  uint64_t seed = 20240422;
+  SeedMode seed_mode = SeedMode::kHeuristic;
+  int top_k = 5;
+
+  // ---- non-semantic fields ----
+  std::string request_id;  // echoed in the response; empty = daemon assigns
+  std::string client;      // free-form client tag for logs
+  bool stream = false;     // stream telemetry/convergence events (NDJSON)
+  int eval_threads = 0;    // 0 = service default; bit-identity no-op
+};
+
+// Strict parse of a request document: every member must be a known field of
+// the right type; `model` is required. Does not validate the model name
+// against the zoo (the service does, so the error can list valid names).
+StatusOr<PlanRequest> ParsePlanRequest(const JsonValue& doc);
+
+// ParsePlanRequest over raw bytes (JsonParse + parse).
+StatusOr<PlanRequest> ParsePlanRequestJson(std::string_view body);
+
+// The SearchOptions a request denotes. A fixed `stages` collapses the stage
+// range to [stages, stages] so the request always runs through AcesoSearch
+// (one code path, one cache-key shape). `default_eval_threads` supplies the
+// service-level evaluation parallelism when the request leaves it 0.
+SearchOptions ToSearchOptions(const PlanRequest& request,
+                              int default_eval_threads);
+
+// The cross-request cache key: model structure (OpGraph::SemanticFingerprint,
+// name excluded), cluster (ClusterSpec::Fingerprint), and the
+// answer-determining SearchOptions fields (SearchOptionsSemanticHash). Each
+// component is Mix64-finalized before combining (src/common/hash.h).
+uint64_t PlanCacheKey(const OpGraph& graph, const ClusterSpec& cluster,
+                      const SearchOptions& options);
+
+// Serializes the search outcome as the cacheable response payload (one JSON
+// object; see the module comment). `convergence_cap` bounds the embedded
+// trend (the full trend can run to thousands of points on long budgets).
+std::string BuildPlanPayload(const OpGraph& graph, const ClusterSpec& cluster,
+                             const SearchResult& result,
+                             size_t convergence_cap = 64);
+
+// Wraps a payload (or an error) in the response envelope:
+//   {"status":"ok","request_id":...,"cache":"miss|hit|coalesced",
+//    "payload":{...}}
+//   {"status":"error","request_id":...,"code":"INVALID_ARGUMENT",
+//    "message":"..."}
+std::string BuildResponseEnvelope(const std::string& request_id,
+                                  std::string_view cache,
+                                  const std::string& payload_json);
+std::string BuildErrorEnvelope(const std::string& request_id,
+                               const Status& error);
+
+}  // namespace serve
+}  // namespace aceso
+
+#endif  // SRC_SERVE_PLAN_PROTOCOL_H_

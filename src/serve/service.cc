@@ -1,0 +1,373 @@
+#include "src/serve/service.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/cost/perf_model.h"
+#include "src/ir/models/model_zoo.h"
+#include "src/obs/telemetry.h"
+
+namespace aceso {
+namespace serve {
+namespace {
+
+std::string JoinZooNames() {
+  std::string out;
+  for (const std::string& name : models::ZooNames()) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += name;
+  }
+  return out;
+}
+
+size_t PoolThreads(const ServeOptions& options) {
+  if (options.worker_threads > 0) {
+    return static_cast<size_t>(options.worker_threads);
+  }
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::max(hw, static_cast<size_t>(
+                          std::max(1, options.max_inflight_searches)));
+}
+
+}  // namespace
+
+std::string ProfileSnapshotPath(const std::string& dir, uint64_t fingerprint) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "profile_%016" PRIx64 ".apdb",
+                fingerprint);
+  return dir + "/" + name;
+}
+
+ServeStats ServeStats::operator-(const ServeStats& other) const {
+  ServeStats d;
+  d.requests = requests - other.requests;
+  d.completed = completed - other.completed;
+  d.rejected = rejected - other.rejected;
+  d.errors = errors - other.errors;
+  d.coalesced = coalesced - other.coalesced;
+  d.cache_hits = cache_hits - other.cache_hits;
+  d.cache_misses = cache_misses - other.cache_misses;
+  d.cache_evictions = cache_evictions - other.cache_evictions;
+  d.profile_dbs = profile_dbs - other.profile_dbs;
+  d.warm_starts = warm_starts - other.warm_starts;
+  d.warm_start_errors = warm_start_errors - other.warm_start_errors;
+  d.profile_lookups = profile_lookups - other.profile_lookups;
+  d.profile_misses = profile_misses - other.profile_misses;
+  return d;
+}
+
+// A search in flight: the runner fills it and signals; coalesced duplicates
+// wait on the condition variable. The payload is stored separately from any
+// envelope so every waiter can wrap it with its own request_id.
+struct PlanService::Inflight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status search_status;
+  std::string payload_json;
+};
+
+PlanService::PlanService(ServeOptions options)
+    : options_(std::move(options)),
+      pool_(PoolThreads(options_)),
+      cache_(options_.plan_cache_capacity) {}
+
+PlanService::~PlanService() {
+  // Drain outstanding search jobs before the members they reference die.
+  pool_.Wait();
+}
+
+std::string PlanService::NextRequestId() {
+  return "r" + std::to_string(
+                   next_request_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+ProfileDatabase* PlanService::DbForCluster(const ClusterSpec& cluster) {
+  const uint64_t fp = cluster.Fingerprint();
+  std::lock_guard<std::mutex> lock(db_mu_);
+  auto it = dbs_.find(fp);
+  if (it != dbs_.end()) {
+    return it->second.get();
+  }
+  auto db = std::make_unique<ProfileDatabase>(cluster);
+  if (!options_.snapshot_dir.empty()) {
+    const std::string path = ProfileSnapshotPath(options_.snapshot_dir, fp);
+    const Status st = db->Load(path);
+    if (st.ok()) {
+      warm_starts_.fetch_add(1, std::memory_order_relaxed);
+      ACESO_LOG(INFO) << "warm-started profile database for "
+                      << cluster.ToString() << " from " << path << " ("
+                      << db->NumEntries() << " entries)";
+    } else if (st.code() != StatusCode::kNotFound) {
+      // A present-but-unusable snapshot (corrupt, old version, wrong
+      // cluster) must not take the daemon down: run cold, but say so.
+      warm_start_errors_.fetch_add(1, std::memory_order_relaxed);
+      ACESO_LOG(WARNING) << "ignoring profile snapshot " << path << ": "
+                         << st.ToString();
+    }
+  }
+  ProfileDatabase* raw = db.get();
+  dbs_.emplace(fp, std::move(db));
+  return raw;
+}
+
+PlanService::Response PlanService::Handle(const PlanRequest& request,
+                                          const EventCallback& on_event) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string request_id =
+      request.request_id.empty() ? NextRequestId() : request.request_id;
+
+  auto error_response = [&](const Status& st) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    r.status = st;
+    r.body = BuildErrorEnvelope(request_id, st);
+    return r;
+  };
+
+  auto graph_or = models::BuildByName(request.model);
+  if (!graph_or.ok()) {
+    return error_response(InvalidArgument(graph_or.status().message() +
+                                          "; known models: " +
+                                          JoinZooNames()));
+  }
+  const ClusterSpec cluster = ClusterSpec::WithGpuCount(request.gpus);
+  const SearchOptions options =
+      ToSearchOptions(request, options_.eval_threads);
+  const uint64_t key = PlanCacheKey(*graph_or, cluster, options);
+
+  // Layer 1: the plan cache. A hit replays the stored payload — the search
+  // is never entered (counter-verified by serve_test).
+  if (auto hit = cache_.Get(key)) {
+    Response r;
+    r.cache = "hit";
+    r.key = key;
+    r.body = BuildResponseEnvelope(request_id, "hit", hit->payload_json);
+    return r;
+  }
+
+  // Layer 2/3: single-flight lookup, then admission. Both decided under one
+  // lock so two identical requests can never both become runners.
+  std::shared_ptr<Inflight> job;
+  bool runner = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      job = it->second;
+    } else {
+      const int64_t running =
+          running_searches_.fetch_add(1, std::memory_order_relaxed);
+      if (running >= options_.max_inflight_searches) {
+        running_searches_.fetch_sub(1, std::memory_order_relaxed);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.status = ResourceExhausted(
+            "planning capacity exhausted (" +
+            std::to_string(options_.max_inflight_searches) +
+            " searches in flight); retry later");
+        r.key = key;
+        r.body = BuildErrorEnvelope(request_id, r.status);
+        return r;
+      }
+      job = std::make_shared<Inflight>();
+      inflight_.emplace(key, job);
+      runner = true;
+    }
+  }
+
+  if (!runner) {
+    // Coalesced: piggyback on the identical in-flight search.
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->cv.wait(lk, [&job] { return job->done; });
+    if (!job->search_status.ok()) {
+      lk.unlock();
+      return error_response(job->search_status);
+    }
+    Response r;
+    r.cache = "coalesced";
+    r.key = key;
+    r.body = BuildResponseEnvelope(request_id, "coalesced", job->payload_json);
+    return r;
+  }
+
+  // Runner: the search is a job on the shared pool; this thread waits (and,
+  // when streaming, forwards telemetry events as they appear).
+  struct JobState {
+    OpGraph graph;
+    ClusterSpec cluster;
+    SearchOptions options;
+    std::unique_ptr<TelemetrySink> sink;
+  };
+  auto state = std::make_shared<JobState>();
+  state->graph = std::move(*graph_or);
+  state->cluster = cluster;
+  state->options = options;
+  if (on_event != nullptr) {
+    state->sink = std::make_unique<TelemetrySink>();
+    state->options.telemetry = state->sink.get();
+  }
+  ProfileDatabase* db = DbForCluster(cluster);
+
+  const size_t convergence_cap = options_.convergence_cap;
+  pool_.Submit([this, state, job, key, db, convergence_cap] {
+    Status st;
+    std::string payload;
+    bool found = false;
+    double iteration_time = 0.0;
+    try {
+      PerformanceModel model(&state->graph, state->cluster, db);
+      const SearchResult result = AcesoSearch(model, state->options);
+      payload = BuildPlanPayload(state->graph, state->cluster, result,
+                                 convergence_cap);
+      found = result.found;
+      iteration_time = result.found ? result.best.perf.iteration_time : 0.0;
+    } catch (const std::exception& e) {
+      st = Internal(std::string("search failed: ") + e.what());
+    } catch (...) {
+      st = Internal("search failed");
+    }
+    if (st.ok()) {
+      // Publish to the cache *before* leaving the single-flight map: a new
+      // identical request always sees either the in-flight entry or the
+      // cached payload, never the gap between them.
+      cache_.Put(key, CachedPlan{payload, found, iteration_time});
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(key);
+    }
+    running_searches_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(job->mu);
+      job->search_status = st;
+      job->payload_json = std::move(payload);
+      job->done = true;
+    }
+    job->cv.notify_all();
+  });
+
+  if (on_event == nullptr) {
+    std::unique_lock<std::mutex> lk(job->mu);
+    job->cv.wait(lk, [&job] { return job->done; });
+  } else {
+    // Forward ring events incrementally while the search runs. The sink's
+    // ring is a snapshot-copy interface, so track a cursor over the emitted
+    // prefix; with the default 64k ring, overflow would need a pathological
+    // event rate and only costs dropped *streamed* lines, never the result.
+    size_t cursor = 0;
+    auto drain = [&] {
+      const auto events = state->sink->Events();
+      for (; cursor < events.size(); ++cursor) {
+        on_event(events[cursor].ToJsonLine());
+      }
+    };
+    std::unique_lock<std::mutex> lk(job->mu);
+    while (!job->done) {
+      job->cv.wait_for(lk, std::chrono::milliseconds(50));
+      lk.unlock();
+      drain();
+      lk.lock();
+    }
+    lk.unlock();
+    drain();
+  }
+
+  if (!job->search_status.ok()) {
+    Response r = error_response(job->search_status);
+    r.key = key;
+    return r;
+  }
+  Response r;
+  r.cache = "miss";
+  r.key = key;
+  r.body = BuildResponseEnvelope(request_id, "miss", job->payload_json);
+  return r;
+}
+
+Status PlanService::SaveProfiles(const std::string& dir) {
+  const std::string& target = dir.empty() ? options_.snapshot_dir : dir;
+  if (target.empty()) {
+    return InvalidArgument("no snapshot directory configured");
+  }
+  // Create the leaf directory when absent (parents must exist); a daemon
+  // pointed at a fresh --snapshot-dir should not need a manual mkdir.
+  if (::mkdir(target.c_str(), 0755) != 0 && errno != EEXIST) {
+    return InvalidArgument("cannot create snapshot directory " + target +
+                           ": " + std::strerror(errno));
+  }
+  std::lock_guard<std::mutex> lock(db_mu_);
+  for (const auto& [fp, db] : dbs_) {
+    ACESO_RETURN_IF_ERROR(db->Save(ProfileSnapshotPath(target, fp)));
+  }
+  return OkStatus();
+}
+
+ServeStats PlanService::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  const PlanCacheStats cache = cache_.stats();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_evictions = cache.evictions;
+  s.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  s.warm_start_errors = warm_start_errors_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(db_mu_);
+  s.profile_dbs = static_cast<int64_t>(dbs_.size());
+  for (const auto& [fp, db] : dbs_) {
+    const ProfileDbStats dbs = db->stats();
+    s.profile_lookups += dbs.lookups;
+    s.profile_misses += dbs.misses;
+  }
+  return s;
+}
+
+std::string PlanService::StatsJson() const {
+  const ServeStats s = stats();
+  std::string out = "{";
+  auto field = [&out](const char* name, int64_t value, bool last = false) {
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+    if (!last) {
+      out += ",";
+    }
+  };
+  field("requests", s.requests);
+  field("completed", s.completed);
+  field("rejected", s.rejected);
+  field("errors", s.errors);
+  field("coalesced", s.coalesced);
+  field("cache_hits", s.cache_hits);
+  field("cache_misses", s.cache_misses);
+  field("cache_evictions", s.cache_evictions);
+  field("profile_dbs", s.profile_dbs);
+  field("warm_starts", s.warm_starts);
+  field("warm_start_errors", s.warm_start_errors);
+  field("profile_lookups", s.profile_lookups);
+  field("profile_misses", s.profile_misses, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+}  // namespace serve
+}  // namespace aceso

@@ -1,0 +1,177 @@
+// The multi-tenant planning service (DESIGN.md §14): plan requests in,
+// cached or freshly searched plans out. Transport-independent — the HTTP
+// daemon (daemon.h), the tests, and the serve bench all drive this class
+// directly.
+//
+// One request flows through three layers, cheapest first:
+//
+//   1. PlanCache — the semantic key (PlanCacheKey) hits a previously
+//      computed payload: replay it, no search, no model build beyond the
+//      fingerprint. Counter-verified by tests: a duplicate request must not
+//      re-enter AcesoSearch.
+//   2. Single-flight — an *identical* request is already searching: wait on
+//      it and share its payload ("coalesced"); N concurrent duplicates cost
+//      one search.
+//   3. Admission + search — at most `max_inflight_searches` searches run at
+//      once (beyond that the request is rejected with ResourceExhausted, a
+//      429 on the wire, rather than queued behind unbounded work); admitted
+//      searches run as jobs on the service's shared work-stealing pool,
+//      which also serves their intra-search evaluation batches.
+//
+// Profile databases are materialized per cluster fingerprint and shared by
+// every request for that cluster. With `snapshot_dir` set, a database whose
+// snapshot file exists warm-starts from it (ProfileDatabase::Load publishes
+// the entries as the lock-free read snapshot), so the daemon's first request
+// on a profiled cluster runs zero simulated measurements.
+
+#ifndef SRC_SERVE_SERVICE_H_
+#define SRC_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/profile/profile_db.h"
+#include "src/serve/plan_cache.h"
+#include "src/serve/plan_protocol.h"
+
+namespace aceso {
+namespace serve {
+
+struct ServeOptions {
+  // Shared pool width; 0 = max(hardware concurrency, max_inflight_searches)
+  // so every admitted search gets a worker immediately.
+  int worker_threads = 0;
+
+  // Default intra-search evaluation parallelism for requests that leave
+  // eval_threads unset. Bit-identity no-op on results (DESIGN.md §11).
+  int eval_threads = 2;
+
+  // Plan cache entries (0 disables the cache).
+  size_t plan_cache_capacity = 64;
+
+  // Admission bound: searches running at once before requests are rejected.
+  int max_inflight_searches = 4;
+
+  // When non-empty: profile snapshot directory. Databases warm-start from
+  // `profile_<fingerprint>.apdb` when present; SaveProfiles() writes there
+  // by default.
+  std::string snapshot_dir;
+
+  // Max convergence points embedded in a response payload.
+  size_t convergence_cap = 64;
+};
+
+// Monotonic service counters (ServeStats::operator- attributes deltas, like
+// every stats struct in the repo). Cache counters mirror the PlanCache.
+struct ServeStats {
+  int64_t requests = 0;        // Handle() calls
+  int64_t completed = 0;       // searches run to completion
+  int64_t rejected = 0;        // admission rejections
+  int64_t errors = 0;          // invalid requests + failed searches
+  int64_t coalesced = 0;       // served by an identical in-flight search
+  int64_t cache_hits = 0;      // plan-cache hits (no search)
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t profile_dbs = 0;     // databases materialized
+  int64_t warm_starts = 0;     // databases loaded from a snapshot file
+  int64_t warm_start_errors = 0;  // snapshot present but refused
+  // Aggregated over every profile database (warm-start acceptance: a
+  // snapshot-started daemon answers its first request with profile_misses
+  // still zero).
+  int64_t profile_lookups = 0;
+  int64_t profile_misses = 0;
+
+  ServeStats operator-(const ServeStats& other) const;
+};
+
+// The snapshot file for a cluster fingerprint inside `dir`:
+// `<dir>/profile_<16-hex-digit fingerprint>.apdb`. Shared by the service's
+// warm-start probe, SaveProfiles, the daemon tool, and CI.
+std::string ProfileSnapshotPath(const std::string& dir, uint64_t fingerprint);
+
+class PlanService {
+ public:
+  explicit PlanService(ServeOptions options = {});
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  struct Response {
+    Status status;      // request-level outcome (ok even for found=false)
+    std::string cache;  // "hit" | "miss" | "coalesced" | "" (error/rejected)
+    std::string body;   // full response envelope (ok or error JSON)
+    uint64_t key = 0;   // plan-cache key (0 when the request never keyed)
+  };
+
+  // Called with one JSON line per streamed event (no trailing newline).
+  using EventCallback = std::function<void(const std::string& json_line)>;
+
+  // Handles one request end to end: cache, single-flight, admission,
+  // search. Blocking (the search runs on the pool; the calling thread
+  // waits), thread-safe, and callable from many connection threads at once.
+  // `on_event` (optional) streams telemetry events while the search runs —
+  // only the request that runs the search streams; cache hits and coalesced
+  // requests produce just the final body.
+  Response Handle(const PlanRequest& request,
+                  const EventCallback& on_event = nullptr);
+
+  // Saves every materialized profile database to
+  // `dir/profile_<fingerprint>.apdb` (empty dir = options.snapshot_dir).
+  Status SaveProfiles(const std::string& dir = "");
+
+  ServeStats stats() const;
+  PlanCacheStats plan_cache_stats() const { return cache_.stats(); }
+
+  // Serializes stats() as a JSON object (the /stats endpoint body).
+  std::string StatsJson() const;
+
+  ThreadPool& pool() { return pool_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  // A search in flight, shared between the request that runs it and any
+  // coalesced duplicates waiting on it.
+  struct Inflight;
+
+  // The profile database for `cluster`, materializing (and, with a snapshot
+  // dir, warm-starting) it on first use.
+  ProfileDatabase* DbForCluster(const ClusterSpec& cluster);
+
+  std::string NextRequestId();
+
+  ServeOptions options_;
+  ThreadPool pool_;
+  PlanCache cache_;
+
+  mutable std::mutex db_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<ProfileDatabase>, IdentityHash>
+      dbs_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Inflight>, IdentityHash>
+      inflight_;
+
+  std::atomic<int64_t> running_searches_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> errors_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> warm_starts_{0};
+  std::atomic<int64_t> warm_start_errors_{0};
+  std::atomic<int64_t> next_request_id_{1};
+};
+
+}  // namespace serve
+}  // namespace aceso
+
+#endif  // SRC_SERVE_SERVICE_H_

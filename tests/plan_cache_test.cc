@@ -1,0 +1,186 @@
+#include "src/serve/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/ir/models/model_zoo.h"
+#include "src/serve/plan_protocol.h"
+
+namespace aceso {
+namespace serve {
+namespace {
+
+CachedPlan Plan(const std::string& payload) {
+  CachedPlan plan;
+  plan.payload_json = payload;
+  plan.found = true;
+  return plan;
+}
+
+TEST(PlanCacheTest, GetReturnsWhatPutStored) {
+  PlanCache cache(4);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, Plan("one"));
+  auto hit = cache.Get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->payload_json, "one");
+  EXPECT_TRUE(hit->found);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  cache.Put(1, Plan("one"));
+  cache.Put(2, Plan("two"));
+  // Touch 1 so 2 becomes the LRU entry, then overflow.
+  EXPECT_TRUE(cache.Get(1).has_value());
+  cache.Put(3, Plan("three"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(PlanCacheTest, PutRefreshesExistingEntry) {
+  PlanCache cache(2);
+  cache.Put(1, Plan("one"));
+  cache.Put(2, Plan("two"));
+  cache.Put(1, Plan("one again"));  // refresh, not insert: 2 is now LRU
+  cache.Put(3, Plan("three"));
+  EXPECT_EQ(cache.Get(1)->payload_json, "one again");
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.stats().inserts, 3);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  cache.Put(1, Plan("one"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.stats().inserts, 0);
+}
+
+// ---- keying: PlanCacheKey over the parsed request ----
+
+class PlanCacheKeyTest : public ::testing::Test {
+ protected:
+  // The key a request denotes, end to end: build the model, derive the
+  // cluster and options exactly like the service does.
+  static uint64_t KeyOf(const PlanRequest& request) {
+    auto graph = models::BuildByName(request.model);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    const ClusterSpec cluster = ClusterSpec::WithGpuCount(request.gpus);
+    return PlanCacheKey(*graph, cluster,
+                        ToSearchOptions(request, /*default_eval_threads=*/2));
+  }
+
+  static PlanRequest BaseRequest() {
+    PlanRequest request;
+    request.model = "gpt3-0.35b";
+    request.gpus = 4;
+    request.max_evaluations = 50;
+    return request;
+  }
+};
+
+TEST_F(PlanCacheKeyTest, NonSemanticFieldsDoNotChangeTheKey) {
+  const uint64_t base = KeyOf(BaseRequest());
+
+  PlanRequest request = BaseRequest();
+  request.request_id = "r-123";
+  request.client = "curl";
+  request.stream = true;
+  request.eval_threads = 7;
+  EXPECT_EQ(KeyOf(request), base)
+      << "execution-shaping fields must not fragment the cache";
+}
+
+TEST_F(PlanCacheKeyTest, SemanticFieldsChangeTheKey) {
+  const uint64_t base = KeyOf(BaseRequest());
+
+  PlanRequest request = BaseRequest();
+  request.model = "gpt3-1.3b";
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.gpus = 8;
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.seed = 7;
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.budget_seconds = 9.5;
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.max_evaluations = 51;
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.max_hops = 3;
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.stages = 2;
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.seed_mode = SeedMode::kDp;
+  EXPECT_NE(KeyOf(request), base);
+
+  request = BaseRequest();
+  request.top_k = 2;
+  EXPECT_NE(KeyOf(request), base);
+}
+
+TEST_F(PlanCacheKeyTest, FuzzNonSemanticPerturbationsAlwaysHit) {
+  // Property fuzz in the spirit of the hash fuzz suite: any combination of
+  // non-semantic perturbations keeps the key; flipping one semantic field
+  // on top changes it.
+  Rng rng(20240808);
+  const uint64_t base = KeyOf(BaseRequest());
+  for (int trial = 0; trial < 200; ++trial) {
+    PlanRequest request = BaseRequest();
+    if (rng.NextBelow(2) == 1) {
+      request.request_id = "r" + std::to_string(rng.NextU64());
+    }
+    if (rng.NextBelow(2) == 1) {
+      request.client = "client" + std::to_string(rng.NextBelow(100));
+    }
+    if (rng.NextBelow(2) == 1) request.stream = true;
+    if (rng.NextBelow(2) == 1) {
+      request.eval_threads = 1 + static_cast<int>(rng.NextBelow(16));
+    }
+    ASSERT_EQ(KeyOf(request), base) << "trial " << trial;
+
+    switch (rng.NextBelow(4)) {
+      case 0:
+        request.seed += 1 + rng.NextBelow(1000);
+        break;
+      case 1:
+        request.max_evaluations += 1 + static_cast<int64_t>(rng.NextBelow(9));
+        break;
+      case 2:
+        // 1..6, never the base's 7.
+        request.max_hops = 1 + static_cast<int>(rng.NextBelow(6));
+        break;
+      default:
+        request.top_k = 6 + static_cast<int>(rng.NextBelow(4));
+        break;
+    }
+    ASSERT_NE(KeyOf(request), base) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace aceso

@@ -1,0 +1,396 @@
+// End-to-end tests of the planning service and daemon (DESIGN.md §14):
+// request parsing, the cache / single-flight / admission layers, profile
+// snapshot warm starts, and the loopback HTTP transport.
+
+#include "src/serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/serve/daemon.h"
+#include "src/serve/http.h"
+#include "src/serve/plan_protocol.h"
+
+namespace aceso {
+namespace serve {
+namespace {
+
+// A deterministic, fast request: the evaluation budget bounds the search
+// (bit-reproducibly) well under a second.
+PlanRequest FastRequest() {
+  PlanRequest request;
+  request.model = "gpt3-0.35b";
+  request.gpus = 4;
+  request.max_evaluations = 40;
+  request.budget_seconds = 60.0;  // wall clock never binds
+  return request;
+}
+
+// ---- request parsing ----
+
+TEST(PlanProtocolTest, ParsesFullRequest) {
+  auto request = ParsePlanRequestJson(
+      R"({"model":"gpt3-1.3b","gpus":8,"budget_seconds":1.5,
+          "max_evaluations":100,"max_hops":5,"stages":2,"seed":7,
+          "seed_mode":"dp","top_k":3,"request_id":"r9","client":"test",
+          "stream":true,"eval_threads":4})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->model, "gpt3-1.3b");
+  EXPECT_EQ(request->gpus, 8);
+  EXPECT_DOUBLE_EQ(request->budget_seconds, 1.5);
+  EXPECT_EQ(request->max_evaluations, 100);
+  EXPECT_EQ(request->max_hops, 5);
+  EXPECT_EQ(request->stages, 2);
+  EXPECT_EQ(request->seed, 7u);
+  EXPECT_EQ(request->seed_mode, SeedMode::kDp);
+  EXPECT_EQ(request->top_k, 3);
+  EXPECT_EQ(request->request_id, "r9");
+  EXPECT_EQ(request->client, "test");
+  EXPECT_TRUE(request->stream);
+  EXPECT_EQ(request->eval_threads, 4);
+}
+
+TEST(PlanProtocolTest, RejectsUnknownField) {
+  auto request =
+      ParsePlanRequestJson(R"({"model":"gpt3-0.35b","max_evals":5})");
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("max_evals"), std::string::npos);
+}
+
+TEST(PlanProtocolTest, RejectsMissingModel) {
+  auto request = ParsePlanRequestJson(R"({"gpus":8})");
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("model"), std::string::npos);
+}
+
+TEST(PlanProtocolTest, RejectsWrongTypes) {
+  EXPECT_FALSE(ParsePlanRequestJson(R"({"model":3})").ok());
+  EXPECT_FALSE(
+      ParsePlanRequestJson(R"({"model":"gpt3-0.35b","gpus":"8"})").ok());
+  EXPECT_FALSE(
+      ParsePlanRequestJson(R"({"model":"gpt3-0.35b","gpus":2.5})").ok());
+  EXPECT_FALSE(
+      ParsePlanRequestJson(R"({"model":"gpt3-0.35b","stream":"yes"})").ok());
+  EXPECT_FALSE(ParsePlanRequestJson("[1,2]").ok());
+  EXPECT_FALSE(ParsePlanRequestJson("not json").ok());
+}
+
+TEST(PlanProtocolTest, RejectsUnknownSeedMode) {
+  auto request = ParsePlanRequestJson(
+      R"({"model":"gpt3-0.35b","seed_mode":"random"})");
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("heuristic|dp"),
+            std::string::npos);
+}
+
+TEST(PlanProtocolTest, FixedStagesCollapsesTheRange) {
+  PlanRequest request = FastRequest();
+  request.stages = 3;
+  const SearchOptions options = ToSearchOptions(request, 2);
+  EXPECT_EQ(options.min_stages, 3);
+  EXPECT_EQ(options.max_stages, 3);
+}
+
+// ---- the service's three layers ----
+
+TEST(PlanServiceTest, DuplicateRequestServedFromCacheWithoutSearch) {
+  PlanService service;
+  const PlanService::Response first = service.Handle(FastRequest());
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(first.cache, "miss");
+
+  const PlanService::Response second = service.Handle(FastRequest());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.cache, "hit");
+
+  // The counter proof that no second search ran.
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+
+  // A hit replays the stored payload byte for byte; only the envelope
+  // (request id, cache tag) differs.
+  auto first_doc = JsonParse(first.body);
+  auto second_doc = JsonParse(second.body);
+  ASSERT_TRUE(first_doc.ok() && second_doc.ok());
+  EXPECT_EQ(first_doc->Find("payload")->ToJson(),
+            second_doc->Find("payload")->ToJson());
+  EXPECT_EQ(first.key, second.key);
+}
+
+TEST(PlanServiceTest, DifferentSeedIsACacheMiss) {
+  PlanService service;
+  service.Handle(FastRequest());
+  PlanRequest other = FastRequest();
+  other.seed = 7;
+  const PlanService::Response response = service.Handle(other);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.cache, "miss");
+  EXPECT_EQ(service.stats().completed, 2);
+}
+
+TEST(PlanServiceTest, UnknownModelErrorListsZooNames) {
+  PlanService service;
+  PlanRequest request = FastRequest();
+  request.model = "gpt5";
+  const PlanService::Response response = service.Handle(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(response.status.message().find("known models"),
+            std::string::npos);
+  EXPECT_EQ(service.stats().errors, 1);
+  // The error envelope is well-formed JSON with the status code name.
+  auto doc = JsonParse(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("status")->string_value(), "error");
+  EXPECT_EQ(doc->Find("code")->string_value(), "INVALID_ARGUMENT");
+}
+
+TEST(PlanServiceTest, AdmissionRejectsWhenSaturated) {
+  // max_inflight_searches = 0 makes every search inadmissible, so the
+  // rejection path is exercised deterministically.
+  ServeOptions options;
+  options.max_inflight_searches = 0;
+  PlanService service(options);
+  const PlanService::Response response = service.Handle(FastRequest());
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().rejected, 1);
+  EXPECT_EQ(service.stats().completed, 0);
+  // Rejection happens before any caching: a retry once capacity exists
+  // (not here) would still be a miss, not a stale hit.
+  EXPECT_EQ(service.plan_cache_stats().inserts, 0);
+}
+
+TEST(PlanServiceTest, ConcurrentDuplicatesRunOneSearch) {
+  PlanService service;
+  constexpr int kClients = 8;
+  std::vector<PlanService::Response> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&service, &responses, i] {
+      responses[static_cast<size_t>(i)] = service.Handle(FastRequest());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // However the arrivals interleave (single-flight wait, cache hit, or the
+  // one real search), exactly one search ran and every client got the same
+  // payload.
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.completed, 1);
+  // Every request probes the cache exactly once (coalesced requests probed
+  // and missed before attaching to the in-flight search).
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, kClients);
+  EXPECT_LE(stats.coalesced, stats.cache_misses - 1);
+  auto first_payload = JsonParse(responses[0].body);
+  ASSERT_TRUE(first_payload.ok());
+  const std::string want = first_payload->Find("payload")->ToJson();
+  for (const PlanService::Response& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    auto doc = JsonParse(response.body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->Find("payload")->ToJson(), want);
+  }
+}
+
+TEST(PlanServiceTest, StreamingRequestEmitsEventsAndFinalPayload) {
+  PlanService service;
+  std::atomic<int> events{0};
+  const PlanService::Response response =
+      service.Handle(FastRequest(), [&events](const std::string& line) {
+        // Every streamed line is one well-formed JSON event.
+        EXPECT_TRUE(JsonValidate(line).ok()) << line;
+        events.fetch_add(1);
+      });
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_GT(events.load(), 0);
+  EXPECT_EQ(response.cache, "miss");
+}
+
+// ---- profile snapshots: the warm-start path ----
+
+TEST(PlanServiceTest, WarmStartedServiceRunsZeroProfileMeasurements) {
+  const std::string dir = ::testing::TempDir() + "/serve_warm_snapshots";
+
+  // Cold service: search once (profiling happens here), persist profiles.
+  uint64_t cold_key = 0;
+  std::string cold_plan;
+  {
+    PlanService cold;
+    const PlanService::Response response = cold.Handle(FastRequest());
+    ASSERT_TRUE(response.status.ok());
+    cold_key = response.key;
+    auto doc = JsonParse(response.body);
+    ASSERT_TRUE(doc.ok());
+    cold_plan = doc->Find("payload")->Find("plan")->ToJson();
+    EXPECT_GT(cold.stats().profile_misses, 0);
+    ASSERT_TRUE(cold.SaveProfiles(dir).ok());
+  }
+
+  // Warm service: same request re-runs the search (its plan cache starts
+  // empty), but every profile lookup hits the loaded snapshot — the
+  // acceptance bar is literally zero measure calls.
+  ServeOptions options;
+  options.snapshot_dir = dir;
+  PlanService warm(options);
+  const PlanService::Response response = warm.Handle(FastRequest());
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.cache, "miss");  // plan caches are per-process
+  const ServeStats stats = warm.stats();
+  EXPECT_EQ(stats.warm_starts, 1);
+  EXPECT_EQ(stats.warm_start_errors, 0);
+  EXPECT_GT(stats.profile_lookups, 0);
+  EXPECT_EQ(stats.profile_misses, 0);
+
+  // Determinism, end to end: the warm search reproduces the cold plan bit
+  // for bit under the same cache key. (Only the plan object — the payload's
+  // search timings and convergence timestamps are wall-clock.)
+  EXPECT_EQ(response.key, cold_key);
+  auto doc = JsonParse(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("payload")->Find("plan")->ToJson(), cold_plan);
+
+  std::remove(ProfileSnapshotPath(
+                  dir, ClusterSpec::WithGpuCount(FastRequest().gpus)
+                           .Fingerprint())
+                  .c_str());
+}
+
+TEST(PlanServiceTest, CorruptSnapshotFallsBackToColdStart) {
+  const std::string dir = ::testing::TempDir() + "/serve_corrupt_snapshots";
+  PlanService preparer;
+  ASSERT_TRUE(preparer.Handle(FastRequest()).status.ok());
+  ASSERT_TRUE(preparer.SaveProfiles(dir).ok());
+  const std::string path = ProfileSnapshotPath(
+      dir,
+      ClusterSpec::WithGpuCount(FastRequest().gpus).Fingerprint());
+  // Stomp the file: the warm-start probe must refuse it and run cold.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+
+  ServeOptions options;
+  options.snapshot_dir = dir;
+  PlanService service(options);
+  const PlanService::Response response = service.Handle(FastRequest());
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.warm_starts, 0);
+  EXPECT_EQ(stats.warm_start_errors, 1);
+  EXPECT_GT(stats.profile_misses, 0);  // it really profiled from scratch
+  std::remove(path.c_str());
+}
+
+// ---- the HTTP daemon ----
+
+class PlanDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(daemon_.Start("127.0.0.1", 0).ok());
+    port_ = daemon_.port();
+    ASSERT_GT(port_, 0);
+  }
+
+  PlanDaemon daemon_;
+  int port_ = 0;
+};
+
+TEST_F(PlanDaemonTest, HealthzAndStats) {
+  auto health = HttpCall("127.0.0.1", port_, "GET", "/healthz", "");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status_code, 200);
+  EXPECT_EQ(health->body, "{\"status\":\"ok\"}");
+
+  auto stats = HttpCall("127.0.0.1", port_, "GET", "/stats", "");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status_code, 200);
+  auto doc = JsonParse(stats->body);
+  ASSERT_TRUE(doc.ok()) << stats->body;
+  EXPECT_EQ(doc->Find("requests")->int_value(), 0);
+}
+
+TEST_F(PlanDaemonTest, PlanRoundTripAndDuplicateHit) {
+  const std::string body =
+      R"({"model":"gpt3-0.35b","gpus":4,"max_evaluations":40,
+          "budget_seconds":60})";
+  auto first = HttpCall("127.0.0.1", port_, "POST", "/plan", body);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status_code, 200);
+  auto first_doc = JsonParse(first->body);
+  ASSERT_TRUE(first_doc.ok()) << first->body;
+  EXPECT_EQ(first_doc->Find("status")->string_value(), "ok");
+  EXPECT_EQ(first_doc->Find("cache")->string_value(), "miss");
+  EXPECT_TRUE(first_doc->Find("payload")->Find("found")->bool_value());
+
+  auto second = HttpCall("127.0.0.1", port_, "POST", "/plan", body);
+  ASSERT_TRUE(second.ok());
+  auto second_doc = JsonParse(second->body);
+  ASSERT_TRUE(second_doc.ok());
+  EXPECT_EQ(second_doc->Find("cache")->string_value(), "hit");
+
+  // /stats agrees over the wire: one search, one hit.
+  auto stats = HttpCall("127.0.0.1", port_, "GET", "/stats", "");
+  ASSERT_TRUE(stats.ok());
+  auto stats_doc = JsonParse(stats->body);
+  ASSERT_TRUE(stats_doc.ok());
+  EXPECT_EQ(stats_doc->Find("completed")->int_value(), 1);
+  EXPECT_EQ(stats_doc->Find("cache_hits")->int_value(), 1);
+}
+
+TEST_F(PlanDaemonTest, StreamingPlanEmitsNdjson) {
+  const std::string body =
+      R"({"model":"gpt3-0.35b","gpus":4,"max_evaluations":40,
+          "budget_seconds":60,"stream":true})";
+  std::vector<std::string> lines;
+  auto response = HttpCallStreaming(
+      "127.0.0.1", port_, "POST", "/plan", body,
+      [&lines](std::string_view line) { lines.emplace_back(line); });
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  ASSERT_GT(lines.size(), 1u);  // events, then the envelope
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonValidate(line).ok()) << line;
+  }
+  auto final_doc = JsonParse(lines.back());
+  ASSERT_TRUE(final_doc.ok());
+  EXPECT_EQ(final_doc->Find("status")->string_value(), "ok");
+  EXPECT_TRUE(final_doc->Find("payload")->Find("found")->bool_value());
+}
+
+TEST_F(PlanDaemonTest, ErrorStatusesMapOntoHttp) {
+  // Parse error → 400.
+  auto bad = HttpCall("127.0.0.1", port_, "POST", "/plan", "{\"gpus\":4}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status_code, 400);
+  auto bad_doc = JsonParse(bad->body);
+  ASSERT_TRUE(bad_doc.ok());
+  EXPECT_EQ(bad_doc->Find("status")->string_value(), "error");
+
+  // Unknown endpoint → 404; wrong verb → 405.
+  auto missing = HttpCall("127.0.0.1", port_, "GET", "/nope", "");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+  auto verb = HttpCall("127.0.0.1", port_, "GET", "/plan", "");
+  ASSERT_TRUE(verb.ok());
+  EXPECT_EQ(verb->status_code, 405);
+
+  // /profile/save without a snapshot dir → 400 (InvalidArgument).
+  auto save = HttpCall("127.0.0.1", port_, "POST", "/profile/save", "");
+  ASSERT_TRUE(save.ok());
+  EXPECT_EQ(save->status_code, 400);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace aceso

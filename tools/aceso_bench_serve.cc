@@ -1,0 +1,285 @@
+// aceso_bench_serve: planning-daemon serving benchmark for CI.
+//
+//   aceso_bench_serve [--out BENCH_serve.json] [--quick]
+//                     [--model gpt3-0.35b] [--gpus 4] [--max-evals 60]
+//
+// Measures end-to-end request latency (real loopback HTTP, sequential
+// requests) through the daemon's three serving paths:
+//
+//   - cold:       a fresh daemon, empty profile database — the first
+//                 request pays profiling plus the search;
+//   - warm_profile: a daemon warm-started from a saved profile snapshot
+//                 (ProfileDatabase::Load), same requests — the search runs
+//                 but every profile lookup hits, zero measurements;
+//   - cache_hit:  a repeated identical request — served straight from the
+//                 PlanCache, no search at all.
+//
+// Requests use a deterministic evaluation budget (max_evaluations), so the
+// cold and warm phases run bit-identical searches over identical profile
+// keys; the report asserts the warm phase's profile-miss delta is zero and
+// the cache-hit phase's hit counter matches its request count. The JSON is
+// hand-emitted (the repository carries no JSON dependency); CI uploads it
+// as the BENCH_serve artifact next to BENCH_search and BENCH_perf_model.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/aceso.h"
+#include "tools/cli_flags.h"
+
+namespace aceso {
+namespace {
+
+struct Args {
+  std::string out = "BENCH_serve.json";
+  std::string model = "gpt3-0.35b";
+  int gpus = 4;
+  int64_t max_evals = 60;
+  bool quick = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else if (flag == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.model = v;
+    } else if (flag == "--gpus") {
+      if (!cli::ParsePositiveInt("--gpus", next(), &args.gpus)) return false;
+    } else if (flag == "--max-evals") {
+      uint64_t evals = 0;
+      if (!cli::ParseUint64("--max-evals", next(), &evals)) return false;
+      args.max_evals = static_cast<int64_t>(evals);
+    } else if (flag == "--quick") {
+      args.quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string RequestBody(const Args& args, uint64_t seed) {
+  std::string body = "{\"model\":\"" + JsonEscape(args.model) + "\"";
+  body += ",\"gpus\":" + std::to_string(args.gpus);
+  body += ",\"budget_seconds\":600";
+  body += ",\"max_evaluations\":" + std::to_string(args.max_evals);
+  body += ",\"seed\":" + std::to_string(seed);
+  body += ",\"client\":\"aceso_bench_serve\"}";
+  return body;
+}
+
+struct PathReport {
+  std::string path;
+  int requests = 0;
+  int failures = 0;
+  double total_seconds = 0.0;
+  double req_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[index];
+}
+
+// Sends `bodies` sequentially to the daemon, timing each round trip.
+PathReport RunPath(const char* name, int port,
+                   const std::vector<std::string>& bodies) {
+  PathReport report;
+  report.path = name;
+  std::vector<double> latencies_ms;
+  const double start = NowSeconds();
+  for (const std::string& body : bodies) {
+    const double t0 = NowSeconds();
+    auto response = serve::HttpCall("127.0.0.1", port, "POST", "/plan", body);
+    const double t1 = NowSeconds();
+    ++report.requests;
+    if (!response.ok() || response->status_code != 200) {
+      ++report.failures;
+      continue;
+    }
+    latencies_ms.push_back(1e3 * (t1 - t0));
+  }
+  report.total_seconds = NowSeconds() - start;
+  report.req_per_sec =
+      report.total_seconds > 0
+          ? static_cast<double>(report.requests) / report.total_seconds
+          : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  report.p50_ms = Percentile(latencies_ms, 0.5);
+  report.p99_ms = Percentile(latencies_ms, 0.99);
+  return report;
+}
+
+void WriteJson(const Args& args, const std::vector<PathReport>& paths,
+               int64_t warm_profile_misses, int64_t cache_hits,
+               int64_t cache_hit_requests) {
+  std::FILE* f = std::fopen(args.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"model\": \"%s\",\n", JsonEscape(args.model).c_str());
+  std::fprintf(f, "  \"gpus\": %d,\n", args.gpus);
+  std::fprintf(f, "  \"max_evaluations\": %lld,\n",
+               static_cast<long long>(args.max_evals));
+  std::fprintf(f, "  \"quick\": %s,\n", args.quick ? "true" : "false");
+  std::fprintf(f, "  \"warm_profile_misses\": %lld,\n",
+               static_cast<long long>(warm_profile_misses));
+  std::fprintf(f, "  \"cache_hits\": %lld,\n",
+               static_cast<long long>(cache_hits));
+  std::fprintf(f, "  \"cache_hit_requests\": %lld,\n",
+               static_cast<long long>(cache_hit_requests));
+  std::fprintf(f, "  \"paths\": [\n");
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const PathReport& p = paths[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"path\": \"%s\",\n", p.path.c_str());
+    std::fprintf(f, "      \"requests\": %d,\n", p.requests);
+    std::fprintf(f, "      \"failures\": %d,\n", p.failures);
+    std::fprintf(f, "      \"total_seconds\": %.4f,\n", p.total_seconds);
+    std::fprintf(f, "      \"req_per_sec\": %.2f,\n", p.req_per_sec);
+    std::fprintf(f, "      \"p50_ms\": %.3f,\n", p.p50_ms);
+    std::fprintf(f, "      \"p99_ms\": %.3f\n", p.p99_ms);
+    std::fprintf(f, "    }%s\n", i + 1 < paths.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: %s [--out FILE] [--model NAME] [--gpus N] "
+                 "[--max-evals N] [--quick]\n",
+                 argv[0]);
+    return 2;
+  }
+  const int search_samples = args.quick ? 3 : 8;
+  const int hit_samples = args.quick ? 50 : 200;
+
+  // The same deterministic request set for the cold and warm phases: with a
+  // fixed max_evaluations budget the warm searches replay the cold ones
+  // bit-identically, touching exactly the same profile keys.
+  std::vector<std::string> search_bodies;
+  for (int i = 0; i < search_samples; ++i) {
+    search_bodies.push_back(
+        RequestBody(args, 1000 + static_cast<uint64_t>(i)));
+  }
+
+  const std::string snapshot_dir = "bench_serve_snapshots";
+  std::vector<PathReport> paths;
+
+  // ---- cold: fresh daemon, empty profile database ----
+  int64_t cold_misses = 0;
+  {
+    serve::PlanDaemon daemon(serve::ServeOptions{});
+    const Status started = daemon.Start("127.0.0.1", 0);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    paths.push_back(RunPath("cold", daemon.port(), search_bodies));
+    cold_misses = daemon.service().stats().profile_misses;
+    const Status saved = daemon.service().SaveProfiles(snapshot_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "profile save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    daemon.Stop();
+  }
+
+  // ---- warm_profile + cache_hit: daemon warm-started from the snapshot ----
+  int64_t warm_misses = 0;
+  int64_t cache_hits = 0;
+  {
+    serve::ServeOptions options;
+    options.snapshot_dir = snapshot_dir;
+    serve::PlanDaemon daemon(options);
+    const Status started = daemon.Start("127.0.0.1", 0);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    paths.push_back(RunPath("warm_profile", daemon.port(), search_bodies));
+    warm_misses = daemon.service().stats().profile_misses;
+
+    const std::vector<std::string> hit_bodies(hit_samples, search_bodies[0]);
+    paths.push_back(RunPath("cache_hit", daemon.port(), hit_bodies));
+    cache_hits = daemon.service().plan_cache_stats().hits;
+    daemon.Stop();
+  }
+
+  for (const PathReport& p : paths) {
+    std::printf("%-13s %4d requests in %7.3fs  %8.2f req/s  "
+                "p50 %8.3fms  p99 %8.3fms%s\n",
+                p.path.c_str(), p.requests, p.total_seconds, p.req_per_sec,
+                p.p50_ms, p.p99_ms,
+                p.failures > 0 ? "  ** FAILURES **" : "");
+  }
+  std::printf("profile misses: cold %lld, warm %lld; cache hits %lld/%d\n",
+              static_cast<long long>(cold_misses),
+              static_cast<long long>(warm_misses),
+              static_cast<long long>(cache_hits), hit_samples);
+
+  WriteJson(args, paths, warm_misses, cache_hits, hit_samples);
+  std::printf("wrote %s\n", args.out.c_str());
+
+  // Acceptance bars (DESIGN.md §14): the warm daemon re-runs the cold
+  // searches without a single profile measurement, and every duplicate
+  // request is a plan-cache hit.
+  for (const PathReport& p : paths) {
+    if (p.failures > 0) {
+      std::fprintf(stderr, "FAIL: %d failed requests on the %s path\n",
+                   p.failures, p.path.c_str());
+      return 1;
+    }
+  }
+  if (warm_misses != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-started daemon took %lld profile misses "
+                 "(expected 0)\n",
+                 static_cast<long long>(warm_misses));
+    return 1;
+  }
+  if (cache_hits != hit_samples) {
+    std::fprintf(stderr, "FAIL: %lld plan-cache hits for %d duplicates\n",
+                 static_cast<long long>(cache_hits), hit_samples);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aceso
+
+int main(int argc, char** argv) { return aceso::Main(argc, argv); }

@@ -1,15 +1,25 @@
 // aceso_plan: lower a saved configuration to an execution plan and run it in
-// the simulated runtime.
+// the simulated runtime — or, with --remote, ask a running aceso_serve
+// daemon to search one.
 //
 //   aceso_plan --model gpt3-1.3b --gpus 8 --config config.txt
 //              [--dump-device N] [--timeline] [--trace out.json]
+//   aceso_plan --remote 127.0.0.1:8700 --model gpt3-1.3b --gpus 8
+//              [--budget S] [--max-evals N] [--seed N] [--out config.txt]
+//
+// Remote mode POSTs a plan request (DESIGN.md §14) and prints the daemon's
+// plan summary; --out saves the returned config text in the same format
+// LoadConfigFromFile reads, so a remote answer can be lowered locally with
+// a second, non-remote invocation.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "src/aceso.h"
 #include "tools/cli_flags.h"
+#include "tools/tool_common.h"
 
 namespace {
 
@@ -20,18 +30,29 @@ struct Args {
   int dump_device = -1;
   bool timeline = false;
   std::string trace_path;
+  // Remote mode.
+  std::string remote;  // "host:port"; empty = local
+  double budget = 2.0;
+  int64_t max_evals = 0;
+  uint64_t seed = 20240422;
+  std::string out;
 };
 
 void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --model NAME --gpus N --config FILE "
-               "[--dump-device N] [--timeline] [--trace FILE]\n",
-               argv0);
+               "[--dump-device N] [--timeline] [--trace FILE]\n"
+               "       %s --remote HOST:PORT --model NAME --gpus N "
+               "[--budget S] [--max-evals N] [--seed N] [--out FILE]\n"
+               "%s",
+               argv0, argv0, aceso::tools::ZooUsageLines());
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
   using aceso::cli::ParseInt;
+  using aceso::cli::ParsePositiveDouble;
   using aceso::cli::ParsePositiveInt;
+  using aceso::cli::ParseUint64;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -55,12 +76,119 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.trace_path = v;
+    } else if (flag == "--remote") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.remote = v;
+    } else if (flag == "--budget") {
+      if (!ParsePositiveDouble("--budget", next(), &args.budget)) return false;
+    } else if (flag == "--max-evals") {
+      uint64_t evals = 0;
+      if (!ParseUint64("--max-evals", next(), &evals)) return false;
+      args.max_evals = static_cast<int64_t>(evals);
+    } else if (flag == "--seed") {
+      if (!ParseUint64("--seed", next(), &args.seed)) return false;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
-  return !args.config_path.empty();
+  return !args.remote.empty() || !args.config_path.empty();
+}
+
+// Splits "host:port"; false on a malformed spec.
+bool SplitHostPort(const std::string& spec, std::string* host, int* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  return aceso::cli::ParsePositiveInt("--remote port",
+                                      spec.c_str() + colon + 1, port);
+}
+
+int RunRemote(const Args& args) {
+  using namespace aceso;
+  std::string host;
+  int port = 0;
+  if (!SplitHostPort(args.remote, &host, &port)) {
+    std::fprintf(stderr, "--remote: expected HOST:PORT, got \"%s\"\n",
+                 args.remote.c_str());
+    return 2;
+  }
+
+  std::string body = "{\"model\":\"" + JsonEscape(args.model) + "\"";
+  body += ",\"gpus\":" + std::to_string(args.gpus);
+  body += ",\"budget_seconds\":";
+  AppendJsonNumber(body, args.budget);
+  body += ",\"max_evaluations\":" + std::to_string(args.max_evals);
+  body += ",\"seed\":" + std::to_string(args.seed);
+  body += ",\"client\":\"aceso_plan\"}";
+
+  auto response = serve::HttpCall(host, port, "POST", "/plan", body);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = JsonParse(response->body);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "malformed daemon response: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue* status = doc->Find("status");
+  if (status == nullptr || !status->is_string() ||
+      status->string_value() != "ok") {
+    const JsonValue* message = doc->Find("message");
+    std::fprintf(stderr, "daemon error (HTTP %d): %s\n",
+                 response->status_code,
+                 message != nullptr && message->is_string()
+                     ? message->string_value().c_str()
+                     : response->body.c_str());
+    return 1;
+  }
+
+  const JsonValue* cache = doc->Find("cache");
+  const JsonValue* payload = doc->Find("payload");
+  const JsonValue* found = payload ? payload->Find("found") : nullptr;
+  if (payload == nullptr || found == nullptr || !found->is_bool()) {
+    std::fprintf(stderr, "malformed daemon response: missing payload\n");
+    return 1;
+  }
+  if (!found->bool_value()) {
+    std::fprintf(stderr, "no feasible configuration found\n");
+    return 1;
+  }
+  const JsonValue* plan = payload->Find("plan");
+  const JsonValue* summary = plan ? plan->Find("summary") : nullptr;
+  std::printf("plan (%s): %s\n",
+              cache != nullptr && cache->is_string()
+                  ? cache->string_value().c_str()
+                  : "?",
+              summary != nullptr && summary->is_string()
+                  ? summary->string_value().c_str()
+                  : "(no summary)");
+
+  if (!args.out.empty()) {
+    const JsonValue* config_text = plan ? plan->Find("config_text") : nullptr;
+    if (config_text == nullptr || !config_text->is_string()) {
+      std::fprintf(stderr, "daemon response carries no config_text\n");
+      return 1;
+    }
+    std::ofstream out(args.out, std::ios::binary);
+    out << config_text->string_value();
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("saved to %s\n", args.out.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -72,19 +200,23 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 2;
   }
+  if (!args.remote.empty()) {
+    return RunRemote(args);
+  }
 
-  auto graph = models::BuildByName(args.model);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+  auto loaded = tools::LoadModelAndCluster(args.model, args.gpus);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  const ClusterSpec cluster = ClusterSpec::WithGpuCount(args.gpus);
-  auto config = LoadConfigFromFile(args.config_path, *graph);
+  OpGraph& graph = loaded->graph;
+  const ClusterSpec& cluster = loaded->cluster;
+  auto config = LoadConfigFromFile(args.config_path, graph);
   if (!config.ok()) {
     std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
     return 1;
   }
-  const Status valid = config->Validate(*graph, cluster);
+  const Status valid = config->Validate(graph, cluster);
   if (!valid.ok()) {
     std::fprintf(stderr, "invalid configuration: %s\n",
                  valid.ToString().c_str());
@@ -92,7 +224,7 @@ int main(int argc, char** argv) {
   }
 
   // Lower and verify the plan.
-  const ExecutionPlan plan = ExecutionPlan::Lower(*graph, *config);
+  const ExecutionPlan plan = ExecutionPlan::Lower(graph, *config);
   const Status plan_ok = plan.Verify();
   if (!plan_ok.ok()) {
     std::fprintf(stderr, "plan verification failed: %s\n",
@@ -106,7 +238,7 @@ int main(int argc, char** argv) {
 
   // Execute in the simulated runtime.
   ProfileDatabase db(cluster);
-  PerformanceModel model(&*graph, cluster, &db);
+  PerformanceModel model(&graph, cluster, &db);
   PipelineExecutor executor(&model);
   ExecutionOptions options;
   options.render_timeline = args.timeline;
@@ -115,7 +247,7 @@ int main(int argc, char** argv) {
 
   std::printf("actual: %s iteration %s, %.1f samples/s, %.2f TFLOPS/GPU\n",
               run.oom ? "OOM," : "", FormatSeconds(run.iteration_seconds).c_str(),
-              run.Throughput(graph->global_batch_size()),
+              run.Throughput(graph.global_batch_size()),
               executor.EffectiveTflopsPerGpu(run));
   if (args.timeline) {
     std::printf("\n%s", run.ascii_timeline.c_str());

@@ -17,6 +17,7 @@
 
 #include "src/aceso.h"
 #include "tools/cli_flags.h"
+#include "tools/tool_common.h"
 
 namespace {
 
@@ -42,9 +43,8 @@ void PrintUsage(const char* argv0) {
       "[--out FILE]\n"
       "          [--seed-mode heuristic|dp] [--telemetry FILE.jsonl] "
       "[--search-trace FILE.json]\n"
-      "models: gpt3-{0.35,1.3,2.6,6.7,13}b  t5-{0.77,3,6,11,22}b\n"
-      "        wresnet-{0.5,2,4,6.8,13}b  deepnet-<layers>\n",
-      argv0);
+      "%s",
+      argv0, aceso::tools::ZooUsageLines());
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -113,16 +113,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto graph = models::BuildByName(args.model);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+  auto loaded = tools::LoadModelAndCluster(args.model, args.gpus);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  const ClusterSpec cluster = ClusterSpec::WithGpuCount(args.gpus);
+  OpGraph& graph = loaded->graph;
+  const ClusterSpec& cluster = loaded->cluster;
   ProfileDatabase db(cluster);
-  PerformanceModel model(&*graph, cluster, &db);
+  PerformanceModel model(&graph, cluster, &db);
 
-  std::printf("%s on %s, budget %.1fs\n", graph->Summary().c_str(),
+  std::printf("%s on %s, budget %.1fs\n", graph.Summary().c_str(),
               cluster.ToString().c_str(), args.budget);
 
   // The sink outlives the search; --search-trace alone still needs the
@@ -177,7 +178,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("\n%s\n", result.best.config.ToString(*graph).c_str());
+  std::printf("\n%s\n", result.best.config.ToString(graph).c_str());
   std::printf("predicted: %s\n", result.best.perf.Summary().c_str());
   std::printf("search: %.2fs, %lld configs explored, %lld improvements\n",
               result.search_seconds,
@@ -195,7 +196,7 @@ int main(int argc, char** argv) {
 
   if (!args.out.empty()) {
     const Status status =
-        SaveConfigToFile(args.out, result.best.config, graph->name());
+        SaveConfigToFile(args.out, result.best.config, graph.name());
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;

@@ -101,6 +101,13 @@ def main():
             f"report: {', '.join(missing)}"
         )
         exit_code = 1
+    elif missing:
+        # An --allow-missing run must still say exactly what it skipped, so
+        # the transition aid cannot silently become a permanent blind spot.
+        print(
+            f"note: --allow-missing skipped {len(missing)} baseline "
+            f"benchmark(s): {', '.join(missing)}"
+        )
     if exit_code == 0:
         print(f"{compared} benchmark(s) within {args.threshold}x of baseline")
     return exit_code

@@ -92,8 +92,8 @@ inline bool ParsePositiveDouble(const char* flag, const char* value,
 
 // Matches the value against a closed set of tokens (case-sensitive, whole
 // token) and stores the index of the match. Anything else — including an
-// abbreviation or a case mismatch — fails with the accepted spellings
-// spelled out, e.g.  --seed-mode: expected heuristic|dp, got "DP".
+// abbreviation or a case mismatch — fails with every accepted spelling
+// listed, e.g.  --seed-mode: expected one of heuristic|dp, got "DP".
 inline bool ParseChoice(const char* flag, const char* value,
                         std::initializer_list<const char*> choices,
                         int* out_index) {
@@ -107,9 +107,11 @@ inline bool ParseChoice(const char* flag, const char* value,
       ++index;
     }
   }
-  std::string want;
+  std::string want = "one of ";
+  bool first = true;
   for (const char* choice : choices) {
-    if (!want.empty()) want += '|';
+    if (!first) want += '|';
+    first = false;
     want += choice;
   }
   return FlagError(flag, value, want.c_str());

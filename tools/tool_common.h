@@ -1,0 +1,37 @@
+// Shared model/cluster loading for the CLI tools (aceso_search, aceso_plan,
+// aceso_serve, the benches). One place owns the BuildByName → WithGpuCount
+// sequence and its error reporting, so every tool rejects an unknown model
+// with the same message — including the list of known zoo names — instead
+// of each tool growing its own variant.
+
+#ifndef TOOLS_TOOL_COMMON_H_
+#define TOOLS_TOOL_COMMON_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/hw/cluster.h"
+#include "src/ir/op_graph.h"
+
+namespace aceso {
+namespace tools {
+
+struct ModelAndCluster {
+  OpGraph graph;
+  ClusterSpec cluster;
+};
+
+// Builds the zoo model `model` and the `gpus`-wide cluster. An unknown
+// model name fails with the zoo's names appended, so the caller can print
+// the status verbatim.
+StatusOr<ModelAndCluster> LoadModelAndCluster(const std::string& model,
+                                              int gpus);
+
+// The canonical "models: ..." usage lines shared by every tool's
+// PrintUsage (newline-terminated).
+const char* ZooUsageLines();
+
+}  // namespace tools
+}  // namespace aceso
+
+#endif  // TOOLS_TOOL_COMMON_H_
