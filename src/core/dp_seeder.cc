@@ -133,7 +133,9 @@ StatusOr<DpSeedResult> DpSeedConfig(const PerformanceModel& model,
   const std::vector<char> cut_ok = AllowedCuts(graph, options.compress_runs);
   const int64_t batch = graph.global_batch_size();
   const double opt_mult = OptimizerMultiplier(graph.precision());
-  const int64_t mem_cap = cluster.gpu.memory_bytes;
+  const int64_t mem_cap = options.memory_limit_bytes > 0
+                              ? options.memory_limit_bytes
+                              : cluster.gpu.memory_bytes;
   const int max_len =
       std::max(1, static_cast<int>(options.max_ops_per_stage_factor * n / S));
   constexpr double kInf = 1e300;
@@ -282,12 +284,13 @@ StatusOr<DpSeedResult> DpSeedConfig(const PerformanceModel& model,
     if (!constructed || !config.Validate(graph, cluster).ok()) {
       continue;
     }
-    const PerfResult perf = model.Evaluate(config);
+    PerfResult perf = model.Evaluate(config);
+    perf.ApplyMemoryLimit(options.memory_limit_bytes);
     ++result.evaluations;
     if (!found || perf.BetterThan(result.perf)) {
       found = true;
       result.config = std::move(config);
-      result.perf = perf;
+      result.perf = std::move(perf);
     }
   }
 

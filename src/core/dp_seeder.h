@@ -63,6 +63,11 @@ struct DpSeedOptions {
   // the DP exact over all op boundaries (slower on deep models; used by
   // tests to check the compression loses nothing on uniform stacks).
   bool compress_runs = true;
+  // Per-device memory budget overriding the Eq.1 cap and the re-pricing
+  // verdict; <= 0 uses GpuSpec::memory_bytes. Mirrors
+  // SearchOptions::memory_budget_bytes so a budget-constrained search seeds
+  // within its own budget.
+  int64_t memory_limit_bytes = 0;
 };
 
 struct DpSeedResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/core/frontier.h"
+
 namespace aceso {
 namespace {
 
@@ -53,6 +55,16 @@ PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
       ++*trial_evaluations;
     }
   };
+  auto offer_frontier = [&](ParallelConfig& trial, const PerfResult& perf) {
+    if (options.frontier == nullptr) {
+      return;
+    }
+    const ClusterSpec& cluster = model.cluster();
+    options.frontier->Offer(trial, perf, trial.SemanticHash(graph),
+                            CostPerStepUsd(perf.iteration_time,
+                                           cluster.num_gpus(),
+                                           cluster.gpu.price_per_hour_usd));
+  };
 
   // --- 1. Flexible tp/dp combination inside each stage ---
   for (int s = 0; s < config.num_stages() && !budget.Expired(); ++s) {
@@ -71,10 +83,12 @@ PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
           continue;
         }
         count_trial();
-        const PerfResult perf = model.Evaluate(trial);
+        PerfResult perf = model.Evaluate(trial);
+        perf.ApplyMemoryLimit(options.memory_limit_bytes);
+        offer_frontier(trial, perf);
         if (perf.BetterThan(best)) {
           config = std::move(trial);
-          best = perf;
+          best = std::move(perf);
         }
       }
     }
@@ -103,10 +117,12 @@ PerfResult FineTune(const PerformanceModel& model, ParallelConfig& config,
                                  : TpDim::kColumn;
       ++flips;
       count_trial();
-      const PerfResult perf = model.Evaluate(trial);
+      PerfResult perf = model.Evaluate(trial);
+      perf.ApplyMemoryLimit(options.memory_limit_bytes);
+      offer_frontier(trial, perf);
       if (perf.BetterThan(best)) {
         config = std::move(trial);
-        best = perf;
+        best = std::move(perf);
       }
     }
   }

@@ -25,12 +25,14 @@ namespace {
 
 // Sort key for the unexplored pool and top-k list: feasible configs order by
 // predicted iteration time; OOM configs sort after all feasible ones, least
-// over-memory first.
+// over-memory first. ComparableTime() maps NaN estimates to +inf — a NaN key
+// would corrupt the score-ordered multimaps (NaN is incomparable under <,
+// which breaks their strict-weak-ordering contract).
 double Score(const PerfResult& perf) {
   if (!perf.oom) {
-    return perf.iteration_time;
+    return perf.ComparableTime();
   }
-  return 1e12 + static_cast<double>(perf.MaxMemory() - perf.memory_limit);
+  return 1e12 + static_cast<double>(perf.MemoryOverage());
 }
 
 // Bound on the unexplored pool: keeps the search's memory flat over long
@@ -74,10 +76,12 @@ class SingleSearch {
     ScoredConfig current;
     current.config = *std::move(initial);
     current.perf = model_.Evaluate(current.config);
+    current.perf.ApplyMemoryLimit(options_.memory_budget_bytes);
     ++stats_.configs_explored;  // the initial configuration counts too
     current.semantic_hash = current.config.SemanticHash(model_.graph());
     visited_.insert(current.semantic_hash);
     RecordTopK(current);
+    OfferFrontier(current);
 
     ScoredConfig best = current;
     result.found = true;
@@ -108,14 +112,20 @@ class SingleSearch {
         current = std::move(improved->found);
         if (options_.enable_finetune) {
           const double before_finetune = current.perf.iteration_time;
+          FineTuneOptions finetune_options;
+          finetune_options.memory_limit_bytes = options_.memory_budget_bytes;
+          if (options_.track_frontier) {
+            finetune_options.frontier = &frontier_;
+          }
           current.perf = FineTune(model_, current.config, current.perf,
-                                  budget_, {}, &finetune_trials);
+                                  budget_, finetune_options, &finetune_trials);
           stats_.configs_explored += finetune_trials;
           finetune_delta = before_finetune - current.perf.iteration_time;
           // Fine-tuning mutates the config, so its hash must be refreshed.
           current.semantic_hash = current.config.SemanticHash(model_.graph());
           visited_.insert(current.semantic_hash);
           RecordTopK(current);
+          OfferFrontier(current);
         }
         if (current.perf.BetterThan(best.perf)) {
           best = current;
@@ -153,6 +163,9 @@ class SingleSearch {
                                   stats_.configs_explored,
                                   !result.best.perf.oom});
     EmitSearchEnd(result, run_start, converged);
+    stats_.frontier_offered = frontier_.stats().offered;
+    stats_.frontier_admitted = frontier_.stats().admitted;
+    result.frontier = std::move(frontier_);
     result.stats = std::move(stats_);
     // top_k_ is score-ordered, so this emits best-first directly.
     for (auto& [score, scored] : top_k_) {
@@ -283,7 +296,9 @@ class SingleSearch {
   // deterministically) and records them for the search_end counter flush.
   StatusOr<ParallelConfig> MakeInitial() {
     if (options_.seed_mode == SeedMode::kDp) {
-      auto seeded = DpSeedConfig(model_, num_stages_);
+      DpSeedOptions seed_options;
+      seed_options.memory_limit_bytes = options_.memory_budget_bytes;
+      auto seeded = DpSeedConfig(model_, num_stages_, seed_options);
       if (seeded.ok()) {
         stats_.configs_explored += seeded->evaluations;
         dp_seed_evaluations_ = seeded->evaluations;
@@ -431,6 +446,7 @@ class SingleSearch {
             // below leaves the rest of the batch unevaluated, like the old
             // candidate-at-a-time loop.
             bc.scored.perf = model_.Evaluate(bc.scored.config);
+            bc.scored.perf.ApplyMemoryLimit(options_.memory_budget_bytes);
             bc.evaluated = true;
             ++eval_serial_candidates_;
           }
@@ -439,6 +455,7 @@ class SingleSearch {
             ++iter_.evaluated;
           }
           RecordTopK(bc.scored);
+          OfferFrontier(bc.scored);
           if (bc.scored.perf.BetterThan(init_perf)) {
             // First improvement wins; the serial loop never generated the
             // candidates after it, so un-visit them.
@@ -563,6 +580,8 @@ class SingleSearch {
             for (size_t i = begin; i < end; ++i) {
               lanes[i]->scored.perf =
                   sub.TakePerf(static_cast<int>(i - begin));
+              lanes[i]->scored.perf.ApplyMemoryLimit(
+                  options_.memory_budget_bytes);
             }
             chunk_stats[c] = sub.stats();
           });
@@ -586,6 +605,7 @@ class SingleSearch {
         scratch_batch_->EvaluateAll();
         for (size_t i = 0; i < lanes.size(); ++i) {
           lanes[i]->scored.perf = scratch_batch_->TakePerf(static_cast<int>(i));
+          lanes[i]->scored.perf.ApplyMemoryLimit(options_.memory_budget_bytes);
         }
         batch_stats_ += scratch_batch_->stats();
       }
@@ -600,8 +620,10 @@ class SingleSearch {
         continue;
       }
       bc.evaluated = true;
-      tasks.Submit(
-          [this, &bc] { bc.scored.perf = model_.Evaluate(bc.scored.config); });
+      tasks.Submit([this, &bc] {
+        bc.scored.perf = model_.Evaluate(bc.scored.config);
+        bc.scored.perf.ApplyMemoryLimit(options_.memory_budget_bytes);
+      });
     }
     tasks.Wait();
     ++eval_batches_;
@@ -633,6 +655,23 @@ class SingleSearch {
     while (unexplored_.size() > kMaxUnexplored) {
       unexplored_.erase(std::prev(unexplored_.end()));
     }
+  }
+
+  // Offers one reduced candidate to the frontier archive
+  // (options.track_frontier; DESIGN.md §15). Called only from serial
+  // sections — Run()'s spine and the MultiHop reduction — never from the
+  // speculative evaluation phase, so the archive is bit-identical at every
+  // eval_threads setting: candidates a serial run would not have reduced
+  // (past an improvement cut or budget stop) are never offered.
+  void OfferFrontier(const ScoredConfig& scored) {
+    if (!options_.track_frontier) {
+      return;
+    }
+    const ClusterSpec& cluster = model_.cluster();
+    frontier_.Offer(scored.config, scored.perf, scored.semantic_hash,
+                    CostPerStepUsd(scored.perf.iteration_time,
+                                   cluster.num_gpus(),
+                                   cluster.gpu.price_per_hour_usd));
   }
 
   // Keeps the k best distinct feasible configs in a score-ordered multimap:
@@ -684,6 +723,7 @@ class SingleSearch {
   int64_t dp_seed_evaluations_ = 0;
 
   SearchStats stats_;
+  FrontierArchive frontier_;
   std::unordered_set<uint64_t, IdentityHash> visited_;
   std::multimap<double, std::shared_ptr<const ScoredConfig>> unexplored_;
   std::multimap<double, ScoredConfig> top_k_;
@@ -694,7 +734,15 @@ class SingleSearch {
 SearchResult MergeResults(std::vector<SearchResult> results, int top_k) {
   SearchResult merged;
   for (SearchResult& r : results) {
+    // Per-stage-count archives merge in stage-count order: deterministic
+    // inputs (bit-reproducible per-worker archives) give a deterministic
+    // merged frontier regardless of which thread ran which stage count.
+    // Workers that found no feasible best still contribute: their walks
+    // archived valid (time, memory) points.
+    merged.frontier.Merge(r.frontier);
     if (!r.found) {
+      merged.stats.frontier_offered += r.stats.frontier_offered;
+      merged.stats.frontier_admitted += r.stats.frontier_admitted;
       continue;
     }
     if (!merged.found || r.best.perf.BetterThan(merged.best.perf)) {
@@ -740,12 +788,74 @@ SearchResult MergeResults(std::vector<SearchResult> results, int top_k) {
   return merged;
 }
 
+// Runs one stage count's search slice. In frontier mode (DESIGN.md §15) the
+// slice's budget splits across an internal ladder of memory limits —
+// capacity, then halved per rung — because a capacity-limit walk alone
+// under-samples the low-memory region: Algorithm 1 alleviates whatever
+// bottleneck blocks *throughput*, so it rarely visits the configurations a
+// tight budget would force. Each rung runs the same Algorithm-1 walk with
+// the rung's limit applied to every verdict, and the rungs merge into one
+// result (capacity rung first, so a config several rungs visit keeps its
+// widest-limit verdict in the archive). Deterministic: fixed rung count,
+// deterministic per-rung evaluation budgets, serial merge order.
+SearchResult RunStageCount(const PerformanceModel& model,
+                           const SearchOptions& options, int num_stages,
+                           double budget_seconds, const Stopwatch& watch,
+                           int worker) {
+  if (!options.track_frontier) {
+    SingleSearch search(model, options, num_stages, budget_seconds, watch,
+                        worker);
+    return search.Run();
+  }
+  // Rung limits descend from capacity by powers of two — the fractions a
+  // budget sweep naturally asks about ("half the memory, a quarter"). An
+  // off-rung budget is answered by the nearest covered level below it;
+  // densifying the ladder (sqrt(2) rungs) was tried and lost more to the
+  // thinner per-rung budget than it gained in coverage.
+  constexpr int kLadderRungs = 5;
+  const int64_t capacity =
+      options.memory_budget_bytes > 0
+          ? std::min(options.memory_budget_bytes,
+                     model.cluster().gpu.memory_bytes)
+          : model.cluster().gpu.memory_bytes;
+  // <= 0 stays "unlimited" through the division.
+  const double rung_seconds = budget_seconds / kLadderRungs;
+  const int64_t base_evals = options.max_evaluations / kLadderRungs;
+  std::vector<SearchResult> rungs;
+  for (int rung = 0; rung < kLadderRungs; ++rung) {
+    SearchOptions rung_options = options;
+    if (rung == 0) {
+      // The capacity rung keeps the caller's own limit (possibly none) and
+      // absorbs the evaluation-budget remainder, so the overall best is as
+      // strong as an even split allows.
+      if (options.max_evaluations > 0) {
+        rung_options.max_evaluations =
+            options.max_evaluations - (kLadderRungs - 1) * base_evals;
+      }
+    } else {
+      if (options.max_evaluations > 0 && base_evals == 0) {
+        break;  // too few evaluations to split; the capacity rung took all
+      }
+      rung_options.memory_budget_bytes = capacity >> rung;
+      if (options.max_evaluations > 0) {
+        rung_options.max_evaluations = base_evals;
+      }
+    }
+    SingleSearch search(model, rung_options, num_stages, rung_seconds, watch,
+                        worker);
+    rungs.push_back(search.Run());
+  }
+  return MergeResults(std::move(rungs), options.top_k);
+}
+
 }  // namespace
 
 void SearchStats::Merge(const SearchStats& other) {
   iterations += other.iterations;
   improvements += other.improvements;
   configs_explored += other.configs_explored;
+  frontier_offered += other.frontier_offered;
+  frontier_admitted += other.frontier_admitted;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_evictions += other.cache_evictions;
@@ -831,6 +941,8 @@ uint64_t SearchOptionsSemanticHash(const SearchOptions& options) {
   h.Add(options.max_bottlenecks_per_iteration);
   h.Add(static_cast<int>(options.initial_config));
   h.Add(static_cast<int>(options.seed_mode));
+  h.Add(options.track_frontier);
+  h.Add(options.memory_budget_bytes);
   return h.Digest();
 }
 
@@ -848,9 +960,9 @@ SearchResult AcesoSearchForStages(const PerformanceModel& model,
     local_pool.emplace(static_cast<size_t>(child.eval_threads));
     child.eval_pool = &*local_pool;
   }
-  SingleSearch search(model, child, num_stages, child.time_budget_seconds,
-                      watch);
-  SearchResult result = search.Run();
+  SearchResult result = RunStageCount(model, child, num_stages,
+                                      child.time_budget_seconds, watch,
+                                      /*worker=*/0);
   RecordCacheDelta(model, cache_before, &result.stats);
   RecordModelCounters(model, counters_before, options.telemetry);
   result.search_seconds = watch.ElapsedSeconds();
@@ -920,9 +1032,9 @@ SearchResult AcesoSearch(const PerformanceModel& model,
     for (size_t i = wave_begin; i < wave_end; ++i) {
       wave.Submit([&model, &child, &stage_counts, &results, &watch,
                    per_search_budget, i] {
-        SingleSearch search(model, child, stage_counts[i], per_search_budget,
-                            watch, static_cast<int>(i));
-        results[i] = search.Run();
+        results[i] = RunStageCount(model, child, stage_counts[i],
+                                   per_search_budget, watch,
+                                   static_cast<int>(i));
       });
     }
     wave.Wait();

@@ -17,6 +17,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/config/parallel_config.h"
+#include "src/core/frontier.h"
 #include "src/cost/perf_model.h"
 #include "src/obs/telemetry.h"
 
@@ -121,6 +122,24 @@ struct SearchOptions {
   // (§3.2.3 secondary-bottleneck exploration).
   int max_bottlenecks_per_iteration = 4;
 
+  // ---- Throughput–memory Pareto frontier (DESIGN.md §15) ----
+  // Maintain a FrontierArchive over every candidate the search reduces
+  // (feasible and infeasible): one pass then answers "best config under any
+  // memory budget" via SearchResult::frontier. Offers happen only in the
+  // serial reduction, so the archive — like the rest of the trajectory — is
+  // bit-identical at every eval_threads. Off by default: tracking is cheap
+  // (a dominance probe per evaluated candidate) but not free.
+  bool track_frontier = false;
+
+  // Per-device memory budget the search judges feasibility against, in
+  // bytes; 0 uses the modelled device capacity (GpuSpec::memory_bytes).
+  // A positive budget re-verdicts every evaluation (and the fine-tune and
+  // DP-seed passes) without touching the performance model: timings are
+  // hardware truth, feasibility is policy. This is how exp13's fixed-budget
+  // searches and the daemon's budget-constrained requests share one model
+  // and one profile database.
+  int64_t memory_budget_bytes = 0;
+
   InitialConfigKind initial_config = InitialConfigKind::kBalanced;
 
   // Seed of the iterative search (see SeedMode). With kDp, the DP seeder's
@@ -173,6 +192,14 @@ struct SearchStats {
   // counted.)
   int64_t configs_explored = 0;
 
+  // Frontier-archive activity (options.track_frontier): candidates offered
+  // to / admitted by the per-worker archives during the search itself.
+  // Merged results sum them across stage counts, so they describe the whole
+  // search even though the merged archive's own FrontierStats only describe
+  // the merge.
+  int64_t frontier_offered = 0;
+  int64_t frontier_admitted = 0;
+
   // Stage-cost cache activity attributed to this search run (delta of the
   // shared cache's counters over the run; see PerformanceModel::stage_cache).
   int64_t cache_hits = 0;
@@ -194,12 +221,19 @@ struct SearchResult {
   SearchStats stats;
   std::vector<ConvergencePoint> convergence;  // running best over time
   double search_seconds = 0.0;
+
+  // The throughput–memory Pareto set over every reduced candidate
+  // (options.track_frontier; empty otherwise). AcesoSearch merges the
+  // per-stage-count archives in stage-count order, deterministically.
+  FrontierArchive frontier;
 };
 
 // Semantic hash of the *answer-determining* SearchOptions fields: budgets
 // (wall-clock and evaluation), hop limit, heuristic/fine-tune/dedup/ZeRO
 // toggles, top_k, seed, stage range, bottleneck limit, initial-config kind,
-// and seed mode. Execution-shape fields are deliberately excluded —
+// seed mode, frontier tracking, and the memory budget (track_frontier adds
+// the frontier payload to the answer; memory_budget_bytes changes every
+// feasibility verdict). Execution-shape fields are deliberately excluded —
 // eval_threads / parallel_eval_threshold / batch_eval / eval_pool are
 // bit-identity-guaranteed no-ops on the trajectory (DESIGN.md §11/§13),
 // num_threads only changes which thread runs which stage count, and

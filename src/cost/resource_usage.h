@@ -7,7 +7,9 @@
 #ifndef SRC_COST_RESOURCE_USAGE_H_
 #define SRC_COST_RESOURCE_USAGE_H_
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -84,17 +86,58 @@ struct PerfResult {
                : 0.0;
   }
 
-  // Feasible configs sort before OOM ones; ties break on iteration time.
-  // Returns true when *this is strictly better than `other`.
+  // Feasible configs sort before OOM ones. Returns true when *this is
+  // strictly better than `other`.
+  //
+  // The "strictly better" relation must induce a strict weak ordering or the
+  // score-keyed containers built on top of it (the top-k multimap in
+  // src/core/search.cc, std::sort over scored candidates) silently corrupt:
+  //   - Both-infeasible configs compare by memory *overage* relative to their
+  //     own limit, not by absolute peak memory. Each result carries its own
+  //     `memory_limit` (a budget override may differ from device capacity),
+  //     and comparing raw MaxMemory() against a result judged under a
+  //     different limit ranks a barely-over config below a hugely-over one.
+  //     Overage is also what Score() in src/core/search.cc uses, so the two
+  //     orderings agree.
+  //   - Equal overage is a genuine equivalence class: neither side is
+  //     *strictly* better, so we return false rather than inventing a
+  //     tie-break (first-found order stays deterministic).
+  //   - A NaN iteration-time estimate compares as +inf (worst) via
+  //     ComparableTime(); raw `NaN < x` is false both ways, which makes NaN
+  //     incomparable to everything and breaks transitivity-of-equivalence.
   bool BetterThan(const PerfResult& other) const {
     if (oom != other.oom) {
       return !oom;
     }
     if (oom) {
       // Both infeasible: less over-memory is better.
-      return MaxMemory() < other.MaxMemory();
+      return MemoryOverage() < other.MemoryOverage();
     }
-    return iteration_time < other.iteration_time;
+    return ComparableTime() < other.ComparableTime();
+  }
+
+  // How far the peak stage exceeds this result's own memory limit. Negative
+  // for feasible configs (headroom).
+  int64_t MemoryOverage() const { return MaxMemory() - memory_limit; }
+
+  // iteration_time with NaN mapped to +inf so comparisons stay a strict weak
+  // ordering (NaN estimates sort after every finite and +inf estimate).
+  double ComparableTime() const {
+    return std::isnan(iteration_time)
+               ? std::numeric_limits<double>::infinity()
+               : iteration_time;
+  }
+
+  // Re-judges feasibility against an overriding per-device memory budget
+  // (SearchOptions::memory_budget_bytes). A budget of <= 0 keeps the verdict
+  // the performance model issued against hardware capacity. Timing estimates
+  // are unchanged: the budget constrains feasibility, not the simulation.
+  void ApplyMemoryLimit(int64_t budget_bytes) {
+    if (budget_bytes <= 0) {
+      return;
+    }
+    memory_limit = budget_bytes;
+    oom = MaxMemory() > budget_bytes;
   }
 
   int64_t MaxMemory() const {

@@ -45,6 +45,7 @@ uint64_t GpuSpec::Fingerprint() const {
   h.Add(kernel_launch_seconds);
   h.Add(max_efficiency);
   h.Add(half_saturation_flops);
+  h.Add(price_per_hour_usd);
   return h.Digest();
 }
 

@@ -56,13 +56,22 @@ struct GpuSpec {
   double max_efficiency = 0.62;
   double half_saturation_flops = 2.5e9;
 
+  // On-demand price of one device-hour in USD. Never affects a simulated
+  // timing; it feeds the frontier archive's $/step cost axis (DESIGN.md §15):
+  // cost_per_step = iteration_time * num_gpus * price_per_hour_usd / 3600.
+  // Default is an on-demand V100 rate (p3.2xlarge-class).
+  double price_per_hour_usd = 3.06;
+
   // Returns the peak FLOP/s for the given precision.
   double PeakFlops(Precision precision) const;
 
-  // Semantic fingerprint over every modelled property (name excluded: two
-  // specs that time identically are the same device to the cost model).
-  // Feeds ClusterSpec::Fingerprint, which keys profile-snapshot files and
-  // the serving plan cache — any field change must change the fingerprint.
+  // Semantic fingerprint over every answer-affecting property (name
+  // excluded: two specs that answer identically are the same device). This
+  // includes `price_per_hour_usd` — pricing never changes a timing, but it
+  // changes the $/step axis of a served frontier payload, and the
+  // fingerprint feeds ClusterSpec::Fingerprint, which keys profile-snapshot
+  // files and the serving plan cache — any field change must change the
+  // fingerprint.
   uint64_t Fingerprint() const;
 
   // Time (seconds) to execute `flops` of math-bound work at `precision`

@@ -44,7 +44,10 @@ void SetIoTimeout(int fd, double seconds) {
 }
 
 // send() with MSG_NOSIGNAL so a vanished client surfaces as an error return
-// instead of SIGPIPE.
+// instead of SIGPIPE. The single send path for both sides of the protocol
+// (server responses and client requests): short writes continue from the
+// unsent offset and EINTR retries, so a signal mid-response never truncates
+// a payload.
 bool SendAllFd(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
@@ -371,6 +374,9 @@ void HttpServer::HandleConnection(int fd) {
   while (head_end == std::string::npos) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
       ok = false;
       break;
     }
@@ -391,12 +397,21 @@ void HttpServer::HandleConnection(int fd) {
   if (ok) {
     size_t body_size = 0;
     if (const std::string* cl = request.FindHeader("content-length")) {
-      char* end = nullptr;
-      const unsigned long long parsed = std::strtoull(cl->c_str(), &end, 10);
-      if (end == cl->c_str() || *end != '\0' || parsed > kMaxBodyBytes) {
-        ok = false;
-      } else {
-        body_size = static_cast<size_t>(parsed);
+      // Strict digit-only parse. strtoull would accept leading whitespace
+      // and a sign, and *wraps* on overflow — a 20-digit value could wrap to
+      // a small body size and desynchronize the framing. Reject the value as
+      // soon as the accumulator exceeds the body cap instead.
+      ok = !cl->empty();
+      for (const char c : *cl) {
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        body_size = body_size * 10 + static_cast<size_t>(c - '0');
+        if (body_size > kMaxBodyBytes) {
+          ok = false;
+          break;
+        }
       }
     }
     if (ok) {
@@ -404,6 +419,9 @@ void HttpServer::HandleConnection(int fd) {
       while (buf.size() - body_start < body_size) {
         const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n <= 0) {
+          if (n < 0 && errno == EINTR) {
+            continue;
+          }
           ok = false;
           break;
         }

@@ -119,6 +119,23 @@ StatusOr<PlanRequest> ParsePlanRequest(const JsonValue& doc) {
       }
     } else if (key == "top_k") {
       st = TakeIntField(key, value, 1, &req.top_k);
+    } else if (key == "frontier") {
+      st = TakeBool(key, value, &req.frontier);
+    } else if (key == "memory_budget_bytes") {
+      st = TakeInt(key, value, 0, &req.memory_budget_bytes);
+    } else if (key == "memory_budgets") {
+      if (!value.is_array() || value.size() == 0) {
+        st = FieldError(key, "expected a non-empty array of integers >= 1");
+      }
+      for (size_t i = 0; st.ok() && i < value.size(); ++i) {
+        const JsonValue& item = value.item(i);
+        if (!item.is_number() || !item.number_is_int() ||
+            item.int_value() < 1) {
+          st = FieldError(key, "expected a non-empty array of integers >= 1");
+        } else {
+          req.memory_budgets.push_back(item.int_value());
+        }
+      }
     } else if (key == "request_id") {
       st = TakeString(key, value, &req.request_id);
     } else if (key == "client") {
@@ -136,6 +153,11 @@ StatusOr<PlanRequest> ParsePlanRequest(const JsonValue& doc) {
   }
   if (!have_model || req.model.empty()) {
     return InvalidArgument("request field \"model\" is required");
+  }
+  if (!req.memory_budgets.empty() && req.memory_budget_bytes > 0) {
+    return InvalidArgument(
+        "\"memory_budgets\" (a frontier sweep, answered at device capacity) "
+        "cannot be combined with \"memory_budget_bytes\"");
   }
   return req;
 }
@@ -165,6 +187,12 @@ SearchOptions ToSearchOptions(const PlanRequest& request,
     options.min_stages = request.min_stages;
     options.max_stages = request.max_stages;
   }
+  // A sweep runs the base frontier search (capacity verdicts, frontier on):
+  // its cache key is shared with plain `frontier` requests, so one archived
+  // search answers every later sweep.
+  options.track_frontier = request.frontier || !request.memory_budgets.empty();
+  options.memory_budget_bytes =
+      request.memory_budgets.empty() ? request.memory_budget_bytes : 0;
   options.eval_threads =
       request.eval_threads > 0 ? request.eval_threads : default_eval_threads;
   if (options.eval_threads < 1) {
@@ -238,6 +266,14 @@ std::string BuildPlanPayload(const OpGraph& graph, const ClusterSpec& cluster,
   out += std::to_string(result.stats.cache_misses);
   out += "}";
 
+  // The frontier archive, when the search tracked one (a tracked search
+  // always offers at least its initial configuration). Cached alongside the
+  // plan: budget sweeps replay from here without re-entering the search.
+  if (result.stats.frontier_offered > 0 || !result.frontier.empty()) {
+    out += ",\"frontier\":";
+    out += result.frontier.ToJson(graph.name());
+  }
+
   // Convergence trend, thinned to at most `convergence_cap` points: keep an
   // even stride plus always the last point (the final best).
   const auto& trend = result.convergence;
@@ -265,6 +301,69 @@ std::string BuildPlanPayload(const OpGraph& graph, const ClusterSpec& cluster,
       out += std::to_string(trend[i].evaluations);
       out += "}";
     }
+  }
+  out += "]}";
+  return out;
+}
+
+StatusOr<std::string> BuildBudgetSweepPayload(
+    const std::string& plan_payload_json,
+    const std::vector<int64_t>& budgets) {
+  auto doc = JsonParse(plan_payload_json);
+  if (!doc.ok()) {
+    return Internal("plan payload is not valid JSON: " +
+                    doc.status().message());
+  }
+  const JsonValue* frontier_doc = doc->Find("frontier");
+  if (frontier_doc == nullptr) {
+    return FailedPrecondition(
+        "plan payload carries no frontier (the search ran without "
+        "track_frontier)");
+  }
+  auto archive = FrontierArchive::FromJson(*frontier_doc);
+  if (!archive.ok()) {
+    return archive.status();
+  }
+
+  std::string out = "{";
+  const JsonValue* model = doc->Find("model");
+  if (model != nullptr) {
+    out += "\"model\":" + model->ToJson() + ",";
+  }
+  const JsonValue* cluster = doc->Find("cluster");
+  if (cluster != nullptr) {
+    out += "\"cluster\":" + cluster->ToJson() + ",";
+  }
+  out += "\"frontier_points\":" + std::to_string(archive->size());
+  out += ",\"sweep\":[";
+  bool first = true;
+  for (const int64_t budget : budgets) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    const FrontierPoint* best = archive->BestUnderBudget(budget);
+    out += "{\"memory_budget_bytes\":" + std::to_string(budget);
+    out += ",\"found\":";
+    out += best != nullptr ? "true" : "false";
+    if (best != nullptr) {
+      out += ",\"iteration_time\":";
+      AppendJsonNumber(out, best->iteration_time);
+      out += ",\"peak_memory_bytes\":" +
+             std::to_string(best->peak_memory_bytes);
+      out += ",\"cost_per_step_usd\":";
+      AppendJsonNumber(out, best->cost_per_step_usd);
+      out += ",\"num_stages\":" + std::to_string(best->num_stages);
+      out += ",\"microbatch_size\":" + std::to_string(best->microbatch_size);
+      // Feasibility under the *searched* device; a point above capacity
+      // answers budgets larger than the modelled device.
+      out += ",\"feasible\":";
+      out += best->feasible ? "true" : "false";
+      out += ",\"config_text\":\"";
+      AppendJsonEscaped(out, best->config_text);
+      out += "\"";
+    }
+    out += "}";
   }
   out += "]}";
   return out;

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/json.h"
 #include "src/common/status.h"
@@ -49,6 +50,21 @@ struct PlanRequest {
   uint64_t seed = 20240422;
   SeedMode seed_mode = SeedMode::kHeuristic;
   int top_k = 5;
+  // Track the throughput–memory Pareto frontier and embed it in the payload
+  // (DESIGN.md §15). Semantic: it adds a member to the answer.
+  bool frontier = false;
+  // Per-device memory budget for feasibility verdicts (bytes; 0 = device
+  // capacity). Semantic: it changes every verdict.
+  int64_t memory_budget_bytes = 0;
+
+  // ---- sweep lookup ----
+  // Non-empty turns the request into a budget sweep: the search runs once
+  // in frontier mode at device capacity (the key is the base frontier
+  // request's, so `memory_budgets` itself never feeds the cache key), and
+  // each listed budget is answered from the frontier via BestUnderBudget —
+  // a warm cache answers the whole sweep without entering AcesoSearch.
+  // Mutually exclusive with memory_budget_bytes.
+  std::vector<int64_t> memory_budgets;
 
   // ---- non-semantic fields ----
   std::string request_id;  // echoed in the response; empty = daemon assigns
@@ -85,6 +101,16 @@ uint64_t PlanCacheKey(const OpGraph& graph, const ClusterSpec& cluster,
 std::string BuildPlanPayload(const OpGraph& graph, const ClusterSpec& cluster,
                              const SearchResult& result,
                              size_t convergence_cap = 64);
+
+// Derives a budget-sweep payload from a (possibly cached) plan payload that
+// embeds a frontier: per budget, the best archived config that fits. Echoes
+// the base payload's model/cluster members so the sweep is self-contained.
+// Fails (FailedPrecondition) when the payload carries no frontier — e.g. it
+// was cached by a non-frontier request — and the caller falls back to a
+// fresh frontier search.
+StatusOr<std::string> BuildBudgetSweepPayload(
+    const std::string& plan_payload_json,
+    const std::vector<int64_t>& budgets);
 
 // Wraps a payload (or an error) in the response envelope:
 //   {"status":"ok","request_id":...,"cache":"miss|hit|coalesced",

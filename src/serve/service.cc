@@ -57,6 +57,8 @@ ServeStats ServeStats::operator-(const ServeStats& other) const {
   d.rejected = rejected - other.rejected;
   d.errors = errors - other.errors;
   d.coalesced = coalesced - other.coalesced;
+  d.budget_sweeps = budget_sweeps - other.budget_sweeps;
+  d.sweeps_from_cache = sweeps_from_cache - other.sweeps_from_cache;
   d.cache_hits = cache_hits - other.cache_hits;
   d.cache_misses = cache_misses - other.cache_misses;
   d.cache_evictions = cache_evictions - other.cache_evictions;
@@ -148,14 +150,43 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
       ToSearchOptions(request, options_.eval_threads);
   const uint64_t key = PlanCacheKey(*graph_or, cluster, options);
 
-  // Layer 1: the plan cache. A hit replays the stored payload — the search
-  // is never entered (counter-verified by serve_test).
-  if (auto hit = cache_.Get(key)) {
+  // A budget sweep keys as the base frontier request (ToSearchOptions), so
+  // the cache/single-flight layers below are shared with plain frontier
+  // requests; only the response body differs — each sweep waiter derives its
+  // own per-budget answers from the one stored frontier payload.
+  const bool sweep = !request.memory_budgets.empty();
+  if (sweep) {
+    budget_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto payload_response = [&](std::string_view cache_kind,
+                              const std::string& payload_json) {
     Response r;
-    r.cache = "hit";
     r.key = key;
-    r.body = BuildResponseEnvelope(request_id, "hit", hit->payload_json);
+    if (sweep) {
+      auto derived =
+          BuildBudgetSweepPayload(payload_json, request.memory_budgets);
+      if (!derived.ok()) {
+        r = error_response(derived.status());
+        r.key = key;
+        return r;
+      }
+      r.cache = std::string(cache_kind);
+      r.body = BuildResponseEnvelope(request_id, cache_kind, *derived);
+      return r;
+    }
+    r.cache = std::string(cache_kind);
+    r.body = BuildResponseEnvelope(request_id, cache_kind, payload_json);
     return r;
+  };
+
+  // Layer 1: the plan cache. A hit replays the stored payload — the search
+  // is never entered (counter-verified by serve_test); a sweep hit answers
+  // every budget from the cached frontier, also without a search.
+  if (auto hit = cache_.Get(key)) {
+    if (sweep) {
+      sweeps_from_cache_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return payload_response("hit", hit->payload_json);
   }
 
   // Layer 2/3: single-flight lookup, then admission. Both decided under one
@@ -197,11 +228,7 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
       lk.unlock();
       return error_response(job->search_status);
     }
-    Response r;
-    r.cache = "coalesced";
-    r.key = key;
-    r.body = BuildResponseEnvelope(request_id, "coalesced", job->payload_json);
-    return r;
+    return payload_response("coalesced", job->payload_json);
   }
 
   // Runner: the search is a job on the shared pool; this thread waits (and,
@@ -292,11 +319,7 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
     r.key = key;
     return r;
   }
-  Response r;
-  r.cache = "miss";
-  r.key = key;
-  r.body = BuildResponseEnvelope(request_id, "miss", job->payload_json);
-  return r;
+  return payload_response("miss", job->payload_json);
 }
 
 Status PlanService::SaveProfiles(const std::string& dir) {
@@ -324,6 +347,8 @@ ServeStats PlanService::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.budget_sweeps = budget_sweeps_.load(std::memory_order_relaxed);
+  s.sweeps_from_cache = sweeps_from_cache_.load(std::memory_order_relaxed);
   const PlanCacheStats cache = cache_.stats();
   s.cache_hits = cache.hits;
   s.cache_misses = cache.misses;
@@ -357,6 +382,8 @@ std::string PlanService::StatsJson() const {
   field("rejected", s.rejected);
   field("errors", s.errors);
   field("coalesced", s.coalesced);
+  field("budget_sweeps", s.budget_sweeps);
+  field("sweeps_from_cache", s.sweeps_from_cache);
   field("cache_hits", s.cache_hits);
   field("cache_misses", s.cache_misses);
   field("cache_evictions", s.cache_evictions);

@@ -77,6 +77,11 @@ struct ServeStats {
   int64_t rejected = 0;        // admission rejections
   int64_t errors = 0;          // invalid requests + failed searches
   int64_t coalesced = 0;       // served by an identical in-flight search
+  // Budget-sweep requests (PlanRequest::memory_budgets), and the subset
+  // answered straight from a cached frontier payload — zero searches run
+  // (`completed` does not move; counter-verified by serve_test).
+  int64_t budget_sweeps = 0;
+  int64_t sweeps_from_cache = 0;
   int64_t cache_hits = 0;      // plan-cache hits (no search)
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
@@ -166,6 +171,8 @@ class PlanService {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> errors_{0};
   std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> budget_sweeps_{0};
+  std::atomic<int64_t> sweeps_from_cache_{0};
   std::atomic<int64_t> warm_starts_{0};
   std::atomic<int64_t> warm_start_errors_{0};
   std::atomic<int64_t> next_request_id_{1};

@@ -142,6 +142,71 @@ TEST_F(PlanCacheKeyTest, SemanticFieldsChangeTheKey) {
   EXPECT_NE(KeyOf(request), base);
 }
 
+TEST_F(PlanCacheKeyTest, FrontierAndBudgetFieldsKeySeparately) {
+  // ISSUE-8 regression: `frontier` and `memory_budget_bytes` are semantic —
+  // the first adds a member to the answer, the second changes every
+  // feasibility verdict — so requests differing only in them must never
+  // collide (a collision replays a payload computed under the wrong limit,
+  // or one with no frontier to derive a sweep from).
+  const uint64_t base = KeyOf(BaseRequest());
+
+  PlanRequest request = BaseRequest();
+  request.frontier = true;
+  const uint64_t frontier_key = KeyOf(request);
+  EXPECT_NE(frontier_key, base);
+
+  request = BaseRequest();
+  request.memory_budget_bytes = 16LL * (1LL << 30);
+  const uint64_t budget16 = KeyOf(request);
+  EXPECT_NE(budget16, base);
+  EXPECT_NE(budget16, frontier_key);
+
+  request = BaseRequest();
+  request.memory_budget_bytes = 8LL * (1LL << 30);
+  const uint64_t budget8 = KeyOf(request);
+  EXPECT_NE(budget8, base);
+  EXPECT_NE(budget8, budget16);
+
+  // A cache seeded by one budget must miss for the other.
+  PlanCache cache(4);
+  cache.Put(budget16, Plan("under 16 GiB"));
+  EXPECT_FALSE(cache.Get(budget8).has_value());
+  EXPECT_EQ(cache.Get(budget16)->payload_json, "under 16 GiB");
+}
+
+TEST_F(PlanCacheKeyTest, BudgetSweepKeysAsItsBaseFrontierRequest) {
+  // The sweep list is a lookup input, not a search input: a sweep request
+  // must key exactly like the frontier request whose archive answers it —
+  // that equality is what lets a warm cache serve the whole sweep without
+  // re-entering the search.
+  PlanRequest frontier_request = BaseRequest();
+  frontier_request.frontier = true;
+  const uint64_t frontier_key = KeyOf(frontier_request);
+
+  PlanRequest sweep = BaseRequest();
+  sweep.memory_budgets = {8LL * (1LL << 30), 16LL * (1LL << 30)};
+  EXPECT_EQ(KeyOf(sweep), frontier_key);
+
+  PlanRequest other_sweep = BaseRequest();
+  other_sweep.memory_budgets = {4LL * (1LL << 30)};
+  EXPECT_EQ(KeyOf(other_sweep), frontier_key)
+      << "different budget lists share the one cached frontier";
+}
+
+TEST_F(PlanCacheKeyTest, GpuPriceChangesTheKey) {
+  // The frontier payload carries a $/step axis derived from the GPU's
+  // hourly price, so a re-priced cluster must not replay payloads priced
+  // under the old rate.
+  auto graph = models::BuildByName("gpt3-0.35b");
+  ASSERT_TRUE(graph.ok());
+  const SearchOptions options =
+      ToSearchOptions(BaseRequest(), /*default_eval_threads=*/2);
+  ClusterSpec cluster = ClusterSpec::WithGpuCount(4);
+  const uint64_t base = PlanCacheKey(*graph, cluster, options);
+  cluster.gpu.price_per_hour_usd *= 2.0;
+  EXPECT_NE(PlanCacheKey(*graph, cluster, options), base);
+}
+
 TEST_F(PlanCacheKeyTest, FuzzNonSemanticPerturbationsAlwaysHit) {
   // Property fuzz in the spirit of the hash fuzz suite: any combination of
   // non-semantic perturbations keeps the key; flipping one semantic field

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <string>
@@ -86,6 +91,30 @@ TEST(PlanProtocolTest, RejectsUnknownSeedMode) {
       R"({"model":"gpt3-0.35b","seed_mode":"random"})");
   ASSERT_FALSE(request.ok());
   EXPECT_NE(request.status().message().find("heuristic|dp"),
+            std::string::npos);
+}
+
+TEST(PlanProtocolTest, ParsesFrontierAndSweepFields) {
+  auto request = ParsePlanRequestJson(
+      R"({"model":"gpt3-0.35b","frontier":true,
+          "memory_budgets":[1073741824,2147483648]})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_TRUE(request->frontier);
+  ASSERT_EQ(request->memory_budgets.size(), 2u);
+  EXPECT_EQ(request->memory_budgets[0], 1073741824);
+  // A sweep runs the base frontier search: track_frontier is implied and
+  // the search itself runs at device capacity.
+  const SearchOptions options = ToSearchOptions(*request, 2);
+  EXPECT_TRUE(options.track_frontier);
+  EXPECT_EQ(options.memory_budget_bytes, 0);
+}
+
+TEST(PlanProtocolTest, RejectsSweepCombinedWithFixedBudget) {
+  auto request = ParsePlanRequestJson(
+      R"({"model":"gpt3-0.35b","memory_budgets":[1073741824],
+          "memory_budget_bytes":1073741824})");
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("memory_budgets"),
             std::string::npos);
 }
 
@@ -213,6 +242,79 @@ TEST(PlanServiceTest, StreamingRequestEmitsEventsAndFinalPayload) {
   ASSERT_TRUE(response.status.ok());
   EXPECT_GT(events.load(), 0);
   EXPECT_EQ(response.cache, "miss");
+}
+
+// ---- budget sweeps: the frontier answers without a search ----
+
+TEST(PlanServiceTest, ColdSweepRunsOneFrontierSearchForAllBudgets) {
+  PlanService service;
+  PlanRequest sweep = FastRequest();
+  sweep.memory_budgets = {8LL * (1LL << 30), 30LL * (1LL << 30)};
+  const PlanService::Response response = service.Handle(sweep);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 1) << "one search covers every listed budget";
+  EXPECT_EQ(stats.budget_sweeps, 1);
+  EXPECT_EQ(stats.sweeps_from_cache, 0);
+
+  auto doc = JsonParse(response.body);
+  ASSERT_TRUE(doc.ok()) << response.body;
+  const JsonValue* sweep_doc = doc->Find("payload")->Find("sweep");
+  ASSERT_NE(sweep_doc, nullptr) << response.body;
+  ASSERT_EQ(sweep_doc->size(), 2u);
+  for (size_t i = 0; i < sweep_doc->size(); ++i) {
+    const JsonValue& entry = sweep_doc->item(i);
+    EXPECT_EQ(entry.Find("memory_budget_bytes")->int_value(),
+              sweep.memory_budgets[i]);
+    if (entry.Find("found")->bool_value()) {
+      EXPECT_GT(entry.Find("iteration_time")->number_value(), 0.0);
+      EXPECT_LE(entry.Find("peak_memory_bytes")->int_value(),
+                sweep.memory_budgets[i]);
+      EXPECT_FALSE(entry.Find("config_text")->string_value().empty());
+    }
+  }
+  // At device capacity an answer must exist: the base search found one.
+  EXPECT_TRUE(sweep_doc->item(1).Find("found")->bool_value());
+}
+
+TEST(PlanServiceTest, WarmSweepIsAnsweredFromTheCachedFrontier) {
+  // ISSUE-8 acceptance: after one frontier request, a budget-sweep query
+  // over the same (model, cluster, options) never re-enters AcesoSearch —
+  // the counters are the proof.
+  PlanService service;
+  PlanRequest frontier_request = FastRequest();
+  frontier_request.frontier = true;
+  const PlanService::Response first = service.Handle(frontier_request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(first.cache, "miss");
+  ASSERT_EQ(service.stats().completed, 1);
+
+  PlanRequest sweep = FastRequest();
+  sweep.memory_budgets = {4LL * (1LL << 30), 8LL * (1LL << 30),
+                          30LL * (1LL << 30)};
+  const PlanService::Response swept = service.Handle(sweep);
+  ASSERT_TRUE(swept.status.ok()) << swept.status.ToString();
+  EXPECT_EQ(swept.cache, "hit");
+  EXPECT_EQ(swept.key, first.key) << "a sweep keys as its frontier request";
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 1) << "the sweep must not run a second search";
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.budget_sweeps, 1);
+  EXPECT_EQ(stats.sweeps_from_cache, 1);
+
+  auto doc = JsonParse(swept.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("payload")->Find("sweep")->size(), 3u);
+
+  // A different budget list is still the same cached frontier.
+  PlanRequest other = FastRequest();
+  other.memory_budgets = {16LL * (1LL << 30)};
+  const PlanService::Response again = service.Handle(other);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.cache, "hit");
+  EXPECT_EQ(service.stats().completed, 1);
+  EXPECT_EQ(service.stats().sweeps_from_cache, 2);
 }
 
 // ---- profile snapshots: the warm-start path ----
@@ -389,6 +491,54 @@ TEST_F(PlanDaemonTest, ErrorStatusesMapOntoHttp) {
   auto save = HttpCall("127.0.0.1", port_, "POST", "/profile/save", "");
   ASSERT_TRUE(save.ok());
   EXPECT_EQ(save->status_code, 400);
+}
+
+// Sends raw bytes and returns everything the server writes back. HttpCall
+// cannot emit an invalid Content-Length by construction, so the header
+// hardening below needs a transport that can.
+std::string RawHttp(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(PlanDaemonTest, MalformedContentLengthIsRejectedNotTrusted) {
+  auto post = [&](const std::string& content_length) {
+    return RawHttp(port_, "POST /plan HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                              content_length + "\r\n\r\n{}");
+  };
+  // 20 digits: strtoull would silently wrap modulo 2^64 and the server
+  // would then trust a tiny bogus body size. The strict parse rejects the
+  // value the moment it exceeds the body cap.
+  EXPECT_NE(post("99999999999999999999").find(" 400 "), std::string::npos);
+  // Signs and whitespace are not digits, even though strtoull accepts them.
+  EXPECT_NE(post("+2").find(" 400 "), std::string::npos);
+  EXPECT_NE(post("-2").find(" 400 "), std::string::npos);
+  EXPECT_NE(post("2x").find(" 400 "), std::string::npos);
+  EXPECT_NE(post("").find(" 400 "), std::string::npos);
+  // Just over the 8 MiB body cap is rejected too, not buffered.
+  EXPECT_NE(post("8388609").find(" 400 "), std::string::npos);
+  // The same request with an honest length still works.
+  const std::string ok = post("2");
+  EXPECT_NE(ok.find(" 400 "), std::string::npos)
+      << "\"{}\" has no model field: parse error, but an HTTP-level accept";
+  EXPECT_NE(ok.find("model"), std::string::npos)
+      << "the 400 must come from the JSON layer, not the header parser";
 }
 
 }  // namespace

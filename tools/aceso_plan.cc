@@ -6,16 +6,21 @@
 //              [--dump-device N] [--timeline] [--trace out.json]
 //   aceso_plan --remote 127.0.0.1:8700 --model gpt3-1.3b --gpus 8
 //              [--budget S] [--max-evals N] [--seed N] [--out config.txt]
+//              [--frontier] [--memory-budgets GIB[,GIB...]]
 //
 // Remote mode POSTs a plan request (DESIGN.md §14) and prints the daemon's
 // plan summary; --out saves the returned config text in the same format
 // LoadConfigFromFile reads, so a remote answer can be lowered locally with
-// a second, non-remote invocation.
+// a second, non-remote invocation. --frontier asks the daemon to track the
+// throughput–memory Pareto frontier (DESIGN.md §15) and prints it;
+// --memory-budgets runs a budget sweep, answering every listed per-device
+// budget (GiB) from one frontier — against a warm daemon, without a search.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/aceso.h"
 #include "tools/cli_flags.h"
@@ -36,6 +41,8 @@ struct Args {
   int64_t max_evals = 0;
   uint64_t seed = 20240422;
   std::string out;
+  bool frontier = false;
+  std::string memory_budgets;  // comma-separated per-device budgets in GiB
 };
 
 void PrintUsage(const char* argv0) {
@@ -44,6 +51,7 @@ void PrintUsage(const char* argv0) {
                "[--dump-device N] [--timeline] [--trace FILE]\n"
                "       %s --remote HOST:PORT --model NAME --gpus N "
                "[--budget S] [--max-evals N] [--seed N] [--out FILE]\n"
+               "                  [--frontier] [--memory-budgets GIB[,GIB...]]\n"
                "%s",
                argv0, argv0, aceso::tools::ZooUsageLines());
 }
@@ -92,12 +100,40 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.out = v;
+    } else if (flag == "--frontier") {
+      args.frontier = true;
+    } else if (flag == "--memory-budgets") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.memory_budgets = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
   return !args.remote.empty() || !args.config_path.empty();
+}
+
+// Parses a comma-separated list of per-device budgets in GiB into bytes.
+// False on an empty element or a non-positive value.
+bool ParseBudgetsGiB(const std::string& spec, std::vector<int64_t>* out) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string item = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    double gib = 0.0;
+    if (!aceso::cli::ParsePositiveDouble("--memory-budgets", item.c_str(),
+                                         &gib)) {
+      return false;
+    }
+    out->push_back(static_cast<int64_t>(gib * 1024.0 * 1024.0 * 1024.0));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return !out->empty();
 }
 
 // Splits "host:port"; false on a malformed spec.
@@ -128,6 +164,24 @@ int RunRemote(const Args& args) {
   AppendJsonNumber(body, args.budget);
   body += ",\"max_evaluations\":" + std::to_string(args.max_evals);
   body += ",\"seed\":" + std::to_string(args.seed);
+  if (args.frontier) {
+    body += ",\"frontier\":true";
+  }
+  if (!args.memory_budgets.empty()) {
+    std::vector<int64_t> budgets;
+    if (!ParseBudgetsGiB(args.memory_budgets, &budgets)) {
+      std::fprintf(stderr,
+                   "--memory-budgets: expected GIB[,GIB...], got \"%s\"\n",
+                   args.memory_budgets.c_str());
+      return 2;
+    }
+    body += ",\"memory_budgets\":[";
+    for (size_t i = 0; i < budgets.size(); ++i) {
+      if (i > 0) body += ",";
+      body += std::to_string(budgets[i]);
+    }
+    body += "]";
+  }
   body += ",\"client\":\"aceso_plan\"}";
 
   auto response = serve::HttpCall(host, port, "POST", "/plan", body);
@@ -155,6 +209,53 @@ int RunRemote(const Args& args) {
 
   const JsonValue* cache = doc->Find("cache");
   const JsonValue* payload = doc->Find("payload");
+  const char* cache_kind = cache != nullptr && cache->is_string()
+                               ? cache->string_value().c_str()
+                               : "?";
+
+  // A budget sweep answers with a table derived from the frontier instead of
+  // a single plan.
+  if (const JsonValue* sweep = payload ? payload->Find("sweep") : nullptr) {
+    if (!sweep->is_array()) {
+      std::fprintf(stderr, "malformed daemon response: bad sweep\n");
+      return 1;
+    }
+    std::printf("budget sweep (%s), %zu budgets:\n", cache_kind,
+                sweep->size());
+    for (size_t i = 0; i < sweep->size(); ++i) {
+      const JsonValue& entry = sweep->item(i);
+      const JsonValue* budget = entry.Find("memory_budget_bytes");
+      const JsonValue* entry_found = entry.Find("found");
+      const double budget_gib =
+          budget != nullptr && budget->is_number()
+              ? budget->number_value() / (1024.0 * 1024.0 * 1024.0)
+              : 0.0;
+      if (entry_found == nullptr || !entry_found->is_bool() ||
+          !entry_found->bool_value()) {
+        std::printf("  %7.1f GiB: no archived config fits\n", budget_gib);
+        continue;
+      }
+      const JsonValue* time = entry.Find("iteration_time");
+      const JsonValue* mem = entry.Find("peak_memory_bytes");
+      const JsonValue* cost = entry.Find("cost_per_step_usd");
+      const JsonValue* stages = entry.Find("num_stages");
+      std::printf(
+          "  %7.1f GiB: %8.1f ms/iter, peak %6.1f GiB, $%.4f/step, "
+          "%lld stages\n",
+          budget_gib,
+          time != nullptr && time->is_number() ? time->number_value() * 1e3
+                                               : 0.0,
+          mem != nullptr && mem->is_number()
+              ? mem->number_value() / (1024.0 * 1024.0 * 1024.0)
+              : 0.0,
+          cost != nullptr && cost->is_number() ? cost->number_value() : 0.0,
+          stages != nullptr && stages->is_number()
+              ? static_cast<long long>(stages->int_value())
+              : 0LL);
+    }
+    return 0;
+  }
+
   const JsonValue* found = payload ? payload->Find("found") : nullptr;
   if (payload == nullptr || found == nullptr || !found->is_bool()) {
     std::fprintf(stderr, "malformed daemon response: missing payload\n");
@@ -166,13 +267,37 @@ int RunRemote(const Args& args) {
   }
   const JsonValue* plan = payload->Find("plan");
   const JsonValue* summary = plan ? plan->Find("summary") : nullptr;
-  std::printf("plan (%s): %s\n",
-              cache != nullptr && cache->is_string()
-                  ? cache->string_value().c_str()
-                  : "?",
+  std::printf("plan (%s): %s\n", cache_kind,
               summary != nullptr && summary->is_string()
                   ? summary->string_value().c_str()
                   : "(no summary)");
+
+  // With --frontier the payload embeds the Pareto archive; print it as a
+  // memory-ascending table (time is then descending by the invariant).
+  if (const JsonValue* frontier = payload->Find("frontier")) {
+    const JsonValue* points = frontier->Find("points");
+    if (points != nullptr && points->is_array()) {
+      std::printf("frontier: %zu points (memory ascending)\n", points->size());
+      for (size_t i = 0; i < points->size(); ++i) {
+        const JsonValue& p = points->item(i);
+        const JsonValue* time = p.Find("iteration_time");
+        const JsonValue* mem = p.Find("peak_memory_bytes");
+        const JsonValue* cost = p.Find("cost_per_step_usd");
+        const JsonValue* stages = p.Find("num_stages");
+        std::printf(
+            "  %8.1f ms/iter @ %6.1f GiB, $%.4f/step, %lld stages\n",
+            time != nullptr && time->is_number() ? time->number_value() * 1e3
+                                                 : 0.0,
+            mem != nullptr && mem->is_number()
+                ? mem->number_value() / (1024.0 * 1024.0 * 1024.0)
+                : 0.0,
+            cost != nullptr && cost->is_number() ? cost->number_value() : 0.0,
+            stages != nullptr && stages->is_number()
+                ? static_cast<long long>(stages->int_value())
+                : 0LL);
+      }
+    }
+  }
 
   if (!args.out.empty()) {
     const JsonValue* config_text = plan ? plan->Find("config_text") : nullptr;
