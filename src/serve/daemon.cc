@@ -1,5 +1,6 @@
 #include "src/serve/daemon.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -31,11 +32,16 @@ PlanDaemon::PlanDaemon(ServeOptions options)
     : service_(std::move(options)) {}
 
 Status PlanDaemon::Start(const std::string& host, int port) {
+  HttpServerOptions http;
+  http.num_workers = std::max(1, service_.options().http_workers);
+  http.idle_timeout_seconds = service_.options().http_idle_timeout_seconds;
+  http.read_timeout_seconds = service_.options().http_read_timeout_seconds;
   return server_.Start(host, port,
                        [this](const HttpRequest& request,
                               HttpResponseWriter& writer) {
                          Handle(request, writer);
-                       });
+                       },
+                       http);
 }
 
 void PlanDaemon::Stop() { server_.Stop(); }
@@ -47,7 +53,7 @@ void PlanDaemon::Handle(const HttpRequest& request,
     return;
   }
   if (request.path == "/stats" && request.method == "GET") {
-    writer.Respond(200, kJsonType, service_.StatsJson());
+    writer.Respond(200, kJsonType, StatsJson());
     return;
   }
   if (request.path == "/plan" && request.method == "POST") {
@@ -90,8 +96,11 @@ void PlanDaemon::HandlePlan(const HttpRequest& request,
 
   if (!plan_request.stream) {
     PlanService::Response response = service_.Handle(plan_request);
-    writer.Respond(HttpStatusForStatus(response.status), kJsonType,
-                   response.body);
+    // The body parts go straight into the connection's writev: on a cache
+    // hit the shared middle is the cached payload by reference.
+    writer.RespondParts(HttpStatusForStatus(response.status), kJsonType,
+                        response.body_head, std::move(response.body_mid),
+                        response.body_tail);
     return;
   }
 
@@ -107,7 +116,35 @@ void PlanDaemon::HandlePlan(const HttpRequest& request,
         // completion so its result lands in the plan cache.
         writer.WriteChunk(line + "\n");
       });
-  writer.WriteChunk(response.body + "\n");
+  writer.WriteChunk(response.body() + "\n");
+}
+
+std::string PlanDaemon::StatsJson() const {
+  // Service counters stay top-level (CI and tests grep them flat); the
+  // io-layer counters nest under "http".
+  std::string out = service_.StatsJson();
+  const HttpServerStats h = server_.stats();
+  std::string http = ",\"http\":{";
+  auto field = [&http](const char* name, int64_t value, bool last = false) {
+    http += "\"";
+    http += name;
+    http += "\":";
+    http += std::to_string(value);
+    if (!last) {
+      http += ",";
+    }
+  };
+  field("connections_accepted", h.connections_accepted);
+  field("connections_closed", h.connections_closed);
+  field("requests_served", h.requests_served);
+  field("keepalive_reuses", h.keepalive_reuses);
+  field("bytes_in", h.bytes_in);
+  field("bytes_out", h.bytes_out);
+  field("timeout_evictions", h.timeout_evictions);
+  field("parse_errors", h.parse_errors, /*last=*/true);
+  http += "}";
+  out.insert(out.size() - 1, http);
+  return out;
 }
 
 }  // namespace serve

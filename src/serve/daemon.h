@@ -46,6 +46,11 @@ class PlanDaemon {
 
   int port() const { return server_.port(); }
   PlanService& service() { return service_; }
+  HttpServerStats http_stats() const { return server_.stats(); }
+
+  // The /stats body: ServeStats flat, io-layer counters nested under
+  // "http".
+  std::string StatsJson() const;
 
  private:
   void Handle(const HttpRequest& request, HttpResponseWriter& writer);

@@ -25,10 +25,11 @@ void PlanCache::Put(uint64_t key, CachedPlan plan) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->plan = std::move(plan);
+    it->second->derived.clear();
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(plan)});
+  lru_.push_front(Entry{key, std::move(plan), {}});
   index_[key] = lru_.begin();
   ++inserts_;
   while (lru_.size() > capacity_) {
@@ -36,6 +37,48 @@ void PlanCache::Put(uint64_t key, CachedPlan plan) {
     lru_.pop_back();
     ++evictions_;
   }
+}
+
+std::shared_ptr<const std::string> PlanCache::GetDerived(uint64_t key,
+                                                         uint64_t variant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  for (const auto& [v, payload] : it->second->derived) {
+    if (v == variant) {
+      ++derived_hits_;
+      return payload;
+    }
+  }
+  ++derived_misses_;
+  return nullptr;
+}
+
+void PlanCache::PutDerived(uint64_t key, uint64_t variant,
+                           std::shared_ptr<const std::string> payload) {
+  if (capacity_ == 0 || payload == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return;  // entry evicted between render and publish — nothing to attach
+  }
+  auto& derived = it->second->derived;
+  for (auto& [v, existing] : derived) {
+    if (v == variant) {
+      existing = std::move(payload);
+      return;
+    }
+  }
+  if (derived.size() >= kMaxDerivedPerEntry) {
+    derived.erase(derived.begin());
+  }
+  derived.emplace_back(variant, std::move(payload));
+  ++derived_inserts_;
 }
 
 size_t PlanCache::size() const {
@@ -50,6 +93,9 @@ PlanCacheStats PlanCache::stats() const {
   s.misses = misses_;
   s.inserts = inserts_;
   s.evictions = evictions_;
+  s.derived_hits = derived_hits_;
+  s.derived_misses = derived_misses_;
+  s.derived_inserts = derived_inserts_;
   return s;
 }
 

@@ -1,12 +1,18 @@
-// The cross-request plan cache of the planning daemon (DESIGN.md §14).
+// The cross-request plan cache of the planning daemon (DESIGN.md §14, §16).
 //
 // Keyed by PlanCacheKey — the composed semantic fingerprint of (model IR,
 // cluster spec, answer-determining SearchOptions). Because fixed-seed
 // searches under a deterministic budget are bit-reproducible, two requests
 // with equal keys can only produce the same plan, so a hit replays the
-// stored response payload without re-entering AcesoSearch at all. Values
-// are the serialized payload JSON (BuildPlanPayload): immutable, cheap to
-// copy out, and exactly what goes on the wire.
+// stored response payload without re-entering AcesoSearch at all.
+//
+// Values are the *pre-serialized* payload JSON (BuildPlanPayload) behind a
+// `shared_ptr<const string>`: immutable, and shared by reference all the
+// way into the HTTP connection's writev iovec, so a cache hit constructs
+// no JSON and copies no payload bytes (zero-serialization, DESIGN.md §16).
+// Each entry also holds a small set of *derived* payloads — re-renderings
+// of the entry keyed by a variant hash (e.g. a budget-sweep's budget list)
+// — so repeat sweeps against a cached frontier skip re-serialization too.
 //
 // LRU with a fixed entry capacity; thread-safe (one mutex — the cache sits
 // on the request admission path, not inside any search loop). Counters
@@ -17,10 +23,12 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/hash.h"
 
@@ -32,6 +40,10 @@ struct PlanCacheStats {
   int64_t misses = 0;
   int64_t inserts = 0;
   int64_t evictions = 0;
+  // Derived-payload (per-entry variant) traffic, e.g. budget sweeps.
+  int64_t derived_hits = 0;
+  int64_t derived_misses = 0;
+  int64_t derived_inserts = 0;
 
   PlanCacheStats operator-(const PlanCacheStats& other) const {
     PlanCacheStats d;
@@ -39,14 +51,17 @@ struct PlanCacheStats {
     d.misses = misses - other.misses;
     d.inserts = inserts - other.inserts;
     d.evictions = evictions - other.evictions;
+    d.derived_hits = derived_hits - other.derived_hits;
+    d.derived_misses = derived_misses - other.derived_misses;
+    d.derived_inserts = derived_inserts - other.derived_inserts;
     return d;
   }
 };
 
-// One cached outcome: the response payload plus the headline numbers the
-// daemon logs without re-parsing its own JSON.
+// One cached outcome: the shared response payload plus the headline numbers
+// the daemon logs without re-parsing its own JSON.
 struct CachedPlan {
-  std::string payload_json;
+  std::shared_ptr<const std::string> payload_json;
   bool found = false;
   double iteration_time = 0.0;
 };
@@ -64,17 +79,35 @@ class PlanCache {
   std::optional<CachedPlan> Get(uint64_t key);
 
   // Inserts (or refreshes) `key`. Evicts the least-recently-used entry when
-  // over capacity.
+  // over capacity. Refreshing drops the entry's derived payloads (they were
+  // rendered from the replaced payload).
   void Put(uint64_t key, CachedPlan plan);
+
+  // Derived payloads: immutable re-renderings of the entry identified by
+  // (key, variant). A hit refreshes the entry's LRU position; a miss on a
+  // *present* entry counts toward derived_misses (a miss on an absent entry
+  // is just nullptr — the caller has no base payload to derive from either).
+  std::shared_ptr<const std::string> GetDerived(uint64_t key,
+                                                uint64_t variant);
+  // Attaches a derived payload to an existing entry (no-op when the entry
+  // has been evicted). At most kMaxDerivedPerEntry variants are kept per
+  // entry, oldest dropped first.
+  void PutDerived(uint64_t key, uint64_t variant,
+                  std::shared_ptr<const std::string> payload);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
   PlanCacheStats stats() const;
 
+  static constexpr size_t kMaxDerivedPerEntry = 8;
+
  private:
   struct Entry {
     uint64_t key = 0;
     CachedPlan plan;
+    // Small, ordered oldest→newest; linear scan beats a map at this size.
+    std::vector<std::pair<uint64_t, std::shared_ptr<const std::string>>>
+        derived;
   };
 
   const size_t capacity_;
@@ -86,6 +119,9 @@ class PlanCache {
   int64_t misses_ = 0;
   int64_t inserts_ = 0;
   int64_t evictions_ = 0;
+  int64_t derived_hits_ = 0;
+  int64_t derived_misses_ = 0;
+  int64_t derived_inserts_ = 0;
 };
 
 }  // namespace serve

@@ -369,14 +369,20 @@ StatusOr<std::string> BuildBudgetSweepPayload(
   return out;
 }
 
-std::string BuildResponseEnvelope(const std::string& request_id,
-                                  std::string_view cache,
-                                  const std::string& payload_json) {
+std::string BuildResponseEnvelopeHead(const std::string& request_id,
+                                      std::string_view cache) {
   std::string out = "{\"status\":\"ok\",\"request_id\":\"";
   AppendJsonEscaped(out, request_id);
   out += "\",\"cache\":\"";
   out.append(cache.data(), cache.size());
   out += "\",\"payload\":";
+  return out;
+}
+
+std::string BuildResponseEnvelope(const std::string& request_id,
+                                  std::string_view cache,
+                                  const std::string& payload_json) {
+  std::string out = BuildResponseEnvelopeHead(request_id, cache);
   out += payload_json;
   out += "}";
   return out;

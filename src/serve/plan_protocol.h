@@ -120,6 +120,12 @@ StatusOr<std::string> BuildBudgetSweepPayload(
 std::string BuildResponseEnvelope(const std::string& request_id,
                                   std::string_view cache,
                                   const std::string& payload_json);
+// The envelope prefix up to and including `"payload":`. The full ok
+// envelope is exactly Head + payload + "}" — the daemon sends cached
+// payloads as [head | shared payload | "}"] iovecs, and the concatenation
+// is bit-identical to BuildResponseEnvelope (asserted by the serve bench).
+std::string BuildResponseEnvelopeHead(const std::string& request_id,
+                                      std::string_view cache);
 std::string BuildErrorEnvelope(const std::string& request_id,
                                const Status& error);
 

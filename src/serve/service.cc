@@ -32,6 +32,16 @@ std::string JoinZooNames() {
   return out;
 }
 
+// The derived-payload variant key for a budget sweep: a stable hash of the
+// budget list. Never 0-ambiguous with another list (length is mixed in).
+uint64_t BudgetsVariantHash(const std::vector<int64_t>& budgets) {
+  uint64_t h = Mix64(0x73776565700b1ULL ^ budgets.size());
+  for (const int64_t b : budgets) {
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(b)));
+  }
+  return h;
+}
+
 size_t PoolThreads(const ServeOptions& options) {
   if (options.worker_threads > 0) {
     return static_cast<size_t>(options.worker_threads);
@@ -59,6 +69,8 @@ ServeStats ServeStats::operator-(const ServeStats& other) const {
   d.coalesced = coalesced - other.coalesced;
   d.budget_sweeps = budget_sweeps - other.budget_sweeps;
   d.sweeps_from_cache = sweeps_from_cache - other.sweeps_from_cache;
+  d.serializations_skipped =
+      serializations_skipped - other.serializations_skipped;
   d.cache_hits = cache_hits - other.cache_hits;
   d.cache_misses = cache_misses - other.cache_misses;
   d.cache_evictions = cache_evictions - other.cache_evictions;
@@ -78,7 +90,9 @@ struct PlanService::Inflight {
   std::condition_variable cv;
   bool done = false;
   Status search_status;
-  std::string payload_json;
+  // Shared with the cache entry: coalesced waiters reference the one
+  // serialized payload instead of copying it per waiter.
+  std::shared_ptr<const std::string> payload_json;
 };
 
 PlanService::PlanService(ServeOptions options)
@@ -94,6 +108,27 @@ PlanService::~PlanService() {
 std::string PlanService::NextRequestId() {
   return "r" + std::to_string(
                    next_request_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+StatusOr<std::shared_ptr<const OpGraph>> PlanService::GraphForModel(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    auto it = models_.find(name);
+    if (it != models_.end()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock (a big zoo model takes a while); a racing
+  // duplicate build is harmless — both graphs are identical and the second
+  // emplace loses.
+  auto built = models::BuildByName(name);
+  if (!built.ok()) {
+    return built.status();
+  }
+  auto graph = std::make_shared<const OpGraph>(std::move(*built));
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return models_.try_emplace(name, std::move(graph)).first->second;
 }
 
 ProfileDatabase* PlanService::DbForCluster(const ClusterSpec& cluster) {
@@ -135,20 +170,21 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
     errors_.fetch_add(1, std::memory_order_relaxed);
     Response r;
     r.status = st;
-    r.body = BuildErrorEnvelope(request_id, st);
+    r.body_head = BuildErrorEnvelope(request_id, st);
     return r;
   };
 
-  auto graph_or = models::BuildByName(request.model);
+  auto graph_or = GraphForModel(request.model);
   if (!graph_or.ok()) {
     return error_response(InvalidArgument(graph_or.status().message() +
                                           "; known models: " +
                                           JoinZooNames()));
   }
+  const OpGraph& graph = **graph_or;
   const ClusterSpec cluster = ClusterSpec::WithGpuCount(request.gpus);
   const SearchOptions options =
       ToSearchOptions(request, options_.eval_threads);
-  const uint64_t key = PlanCacheKey(*graph_or, cluster, options);
+  const uint64_t key = PlanCacheKey(graph, cluster, options);
 
   // A budget sweep keys as the base frontier request (ToSearchOptions), so
   // the cache/single-flight layers below are shared with plain frontier
@@ -158,24 +194,44 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
   if (sweep) {
     budget_sweeps_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Assembles the ok response around a pre-serialized payload. On the
+  // zero-serialization path (`reused` = the payload came out of the cache
+  // or an already-finished single-flight) no JSON is constructed at all:
+  // the tiny per-request envelope head is built and the payload rides along
+  // by reference. A sweep re-renders the payload per budget list — but that
+  // rendering is itself cached as a derived payload on the entry, so repeat
+  // sweeps skip BuildBudgetSweepPayload too.
   auto payload_response = [&](std::string_view cache_kind,
-                              const std::string& payload_json) {
+                              std::shared_ptr<const std::string> payload_json,
+                              bool reused) {
     Response r;
     r.key = key;
+    std::shared_ptr<const std::string> mid = std::move(payload_json);
     if (sweep) {
-      auto derived =
-          BuildBudgetSweepPayload(payload_json, request.memory_budgets);
-      if (!derived.ok()) {
-        r = error_response(derived.status());
-        r.key = key;
-        return r;
+      const uint64_t variant = BudgetsVariantHash(request.memory_budgets);
+      std::shared_ptr<const std::string> derived =
+          cache_.GetDerived(key, variant);
+      if (derived == nullptr) {
+        auto built = BuildBudgetSweepPayload(*mid, request.memory_budgets);
+        if (!built.ok()) {
+          r = error_response(built.status());
+          r.key = key;
+          return r;
+        }
+        derived =
+            std::make_shared<const std::string>(std::move(*built));
+        cache_.PutDerived(key, variant, derived);
+        reused = false;
       }
-      r.cache = std::string(cache_kind);
-      r.body = BuildResponseEnvelope(request_id, cache_kind, *derived);
-      return r;
+      mid = std::move(derived);
+    }
+    if (reused) {
+      serializations_skipped_.fetch_add(1, std::memory_order_relaxed);
     }
     r.cache = std::string(cache_kind);
-    r.body = BuildResponseEnvelope(request_id, cache_kind, payload_json);
+    r.body_head = BuildResponseEnvelopeHead(request_id, cache_kind);
+    r.body_mid = std::move(mid);
+    r.body_tail = "}";
     return r;
   };
 
@@ -186,7 +242,7 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
     if (sweep) {
       sweeps_from_cache_.fetch_add(1, std::memory_order_relaxed);
     }
-    return payload_response("hit", hit->payload_json);
+    return payload_response("hit", hit->payload_json, /*reused=*/true);
   }
 
   // Layer 2/3: single-flight lookup, then admission. Both decided under one
@@ -210,7 +266,7 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
             std::to_string(options_.max_inflight_searches) +
             " searches in flight); retry later");
         r.key = key;
-        r.body = BuildErrorEnvelope(request_id, r.status);
+        r.body_head = BuildErrorEnvelope(request_id, r.status);
         return r;
       }
       job = std::make_shared<Inflight>();
@@ -228,13 +284,13 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
       lk.unlock();
       return error_response(job->search_status);
     }
-    return payload_response("coalesced", job->payload_json);
+    return payload_response("coalesced", job->payload_json, /*reused=*/true);
   }
 
   // Runner: the search is a job on the shared pool; this thread waits (and,
   // when streaming, forwards telemetry events as they appear).
   struct JobState {
-    OpGraph graph;
+    std::shared_ptr<const OpGraph> graph;  // shared with the model memo
     ClusterSpec cluster;
     SearchOptions options;
     std::unique_ptr<TelemetrySink> sink;
@@ -252,14 +308,14 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
   const size_t convergence_cap = options_.convergence_cap;
   pool_.Submit([this, state, job, key, db, convergence_cap] {
     Status st;
-    std::string payload;
+    std::shared_ptr<const std::string> payload;
     bool found = false;
     double iteration_time = 0.0;
     try {
-      PerformanceModel model(&state->graph, state->cluster, db);
+      PerformanceModel model(state->graph.get(), state->cluster, db);
       const SearchResult result = AcesoSearch(model, state->options);
-      payload = BuildPlanPayload(state->graph, state->cluster, result,
-                                 convergence_cap);
+      payload = std::make_shared<const std::string>(BuildPlanPayload(
+          *state->graph, state->cluster, result, convergence_cap));
       found = result.found;
       iteration_time = result.found ? result.best.perf.iteration_time : 0.0;
     } catch (const std::exception& e) {
@@ -270,7 +326,8 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
     if (st.ok()) {
       // Publish to the cache *before* leaving the single-flight map: a new
       // identical request always sees either the in-flight entry or the
-      // cached payload, never the gap between them.
+      // cached payload, never the gap between them. The cache entry, the
+      // in-flight waiters, and every wire response share one string.
       cache_.Put(key, CachedPlan{payload, found, iteration_time});
       completed_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -319,7 +376,7 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
     r.key = key;
     return r;
   }
-  return payload_response("miss", job->payload_json);
+  return payload_response("miss", job->payload_json, /*reused=*/false);
 }
 
 Status PlanService::SaveProfiles(const std::string& dir) {
@@ -349,6 +406,8 @@ ServeStats PlanService::stats() const {
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.budget_sweeps = budget_sweeps_.load(std::memory_order_relaxed);
   s.sweeps_from_cache = sweeps_from_cache_.load(std::memory_order_relaxed);
+  s.serializations_skipped =
+      serializations_skipped_.load(std::memory_order_relaxed);
   const PlanCacheStats cache = cache_.stats();
   s.cache_hits = cache.hits;
   s.cache_misses = cache.misses;
@@ -384,6 +443,7 @@ std::string PlanService::StatsJson() const {
   field("coalesced", s.coalesced);
   field("budget_sweeps", s.budget_sweeps);
   field("sweeps_from_cache", s.sweeps_from_cache);
+  field("serializations_skipped", s.serializations_skipped);
   field("cache_hits", s.cache_hits);
   field("cache_misses", s.cache_misses);
   field("cache_evictions", s.cache_evictions);

@@ -67,6 +67,12 @@ struct ServeOptions {
 
   // Max convergence points embedded in a response payload.
   size_t convergence_cap = 64;
+
+  // ---- HTTP transport knobs (consumed by PlanDaemon / HttpServerOptions,
+  // carried here so one options struct configures the whole daemon) ----
+  int http_workers = 2;                    // epoll event-loop workers
+  double http_idle_timeout_seconds = 30.0; // keep-alive idle eviction
+  double http_read_timeout_seconds = 30.0; // partial-request eviction
 };
 
 // Monotonic service counters (ServeStats::operator- attributes deltas, like
@@ -82,6 +88,11 @@ struct ServeStats {
   // (`completed` does not move; counter-verified by serve_test).
   int64_t budget_sweeps = 0;
   int64_t sweeps_from_cache = 0;
+  // Responses answered from a pre-serialized payload with no JSON
+  // construction at all (plain hits, coalesced waiters, and sweeps served
+  // from a cached derived payload) — the zero-serialization fast path of
+  // DESIGN.md §16. Counter-verified by serve_test.
+  int64_t serializations_skipped = 0;
   int64_t cache_hits = 0;      // plan-cache hits (no search)
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
@@ -110,11 +121,28 @@ class PlanService {
   PlanService(const PlanService&) = delete;
   PlanService& operator=(const PlanService&) = delete;
 
+  // The response body is three parts — head + shared middle + tail — whose
+  // concatenation is the wire envelope. On the zero-serialization path the
+  // middle is the cached payload by reference (no copy); error responses
+  // carry the whole envelope in `body_head`. The daemon hands the parts to
+  // HttpResponseWriter::RespondParts, which writev()s them as-is.
   struct Response {
     Status status;      // request-level outcome (ok even for found=false)
     std::string cache;  // "hit" | "miss" | "coalesced" | "" (error/rejected)
-    std::string body;   // full response envelope (ok or error JSON)
+    std::string body_head;
+    std::shared_ptr<const std::string> body_mid;  // null for errors
+    std::string body_tail;
     uint64_t key = 0;   // plan-cache key (0 when the request never keyed)
+
+    // The full envelope, concatenated (tests, CLI clients, streaming).
+    std::string body() const {
+      std::string out = body_head;
+      if (body_mid != nullptr) {
+        out += *body_mid;
+      }
+      out += body_tail;
+      return out;
+    }
   };
 
   // Called with one JSON line per streamed event (no trailing newline).
@@ -151,6 +179,13 @@ class PlanService {
   // dir, warm-starting) it on first use.
   ProfileDatabase* DbForCluster(const ClusterSpec& cluster);
 
+  // The immutable graph for a zoo model name, built once and shared by
+  // every request (and by in-flight searches — PerformanceModel and
+  // BuildPlanPayload only read it). Without this memo every cache hit paid
+  // a full model build + fingerprint (~13 µs, the dominant cost of a hit).
+  StatusOr<std::shared_ptr<const OpGraph>> GraphForModel(
+      const std::string& name);
+
   std::string NextRequestId();
 
   ServeOptions options_;
@@ -160,6 +195,9 @@ class PlanService {
   mutable std::mutex db_mu_;
   std::unordered_map<uint64_t, std::unique_ptr<ProfileDatabase>, IdentityHash>
       dbs_;
+
+  std::mutex model_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const OpGraph>> models_;
 
   std::mutex inflight_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Inflight>, IdentityHash>
@@ -173,6 +211,7 @@ class PlanService {
   std::atomic<int64_t> coalesced_{0};
   std::atomic<int64_t> budget_sweeps_{0};
   std::atomic<int64_t> sweeps_from_cache_{0};
+  std::atomic<int64_t> serializations_skipped_{0};
   std::atomic<int64_t> warm_starts_{0};
   std::atomic<int64_t> warm_start_errors_{0};
   std::atomic<int64_t> next_request_id_{1};

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/common/rng.h"
@@ -15,7 +16,7 @@ namespace {
 
 CachedPlan Plan(const std::string& payload) {
   CachedPlan plan;
-  plan.payload_json = payload;
+  plan.payload_json = std::make_shared<const std::string>(payload);
   plan.found = true;
   return plan;
 }
@@ -26,7 +27,7 @@ TEST(PlanCacheTest, GetReturnsWhatPutStored) {
   cache.Put(1, Plan("one"));
   auto hit = cache.Get(1);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->payload_json, "one");
+  EXPECT_EQ(*hit->payload_json, "one");
   EXPECT_TRUE(hit->found);
   const PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1);
@@ -54,9 +55,56 @@ TEST(PlanCacheTest, PutRefreshesExistingEntry) {
   cache.Put(2, Plan("two"));
   cache.Put(1, Plan("one again"));  // refresh, not insert: 2 is now LRU
   cache.Put(3, Plan("three"));
-  EXPECT_EQ(cache.Get(1)->payload_json, "one again");
+  EXPECT_EQ(*cache.Get(1)->payload_json, "one again");
   EXPECT_FALSE(cache.Get(2).has_value());
   EXPECT_EQ(cache.stats().inserts, 3);
+}
+
+TEST(PlanCacheTest, DerivedPayloadsRoundTripAndAreScopedToTheEntry) {
+  PlanCache cache(4);
+  cache.Put(1, Plan("base"));
+  EXPECT_EQ(cache.GetDerived(1, 42), nullptr);  // present entry, no variant
+  auto sweep = std::make_shared<const std::string>("sweep for budgets A");
+  cache.PutDerived(1, 42, sweep);
+  auto hit = cache.GetDerived(1, 42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), sweep.get()) << "shared by reference, not copied";
+  EXPECT_EQ(cache.GetDerived(1, 43), nullptr);  // other variant
+  EXPECT_EQ(cache.GetDerived(2, 42), nullptr);  // absent entry: not a miss
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.derived_hits, 1);
+  EXPECT_EQ(stats.derived_misses, 2);
+  EXPECT_EQ(stats.derived_inserts, 1);
+}
+
+TEST(PlanCacheTest, RefreshingAnEntryDropsItsDerivedPayloads) {
+  // Derived payloads are renderings of the entry's payload; replacing the
+  // payload must invalidate them or a sweep could replay stale data.
+  PlanCache cache(4);
+  cache.Put(1, Plan("v1"));
+  cache.PutDerived(1, 7, std::make_shared<const std::string>("from v1"));
+  cache.Put(1, Plan("v2"));
+  EXPECT_EQ(cache.GetDerived(1, 7), nullptr);
+}
+
+TEST(PlanCacheTest, DerivedPayloadsAreCappedPerEntry) {
+  PlanCache cache(4);
+  cache.Put(1, Plan("base"));
+  for (uint64_t v = 0; v < PlanCache::kMaxDerivedPerEntry + 3; ++v) {
+    cache.PutDerived(
+        1, v, std::make_shared<const std::string>("d" + std::to_string(v)));
+  }
+  // Oldest variants were dropped; the newest survive.
+  EXPECT_EQ(cache.GetDerived(1, 0), nullptr);
+  EXPECT_EQ(cache.GetDerived(1, 2), nullptr);
+  ASSERT_NE(cache.GetDerived(1, PlanCache::kMaxDerivedPerEntry + 2), nullptr);
+}
+
+TEST(PlanCacheTest, PutDerivedOnMissingEntryIsANoOp) {
+  PlanCache cache(2);
+  cache.PutDerived(99, 1, std::make_shared<const std::string>("orphan"));
+  EXPECT_EQ(cache.GetDerived(99, 1), nullptr);
+  EXPECT_EQ(cache.stats().derived_inserts, 0);
 }
 
 TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
@@ -171,7 +219,7 @@ TEST_F(PlanCacheKeyTest, FrontierAndBudgetFieldsKeySeparately) {
   PlanCache cache(4);
   cache.Put(budget16, Plan("under 16 GiB"));
   EXPECT_FALSE(cache.Get(budget8).has_value());
-  EXPECT_EQ(cache.Get(budget16)->payload_json, "under 16 GiB");
+  EXPECT_EQ(*cache.Get(budget16)->payload_json, "under 16 GiB");
 }
 
 TEST_F(PlanCacheKeyTest, BudgetSweepKeysAsItsBaseFrontierRequest) {

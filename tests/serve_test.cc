@@ -147,8 +147,8 @@ TEST(PlanServiceTest, DuplicateRequestServedFromCacheWithoutSearch) {
 
   // A hit replays the stored payload byte for byte; only the envelope
   // (request id, cache tag) differs.
-  auto first_doc = JsonParse(first.body);
-  auto second_doc = JsonParse(second.body);
+  auto first_doc = JsonParse(first.body());
+  auto second_doc = JsonParse(second.body());
   ASSERT_TRUE(first_doc.ok() && second_doc.ok());
   EXPECT_EQ(first_doc->Find("payload")->ToJson(),
             second_doc->Find("payload")->ToJson());
@@ -176,7 +176,7 @@ TEST(PlanServiceTest, UnknownModelErrorListsZooNames) {
             std::string::npos);
   EXPECT_EQ(service.stats().errors, 1);
   // The error envelope is well-formed JSON with the status code name.
-  auto doc = JsonParse(response.body);
+  auto doc = JsonParse(response.body());
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->Find("status")->string_value(), "error");
   EXPECT_EQ(doc->Find("code")->string_value(), "INVALID_ARGUMENT");
@@ -219,12 +219,12 @@ TEST(PlanServiceTest, ConcurrentDuplicatesRunOneSearch) {
   // and missed before attaching to the in-flight search).
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, kClients);
   EXPECT_LE(stats.coalesced, stats.cache_misses - 1);
-  auto first_payload = JsonParse(responses[0].body);
+  auto first_payload = JsonParse(responses[0].body());
   ASSERT_TRUE(first_payload.ok());
   const std::string want = first_payload->Find("payload")->ToJson();
   for (const PlanService::Response& response : responses) {
     ASSERT_TRUE(response.status.ok()) << response.status.ToString();
-    auto doc = JsonParse(response.body);
+    auto doc = JsonParse(response.body());
     ASSERT_TRUE(doc.ok());
     EXPECT_EQ(doc->Find("payload")->ToJson(), want);
   }
@@ -257,10 +257,10 @@ TEST(PlanServiceTest, ColdSweepRunsOneFrontierSearchForAllBudgets) {
   EXPECT_EQ(stats.budget_sweeps, 1);
   EXPECT_EQ(stats.sweeps_from_cache, 0);
 
-  auto doc = JsonParse(response.body);
-  ASSERT_TRUE(doc.ok()) << response.body;
+  auto doc = JsonParse(response.body());
+  ASSERT_TRUE(doc.ok()) << response.body();
   const JsonValue* sweep_doc = doc->Find("payload")->Find("sweep");
-  ASSERT_NE(sweep_doc, nullptr) << response.body;
+  ASSERT_NE(sweep_doc, nullptr) << response.body();
   ASSERT_EQ(sweep_doc->size(), 2u);
   for (size_t i = 0; i < sweep_doc->size(); ++i) {
     const JsonValue& entry = sweep_doc->item(i);
@@ -303,7 +303,7 @@ TEST(PlanServiceTest, WarmSweepIsAnsweredFromTheCachedFrontier) {
   EXPECT_EQ(stats.budget_sweeps, 1);
   EXPECT_EQ(stats.sweeps_from_cache, 1);
 
-  auto doc = JsonParse(swept.body);
+  auto doc = JsonParse(swept.body());
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->Find("payload")->Find("sweep")->size(), 3u);
 
@@ -315,6 +315,55 @@ TEST(PlanServiceTest, WarmSweepIsAnsweredFromTheCachedFrontier) {
   EXPECT_EQ(again.cache, "hit");
   EXPECT_EQ(service.stats().completed, 1);
   EXPECT_EQ(service.stats().sweeps_from_cache, 2);
+}
+
+TEST(PlanServiceTest, CacheHitsSkipSerializationAndSweepRendersAreMemoized) {
+  // ISSUE-9: a hit replays the pre-serialized payload by reference — no
+  // JSON is rebuilt — and a sweep's rendered payload is itself cached per
+  // budget list, so repeating the sweep skips even the sweep rendering.
+  PlanService service;
+  const PlanService::Response first = service.Handle(FastRequest());
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(service.stats().serializations_skipped, 0)
+      << "a miss serializes once";
+
+  PlanRequest hit_request = FastRequest();
+  hit_request.request_id = "hit-1";  // non-semantic: still the same key
+  const PlanService::Response hit = service.Handle(hit_request);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_EQ(hit.cache, "hit");
+  EXPECT_EQ(service.stats().serializations_skipped, 1);
+  // The parts share one string: body_mid is the cached payload itself.
+  ASSERT_NE(hit.body_mid, nullptr);
+  EXPECT_EQ(hit.body(), BuildResponseEnvelope("hit-1", "hit", *hit.body_mid))
+      << "parts must assemble bit-identically to full serialization";
+
+  // Sweeps: the first render per budget list is a derived-cache miss that
+  // gets memoized; the identical sweep again is served without rendering.
+  PlanRequest frontier_request = FastRequest();
+  frontier_request.frontier = true;
+  ASSERT_TRUE(service.Handle(frontier_request).status.ok());
+  PlanRequest sweep = FastRequest();
+  sweep.memory_budgets = {8LL * (1LL << 30), 30LL * (1LL << 30)};
+  const PlanService::Response rendered = service.Handle(sweep);
+  ASSERT_TRUE(rendered.status.ok()) << rendered.status.ToString();
+  const int64_t after_render = service.stats().serializations_skipped;
+  EXPECT_EQ(after_render, 1) << "first render of this budget list is real";
+  EXPECT_EQ(service.plan_cache_stats().derived_inserts, 1);
+
+  const PlanService::Response replayed = service.Handle(sweep);
+  ASSERT_TRUE(replayed.status.ok());
+  EXPECT_EQ(service.stats().serializations_skipped, after_render + 1);
+  EXPECT_EQ(service.plan_cache_stats().derived_hits, 1);
+  EXPECT_EQ(replayed.body_mid.get(), rendered.body_mid.get())
+      << "the very same rendered string is replayed";
+
+  // A different budget list renders fresh (derived miss), then memoizes.
+  PlanRequest other = FastRequest();
+  other.memory_budgets = {16LL * (1LL << 30)};
+  ASSERT_TRUE(service.Handle(other).status.ok());
+  EXPECT_EQ(service.stats().serializations_skipped, after_render + 1);
+  EXPECT_EQ(service.plan_cache_stats().derived_inserts, 2);
 }
 
 // ---- profile snapshots: the warm-start path ----
@@ -330,7 +379,7 @@ TEST(PlanServiceTest, WarmStartedServiceRunsZeroProfileMeasurements) {
     const PlanService::Response response = cold.Handle(FastRequest());
     ASSERT_TRUE(response.status.ok());
     cold_key = response.key;
-    auto doc = JsonParse(response.body);
+    auto doc = JsonParse(response.body());
     ASSERT_TRUE(doc.ok());
     cold_plan = doc->Find("payload")->Find("plan")->ToJson();
     EXPECT_GT(cold.stats().profile_misses, 0);
@@ -356,7 +405,7 @@ TEST(PlanServiceTest, WarmStartedServiceRunsZeroProfileMeasurements) {
   // for bit under the same cache key. (Only the plan object — the payload's
   // search timings and convergence timestamps are wall-clock.)
   EXPECT_EQ(response.key, cold_key);
-  auto doc = JsonParse(response.body);
+  auto doc = JsonParse(response.body());
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->Find("payload")->Find("plan")->ToJson(), cold_plan);
 
@@ -518,9 +567,13 @@ std::string RawHttp(int port, const std::string& request) {
 }
 
 TEST_F(PlanDaemonTest, MalformedContentLengthIsRejectedNotTrusted) {
+  // RawHttp is close-delimited, so ask the server to close (the reactor
+  // keeps HTTP/1.1 connections alive by default).
   auto post = [&](const std::string& content_length) {
-    return RawHttp(port_, "POST /plan HTTP/1.1\r\nHost: t\r\nContent-Length: " +
-                              content_length + "\r\n\r\n{}");
+    return RawHttp(port_,
+                   "POST /plan HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                   "Content-Length: " +
+                       content_length + "\r\n\r\n{}");
   };
   // 20 digits: strtoull would silently wrap modulo 2^64 and the server
   // would then trust a tiny bogus body size. The strict parse rejects the

@@ -3,30 +3,47 @@
 //   aceso_bench_serve [--out BENCH_serve.json] [--quick]
 //                     [--model gpt3-0.35b] [--gpus 4] [--max-evals 60]
 //
-// Measures end-to-end request latency (real loopback HTTP, sequential
-// requests) through the daemon's three serving paths:
+// Measures end-to-end request latency through the daemon's serving paths
+// over real loopback HTTP:
 //
-//   - cold:       a fresh daemon, empty profile database — the first
-//                 request pays profiling plus the search;
+//   - cold:         a fresh daemon, empty profile database — the first
+//                   request pays profiling plus the search;
 //   - warm_profile: a daemon warm-started from a saved profile snapshot
-//                 (ProfileDatabase::Load), same requests — the search runs
-//                 but every profile lookup hits, zero measurements;
-//   - cache_hit:  a repeated identical request — served straight from the
-//                 PlanCache, no search at all.
+//                   (ProfileDatabase::Load), same requests — the search runs
+//                   but every profile lookup hits, zero measurements;
+//   - cache_hit:    a repeated identical request, swept across concurrency
+//                   {1, 8, 64} × connection mode {close, keep-alive}, plus a
+//                   pipelined keep-alive run at 64 — served straight from
+//                   the PlanCache's pre-serialized payload, no search and no
+//                   re-serialization.
 //
 // Requests use a deterministic evaluation budget (max_evaluations), so the
 // cold and warm phases run bit-identical searches over identical profile
-// keys; the report asserts the warm phase's profile-miss delta is zero and
-// the cache-hit phase's hit counter matches its request count. The JSON is
-// hand-emitted (the repository carries no JSON dependency); CI uploads it
-// as the BENCH_serve artifact next to BENCH_search and BENCH_perf_model.
+// keys; the report asserts the warm phase's profile-miss delta is zero,
+// every cache-hit request actually hit, the zero-serialization wire bytes
+// are bit-identical to full per-request serialization, and the keep-alive
+// cache-hit throughput clears 10x the PR-7 thread-per-connection number.
+//
+// The JSON is google-benchmark format (context + benchmarks[], real_time in
+// nanoseconds per request) so tools/check_bench_regression.py can diff it
+// against bench/baselines/aceso_bench_serve_baseline.json; CI uploads it as
+// the BENCH_serve artifact next to BENCH_search and BENCH_perf_model.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/aceso.h"
@@ -34,6 +51,12 @@
 
 namespace aceso {
 namespace {
+
+// PR-7 thread-per-connection cache-hit throughput on the CI box (BENCH_serve
+// history, sequential loopback requests). The reactor's acceptance bar is
+// 10x this at concurrency 64 with keep-alive.
+constexpr double kPr7CacheHitReqPerSec = 12200.0;
+constexpr double kSpeedupBar = 10.0;
 
 struct Args {
   std::string out = "BENCH_serve.json";
@@ -79,18 +102,22 @@ double NowSeconds() {
       .count();
 }
 
-std::string RequestBody(const Args& args, uint64_t seed) {
+std::string RequestBody(const Args& args, uint64_t seed,
+                        const std::string& request_id = "") {
   std::string body = "{\"model\":\"" + JsonEscape(args.model) + "\"";
   body += ",\"gpus\":" + std::to_string(args.gpus);
   body += ",\"budget_seconds\":600";
   body += ",\"max_evaluations\":" + std::to_string(args.max_evals);
   body += ",\"seed\":" + std::to_string(seed);
+  if (!request_id.empty()) {
+    body += ",\"request_id\":\"" + JsonEscape(request_id) + "\"";
+  }
   body += ",\"client\":\"aceso_bench_serve\"}";
   return body;
 }
 
-struct PathReport {
-  std::string path;
+struct PhaseReport {
+  std::string name;  // benchmark name in the JSON, e.g. serve/cache_hit/...
   int requests = 0;
   int failures = 0;
   double total_seconds = 0.0;
@@ -107,25 +134,41 @@ double Percentile(std::vector<double>& sorted_ms, double p) {
   return sorted_ms[index];
 }
 
-// Sends `bodies` sequentially to the daemon, timing each round trip.
-PathReport RunPath(const char* name, int port,
-                   const std::vector<std::string>& bodies) {
-  PathReport report;
-  report.path = name;
+struct WorkerStats {
+  int requests = 0;
+  int failures = 0;
   std::vector<double> latencies_ms;
-  const double start = NowSeconds();
-  for (const std::string& body : bodies) {
-    const double t0 = NowSeconds();
-    auto response = serve::HttpCall("127.0.0.1", port, "POST", "/plan", body);
-    const double t1 = NowSeconds();
-    ++report.requests;
-    if (!response.ok() || response->status_code != 200) {
-      ++report.failures;
-      continue;
-    }
-    latencies_ms.push_back(1e3 * (t1 - t0));
+};
+
+// Spawns `concurrency` threads running `worker(per_thread, &stats)` behind a
+// start barrier, aggregates their counts, and derives the phase rates from
+// wall time across all of them.
+template <typename Worker>
+PhaseReport RunConcurrent(const std::string& name, int per_thread,
+                          int concurrency, Worker worker) {
+  PhaseReport report;
+  report.name = name;
+  std::vector<WorkerStats> stats(static_cast<size_t>(concurrency));
+  std::vector<std::thread> threads;
+  std::atomic<bool> go{false};
+  for (int i = 0; i < concurrency; ++i) {
+    threads.emplace_back([&, i] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      worker(per_thread, &stats[static_cast<size_t>(i)]);
+    });
   }
+  const double start = NowSeconds();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
   report.total_seconds = NowSeconds() - start;
+
+  std::vector<double> latencies_ms;
+  for (const WorkerStats& s : stats) {
+    report.requests += s.requests;
+    report.failures += s.failures;
+    latencies_ms.insert(latencies_ms.end(), s.latencies_ms.begin(),
+                        s.latencies_ms.end());
+  }
   report.req_per_sec =
       report.total_seconds > 0
           ? static_cast<double>(report.requests) / report.total_seconds
@@ -136,38 +179,198 @@ PathReport RunPath(const char* name, int port,
   return report;
 }
 
-void WriteJson(const Args& args, const std::vector<PathReport>& paths,
-               int64_t warm_profile_misses, int64_t cache_hits,
-               int64_t cache_hit_requests) {
+// ---- raw pipelined client ----
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAllRaw(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Counts complete Content-Length framed responses in `buf` starting at
+// *pos, advancing *pos past each and bumping *ok for " 200 " statuses.
+int ConsumeFramedResponses(const std::string& buf, size_t* pos, int* ok) {
+  int count = 0;
+  while (true) {
+    const size_t head_end = buf.find("\r\n\r\n", *pos);
+    if (head_end == std::string::npos) return count;
+    const size_t cl = buf.find("Content-Length: ", *pos);
+    if (cl == std::string::npos || cl > head_end) return count;
+    const size_t body_len =
+        static_cast<size_t>(std::atoll(buf.c_str() + cl + 16));
+    const size_t next = head_end + 4 + body_len;
+    if (buf.size() < next) return count;
+    if (buf.compare(*pos, 13, "HTTP/1.1 200 ") == 0) ++(*ok);
+    *pos = next;
+    ++count;
+  }
+}
+
+// Sends requests in pipelined batches of `batch` on one keep-alive
+// connection and reads the in-order responses. Latency is recorded per
+// batch round trip, divided by the batch size.
+void PipelinedWorker(int port, const std::string& wire_request, int total,
+                     int batch, WorkerStats* stats) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) {
+    stats->failures = total;
+    stats->requests = total;
+    return;
+  }
+  std::string rbuf;
+  size_t rpos = 0;
+  char chunk[65536];
+  int remaining = total;
+  while (remaining > 0) {
+    const int n_batch = std::min(batch, remaining);
+    std::string wire;
+    wire.reserve(wire_request.size() * static_cast<size_t>(n_batch));
+    for (int i = 0; i < n_batch; ++i) wire += wire_request;
+    const double t0 = NowSeconds();
+    if (!SendAllRaw(fd, wire)) break;
+    int got = 0;
+    int ok = 0;
+    while (got < n_batch) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      rbuf.append(chunk, static_cast<size_t>(n));
+      got += ConsumeFramedResponses(rbuf, &rpos, &ok);
+    }
+    const double t1 = NowSeconds();
+    if (got < n_batch) break;
+    stats->requests += n_batch;
+    stats->failures += n_batch - ok;
+    stats->latencies_ms.push_back(1e3 * (t1 - t0) / n_batch);
+    remaining -= n_batch;
+    if (rpos == rbuf.size()) {
+      rbuf.clear();
+      rpos = 0;
+    }
+  }
+  stats->failures += remaining;  // anything we never completed
+  stats->requests += remaining;
+  ::close(fd);
+}
+
+// ---- the three client modes over /plan ----
+
+PhaseReport RunClosed(const std::string& name, int port,
+                      const std::string& body, int per_thread,
+                      int concurrency) {
+  return RunConcurrent(
+      name, per_thread, concurrency,
+      [port, &body](int n, WorkerStats* stats) {
+        for (int i = 0; i < n; ++i) {
+          const double t0 = NowSeconds();
+          auto response =
+              serve::HttpCall("127.0.0.1", port, "POST", "/plan", body);
+          const double t1 = NowSeconds();
+          ++stats->requests;
+          if (!response.ok() || response->status_code != 200) {
+            ++stats->failures;
+            continue;
+          }
+          stats->latencies_ms.push_back(1e3 * (t1 - t0));
+        }
+      });
+}
+
+PhaseReport RunKeepAlive(const std::string& name, int port,
+                         const std::string& body, int per_thread,
+                         int concurrency) {
+  return RunConcurrent(
+      name, per_thread, concurrency,
+      [port, &body](int n, WorkerStats* stats) {
+        serve::HttpClient client("127.0.0.1", port);
+        for (int i = 0; i < n; ++i) {
+          const double t0 = NowSeconds();
+          auto response = client.Call("POST", "/plan", body);
+          const double t1 = NowSeconds();
+          ++stats->requests;
+          if (!response.ok() || response->status_code != 200) {
+            ++stats->failures;
+            continue;
+          }
+          stats->latencies_ms.push_back(1e3 * (t1 - t0));
+        }
+      });
+}
+
+PhaseReport RunPipelined(const std::string& name, int port,
+                         const std::string& body, int per_thread,
+                         int concurrency, int batch) {
+  std::string wire_request =
+      "POST /plan HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Type: application/json\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  return RunConcurrent(name, per_thread, concurrency,
+                       [port, wire_request, batch](int n, WorkerStats* stats) {
+                         PipelinedWorker(port, wire_request, n, batch, stats);
+                       });
+}
+
+void WriteJson(const Args& args, const std::vector<PhaseReport>& phases) {
   std::FILE* f = std::fopen(args.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
     std::exit(1);
   }
+  // google-benchmark report shape: check_bench_regression.py reads
+  // benchmarks[].name / real_time / run_type.
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"model\": \"%s\",\n", JsonEscape(args.model).c_str());
-  std::fprintf(f, "  \"gpus\": %d,\n", args.gpus);
-  std::fprintf(f, "  \"max_evaluations\": %lld,\n",
+  std::fprintf(f, "  \"context\": {\n");
+  std::fprintf(f, "    \"executable\": \"aceso_bench_serve\",\n");
+  std::fprintf(f, "    \"model\": \"%s\",\n", JsonEscape(args.model).c_str());
+  std::fprintf(f, "    \"gpus\": %d,\n", args.gpus);
+  std::fprintf(f, "    \"max_evaluations\": %lld,\n",
                static_cast<long long>(args.max_evals));
-  std::fprintf(f, "  \"quick\": %s,\n", args.quick ? "true" : "false");
-  std::fprintf(f, "  \"warm_profile_misses\": %lld,\n",
-               static_cast<long long>(warm_profile_misses));
-  std::fprintf(f, "  \"cache_hits\": %lld,\n",
-               static_cast<long long>(cache_hits));
-  std::fprintf(f, "  \"cache_hit_requests\": %lld,\n",
-               static_cast<long long>(cache_hit_requests));
-  std::fprintf(f, "  \"paths\": [\n");
-  for (size_t i = 0; i < paths.size(); ++i) {
-    const PathReport& p = paths[i];
+  std::fprintf(f, "    \"quick\": %s\n", args.quick ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseReport& p = phases[i];
+    const double per_request_ns =
+        p.requests > 0
+            ? 1e9 * p.total_seconds / static_cast<double>(p.requests)
+            : 0.0;
     std::fprintf(f, "    {\n");
-    std::fprintf(f, "      \"path\": \"%s\",\n", p.path.c_str());
+    std::fprintf(f, "      \"name\": \"%s\",\n", p.name.c_str());
+    std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+    std::fprintf(f, "      \"real_time\": %.1f,\n", per_request_ns);
+    std::fprintf(f, "      \"time_unit\": \"ns\",\n");
     std::fprintf(f, "      \"requests\": %d,\n", p.requests);
     std::fprintf(f, "      \"failures\": %d,\n", p.failures);
-    std::fprintf(f, "      \"total_seconds\": %.4f,\n", p.total_seconds);
     std::fprintf(f, "      \"req_per_sec\": %.2f,\n", p.req_per_sec);
-    std::fprintf(f, "      \"p50_ms\": %.3f,\n", p.p50_ms);
-    std::fprintf(f, "      \"p99_ms\": %.3f\n", p.p99_ms);
-    std::fprintf(f, "    }%s\n", i + 1 < paths.size() ? "," : "");
+    std::fprintf(f, "      \"p50_ms\": %.4f,\n", p.p50_ms);
+    std::fprintf(f, "      \"p99_ms\": %.4f\n", p.p99_ms);
+    std::fprintf(f, "    }%s\n", i + 1 < phases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
@@ -184,7 +387,13 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const int search_samples = args.quick ? 3 : 8;
-  const int hit_samples = args.quick ? 50 : 200;
+  // Per-thread request counts for the cache-hit sweep. Close-per-request
+  // burns a connection per request, so it gets a smaller count to keep the
+  // ephemeral-port churn bounded.
+  const int closed_per_thread = args.quick ? 50 : 150;
+  const int keepalive_per_thread = args.quick ? 300 : 1000;
+  const int pipelined_per_thread = args.quick ? 8000 : 20000;
+  const int pipeline_batch = 64;
 
   // The same deterministic request set for the cold and warm phases: with a
   // fixed max_evaluations budget the warm searches replay the cold ones
@@ -196,7 +405,36 @@ int Main(int argc, char** argv) {
   }
 
   const std::string snapshot_dir = "bench_serve_snapshots";
-  std::vector<PathReport> paths;
+  std::vector<PhaseReport> phases;
+
+  auto run_sequential = [&](const std::string& name, int port,
+                            const std::vector<std::string>& bodies) {
+    PhaseReport report;
+    report.name = name;
+    std::vector<double> latencies_ms;
+    const double start = NowSeconds();
+    for (const std::string& body : bodies) {
+      const double t0 = NowSeconds();
+      auto response =
+          serve::HttpCall("127.0.0.1", port, "POST", "/plan", body);
+      const double t1 = NowSeconds();
+      ++report.requests;
+      if (!response.ok() || response->status_code != 200) {
+        ++report.failures;
+        continue;
+      }
+      latencies_ms.push_back(1e3 * (t1 - t0));
+    }
+    report.total_seconds = NowSeconds() - start;
+    report.req_per_sec =
+        report.total_seconds > 0
+            ? static_cast<double>(report.requests) / report.total_seconds
+            : 0.0;
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    report.p50_ms = Percentile(latencies_ms, 0.5);
+    report.p99_ms = Percentile(latencies_ms, 0.99);
+    return report;
+  };
 
   // ---- cold: fresh daemon, empty profile database ----
   int64_t cold_misses = 0;
@@ -207,7 +445,8 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
       return 1;
     }
-    paths.push_back(RunPath("cold", daemon.port(), search_bodies));
+    phases.push_back(
+        run_sequential("serve/cold", daemon.port(), search_bodies));
     cold_misses = daemon.service().stats().profile_misses;
     const Status saved = daemon.service().SaveProfiles(snapshot_dir);
     if (!saved.ok()) {
@@ -218,9 +457,12 @@ int Main(int argc, char** argv) {
     daemon.Stop();
   }
 
-  // ---- warm_profile + cache_hit: daemon warm-started from the snapshot ----
+  // ---- warm_profile + cache_hit sweep: warm-started daemon ----
   int64_t warm_misses = 0;
   int64_t cache_hits = 0;
+  int64_t serializations_skipped = 0;
+  int64_t hit_requests = 0;
+  std::string identity_error;
   {
     serve::ServeOptions options;
     options.snapshot_dir = snapshot_dir;
@@ -230,37 +472,109 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
       return 1;
     }
-    paths.push_back(RunPath("warm_profile", daemon.port(), search_bodies));
+    phases.push_back(
+        run_sequential("serve/warm_profile", daemon.port(), search_bodies));
     warm_misses = daemon.service().stats().profile_misses;
 
-    const std::vector<std::string> hit_bodies(hit_samples, search_bodies[0]);
-    paths.push_back(RunPath("cache_hit", daemon.port(), hit_bodies));
+    const std::string hit_body = search_bodies[0];
+    // Concurrency = in-flight requests. For the pipelined config that is
+    // connections x pipeline depth: 1 connection x batch 64 = 64 in
+    // flight, which reaches the same concurrency as 64 keep-alive clients
+    // without 64 client threads fighting the event loop for cores.
+    struct SweepConfig {
+      const char* name;
+      int threads;
+      bool keepalive;
+      bool pipelined;
+    };
+    const SweepConfig sweep[] = {
+        {"serve/cache_hit/c1/close", 1, false, false},
+        {"serve/cache_hit/c1/keepalive", 1, true, false},
+        {"serve/cache_hit/c8/close", 8, false, false},
+        {"serve/cache_hit/c8/keepalive", 8, true, false},
+        {"serve/cache_hit/c64/close", 64, false, false},
+        {"serve/cache_hit/c64/keepalive", 64, true, false},
+        {"serve/cache_hit/c64/pipelined", 1, true, true},
+    };
+    for (const SweepConfig& config : sweep) {
+      PhaseReport report;
+      if (config.pipelined) {
+        report = RunPipelined(config.name, daemon.port(), hit_body,
+                              pipelined_per_thread, config.threads,
+                              pipeline_batch);
+      } else if (config.keepalive) {
+        report = RunKeepAlive(config.name, daemon.port(), hit_body,
+                              keepalive_per_thread, config.threads);
+      } else {
+        report = RunClosed(config.name, daemon.port(), hit_body,
+                           closed_per_thread, config.threads);
+      }
+      hit_requests += report.requests - report.failures;
+      phases.push_back(report);
+    }
     cache_hits = daemon.service().plan_cache_stats().hits;
+    serializations_skipped = daemon.service().stats().serializations_skipped;
+
+    // ---- bit-identity: the zero-serialization wire bytes must equal a
+    // full per-request serialization of the same answer. The in-process
+    // Handle returns the response parts; reassembling them through
+    // BuildResponseEnvelope is exactly what the old serializing server
+    // sent. (Runs after the stats snapshot so it does not perturb them.)
+    {
+      const std::string id = "bench-identity-1";
+      auto wire = serve::HttpCall("127.0.0.1", daemon.port(), "POST", "/plan",
+                                  RequestBody(args, 1000, id));
+      serve::PlanRequest request;
+      request.model = args.model;
+      request.gpus = args.gpus;
+      request.budget_seconds = 600;
+      request.max_evaluations = args.max_evals;
+      request.seed = 1000;
+      request.client = "aceso_bench_serve";
+      request.request_id = id;
+      const serve::PlanService::Response reference =
+          daemon.service().Handle(request);
+      if (!wire.ok() || wire->status_code != 200) {
+        identity_error = "identity probe request failed";
+      } else if (reference.body_mid == nullptr) {
+        identity_error = "identity probe was not served from the cache";
+      } else {
+        const std::string serialized = serve::BuildResponseEnvelope(
+            id, reference.cache, *reference.body_mid);
+        if (wire->body != serialized) {
+          identity_error =
+              "wire bytes differ from per-request serialization (" +
+              std::to_string(wire->body.size()) + " vs " +
+              std::to_string(serialized.size()) + " bytes)";
+        }
+      }
+    }
     daemon.Stop();
   }
 
-  for (const PathReport& p : paths) {
-    std::printf("%-13s %4d requests in %7.3fs  %8.2f req/s  "
-                "p50 %8.3fms  p99 %8.3fms%s\n",
-                p.path.c_str(), p.requests, p.total_seconds, p.req_per_sec,
+  for (const PhaseReport& p : phases) {
+    std::printf("%-28s %6d requests in %7.3fs  %10.1f req/s  "
+                "p50 %9.4fms  p99 %9.4fms%s\n",
+                p.name.c_str(), p.requests, p.total_seconds, p.req_per_sec,
                 p.p50_ms, p.p99_ms,
                 p.failures > 0 ? "  ** FAILURES **" : "");
   }
-  std::printf("profile misses: cold %lld, warm %lld; cache hits %lld/%d\n",
+  std::printf("profile misses: cold %lld, warm %lld; cache hits %lld for "
+              "%lld hit requests; serializations skipped %lld\n",
               static_cast<long long>(cold_misses),
               static_cast<long long>(warm_misses),
-              static_cast<long long>(cache_hits), hit_samples);
+              static_cast<long long>(cache_hits),
+              static_cast<long long>(hit_requests),
+              static_cast<long long>(serializations_skipped));
 
-  WriteJson(args, paths, warm_misses, cache_hits, hit_samples);
+  WriteJson(args, phases);
   std::printf("wrote %s\n", args.out.c_str());
 
-  // Acceptance bars (DESIGN.md §14): the warm daemon re-runs the cold
-  // searches without a single profile measurement, and every duplicate
-  // request is a plan-cache hit.
-  for (const PathReport& p : paths) {
+  // ---- acceptance bars (DESIGN.md §14, §16) ----
+  for (const PhaseReport& p : phases) {
     if (p.failures > 0) {
-      std::fprintf(stderr, "FAIL: %d failed requests on the %s path\n",
-                   p.failures, p.path.c_str());
+      std::fprintf(stderr, "FAIL: %d failed requests on %s\n", p.failures,
+                   p.name.c_str());
       return 1;
     }
   }
@@ -271,11 +585,44 @@ int Main(int argc, char** argv) {
                  static_cast<long long>(warm_misses));
     return 1;
   }
-  if (cache_hits != hit_samples) {
-    std::fprintf(stderr, "FAIL: %lld plan-cache hits for %d duplicates\n",
-                 static_cast<long long>(cache_hits), hit_samples);
+  // Every successful cache-hit request hit the plan cache, and each hit was
+  // served without re-serializing the payload.
+  if (cache_hits < hit_requests) {
+    std::fprintf(stderr, "FAIL: %lld plan-cache hits for %lld hit requests\n",
+                 static_cast<long long>(cache_hits),
+                 static_cast<long long>(hit_requests));
     return 1;
   }
+  if (serializations_skipped < hit_requests) {
+    std::fprintf(stderr,
+                 "FAIL: only %lld of %lld cache hits skipped serialization\n",
+                 static_cast<long long>(serializations_skipped),
+                 static_cast<long long>(hit_requests));
+    return 1;
+  }
+  if (!identity_error.empty()) {
+    std::fprintf(stderr, "FAIL: %s\n", identity_error.c_str());
+    return 1;
+  }
+  // The reactor's throughput bar: >= 10x the PR-7 thread-per-connection
+  // number at concurrency 64 with keep-alive (pipelined or not).
+  double best_c64 = 0.0;
+  for (const PhaseReport& p : phases) {
+    if (p.name.find("cache_hit/c64") != std::string::npos &&
+        p.name.find("close") == std::string::npos) {
+      best_c64 = std::max(best_c64, p.req_per_sec);
+    }
+  }
+  const double bar = kSpeedupBar * kPr7CacheHitReqPerSec;
+  if (best_c64 < bar) {
+    std::fprintf(stderr,
+                 "FAIL: cache-hit c64 keep-alive peak %.0f req/s is below "
+                 "the %.0f req/s bar (10x PR-7's %.0f)\n",
+                 best_c64, bar, kPr7CacheHitReqPerSec);
+    return 1;
+  }
+  std::printf("cache-hit c64 keep-alive peak: %.0f req/s (%.1fx PR-7)\n",
+              best_c64, best_c64 / kPr7CacheHitReqPerSec);
   return 0;
 }
 

@@ -184,7 +184,10 @@ int RunRemote(const Args& args) {
   }
   body += ",\"client\":\"aceso_plan\"}";
 
-  auto response = serve::HttpCall(host, port, "POST", "/plan", body);
+  // Keep-alive client: this CLI sends one request today, but anything that
+  // loops over models/budgets through this path reuses the connection.
+  serve::HttpClient client(host, port);
+  auto response = client.Call("POST", "/plan", body);
   if (!response.ok()) {
     std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
     return 1;

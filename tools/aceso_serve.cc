@@ -2,6 +2,7 @@
 //
 //   aceso_serve [--host 127.0.0.1] [--port 8700] [--workers N]
 //               [--eval-threads N] [--cache-capacity N] [--max-inflight N]
+//               [--http-workers N] [--idle-timeout SECONDS]
 //               [--snapshot-dir DIR] [--save-on-exit]
 //
 // Accepts plan requests over HTTP (POST /plan), serves duplicates from the
@@ -31,6 +32,8 @@ struct Args {
   int eval_threads = 2;
   int cache_capacity = 64;
   int max_inflight = 4;
+  int http_workers = 2;        // epoll event-loop workers
+  double idle_timeout = 30.0;  // keep-alive idle eviction (seconds)
   std::string snapshot_dir;
   bool save_on_exit = false;
 };
@@ -39,8 +42,9 @@ void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host ADDR] [--port N] [--workers N] "
                "[--eval-threads N] [--cache-capacity N]\n"
-               "          [--max-inflight N] [--snapshot-dir DIR] "
-               "[--save-on-exit]\n",
+               "          [--max-inflight N] [--http-workers N] "
+               "[--idle-timeout SECONDS]\n"
+               "          [--snapshot-dir DIR] [--save-on-exit]\n",
                argv0);
 }
 
@@ -74,6 +78,15 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--max-inflight") {
       if (!ParsePositiveInt("--max-inflight", next(), &args.max_inflight)) {
+        return false;
+      }
+    } else if (flag == "--http-workers") {
+      if (!ParsePositiveInt("--http-workers", next(), &args.http_workers)) {
+        return false;
+      }
+    } else if (flag == "--idle-timeout") {
+      if (!aceso::cli::ParsePositiveDouble("--idle-timeout", next(),
+                                           &args.idle_timeout)) {
         return false;
       }
     } else if (flag == "--snapshot-dir") {
@@ -113,6 +126,8 @@ int main(int argc, char** argv) {
   options.eval_threads = args.eval_threads;
   options.plan_cache_capacity = static_cast<size_t>(args.cache_capacity);
   options.max_inflight_searches = args.max_inflight;
+  options.http_workers = args.http_workers;
+  options.http_idle_timeout_seconds = args.idle_timeout;
   options.snapshot_dir = args.snapshot_dir;
 
   serve::PlanDaemon daemon(options);
@@ -146,6 +161,6 @@ int main(int argc, char** argv) {
     }
     std::printf("profiles saved to %s\n", args.snapshot_dir.c_str());
   }
-  std::printf("final stats: %s\n", daemon.service().StatsJson().c_str());
+  std::printf("final stats: %s\n", daemon.StatsJson().c_str());
   return 0;
 }
