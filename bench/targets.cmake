@@ -30,6 +30,7 @@ aceso_add_bench(exp10_primitive_table)
 aceso_add_bench(exp11_ablation)
 aceso_add_bench(exp12_zero_extension)
 aceso_add_bench(exp13_frontier)
+aceso_add_bench(exp14_warm_seed)
 
 aceso_add_micro_bench(micro_perf_model)
 aceso_add_micro_bench(micro_search)

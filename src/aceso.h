@@ -31,6 +31,7 @@
 #include "src/core/apply.h"
 #include "src/core/bottleneck.h"
 #include "src/core/dp_seeder.h"
+#include "src/core/seed_adapt.h"
 #include "src/core/finetune.h"
 #include "src/core/primitives.h"
 #include "src/core/search.h"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/core/seed_adapt.h"
+
 namespace aceso {
 
 StagePrefixMetrics BuildStagePrefix(const PerformanceModel& model, int mesh,
@@ -67,48 +69,11 @@ namespace {
 // layers (by op signature — the same structure run compression replays,
 // DESIGN.md §12), only cuts at period multiples stay allowed, so the DP
 // works on the distinct-layer skeleton instead of every op of a deep stack.
-// Endpoints 0 and n are always allowed.
+// Endpoints 0 and n are always allowed. Shared with the neighbor-seed
+// adaptation (src/core/seed_adapt.h), which snaps stretched stage
+// boundaries to the same mask.
 std::vector<char> AllowedCuts(const OpGraph& graph, bool compress_runs) {
-  const int n = graph.num_ops();
-  std::vector<char> ok(static_cast<size_t>(n) + 1, 1);
-  if (!compress_runs) {
-    return ok;
-  }
-  constexpr int kMaxPeriod = 128;
-  std::vector<uint64_t> sig(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    sig[static_cast<size_t>(i)] = graph.op(i).Signature();
-  }
-  int i = 0;
-  while (i < n) {
-    // Smallest period P with sig[i, i+P) == sig[i+P, i+2P).
-    int period = 0;
-    const int max_period = std::min((n - i) / 2, kMaxPeriod);
-    for (int p = 1; p <= max_period; ++p) {
-      if (std::equal(sig.begin() + i, sig.begin() + i + p,
-                     sig.begin() + i + p)) {
-        period = p;
-        break;
-      }
-    }
-    if (period == 0) {
-      ++i;
-      continue;
-    }
-    int reps = 2;
-    while (i + (reps + 1) * period <= n &&
-           std::equal(sig.begin() + i, sig.begin() + i + period,
-                      sig.begin() + i + reps * period)) {
-      ++reps;
-    }
-    for (int cut = i + 1; cut < i + reps * period; ++cut) {
-      if ((cut - i) % period != 0) {
-        ok[static_cast<size_t>(cut)] = 0;
-      }
-    }
-    i += reps * period;
-  }
-  return ok;
+  return SeedAdaptAllowedCuts(graph, compress_runs);
 }
 
 }  // namespace

@@ -295,6 +295,17 @@ class SingleSearch {
   // stats_.configs_explored (they draw down max_evaluations budgets too,
   // deterministically) and records them for the search_end counter flush.
   StatusOr<ParallelConfig> MakeInitial() {
+    if (options_.seed_mode == SeedMode::kConfig &&
+        options_.seed_config != nullptr &&
+        options_.seed_config->num_stages() == num_stages_ &&
+        options_.seed_config->Validate(model_.graph(), model_.cluster())
+            .ok()) {
+      // Caller-provided start (an adapted neighbor plan, DESIGN.md §17).
+      // The copy is CoW-cheap; the seed's own evaluation is charged below
+      // like any other initial configuration. Stage counts that don't match
+      // the seed (and invalid seeds) fall through to the heuristic start.
+      return *options_.seed_config;
+    }
     if (options_.seed_mode == SeedMode::kDp) {
       DpSeedOptions seed_options;
       seed_options.memory_limit_bytes = options_.memory_budget_bytes;
@@ -943,6 +954,28 @@ uint64_t SearchOptionsSemanticHash(const SearchOptions& options) {
   h.Add(static_cast<int>(options.seed_mode));
   h.Add(options.track_frontier);
   h.Add(options.memory_budget_bytes);
+  // A kConfig seed changes the trajectory, so its structure must key the
+  // plan cache. The fold is graph-free (raw fields, no canonicalization):
+  // two distinct seeds may hash apart even when semantically equal, which
+  // only costs a duplicate cache entry, never a wrong hit.
+  h.Add(options.seed_config != nullptr);
+  if (options.seed_config != nullptr) {
+    const ParallelConfig& seed = *options.seed_config;
+    h.Add(seed.microbatch_size());
+    h.Add(seed.num_stages());
+    for (const StageConfig& stage : seed.stages()) {
+      h.Add(stage.first_op);
+      h.Add(stage.num_ops);
+      h.Add(stage.num_devices);
+      for (const OpParallel& op : stage.ops) {
+        h.Add(op.tp);
+        h.Add(op.dp);
+        h.Add(static_cast<int>(op.tp_dim));
+        h.Add(op.recompute);
+        h.Add(op.zero_opt);
+      }
+    }
+  }
   return h.Digest();
 }
 

@@ -12,6 +12,7 @@
 #define SRC_CORE_SEARCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,15 +30,20 @@ enum class InitialConfigKind {
   kGpuImbalanced,  // Exp#7 "imbalance-GPU"
 };
 
-// How the initial configuration is produced (DESIGN.md §13). kHeuristic is
-// the paper's even split shaped by InitialConfigKind; kDp runs the
-// PaSE-style dynamic program (src/core/dp_seeder.h) over the compressed
+// How the initial configuration is produced (DESIGN.md §13, §17).
+// kHeuristic is the paper's even split shaped by InitialConfigKind; kDp runs
+// the PaSE-style dynamic program (src/core/dp_seeder.h) over the compressed
 // repeated-layer structure and starts the iterative search from its
 // solution. DP seeding intentionally changes the search trajectory; its
-// model evaluations are charged to SearchStats::configs_explored.
+// model evaluations are charged to SearchStats::configs_explored. kConfig
+// starts from a caller-provided configuration (SearchOptions::seed_config,
+// e.g. an adapted cached neighbor plan, src/core/seed_adapt.h); the stage
+// count whose search matches the seed's starts from it, every other stage
+// count (and an absent/invalid seed) falls back to the heuristic start.
 enum class SeedMode {
   kHeuristic,
   kDp,
+  kConfig,
 };
 
 struct SearchOptions {
@@ -146,6 +152,15 @@ struct SearchOptions {
   // failure (e.g. no memory-feasible DP solution) falls back to the
   // heuristic seed so the search never aborts.
   SeedMode seed_mode = SeedMode::kHeuristic;
+
+  // The starting configuration for SeedMode::kConfig (ignored otherwise):
+  // typically a cached neighbor's plan adapted to this model and cluster
+  // (src/core/seed_adapt.h). Shared, immutable — many searches may hold the
+  // same seed. Must Validate against the searched model/cluster to take
+  // effect; an invalid or stage-count-mismatched seed falls back to the
+  // heuristic start. Semantic: the seed changes the trajectory, so its
+  // structural fingerprint feeds SearchOptionsSemanticHash.
+  std::shared_ptr<const ParallelConfig> seed_config;
 
   // Optional structured-telemetry sink (not owned; may outlive many
   // searches and be shared between concurrent ones). Null disables all

@@ -1,9 +1,40 @@
 #include "src/serve/plan_cache.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace aceso {
 namespace serve {
+namespace {
+
+// Normalized magnitude delta in [0, 1]: 0 for equal, ->1 as the values
+// diverge. Both arguments non-negative.
+double DeltaScore(double a, double b) {
+  if (a == b) {
+    return 0.0;
+  }
+  const double m = std::max(a, b);
+  return m > 0.0 ? std::abs(a - b) / m : 0.0;
+}
+
+// Memory budgets compare specially: 0 means "device capacity", which is
+// only a zero-delta match against another capacity request — against an
+// explicit budget the plans were judged under different verdicts, so the
+// pair takes the full penalty.
+double BudgetDelta(int64_t a, int64_t b) {
+  const bool cap_a = a <= 0;
+  const bool cap_b = b <= 0;
+  if (cap_a && cap_b) {
+    return 0.0;
+  }
+  if (cap_a != cap_b) {
+    return 1.0;
+  }
+  return DeltaScore(static_cast<double>(a), static_cast<double>(b));
+}
+
+}  // namespace
 
 std::optional<CachedPlan> PlanCache::Get(uint64_t key) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -17,8 +48,23 @@ std::optional<CachedPlan> PlanCache::Get(uint64_t key) {
   return it->second->plan;
 }
 
+void PlanCache::UnhookNeighborLocked(const Entry& entry) {
+  if (!entry.neighbor.has_value()) {
+    return;
+  }
+  auto fit = families_.find(entry.family);
+  if (fit == families_.end()) {
+    return;
+  }
+  auto& keys = fit->second;
+  keys.erase(std::remove(keys.begin(), keys.end(), entry.key), keys.end());
+  if (keys.empty()) {
+    families_.erase(fit);
+  }
+}
+
 void PlanCache::Put(uint64_t key, CachedPlan plan) {
-  if (capacity_ == 0) {
+  if (options_.capacity == 0) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -26,13 +72,16 @@ void PlanCache::Put(uint64_t key, CachedPlan plan) {
   if (it != index_.end()) {
     it->second->plan = std::move(plan);
     it->second->derived.clear();
+    UnhookNeighborLocked(*it->second);
+    it->second->neighbor.reset();
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(plan), {}});
+  lru_.push_front(Entry{key, std::move(plan), {}, 0, std::nullopt});
   index_[key] = lru_.begin();
   ++inserts_;
-  while (lru_.size() > capacity_) {
+  while (lru_.size() > options_.capacity) {
+    UnhookNeighborLocked(lru_.back());
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
@@ -59,7 +108,8 @@ std::shared_ptr<const std::string> PlanCache::GetDerived(uint64_t key,
 
 void PlanCache::PutDerived(uint64_t key, uint64_t variant,
                            std::shared_ptr<const std::string> payload) {
-  if (capacity_ == 0 || payload == nullptr) {
+  if (options_.capacity == 0 || payload == nullptr ||
+      options_.max_derived_payloads == 0) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -74,11 +124,63 @@ void PlanCache::PutDerived(uint64_t key, uint64_t variant,
       return;
     }
   }
-  if (derived.size() >= kMaxDerivedPerEntry) {
+  while (derived.size() >= options_.max_derived_payloads) {
     derived.erase(derived.begin());
+    ++derived_evictions_;
   }
   derived.emplace_back(variant, std::move(payload));
   ++derived_inserts_;
+}
+
+void PlanCache::AttachNeighbor(uint64_t key, uint64_t family,
+                               NeighborPlan plan) {
+  if (options_.capacity == 0 || plan.config == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return;  // entry evicted between search and registration
+  }
+  UnhookNeighborLocked(*it->second);  // re-registration replaces cleanly
+  it->second->family = family;
+  it->second->neighbor = std::move(plan);
+  families_[family].push_back(key);
+}
+
+std::optional<NeighborPlan> PlanCache::FindNeighbor(
+    uint64_t family, uint64_t exclude_key, int num_ops, int num_gpus,
+    int64_t memory_budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++neighbor_probes_;
+  auto fit = families_.find(family);
+  if (fit == families_.end()) {
+    return std::nullopt;
+  }
+  const NeighborPlan* best = nullptr;
+  double best_score = 0.0;
+  for (const uint64_t key : fit->second) {
+    if (key == exclude_key) {
+      continue;
+    }
+    auto it = index_.find(key);
+    if (it == index_.end() || !it->second->neighbor.has_value()) {
+      continue;  // stale registration; unhooked lazily on next eviction
+    }
+    const NeighborPlan& plan = *it->second->neighbor;
+    const double score =
+        DeltaScore(plan.num_ops, num_ops) + DeltaScore(plan.num_gpus, num_gpus) +
+        BudgetDelta(plan.memory_budget_bytes, memory_budget_bytes);
+    if (best == nullptr || score < best_score) {
+      best = &plan;
+      best_score = score;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  ++neighbor_hits_;
+  return *best;
 }
 
 size_t PlanCache::size() const {
@@ -96,6 +198,9 @@ PlanCacheStats PlanCache::stats() const {
   s.derived_hits = derived_hits_;
   s.derived_misses = derived_misses_;
   s.derived_inserts = derived_inserts_;
+  s.derived_evictions = derived_evictions_;
+  s.neighbor_probes = neighbor_probes_;
+  s.neighbor_hits = neighbor_hits_;
   return s;
 }
 

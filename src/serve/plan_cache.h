@@ -1,4 +1,5 @@
-// The cross-request plan cache of the planning daemon (DESIGN.md §14, §16).
+// The cross-request plan cache of the planning daemon (DESIGN.md §14, §16,
+// §17).
 //
 // Keyed by PlanCacheKey — the composed semantic fingerprint of (model IR,
 // cluster spec, answer-determining SearchOptions). Because fixed-seed
@@ -13,6 +14,14 @@
 // Each entry also holds a small set of *derived* payloads — re-renderings
 // of the entry keyed by a variant hash (e.g. a budget-sweep's budget list)
 // — so repeat sweeps against a cached frontier skip re-serialization too.
+//
+// Beside the exact LRU sits a *similarity index* (DESIGN.md §17): entries
+// whose search adopted a plan register it under a model-family × cluster-
+// family fingerprint, and a cache miss probes its family bucket for the
+// nearest neighbor — scored by normalized layer-count, device-count, and
+// memory-budget deltas — whose plan the serving layer adapts into a search
+// seed (src/core/seed_adapt.h). Neighbor plans ride the LRU: eviction or
+// refresh of the exact entry unhooks its neighbor registration.
 //
 // LRU with a fixed entry capacity; thread-safe (one mutex — the cache sits
 // on the request admission path, not inside any search loop). Counters
@@ -31,9 +40,19 @@
 #include <vector>
 
 #include "src/common/hash.h"
+#include "src/config/parallel_config.h"
 
 namespace aceso {
 namespace serve {
+
+struct PlanCacheOptions {
+  // Max entries; 0 disables caching (every Get is a miss and Put is a
+  // no-op), which keeps the daemon's cache=off mode trivial.
+  size_t capacity = 64;
+  // Max derived (per-entry variant) payloads kept per entry, oldest dropped
+  // first; drops count toward derived_evictions.
+  size_t max_derived_payloads = 8;
+};
 
 struct PlanCacheStats {
   int64_t hits = 0;
@@ -44,6 +63,13 @@ struct PlanCacheStats {
   int64_t derived_hits = 0;
   int64_t derived_misses = 0;
   int64_t derived_inserts = 0;
+  // Variants dropped by the per-entry cap (PlanCacheOptions::
+  // max_derived_payloads), not by entry eviction.
+  int64_t derived_evictions = 0;
+  // Similarity-index traffic: FindNeighbor calls, and the subset that
+  // returned a registered neighbor plan.
+  int64_t neighbor_probes = 0;
+  int64_t neighbor_hits = 0;
 
   PlanCacheStats operator-(const PlanCacheStats& other) const {
     PlanCacheStats d;
@@ -54,6 +80,9 @@ struct PlanCacheStats {
     d.derived_hits = derived_hits - other.derived_hits;
     d.derived_misses = derived_misses - other.derived_misses;
     d.derived_inserts = derived_inserts - other.derived_inserts;
+    d.derived_evictions = derived_evictions - other.derived_evictions;
+    d.neighbor_probes = neighbor_probes - other.neighbor_probes;
+    d.neighbor_hits = neighbor_hits - other.neighbor_hits;
     return d;
   }
 };
@@ -66,11 +95,26 @@ struct CachedPlan {
   double iteration_time = 0.0;
 };
 
+// A plan registered with the similarity index: the adopted configuration
+// plus the request features the nearest-neighbor score compares. The config
+// is shared and immutable — probes hand it out by reference, adaptation
+// copies-on-write.
+struct NeighborPlan {
+  std::shared_ptr<const ParallelConfig> config;
+  int num_ops = 0;
+  int num_gpus = 0;
+  // Per-device memory budget the plan was searched under (0 = device
+  // capacity).
+  int64_t memory_budget_bytes = 0;
+  double iteration_time = 0.0;
+};
+
 class PlanCache {
  public:
-  // `capacity` = max entries; 0 disables caching (every Get is a miss and
-  // Put is a no-op), which keeps the daemon's cache=off mode trivial.
-  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  explicit PlanCache(PlanCacheOptions options) : options_(options) {}
+  // Entry-capacity-only convenience (derived cap stays at the default).
+  explicit PlanCache(size_t capacity)
+      : PlanCache(PlanCacheOptions{.capacity = capacity}) {}
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
@@ -79,8 +123,8 @@ class PlanCache {
   std::optional<CachedPlan> Get(uint64_t key);
 
   // Inserts (or refreshes) `key`. Evicts the least-recently-used entry when
-  // over capacity. Refreshing drops the entry's derived payloads (they were
-  // rendered from the replaced payload).
+  // over capacity. Refreshing drops the entry's derived payloads and its
+  // neighbor registration (both were rendered from the replaced payload).
   void Put(uint64_t key, CachedPlan plan);
 
   // Derived payloads: immutable re-renderings of the entry identified by
@@ -90,16 +134,32 @@ class PlanCache {
   std::shared_ptr<const std::string> GetDerived(uint64_t key,
                                                 uint64_t variant);
   // Attaches a derived payload to an existing entry (no-op when the entry
-  // has been evicted). At most kMaxDerivedPerEntry variants are kept per
-  // entry, oldest dropped first.
+  // has been evicted). At most options.max_derived_payloads variants are
+  // kept per entry, oldest dropped first (derived_evictions counts drops).
   void PutDerived(uint64_t key, uint64_t variant,
                   std::shared_ptr<const std::string> payload);
 
-  size_t size() const;
-  size_t capacity() const { return capacity_; }
-  PlanCacheStats stats() const;
+  // Registers `plan` with the similarity index under `family`, attached to
+  // the existing exact entry for `key` (no-op when the entry has been
+  // evicted — a neighbor plan never outlives its exact entry).
+  void AttachNeighbor(uint64_t key, uint64_t family, NeighborPlan plan);
 
-  static constexpr size_t kMaxDerivedPerEntry = 8;
+  // Probes family `family` for the registered plan nearest to the request
+  // features (normalized |Δops| + |Δgpus| + |Δbudget|; a budget of 0 means
+  // device capacity and scores 0 against 0, a full penalty against any
+  // explicit budget). Skips the exact entry `exclude_key` — a neighbor probe
+  // only runs on a miss, but the runner's own earlier generation may still
+  // be registered. Deterministic: strictly-better score wins, ties keep the
+  // earliest-registered plan. Read-only (no LRU refresh).
+  std::optional<NeighborPlan> FindNeighbor(uint64_t family,
+                                           uint64_t exclude_key, int num_ops,
+                                           int num_gpus,
+                                           int64_t memory_budget_bytes);
+
+  size_t size() const;
+  size_t capacity() const { return options_.capacity; }
+  size_t max_derived_payloads() const { return options_.max_derived_payloads; }
+  PlanCacheStats stats() const;
 
  private:
   struct Entry {
@@ -108,13 +168,23 @@ class PlanCache {
     // Small, ordered oldest→newest; linear scan beats a map at this size.
     std::vector<std::pair<uint64_t, std::shared_ptr<const std::string>>>
         derived;
+    // Similarity-index registration (nullopt = not registered). `family` is
+    // only meaningful when `neighbor` is set.
+    uint64_t family = 0;
+    std::optional<NeighborPlan> neighbor;
   };
 
-  const size_t capacity_;
+  // Removes `entry`'s neighbor registration from its family bucket (no-op
+  // when unregistered). Caller holds mu_.
+  void UnhookNeighborLocked(const Entry& entry);
+
+  const PlanCacheOptions options_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<Entry>::iterator, IdentityHash>
       index_;
+  // family fingerprint -> keys of registered entries, registration order.
+  std::unordered_map<uint64_t, std::vector<uint64_t>, IdentityHash> families_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t inserts_ = 0;
@@ -122,6 +192,9 @@ class PlanCache {
   int64_t derived_hits_ = 0;
   int64_t derived_misses_ = 0;
   int64_t derived_inserts_ = 0;
+  int64_t derived_evictions_ = 0;
+  int64_t neighbor_probes_ = 0;
+  int64_t neighbor_hits_ = 0;
 };
 
 }  // namespace serve

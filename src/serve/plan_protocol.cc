@@ -210,6 +210,51 @@ uint64_t PlanCacheKey(const OpGraph& graph, const ClusterSpec& cluster,
   return Mix64(h.Digest());
 }
 
+uint64_t ModelFamilyFingerprint(const OpGraph& graph) {
+  // Distinct op signatures in first-appearance order: a deeper stack of the
+  // same repeated block introduces no new signature, so deepnet-24 and
+  // deepnet-48 share a family, while any change to hidden sizes, per-op
+  // shapes, or precision starts a new one. Batch size and layer count are
+  // deliberately excluded — they are exactly what seed adaptation reshapes.
+  Hasher h;
+  h.Add(static_cast<int>(graph.precision()));
+  std::vector<uint64_t> seen;
+  for (const Operator& op : graph.ops()) {
+    const uint64_t sig = op.Signature();
+    bool is_new = true;
+    for (const uint64_t s : seen) {
+      if (s == sig) {
+        is_new = false;
+        break;
+      }
+    }
+    if (is_new) {
+      seen.push_back(sig);
+      h.Add(sig);
+    }
+  }
+  h.Add(static_cast<int64_t>(seen.size()));
+  return Mix64(h.Digest());
+}
+
+uint64_t ClusterFamilyFingerprint(const ClusterSpec& cluster) {
+  // The cluster minus its size: GPU type and link performance only. Node
+  // and per-node device counts are similarity *features* (device-count
+  // delta), not family keys.
+  Hasher h;
+  h.Add(cluster.gpu.Fingerprint());
+  h.Add(cluster.nvlink_bandwidth);
+  h.Add(cluster.nvlink_latency);
+  h.Add(cluster.ib_bandwidth);
+  h.Add(cluster.ib_latency);
+  return Mix64(h.Digest());
+}
+
+uint64_t NeighborFamilyKey(const OpGraph& graph, const ClusterSpec& cluster) {
+  return HashCombine(ModelFamilyFingerprint(graph),
+                     ClusterFamilyFingerprint(cluster));
+}
+
 std::string BuildPlanPayload(const OpGraph& graph, const ClusterSpec& cluster,
                              const SearchResult& result,
                              size_t convergence_cap) {

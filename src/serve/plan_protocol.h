@@ -95,6 +95,18 @@ SearchOptions ToSearchOptions(const PlanRequest& request,
 uint64_t PlanCacheKey(const OpGraph& graph, const ClusterSpec& cluster,
                       const SearchOptions& options);
 
+// Family fingerprints for the plan cache's similarity index (DESIGN.md
+// §17). ModelFamilyFingerprint hashes the model's *distinct* op-signature
+// skeleton (first-appearance order) plus precision — invariant under layer-
+// count changes of repeated-block models. ClusterFamilyFingerprint hashes
+// the GPU type and link parameters, excluding node/device counts.
+// NeighborFamilyKey combines both into the similarity-index bucket key;
+// layer count, device count, and memory budget stay out of the key because
+// they are the probe's scored distance features.
+uint64_t ModelFamilyFingerprint(const OpGraph& graph);
+uint64_t ClusterFamilyFingerprint(const ClusterSpec& cluster);
+uint64_t NeighborFamilyKey(const OpGraph& graph, const ClusterSpec& cluster);
+
 // Serializes the search outcome as the cacheable response payload (one JSON
 // object; see the module comment). `convergence_cap` bounds the embedded
 // trend (the full trend can run to thousands of points on long budgets).

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/core/seed_adapt.h"
 #include "src/cost/perf_model.h"
 #include "src/ir/models/model_zoo.h"
 #include "src/obs/telemetry.h"
@@ -74,6 +75,9 @@ ServeStats ServeStats::operator-(const ServeStats& other) const {
   d.cache_hits = cache_hits - other.cache_hits;
   d.cache_misses = cache_misses - other.cache_misses;
   d.cache_evictions = cache_evictions - other.cache_evictions;
+  d.neighbor_seeded = neighbor_seeded - other.neighbor_seeded;
+  d.seed_adopted = seed_adopted - other.seed_adopted;
+  d.seed_fallbacks = seed_fallbacks - other.seed_fallbacks;
   d.profile_dbs = profile_dbs - other.profile_dbs;
   d.warm_starts = warm_starts - other.warm_starts;
   d.warm_start_errors = warm_start_errors - other.warm_start_errors;
@@ -98,7 +102,8 @@ struct PlanService::Inflight {
 PlanService::PlanService(ServeOptions options)
     : options_(std::move(options)),
       pool_(PoolThreads(options_)),
-      cache_(options_.plan_cache_capacity) {}
+      cache_(PlanCacheOptions{options_.plan_cache_capacity,
+                              options_.plan_cache_max_derived}) {}
 
 PlanService::~PlanService() {
   // Drain outstanding search jobs before the members they reference die.
@@ -158,6 +163,70 @@ ProfileDatabase* PlanService::DbForCluster(const ClusterSpec& cluster) {
   ProfileDatabase* raw = db.get();
   dbs_.emplace(fp, std::move(db));
   return raw;
+}
+
+SearchResult PlanService::SeededSearch(const PerformanceModel& model,
+                                       const SearchOptions& options,
+                                       uint64_t key) {
+  const OpGraph& graph = model.graph();
+  const ClusterSpec& cluster = model.cluster();
+  auto neighbor = cache_.FindNeighbor(
+      NeighborFamilyKey(graph, cluster), key, graph.num_ops(),
+      cluster.num_gpus(), options.memory_budget_bytes);
+  if (!neighbor.has_value() || neighbor->config == nullptr) {
+    return AcesoSearch(model, options);
+  }
+  SeedAdaptOptions adapt_options;
+  adapt_options.memory_limit_bytes = options.memory_budget_bytes;
+  auto adapted = AdaptSeedConfig(model, *neighbor->config, adapt_options);
+  if (!adapted.ok()) {
+    // The neighbor does not reshape to this request (e.g. fewer devices
+    // than its stages): plain unseeded search, not counted as seeded.
+    return AcesoSearch(model, options);
+  }
+  neighbor_seeded_.fetch_add(1, std::memory_order_relaxed);
+
+  SearchOptions seeded_options = options;
+  seeded_options.seed_mode = SeedMode::kConfig;
+  seeded_options.seed_config =
+      std::make_shared<const ParallelConfig>(std::move(adapted->config));
+  SearchResult seeded = AcesoSearch(model, seeded_options);
+
+  // Re-verdict (DESIGN.md §17): the seeded result must be at least as good
+  // as the adapted seed itself *and* as the unseeded heuristic init — the
+  // two starting points an unseeded search could trivially reach. A seed
+  // that dragged the search somewhere worse is discarded and the request
+  // re-runs unseeded, so neighbor seeding can only ever improve answers.
+  bool adopt = seeded.found;
+  if (adopt && adapted->perf.BetterThan(seeded.best.perf)) {
+    adopt = false;
+  }
+  if (adopt) {
+    auto init = MakeEvenConfig(graph, cluster,
+                               seeded_options.seed_config->num_stages(), 1);
+    if (init.ok()) {
+      PerfResult init_perf = model.Evaluate(*init);
+      init_perf.ApplyMemoryLimit(options.memory_budget_bytes > 0
+                                     ? options.memory_budget_bytes
+                                     : cluster.gpu.memory_bytes);
+      if (init_perf.BetterThan(seeded.best.perf)) {
+        adopt = false;
+      }
+    }
+  }
+  if (adopt) {
+    seed_adopted_.fetch_add(1, std::memory_order_relaxed);
+    return seeded;
+  }
+  seed_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  SearchResult unseeded = AcesoSearch(model, options);
+  // Serve whichever run found the better plan — the fallback guards the
+  // floor, it does not throw away a seeded win over the full unseeded run.
+  if (seeded.found &&
+      (!unseeded.found || seeded.best.perf.BetterThan(unseeded.best.perf))) {
+    return seeded;
+  }
+  return unseeded;
 }
 
 PlanService::Response PlanService::Handle(const PlanRequest& request,
@@ -311,13 +380,21 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
     std::shared_ptr<const std::string> payload;
     bool found = false;
     double iteration_time = 0.0;
+    std::shared_ptr<const ParallelConfig> best_config;
+    const bool neighbor_seed = options_.neighbor_seed;
     try {
       PerformanceModel model(state->graph.get(), state->cluster, db);
-      const SearchResult result = AcesoSearch(model, state->options);
+      const SearchResult result =
+          neighbor_seed ? SeededSearch(model, state->options, key)
+                        : AcesoSearch(model, state->options);
       payload = std::make_shared<const std::string>(BuildPlanPayload(
           *state->graph, state->cluster, result, convergence_cap));
       found = result.found;
       iteration_time = result.found ? result.best.perf.iteration_time : 0.0;
+      if (neighbor_seed && result.found) {
+        best_config =
+            std::make_shared<const ParallelConfig>(result.best.config);
+      }
     } catch (const std::exception& e) {
       st = Internal(std::string("search failed: ") + e.what());
     } catch (...) {
@@ -329,6 +406,19 @@ PlanService::Response PlanService::Handle(const PlanRequest& request,
       // cached payload, never the gap between them. The cache entry, the
       // in-flight waiters, and every wire response share one string.
       cache_.Put(key, CachedPlan{payload, found, iteration_time});
+      if (best_config != nullptr) {
+        // Register the adopted plan with the similarity index so later
+        // near-identical misses can seed from it (DESIGN.md §17).
+        NeighborPlan neighbor;
+        neighbor.config = std::move(best_config);
+        neighbor.num_ops = state->graph->num_ops();
+        neighbor.num_gpus = state->cluster.num_gpus();
+        neighbor.memory_budget_bytes = state->options.memory_budget_bytes;
+        neighbor.iteration_time = iteration_time;
+        cache_.AttachNeighbor(
+            key, NeighborFamilyKey(*state->graph, state->cluster),
+            std::move(neighbor));
+      }
       completed_.fetch_add(1, std::memory_order_relaxed);
     }
     {
@@ -412,6 +502,9 @@ ServeStats PlanService::stats() const {
   s.cache_hits = cache.hits;
   s.cache_misses = cache.misses;
   s.cache_evictions = cache.evictions;
+  s.neighbor_seeded = neighbor_seeded_.load(std::memory_order_relaxed);
+  s.seed_adopted = seed_adopted_.load(std::memory_order_relaxed);
+  s.seed_fallbacks = seed_fallbacks_.load(std::memory_order_relaxed);
   s.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   s.warm_start_errors = warm_start_errors_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(db_mu_);
@@ -447,6 +540,9 @@ std::string PlanService::StatsJson() const {
   field("cache_hits", s.cache_hits);
   field("cache_misses", s.cache_misses);
   field("cache_evictions", s.cache_evictions);
+  field("neighbor_seeded", s.neighbor_seeded);
+  field("seed_adopted", s.seed_adopted);
+  field("seed_fallbacks", s.seed_fallbacks);
   field("profile_dbs", s.profile_dbs);
   field("warm_starts", s.warm_starts);
   field("warm_start_errors", s.warm_start_errors);

@@ -57,6 +57,19 @@ struct ServeOptions {
   // Plan cache entries (0 disables the cache).
   size_t plan_cache_capacity = 64;
 
+  // Derived sweep-payload variants kept per cache entry (PlanCacheOptions::
+  // max_derived_payloads).
+  size_t plan_cache_max_derived = 8;
+
+  // Neighbor-seeded incremental planning (DESIGN.md §17): on a plan-cache
+  // miss, probe the similarity index for the nearest cached neighbor plan,
+  // adapt it to the request (src/core/seed_adapt.h), and start the search
+  // from it. The adopted plan is re-verdicted — never worse than both the
+  // adapted seed and the unseeded heuristic init, falling back to an
+  // unseeded search otherwise. Off restores strictly request-deterministic
+  // answers (a seeded answer depends on what the cache held at miss time).
+  bool neighbor_seed = true;
+
   // Admission bound: searches running at once before requests are rejected.
   int max_inflight_searches = 4;
 
@@ -96,6 +109,13 @@ struct ServeStats {
   int64_t cache_hits = 0;      // plan-cache hits (no search)
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
+  // Neighbor seeding (DESIGN.md §17): misses whose search started from an
+  // adapted cached neighbor, split into adopted seeded results and
+  // fallbacks to an unseeded search (the re-verdict rejected the seeded
+  // result). Invariant: neighbor_seeded == seed_adopted + seed_fallbacks.
+  int64_t neighbor_seeded = 0;
+  int64_t seed_adopted = 0;
+  int64_t seed_fallbacks = 0;
   int64_t profile_dbs = 0;     // databases materialized
   int64_t warm_starts = 0;     // databases loaded from a snapshot file
   int64_t warm_start_errors = 0;  // snapshot present but refused
@@ -179,6 +199,16 @@ class PlanService {
   // dir, warm-starting) it on first use.
   ProfileDatabase* DbForCluster(const ClusterSpec& cluster);
 
+  // The miss-path search with neighbor seeding (DESIGN.md §17): probe the
+  // similarity index, adapt the nearest neighbor's plan, seed the search
+  // from it, and re-verdict — the served plan is never worse than both the
+  // adapted seed and the unseeded heuristic init (falls back to an unseeded
+  // search otherwise). No usable neighbor degrades to a plain unseeded
+  // search. Maintains the neighbor_seeded / seed_adopted / seed_fallbacks
+  // counters; runs on a pool worker inside the runner's job.
+  SearchResult SeededSearch(const PerformanceModel& model,
+                            const SearchOptions& options, uint64_t key);
+
   // The immutable graph for a zoo model name, built once and shared by
   // every request (and by in-flight searches — PerformanceModel and
   // BuildPlanPayload only read it). Without this memo every cache hit paid
@@ -212,6 +242,9 @@ class PlanService {
   std::atomic<int64_t> budget_sweeps_{0};
   std::atomic<int64_t> sweeps_from_cache_{0};
   std::atomic<int64_t> serializations_skipped_{0};
+  std::atomic<int64_t> neighbor_seeded_{0};
+  std::atomic<int64_t> seed_adopted_{0};
+  std::atomic<int64_t> seed_fallbacks_{0};
   std::atomic<int64_t> warm_starts_{0};
   std::atomic<int64_t> warm_start_errors_{0};
   std::atomic<int64_t> next_request_id_{1};

@@ -426,6 +426,69 @@ TEST_P(FuzzTest, BatchedGroupEvalBitIdenticalToScalar) {
   }
 }
 
+TEST_P(FuzzTest, AdaptedSeedConfigsAreValidOrRejected) {
+  // The seed-adaptation property (DESIGN.md §17): adapting ANY valid config
+  // — built for a different random model and a different cluster size, then
+  // scrambled by random mutations — either fails cleanly (NotFound) or
+  // produces a config that fully validates against the target, covers every
+  // target op, fills the target cluster exactly, and carries a memory
+  // verdict consistent with re-evaluating the adapted config from scratch.
+  const OpGraph source_graph = models::SyntheticModel(rng_);
+  const ClusterSpec source_cluster =
+      ClusterSpec::WithGpuCount(1 << rng_.NextInt(1, 3));  // 2..8
+  auto made = MakeEvenConfig(
+      source_graph, source_cluster,
+      std::min({4, source_graph.num_ops(), source_cluster.num_gpus()}),
+      1 << rng_.NextInt(0, 2));
+  if (!made.ok()) {
+    GTEST_SKIP() << made.status().ToString();
+  }
+  ParallelConfig seed = *std::move(made);
+  // The mutations may even break the source's own divisibility invariants
+  // (random microbatch sizes): adaptation must still reject-or-produce-valid
+  // — it never trusts the seed, only the target-side Validate.
+  for (int m = 0; m < 5; ++m) {
+    MutateRandomly(source_graph, seed, rng_);
+  }
+
+  // A structurally different target: fresh random model, different size.
+  Rng target_rng(rng_.NextU64());
+  const OpGraph target_graph = models::SyntheticModel(target_rng);
+  const ClusterSpec target_cluster =
+      ClusterSpec::WithGpuCount(1 << rng_.NextInt(0, 4));  // 1..16
+  ProfileDatabase db(target_cluster, /*seed=*/GetParam());
+  PerformanceModel model(&target_graph, target_cluster, &db);
+
+  SeedAdaptOptions adapt_options;
+  if (rng_.NextBool(0.3)) {
+    adapt_options.memory_limit_bytes = 16 * kGiB;
+  }
+  auto adapted = AdaptSeedConfig(model, seed, adapt_options);
+  if (!adapted.ok()) {
+    EXPECT_EQ(adapted.status().code(), StatusCode::kNotFound)
+        << adapted.status().ToString();
+    return;  // clean rejection is an allowed outcome
+  }
+  const ParallelConfig& config = adapted->config;
+  EXPECT_TRUE(config.Validate(target_graph, target_cluster).ok());
+  EXPECT_EQ(config.num_stages(), seed.num_stages());
+  EXPECT_EQ(config.TotalDevices(), target_cluster.num_gpus());
+  // Full positional coverage of the target's ops.
+  int next_op = 0;
+  for (int s = 0; s < config.num_stages(); ++s) {
+    EXPECT_EQ(config.stage(s).first_op, next_op);
+    next_op += config.stage(s).num_ops;
+  }
+  EXPECT_EQ(next_op, target_graph.num_ops());
+  // The reported verdict is exactly a fresh evaluation under the same limit.
+  PerfResult fresh = model.Evaluate(config);
+  fresh.ApplyMemoryLimit(adapt_options.memory_limit_bytes > 0
+                             ? adapt_options.memory_limit_bytes
+                             : target_cluster.gpu.memory_bytes);
+  EXPECT_EQ(adapted->perf.iteration_time, fresh.iteration_time);
+  EXPECT_EQ(adapted->perf.oom, fresh.oom);
+}
+
 TEST_P(FuzzTest, ConfigIoRoundTripsOnRandomModels) {
   const OpGraph graph = models::SyntheticModel(rng_);
   const ClusterSpec cluster = ClusterSpec::WithGpuCount(8);

@@ -88,16 +88,26 @@ TEST(PlanCacheTest, RefreshingAnEntryDropsItsDerivedPayloads) {
 }
 
 TEST(PlanCacheTest, DerivedPayloadsAreCappedPerEntry) {
-  PlanCache cache(4);
+  PlanCache cache(PlanCacheOptions{.capacity = 4, .max_derived_payloads = 3});
   cache.Put(1, Plan("base"));
-  for (uint64_t v = 0; v < PlanCache::kMaxDerivedPerEntry + 3; ++v) {
+  for (uint64_t v = 0; v < 3 + 3; ++v) {
     cache.PutDerived(
         1, v, std::make_shared<const std::string>("d" + std::to_string(v)));
   }
-  // Oldest variants were dropped; the newest survive.
+  // Oldest variants were dropped (and counted); the newest 3 survive.
   EXPECT_EQ(cache.GetDerived(1, 0), nullptr);
   EXPECT_EQ(cache.GetDerived(1, 2), nullptr);
-  ASSERT_NE(cache.GetDerived(1, PlanCache::kMaxDerivedPerEntry + 2), nullptr);
+  ASSERT_NE(cache.GetDerived(1, 3), nullptr);
+  ASSERT_NE(cache.GetDerived(1, 5), nullptr);
+  EXPECT_EQ(cache.stats().derived_evictions, 3);
+}
+
+TEST(PlanCacheTest, ZeroDerivedCapKeepsNoVariants) {
+  PlanCache cache(PlanCacheOptions{.capacity = 4, .max_derived_payloads = 0});
+  cache.Put(1, Plan("base"));
+  cache.PutDerived(1, 7, std::make_shared<const std::string>("variant"));
+  EXPECT_EQ(cache.GetDerived(1, 7), nullptr);
+  EXPECT_EQ(cache.stats().derived_inserts, 0);
 }
 
 TEST(PlanCacheTest, PutDerivedOnMissingEntryIsANoOp) {
@@ -113,6 +123,111 @@ TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Get(1).has_value());
   EXPECT_EQ(cache.stats().inserts, 0);
+}
+
+// ---- similarity index (DESIGN.md §17) ----
+
+NeighborPlan Neighbor(int num_ops, int num_gpus,
+                      int64_t memory_budget_bytes = 0) {
+  NeighborPlan plan;
+  plan.config = std::make_shared<const ParallelConfig>();
+  plan.num_ops = num_ops;
+  plan.num_gpus = num_gpus;
+  plan.memory_budget_bytes = memory_budget_bytes;
+  return plan;
+}
+
+TEST(PlanCacheTest, FindNeighborPicksTheNearestRegisteredPlan) {
+  PlanCache cache(8);
+  cache.Put(1, Plan("24 layers"));
+  cache.Put(2, Plan("48 layers"));
+  constexpr uint64_t kFamily = 0xF00D;
+  cache.AttachNeighbor(1, kFamily, Neighbor(/*num_ops=*/24, /*num_gpus=*/8));
+  cache.AttachNeighbor(2, kFamily, Neighbor(/*num_ops=*/48, /*num_gpus=*/8));
+
+  // A 28-op request is closer to 24 than to 48.
+  auto hit = cache.FindNeighbor(kFamily, /*exclude_key=*/99, /*num_ops=*/28,
+                                /*num_gpus=*/8, /*memory_budget_bytes=*/0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->num_ops, 24);
+
+  // A 44-op request flips to the other plan.
+  hit = cache.FindNeighbor(kFamily, 99, 44, 8, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->num_ops, 48);
+
+  // A different family bucket is empty.
+  EXPECT_FALSE(cache.FindNeighbor(kFamily + 1, 99, 28, 8, 0).has_value());
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.neighbor_probes, 3);
+  EXPECT_EQ(stats.neighbor_hits, 2);
+}
+
+TEST(PlanCacheTest, FindNeighborSkipsTheExcludedKey) {
+  // The only registered plan is the request's own entry: the probe must not
+  // hand a search its own prior answer as a "neighbor".
+  PlanCache cache(8);
+  cache.Put(1, Plan("self"));
+  constexpr uint64_t kFamily = 7;
+  cache.AttachNeighbor(1, kFamily, Neighbor(24, 8));
+  EXPECT_FALSE(cache.FindNeighbor(kFamily, /*exclude_key=*/1, 24, 8, 0)
+                   .has_value());
+  EXPECT_TRUE(cache.FindNeighbor(kFamily, /*exclude_key=*/2, 24, 8, 0)
+                  .has_value());
+}
+
+TEST(PlanCacheTest, ExplicitBudgetsPreferBudgetedNeighbors) {
+  // 0 means "device capacity": capacity-to-capacity is a perfect budget
+  // match, capacity-to-explicit takes the full penalty — the plans were
+  // verdicted under different limits.
+  PlanCache cache(8);
+  cache.Put(1, Plan("capacity"));
+  cache.Put(2, Plan("16GiB"));
+  constexpr uint64_t kFamily = 7;
+  constexpr int64_t kGiB = 1LL << 30;
+  cache.AttachNeighbor(1, kFamily, Neighbor(24, 8, 0));
+  cache.AttachNeighbor(2, kFamily, Neighbor(24, 8, 16 * kGiB));
+
+  auto hit = cache.FindNeighbor(kFamily, 99, 24, 8, /*budget=*/0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->memory_budget_bytes, 0);
+
+  hit = cache.FindNeighbor(kFamily, 99, 24, 8, /*budget=*/14 * kGiB);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->memory_budget_bytes, 16 * kGiB);
+}
+
+TEST(PlanCacheTest, EvictionUnhooksTheNeighborRegistration) {
+  PlanCache cache(2);
+  cache.Put(1, Plan("one"));
+  constexpr uint64_t kFamily = 7;
+  cache.AttachNeighbor(1, kFamily, Neighbor(24, 8));
+  ASSERT_TRUE(cache.FindNeighbor(kFamily, 99, 24, 8, 0).has_value());
+  // Overflow the LRU so entry 1 (least recent) is evicted.
+  cache.Put(2, Plan("two"));
+  cache.Put(3, Plan("three"));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.FindNeighbor(kFamily, 99, 24, 8, 0).has_value())
+      << "a neighbor plan must not outlive its exact entry";
+}
+
+TEST(PlanCacheTest, RefreshDropsTheNeighborRegistration) {
+  // Refreshing replaces the payload; the registered plan was the old
+  // payload's and must go with it (the runner re-attaches after the new
+  // search).
+  PlanCache cache(4);
+  cache.Put(1, Plan("v1"));
+  constexpr uint64_t kFamily = 7;
+  cache.AttachNeighbor(1, kFamily, Neighbor(24, 8));
+  cache.Put(1, Plan("v2"));
+  EXPECT_FALSE(cache.FindNeighbor(kFamily, 99, 24, 8, 0).has_value());
+}
+
+TEST(PlanCacheTest, AttachNeighborToMissingEntryIsANoOp) {
+  PlanCache cache(2);
+  cache.AttachNeighbor(99, /*family=*/7, Neighbor(24, 8));
+  EXPECT_FALSE(cache.FindNeighbor(7, 0, 24, 8, 0).has_value());
 }
 
 // ---- keying: PlanCacheKey over the parsed request ----

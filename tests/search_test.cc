@@ -267,6 +267,96 @@ TEST_F(SearchTest, FixedEvaluationBudgetIsBitReproducible) {
   EXPECT_EQ(b.stats.configs_explored, a.stats.configs_explored);
 }
 
+TEST_F(SearchTest, ConfigSeededSearchIsBitReproducibleAcrossEvalThreads) {
+  // SeedMode::kConfig (DESIGN.md §17): the search starts from a caller-
+  // provided configuration — in production an adapted cache neighbor — and
+  // must stay on the same deterministic rails as the heuristic init: under a
+  // fixed evaluation budget, every eval_threads value lands on the same
+  // golden best. The seed here is the best of a short pre-search, the same
+  // kind of artifact the serving layer feeds through seed_config.
+  SearchOptions pre = FastOptions();
+  pre.time_budget_seconds = 1e6;
+  pre.max_evaluations = 300;
+  const SearchResult base = AcesoSearchForStages(model_, pre, 2);
+  ASSERT_TRUE(base.found);
+  const auto seed = std::make_shared<const ParallelConfig>(base.best.config);
+
+  auto run = [&](int eval_threads) {
+    SearchOptions options = FastOptions();
+    options.time_budget_seconds = 1e6;
+    options.max_evaluations = 1500;
+    options.seed_mode = SeedMode::kConfig;
+    options.seed_config = seed;
+    options.eval_threads = eval_threads;
+    return AcesoSearchForStages(model_, options, 2);
+  };
+  const SearchResult serial = run(1);
+  ASSERT_TRUE(serial.found);
+  // Same golden best the unseeded 3000-eval run pins — reached here in half
+  // the budget and 8 iterations instead of 40, which is the whole point of
+  // seeding.
+  EXPECT_EQ(serial.best.semantic_hash, 1672875804967310438ULL);
+  EXPECT_DOUBLE_EQ(serial.best.perf.iteration_time, 22.649582163995891);
+  EXPECT_EQ(serial.stats.configs_explored, 1500);
+  EXPECT_EQ(serial.stats.iterations, 8);
+  // A seeded search never finishes worse than the seed it started from.
+  EXPECT_LE(serial.best.perf.iteration_time, base.best.perf.iteration_time);
+
+  for (const int eval_threads : {2, 8}) {
+    const SearchResult result = run(eval_threads);
+    ASSERT_TRUE(result.found) << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.best.semantic_hash, serial.best.semantic_hash)
+        << "eval_threads=" << eval_threads;
+    EXPECT_DOUBLE_EQ(result.best.perf.iteration_time,
+                     serial.best.perf.iteration_time)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.stats.configs_explored, serial.stats.configs_explored)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.stats.iterations, serial.stats.iterations)
+        << "eval_threads=" << eval_threads;
+    EXPECT_EQ(result.stats.hops_used, serial.stats.hops_used)
+        << "eval_threads=" << eval_threads;
+  }
+}
+
+TEST_F(SearchTest, MismatchedSeedConfigFallsBackToHeuristicInit) {
+  // A seed whose stage count does not match the searched count (or that
+  // fails Validate) is ignored, not an error: the search degrades to the
+  // heuristic init and must reproduce the unseeded golden trajectory
+  // exactly.
+  auto seed3 = MakeEvenConfig(graph_, cluster_, 3, 1);
+  ASSERT_TRUE(seed3.ok());
+  SearchOptions options = FastOptions();
+  options.time_budget_seconds = 1e6;
+  options.max_evaluations = 3000;
+  options.seed_mode = SeedMode::kConfig;
+  options.seed_config = std::make_shared<const ParallelConfig>(*seed3);
+  const SearchResult result = AcesoSearchForStages(model_, options, 2);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.best.semantic_hash, 1672875804967310438ULL);
+  EXPECT_DOUBLE_EQ(result.best.perf.iteration_time, 22.649582163995891);
+  EXPECT_EQ(result.stats.configs_explored, 3000);
+  EXPECT_EQ(result.stats.iterations, 40);
+}
+
+TEST_F(SearchTest, SeedConfigFeedsTheOptionsHash) {
+  // The hash contract (DESIGN.md §14): any field that can change the answer
+  // must feed SearchOptionsSemanticHash. A seeded and an unseeded search
+  // can land on different plans, so attaching a seed must change the hash —
+  // and different seeds must hash apart.
+  SearchOptions options = FastOptions();
+  const uint64_t unseeded = SearchOptionsSemanticHash(options);
+  auto seed2 = MakeEvenConfig(graph_, cluster_, 2, 1);
+  ASSERT_TRUE(seed2.ok());
+  options.seed_config = std::make_shared<const ParallelConfig>(*seed2);
+  const uint64_t seeded2 = SearchOptionsSemanticHash(options);
+  EXPECT_NE(seeded2, unseeded);
+  auto seed4 = MakeEvenConfig(graph_, cluster_, 4, 1);
+  ASSERT_TRUE(seed4.ok());
+  options.seed_config = std::make_shared<const ParallelConfig>(*seed4);
+  EXPECT_NE(SearchOptionsSemanticHash(options), seeded2);
+}
+
 TEST_F(SearchTest, WorksWithoutRecomputeAttachment) {
   SearchOptions options = FastOptions();
   options.enable_recompute_attachment = false;

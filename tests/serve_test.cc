@@ -166,6 +166,103 @@ TEST(PlanServiceTest, DifferentSeedIsACacheMiss) {
   EXPECT_EQ(service.stats().completed, 2);
 }
 
+// ---- neighbor-seeded incremental planning (DESIGN.md §17) ----
+
+TEST(PlanServiceTest, PerturbedMissIsNeighborSeededAndCounted) {
+  PlanService service;
+  const PlanService::Response first = service.Handle(FastRequest());
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(service.stats().neighbor_seeded, 0)
+      << "empty similarity index: the first miss searches unseeded";
+
+  // Same model family and cluster family, different key: the second miss
+  // probes the index, finds the first answer, and seeds from it.
+  PlanRequest perturbed = FastRequest();
+  perturbed.seed = 7;
+  const PlanService::Response second = service.Handle(perturbed);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.cache, "miss");
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.neighbor_seeded, 1);
+  EXPECT_EQ(stats.seed_adopted + stats.seed_fallbacks, stats.neighbor_seeded)
+      << "every seeded miss resolves to adopted or fallback";
+  const PlanCacheStats cache_stats = service.plan_cache_stats();
+  EXPECT_EQ(cache_stats.neighbor_probes, 2);  // both misses probed
+  EXPECT_EQ(cache_stats.neighbor_hits, 1);    // only the second found a plan
+
+  // The counters ride the /stats JSON like every other stat.
+  const std::string json = service.StatsJson();
+  EXPECT_NE(json.find("\"neighbor_seeded\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seed_adopted\":"), std::string::npos);
+  EXPECT_NE(json.find("\"seed_fallbacks\":"), std::string::npos);
+}
+
+TEST(PlanServiceTest, NeighborSeedingAdaptsAcrossDeviceCounts) {
+  // The neighbor's plan was searched for 4 GPUs; the request asks for 8.
+  // Adaptation re-maps devices (src/core/seed_adapt.h) and the search still
+  // completes with the invariant intact.
+  PlanService service;
+  ASSERT_TRUE(service.Handle(FastRequest()).status.ok());
+  PlanRequest bigger = FastRequest();
+  bigger.gpus = 8;
+  const PlanService::Response response = service.Handle(bigger);
+  ASSERT_TRUE(response.status.ok());
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.neighbor_seeded, 1);
+  EXPECT_EQ(stats.seed_adopted + stats.seed_fallbacks, 1);
+}
+
+TEST(PlanServiceTest, NeighborSeedOffNeverProbesTheIndex) {
+  ServeOptions options;
+  options.neighbor_seed = false;
+  PlanService service(options);
+  ASSERT_TRUE(service.Handle(FastRequest()).status.ok());
+  PlanRequest other = FastRequest();
+  other.seed = 7;
+  ASSERT_TRUE(service.Handle(other).status.ok());
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.neighbor_seeded, 0);
+  EXPECT_EQ(service.plan_cache_stats().neighbor_probes, 0);
+  EXPECT_EQ(service.plan_cache_stats().neighbor_hits, 0);
+}
+
+TEST(PlanServiceTest, SeededAnswerNeverWorseThanUnseededAtEqualBudget) {
+  // The §17 floor, end to end: for the same request sequence at the same
+  // evaluation budget, a neighbor-seeding service must answer the perturbed
+  // request with a plan at least as good as the strictly-unseeded service's.
+  auto iteration_time_of = [](const PlanService::Response& response) {
+    auto doc = JsonParse(response.body());
+    EXPECT_TRUE(doc.ok());
+    const JsonValue* payload = doc->Find("payload");
+    const JsonValue* plan = payload ? payload->Find("plan") : nullptr;
+    const JsonValue* time = plan ? plan->Find("iteration_time") : nullptr;
+    return time != nullptr && time->is_number() ? time->number_value() : 1e300;
+  };
+
+  ServeOptions off;
+  off.neighbor_seed = false;
+  PlanService seeded_service;
+  PlanService unseeded_service(off);
+
+  PlanRequest perturbed = FastRequest();
+  perturbed.gpus = 8;
+  double seeded_time = 0.0, unseeded_time = 0.0;
+  for (auto& [service, time] :
+       {std::pair<PlanService*, double*>{&seeded_service, &seeded_time},
+        {&unseeded_service, &unseeded_time}}) {
+    ASSERT_TRUE(service->Handle(FastRequest()).status.ok());
+    const PlanService::Response response = service->Handle(perturbed);
+    ASSERT_TRUE(response.status.ok());
+    *time = iteration_time_of(response);
+  }
+  EXPECT_LE(seeded_time, unseeded_time + 1e-12)
+      << "the re-verdict + fallback must hold the unseeded floor";
+}
+
 TEST(PlanServiceTest, UnknownModelErrorListsZooNames) {
   PlanService service;
   PlanRequest request = FastRequest();

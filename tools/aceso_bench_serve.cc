@@ -15,7 +15,11 @@
 //                   {1, 8, 64} × connection mode {close, keep-alive}, plus a
 //                   pipelined keep-alive run at 64 — served straight from
 //                   the PlanCache's pre-serialized payload, no search and no
-//                   re-serialization.
+//                   re-serialization;
+//   - warm_miss:    perturbed requests against the warm daemon at a fifth
+//                   of the search budget — every one misses the exact cache,
+//                   probes the similarity index, and re-searches seeded by
+//                   the adapted neighbor plan (DESIGN.md §17).
 //
 // Requests use a deterministic evaluation budget (max_evaluations), so the
 // cold and warm phases run bit-identical searches over identical profile
@@ -103,11 +107,14 @@ double NowSeconds() {
 }
 
 std::string RequestBody(const Args& args, uint64_t seed,
-                        const std::string& request_id = "") {
+                        const std::string& request_id = "",
+                        int64_t max_evals_override = -1) {
   std::string body = "{\"model\":\"" + JsonEscape(args.model) + "\"";
   body += ",\"gpus\":" + std::to_string(args.gpus);
   body += ",\"budget_seconds\":600";
-  body += ",\"max_evaluations\":" + std::to_string(args.max_evals);
+  body += ",\"max_evaluations\":" +
+          std::to_string(max_evals_override > 0 ? max_evals_override
+                                                : args.max_evals);
   body += ",\"seed\":" + std::to_string(seed);
   if (!request_id.empty()) {
     body += ",\"request_id\":\"" + JsonEscape(request_id) + "\"";
@@ -462,6 +469,10 @@ int Main(int argc, char** argv) {
   int64_t cache_hits = 0;
   int64_t serializations_skipped = 0;
   int64_t hit_requests = 0;
+  int64_t warm_miss_requests = 0;
+  int64_t neighbor_seeded = 0;
+  int64_t seed_adopted = 0;
+  int64_t seed_fallbacks = 0;
   std::string identity_error;
   {
     serve::ServeOptions options;
@@ -549,6 +560,27 @@ int Main(int argc, char** argv) {
         }
       }
     }
+
+    // ---- warm_miss: perturbed requests, neighbor-seeded re-search ----
+    // Each body misses the exact cache (fresh seed, reduced budget) but
+    // sits in the same model family as everything planned above, so the
+    // miss path probes the similarity index, adapts the nearest cached
+    // plan, and searches from it at a fifth of the budget. Counter deltas
+    // verify every request actually took the seeded path.
+    const serve::ServeStats before_miss = daemon.service().stats();
+    std::vector<std::string> miss_bodies;
+    for (int i = 0; i < search_samples; ++i) {
+      miss_bodies.push_back(RequestBody(args, 2000 + static_cast<uint64_t>(i),
+                                        "", std::max<int64_t>(
+                                                1, args.max_evals / 5)));
+    }
+    phases.push_back(
+        run_sequential("serve/warm_miss", daemon.port(), miss_bodies));
+    const serve::ServeStats after_miss = daemon.service().stats();
+    warm_miss_requests = static_cast<int64_t>(miss_bodies.size());
+    neighbor_seeded = after_miss.neighbor_seeded - before_miss.neighbor_seeded;
+    seed_adopted = after_miss.seed_adopted - before_miss.seed_adopted;
+    seed_fallbacks = after_miss.seed_fallbacks - before_miss.seed_fallbacks;
     daemon.Stop();
   }
 
@@ -566,6 +598,12 @@ int Main(int argc, char** argv) {
               static_cast<long long>(cache_hits),
               static_cast<long long>(hit_requests),
               static_cast<long long>(serializations_skipped));
+  std::printf("warm misses: %lld requests, %lld neighbor-seeded "
+              "(%lld adopted, %lld fallbacks)\n",
+              static_cast<long long>(warm_miss_requests),
+              static_cast<long long>(neighbor_seeded),
+              static_cast<long long>(seed_adopted),
+              static_cast<long long>(seed_fallbacks));
 
   WriteJson(args, phases);
   std::printf("wrote %s\n", args.out.c_str());
@@ -602,6 +640,40 @@ int Main(int argc, char** argv) {
   }
   if (!identity_error.empty()) {
     std::fprintf(stderr, "FAIL: %s\n", identity_error.c_str());
+    return 1;
+  }
+  // Every warm miss must have taken the neighbor-seeded path (DESIGN.md
+  // §17), and each seeding must have resolved to adopted-or-fallback.
+  if (neighbor_seeded != warm_miss_requests) {
+    std::fprintf(stderr,
+                 "FAIL: %lld of %lld warm misses were neighbor-seeded\n",
+                 static_cast<long long>(neighbor_seeded),
+                 static_cast<long long>(warm_miss_requests));
+    return 1;
+  }
+  if (seed_adopted + seed_fallbacks != neighbor_seeded) {
+    std::fprintf(stderr,
+                 "FAIL: seeded verdicts do not add up: %lld adopted + %lld "
+                 "fallbacks != %lld seeded\n",
+                 static_cast<long long>(seed_adopted),
+                 static_cast<long long>(seed_fallbacks),
+                 static_cast<long long>(neighbor_seeded));
+    return 1;
+  }
+  // Seeding is what makes the reduced-budget miss serviceable: a fifth of
+  // the search budget must show up as a faster median than the full-budget
+  // warm search path.
+  double warm_profile_p50 = 0.0;
+  double warm_miss_p50 = 0.0;
+  for (const PhaseReport& p : phases) {
+    if (p.name == "serve/warm_profile") warm_profile_p50 = p.p50_ms;
+    if (p.name == "serve/warm_miss") warm_miss_p50 = p.p50_ms;
+  }
+  if (warm_miss_p50 <= 0.0 || warm_miss_p50 >= warm_profile_p50) {
+    std::fprintf(stderr,
+                 "FAIL: warm-miss p50 %.4fms did not improve on the "
+                 "warm-profile p50 %.4fms\n",
+                 warm_miss_p50, warm_profile_p50);
     return 1;
   }
   // The reactor's throughput bar: >= 10x the PR-7 thread-per-connection

@@ -7,6 +7,7 @@
 //   aceso_plan --remote 127.0.0.1:8700 --model gpt3-1.3b --gpus 8
 //              [--budget S] [--max-evals N] [--seed N] [--out config.txt]
 //              [--frontier] [--memory-budgets GIB[,GIB...]]
+//   aceso_plan --remote 127.0.0.1:8700 --stats
 //
 // Remote mode POSTs a plan request (DESIGN.md §14) and prints the daemon's
 // plan summary; --out saves the returned config text in the same format
@@ -15,7 +16,10 @@
 // throughput–memory Pareto frontier (DESIGN.md §15) and prints it;
 // --memory-budgets runs a budget sweep, answering every listed per-device
 // budget (GiB) from one frontier — against a warm daemon, without a search.
+// --stats fetches /stats and pretty-prints the daemon's counters (including
+// the §17 neighbor-seeding counters) instead of requiring raw curl.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -43,6 +47,7 @@ struct Args {
   std::string out;
   bool frontier = false;
   std::string memory_budgets;  // comma-separated per-device budgets in GiB
+  bool stats = false;          // fetch and pretty-print /stats instead
 };
 
 void PrintUsage(const char* argv0) {
@@ -52,8 +57,9 @@ void PrintUsage(const char* argv0) {
                "       %s --remote HOST:PORT --model NAME --gpus N "
                "[--budget S] [--max-evals N] [--seed N] [--out FILE]\n"
                "                  [--frontier] [--memory-budgets GIB[,GIB...]]\n"
+               "       %s --remote HOST:PORT --stats\n"
                "%s",
-               argv0, argv0, aceso::tools::ZooUsageLines());
+               argv0, argv0, argv0, aceso::tools::ZooUsageLines());
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -106,6 +112,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.memory_budgets = v;
+    } else if (flag == "--stats") {
+      args.stats = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -148,6 +156,43 @@ bool SplitHostPort(const std::string& spec, std::string* host, int* port) {
                                       spec.c_str() + colon + 1, port);
 }
 
+// --stats: GET /stats and pretty-print the daemon's counter object, one
+// counter per line in the daemon's own (insertion) order — the JSON parser
+// preserves member order, so related counters (cache_*, seed_*) stay
+// adjacent the way StatsJson emits them.
+int RunStats(aceso::serve::HttpClient& client) {
+  using namespace aceso;
+  auto response = client.Call("GET", "/stats", "");
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = JsonParse(response->body);
+  if (!doc.ok() || !doc->is_object()) {
+    std::fprintf(stderr, "malformed /stats response: %s\n",
+                 response->body.c_str());
+    return 1;
+  }
+  size_t width = 0;
+  for (const auto& [key, value] : doc->members()) {
+    width = std::max(width, key.size());
+  }
+  std::printf("daemon stats:\n");
+  for (const auto& [key, value] : doc->members()) {
+    if (value.is_number() && value.number_is_int()) {
+      std::printf("  %-*s %lld\n", static_cast<int>(width), key.c_str(),
+                  static_cast<long long>(value.int_value()));
+    } else if (value.is_number()) {
+      std::printf("  %-*s %g\n", static_cast<int>(width), key.c_str(),
+                  value.number_value());
+    } else if (value.is_string()) {
+      std::printf("  %-*s %s\n", static_cast<int>(width), key.c_str(),
+                  value.string_value().c_str());
+    }
+  }
+  return 0;
+}
+
 int RunRemote(const Args& args) {
   using namespace aceso;
   std::string host;
@@ -156,6 +201,10 @@ int RunRemote(const Args& args) {
     std::fprintf(stderr, "--remote: expected HOST:PORT, got \"%s\"\n",
                  args.remote.c_str());
     return 2;
+  }
+  if (args.stats) {
+    serve::HttpClient client(host, port);
+    return RunStats(client);
   }
 
   std::string body = "{\"model\":\"" + JsonEscape(args.model) + "\"";

@@ -3,7 +3,7 @@
 //   aceso_serve [--host 127.0.0.1] [--port 8700] [--workers N]
 //               [--eval-threads N] [--cache-capacity N] [--max-inflight N]
 //               [--http-workers N] [--idle-timeout SECONDS]
-//               [--snapshot-dir DIR] [--save-on-exit]
+//               [--snapshot-dir DIR] [--save-on-exit] [--no-neighbor-seed]
 //
 // Accepts plan requests over HTTP (POST /plan), serves duplicates from the
 // plan cache, and — with --snapshot-dir — warm-starts profile databases
@@ -36,6 +36,9 @@ struct Args {
   double idle_timeout = 30.0;  // keep-alive idle eviction (seconds)
   std::string snapshot_dir;
   bool save_on_exit = false;
+  // Escape hatch for neighbor-seeded incremental planning (DESIGN.md §17):
+  // off restores strictly request-deterministic answers.
+  bool neighbor_seed = true;
 };
 
 void PrintUsage(const char* argv0) {
@@ -44,7 +47,8 @@ void PrintUsage(const char* argv0) {
                "[--eval-threads N] [--cache-capacity N]\n"
                "          [--max-inflight N] [--http-workers N] "
                "[--idle-timeout SECONDS]\n"
-               "          [--snapshot-dir DIR] [--save-on-exit]\n",
+               "          [--snapshot-dir DIR] [--save-on-exit] "
+               "[--no-neighbor-seed]\n",
                argv0);
 }
 
@@ -95,6 +99,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.snapshot_dir = v;
     } else if (flag == "--save-on-exit") {
       args.save_on_exit = true;
+    } else if (flag == "--no-neighbor-seed") {
+      args.neighbor_seed = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -129,6 +135,7 @@ int main(int argc, char** argv) {
   options.http_workers = args.http_workers;
   options.http_idle_timeout_seconds = args.idle_timeout;
   options.snapshot_dir = args.snapshot_dir;
+  options.neighbor_seed = args.neighbor_seed;
 
   serve::PlanDaemon daemon(options);
   const Status started = daemon.Start(args.host, args.port);

@@ -92,8 +92,17 @@ def main():
     if failures:
         print(
             f"{len(failures)} benchmark(s) regressed more than "
-            f"{args.threshold}x vs baseline"
+            f"{args.threshold}x vs baseline:"
         )
+        # Repeat each failure with its measured ratio and the limit it broke,
+        # so the CI log tail alone (without scrolling to the per-benchmark
+        # table) says which benchmark failed and by how much.
+        for name, ratio in failures:
+            print(
+                f"  {name}: {current[name]:.0f}ns vs baseline "
+                f"{baseline[name]:.0f}ns — {ratio:.2f}x exceeds the "
+                f"{args.threshold}x threshold"
+            )
         exit_code = 1
     if missing and not args.allow_missing:
         print(
